@@ -1,0 +1,24 @@
+//! Baseline distributed algorithms the paper positions itself against
+//! (Section 1, "Background"):
+//!
+//! * [`bellman_ford_apsp`] — the RIP-style pipelined distance-vector
+//!   algorithm: exact APSP, `Θ(n²)` rounds in the worst case and
+//!   `Θ(n log n)` bits of state per node.
+//! * [`flooding_apsp`] — the OSPF-style link-state algorithm: collect the
+//!   complete topology at each node by flooding (`Θ(m + D)` rounds,
+//!   `Θ(m)` storage), then run Dijkstra locally. Exact.
+//! * [`ExactTz`] — a *centralized* exact-distance Thorup–Zwick hierarchy
+//!   with the same label/table model as the `compact` crate: the stretch
+//!   and table-size reference point for experiment E5 (what the
+//!   distributed approximate construction loses versus exact distances).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bellman_ford;
+mod flooding;
+mod tz_exact;
+
+pub use bellman_ford::{bellman_ford_apsp, BfResult};
+pub use flooding::{flooding_apsp, FloodResult};
+pub use tz_exact::ExactTz;

@@ -1,0 +1,261 @@
+//! Centralized exact-distance Thorup–Zwick hierarchy (comparison
+//! baseline).
+//!
+//! Same level structure, labels and forwarding rules as the distributed
+//! `compact` scheme, but with *exact* distances everywhere — the ideal
+//! the paper's approximate construction is measured against in
+//! experiment E5. (Being a centralized baseline, its distance options use
+//! an exact oracle; its *table sizes* are still the TZ bunches, which is
+//! the quantity compared.)
+
+use compact::levels::{level_flags, sample_levels};
+use congest::{bits_for, NodeId};
+use graphs::algo::{apsp, dijkstra, Apsp};
+use graphs::WGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use routing::RoutingScheme;
+use treeroute::TreeSet;
+
+/// Exact Thorup–Zwick baseline scheme.
+#[derive(Debug)]
+pub struct ExactTz {
+    n: usize,
+    k: u32,
+    exact: Apsp,
+    /// `pivots[l−1][v] = (s'_l(v), wd(v, s'_l(v)))` for `l ∈ 1..k`.
+    pivots: Vec<Vec<(NodeId, u64)>>,
+    /// Shortest-path trees towards each pivot, per level.
+    trees: Vec<TreeSet>,
+    /// Σ_l |S'_l(v)| (bunch sizes).
+    bunch_sizes: Vec<usize>,
+    /// First-hop matrix from exact shortest paths.
+    next: Vec<Option<NodeId>>,
+}
+
+impl ExactTz {
+    /// Builds the exact hierarchy with `k` levels and the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on disconnected inputs.
+    pub fn new(g: &WGraph, k: u32, seed: u64) -> Self {
+        assert!(g.is_connected(), "exact TZ requires connectivity");
+        let n = g.len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (levels, _) = sample_levels(n, k, &mut rng);
+        let exact = apsp(g);
+
+        // Exact first hops (walk parents from each Dijkstra run).
+        let mut next: Vec<Option<NodeId>> = vec![None; n * n];
+        for u in g.nodes() {
+            let sp = dijkstra(g, u);
+            for v in g.nodes() {
+                if u != v {
+                    let mut cur = v;
+                    while let Some(p) = sp.parent[cur.index()] {
+                        if p == u {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    next[u.index() * n + v.index()] = Some(cur);
+                }
+            }
+        }
+
+        // Exact pivots per level.
+        let mut pivots = Vec::with_capacity(k as usize - 1);
+        for l in 1..k {
+            let flags = level_flags(&levels, l);
+            let pv: Vec<(NodeId, u64)> = g
+                .nodes()
+                .map(|v| {
+                    g.nodes()
+                        .filter(|s| flags[s.index()])
+                        .map(|s| (exact.dist(v, s), s))
+                        .min()
+                        .map(|(d, s)| (s, d))
+                        .expect("S_l nonempty")
+                })
+                .collect();
+            pivots.push(pv);
+        }
+
+        // Bunches: |{s ∈ S_l : wd(v,s) < wd(v, S_{l+1})}| summed over l.
+        let mut bunch_sizes = vec![0usize; n];
+        for l in 0..k {
+            let flags = level_flags(&levels, l);
+            for v in g.nodes() {
+                let cut = if l + 1 < k {
+                    let (s, d) = pivots[l as usize][v.index()];
+                    (d, s)
+                } else {
+                    (u64::MAX, NodeId(u32::MAX))
+                };
+                bunch_sizes[v.index()] += g
+                    .nodes()
+                    .filter(|s| flags[s.index()])
+                    .filter(|&s| (exact.dist(v, s), s) < cut)
+                    .count();
+            }
+        }
+
+        // Exact shortest-path chains to pivots → trees (centrally built).
+        let mut trees = Vec::with_capacity(k as usize - 1);
+        for l in 1..k {
+            let mut set = TreeSet::new();
+            for v in g.nodes() {
+                let (s, _) = pivots[(l - 1) as usize][v.index()];
+                // Chain via exact first hops towards s.
+                let mut path = vec![v];
+                let mut cur = v;
+                while cur != s {
+                    cur = next[cur.index() * n + s.index()].expect("connected");
+                    path.push(cur);
+                }
+                set.add_chain(&path);
+            }
+            set.build();
+            trees.push(set);
+        }
+
+        ExactTz {
+            n,
+            k,
+            exact,
+            pivots,
+            trees,
+            bunch_sizes,
+            next,
+        }
+    }
+
+    fn first_hop(&self, x: NodeId, t: NodeId) -> Option<NodeId> {
+        self.next[x.index() * self.n + t.index()]
+    }
+}
+
+impl RoutingScheme for ExactTz {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn next_hop(&self, x: NodeId, dest: NodeId) -> Option<NodeId> {
+        if x == dest {
+            return None;
+        }
+        // Tree mode first (as in the distributed scheme).
+        for l in 1..self.k {
+            let (pivot, _) = self.pivots[(l - 1) as usize][dest.index()];
+            let tree = &self.trees[(l - 1) as usize].trees[&pivot];
+            if let Some(dfs) = tree.label(dest) {
+                if tree.in_subtree(x, dfs) {
+                    if let Some(child) = tree.next_hop_down(x, dfs) {
+                        return Some(child);
+                    }
+                }
+            }
+        }
+        // Exact potential: min over levels of d(x, p_l) + d(p_l, dest),
+        // level 0 meaning the direct exact distance.
+        let mut best: Option<(u64, NodeId)> = None;
+        if let Some(h) = self.first_hop(x, dest) {
+            best = Some((self.exact.dist(x, dest), h));
+        }
+        for l in 1..self.k {
+            let (pivot, d_w) = self.pivots[(l - 1) as usize][dest.index()];
+            if x == pivot {
+                continue;
+            }
+            let est = self.exact.dist(x, pivot).saturating_add(d_w);
+            if best.is_none_or(|(b, _)| est < b) {
+                if let Some(h) = self.first_hop(x, pivot) {
+                    best = Some((est, h));
+                }
+            }
+        }
+        best.map(|(_, h)| h)
+    }
+
+    fn estimate(&self, x: NodeId, dest: NodeId) -> u64 {
+        if x == dest {
+            return 0;
+        }
+        // What the TZ distance oracle would answer: min over levels of
+        // d(x, p_l(dest)) + d(p_l(dest), dest), and d(x,dest) itself when
+        // dest is in x's bunch (approximated here by the exact value,
+        // which only makes the baseline stronger).
+        let mut best = self.exact.dist(x, dest);
+        for l in 1..self.k {
+            let (pivot, d_w) = self.pivots[(l - 1) as usize][dest.index()];
+            best = best.min(self.exact.dist(x, pivot).saturating_add(d_w));
+        }
+        best
+    }
+
+    fn label_bits(&self, v: NodeId) -> usize {
+        let id = bits_for(self.n as u64);
+        id + (1..self.k)
+            .map(|l| {
+                let (_, d) = self.pivots[(l - 1) as usize][v.index()];
+                2 * id + bits_for(d + 1)
+            })
+            .sum::<usize>()
+    }
+
+    fn table_entries(&self, v: NodeId) -> usize {
+        let tree_rows: usize = self
+            .trees
+            .iter()
+            .flat_map(|set| set.trees.values())
+            .filter_map(|t| t.children.get(&v).map(|ch| 1 + ch.len()))
+            .sum();
+        self.bunch_sizes[v.index()] + tree_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen::{self, Weights};
+    use rand::Rng;
+    use routing::{evaluate, PairSelection};
+
+    #[test]
+    fn stretch_within_4k_minus_3() {
+        for (k, seed) in [(2u32, 1u64), (3, 2)] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::gnp_connected(
+                26,
+                0.15,
+                Weights::Uniform {
+                    lo: 1,
+                    hi: rng.random_range(10..50),
+                },
+                &mut rng,
+            );
+            let scheme = ExactTz::new(&g, k, seed);
+            let exact = apsp(&g);
+            let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+            assert!(report.failures.is_empty(), "{:?}", report.failures);
+            let bound = (4 * k - 3) as f64;
+            assert!(
+                report.max_stretch <= bound + 1e-9,
+                "stretch {} > {bound} (k={k})",
+                report.max_stretch
+            );
+        }
+    }
+
+    #[test]
+    fn k1_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gen::grid(4, 5, Weights::Uniform { lo: 1, hi: 9 }, &mut rng);
+        let scheme = ExactTz::new(&g, 1, 5);
+        let exact = apsp(&g);
+        let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+        assert!(report.failures.is_empty());
+        assert!((report.max_stretch - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion wrapper for experiment E1 (Theorem 4.1 APSP).
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pde_core::approx_apsp;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_apsp");
+    group.sample_size(10);
+    for n in [24usize, 32] {
+        let g = workloads::gnp(n, 1);
+        group.bench_function(format!("n{n}_eps0.5"), |b| {
+            b.iter(|| black_box(approx_apsp(&g, 0.5).rounds()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

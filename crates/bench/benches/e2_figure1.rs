@@ -1,0 +1,31 @@
+//! Criterion wrapper for experiment E2 (Figure 1 lower-bound family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::gen::figure1;
+use pde_core::{run_pde, PdeParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_figure1");
+    group.sample_size(10);
+    for (h, sigma) in [(4usize, 4usize), (6, 6)] {
+        let fig = figure1(h, sigma);
+        let sources = fig.source_flags();
+        let tags = vec![false; fig.graph.len()];
+        group.bench_function(format!("h{h}_s{sigma}"), |b| {
+            b.iter(|| {
+                let out = run_pde(
+                    &fig.graph,
+                    &sources,
+                    &tags,
+                    &PdeParams::new(fig.horizon(), sigma, 0.5),
+                );
+                black_box(out.metrics.total.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

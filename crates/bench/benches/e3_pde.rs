@@ -1,0 +1,25 @@
+//! Criterion wrapper for experiment E3 (Corollary 3.5 PDE budgets).
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pde_core::{run_pde, PdeParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_pde");
+    group.sample_size(10);
+    let g = workloads::gnp(64, 1);
+    let sources: Vec<bool> = (0..64).map(|i| i % 4 == 0).collect();
+    let tags = vec![false; 64];
+    for (h, sigma) in [(8u64, 4usize), (16, 8)] {
+        group.bench_function(format!("h{h}_s{sigma}"), |b| {
+            b.iter(|| {
+                black_box(run_pde(&g, &sources, &tags, &PdeParams::new(h, sigma, 0.5)).metrics.total.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion wrapper for experiment E4 (Theorem 4.5 RTC build).
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use routing::{build_rtc, RtcParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_rtc");
+    group.sample_size(10);
+    let g = workloads::gnp(32, 1);
+    for k in [1u32, 2] {
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| black_box(build_rtc(&g, &RtcParams::new(k)).metrics.total_rounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

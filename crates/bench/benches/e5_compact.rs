@@ -1,0 +1,21 @@
+//! Criterion wrapper for experiment E5 (Theorem 4.8 hierarchy build).
+
+use bench::workloads;
+use compact::{build_hierarchy, CompactParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_compact");
+    group.sample_size(10);
+    let g = workloads::gnp(32, 1);
+    for k in [2u32, 3] {
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| black_box(build_hierarchy(&g, &CompactParams::new(k)).metrics.total_rounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

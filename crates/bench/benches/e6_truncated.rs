@@ -1,0 +1,27 @@
+//! Criterion wrapper for experiment E6 (Theorem 4.13 truncated build).
+
+use bench::workloads;
+use compact::{build_truncated, CompactParams, UpperMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_truncated");
+    group.sample_size(10);
+    let g = workloads::gnp(24, 1);
+    for mode in [UpperMode::Simulated, UpperMode::Local] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| {
+                black_box(
+                    build_truncated(&g, &CompactParams::new(2), 1, mode)
+                        .metrics
+                        .total_rounds,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion wrapper for experiment E7 (Lemma 4.4 tree statistics).
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use routing::{build_rtc, RtcParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_trees");
+    group.sample_size(10);
+    let g = workloads::gnp(32, 1);
+    group.bench_function("rtc_trees_n32", |b| {
+        b.iter(|| {
+            let scheme = build_rtc(&g, &RtcParams::new(2));
+            black_box(scheme.trees.max_membership(32))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion wrapper for experiment E8 (Baswana–Sen spanner).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::gen::{self, Weights};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner::baswana_sen;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_spanner");
+    group.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = gen::gnp_connected(40, 0.5, Weights::Uniform { lo: 1, hi: 64 }, &mut rng);
+    for k in [2u32, 3] {
+        group.bench_function(format!("k{k}"), |b| {
+            b.iter(|| {
+                let mut r = SmallRng::seed_from_u64(2);
+                black_box(baswana_sen(&g, k, &mut r).edges.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion wrapper for experiment E9 (algorithm-family comparison).
+
+use baselines::{bellman_ford_apsp, flooding_apsp};
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pde_core::approx_apsp;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_comparison");
+    group.sample_size(10);
+    let g = workloads::gnp(24, 1);
+    group.bench_function("bellman_ford", |b| {
+        b.iter(|| black_box(bellman_ford_apsp(&g).metrics.rounds))
+    });
+    group.bench_function("flooding", |b| {
+        b.iter(|| black_box(flooding_apsp(&g).metrics.rounds))
+    });
+    group.bench_function("pde_apsp", |b| {
+        b.iter(|| black_box(approx_apsp(&g, 0.5).rounds()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

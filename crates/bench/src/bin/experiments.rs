@@ -1,0 +1,70 @@
+//! Regenerates every experiment table recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # all
+//! cargo run --release -p bench --bin experiments -- e1 e4   # selected
+//! cargo run --release -p bench --bin experiments -- quick   # reduced sizes
+//! ```
+
+use bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let want = |name: &str| {
+        args.is_empty() || args.iter().all(|a| a == "quick") || args.iter().any(|a| a == name)
+    };
+    let seed = 0x5EED;
+
+    if want("e1") {
+        let sizes: &[usize] = if quick { &[24, 32] } else { &[32, 48, 64, 96] };
+        println!("{}", e1_apsp(sizes, &[0.5, 0.25], seed));
+    }
+    if want("e2") {
+        let cases: &[(usize, usize)] = if quick {
+            &[(4, 4), (6, 6)]
+        } else {
+            &[(4, 4), (6, 6), (8, 8), (6, 12), (10, 10)]
+        };
+        println!("{}", e2_figure1(cases, 0.5));
+    }
+    if want("e3") {
+        let cases: &[(u64, usize, f64)] = if quick {
+            &[(8, 4, 0.5), (16, 8, 0.5)]
+        } else {
+            &[
+                (8, 4, 0.5),
+                (16, 4, 0.5),
+                (32, 4, 0.5),
+                (16, 8, 0.5),
+                (16, 16, 0.5),
+                (16, 8, 0.25),
+            ]
+        };
+        println!("{}", e3_pde(if quick { 64 } else { 128 }, cases, seed));
+    }
+    if want("e4") {
+        let sizes: &[usize] = if quick { &[32] } else { &[32, 48, 64] };
+        println!("{}", e4_rtc(sizes, &[1, 2, 3], seed));
+    }
+    if want("e5") {
+        println!("{}", e5_compact(if quick { 32 } else { 64 }, &[2, 3, 4], seed));
+    }
+    if want("e6") {
+        println!("{}", e6_truncated(if quick { 24 } else { 40 }, 3, seed));
+    }
+    if want("e7") {
+        let sizes: &[usize] = if quick { &[32] } else { &[32, 48, 64] };
+        println!("{}", e7_trees(sizes, 2, seed));
+    }
+    if want("e8") {
+        let sizes: &[usize] = if quick { &[20] } else { &[20, 30, 40] };
+        println!("{}", e8_spanner(sizes, &[2, 3], seed));
+    }
+    if want("e9") {
+        let sizes: &[usize] = if quick { &[24] } else { &[24, 32, 48] };
+        println!("{}", e9_comparison(sizes, seed));
+    }
+}

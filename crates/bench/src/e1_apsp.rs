@@ -1,0 +1,41 @@
+//! E1 — Theorem 4.1: deterministic `(1+ε)`-APSP in `O(n/ε²·log n)` rounds.
+
+use crate::table::{f, Table};
+use crate::workloads;
+use graphs::algo::{apsp, hop_diameter};
+use pde_core::approx_apsp;
+
+/// Sweeps `n` and `ε` on G(n,p); reports measured rounds, the ratio to the
+/// `n·ln n/ε²` bound (should stay flat/bounded as `n` grows — the paper's
+/// claim is the growth *shape*), and the observed max stretch (must be
+/// `≤ 1+ε`).
+pub fn e1_apsp(sizes: &[usize], epsilons: &[f64], seed: u64) -> Table {
+    let mut t = Table::new(
+        "E1 (Theorem 4.1): (1+eps)-approximate APSP — rounds vs n*ln(n)/eps^2, stretch <= 1+eps",
+        &[
+            "n", "eps", "D", "rounds", "bound", "rounds/bound", "max_stretch", "ok",
+        ],
+    );
+    for &n in sizes {
+        let g = workloads::gnp(n, seed);
+        let exact = apsp(&g);
+        let d = hop_diameter(&g);
+        for &eps in epsilons {
+            let a = approx_apsp(&g, eps);
+            let stretch = a.max_stretch(&exact);
+            let bound = n as f64 * (n as f64).ln() / (eps * eps);
+            let ok = stretch <= 1.0 + eps + 1e-9;
+            t.row(vec![
+                n.to_string(),
+                f(eps),
+                d.to_string(),
+                a.rounds().to_string(),
+                f(bound),
+                f(a.rounds() as f64 / bound),
+                f(stretch),
+                ok.to_string(),
+            ]);
+        }
+    }
+    t
+}

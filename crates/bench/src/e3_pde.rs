@@ -1,0 +1,49 @@
+//! E3 — Corollary 3.5 + Lemma 3.4: PDE round and message budgets.
+
+use crate::table::{f, Table};
+use crate::workloads;
+use pde_core::{run_pde, PdeParams};
+
+/// Sweeps `(h, σ, ε)` on a fixed G(n,p); reports measured rounds against
+/// the `(h+σ)/ε²·log n + D` bound and the largest per-node broadcast
+/// count in any single level against the `O(σ²)` bound of Lemma 3.4
+/// (ratios should stay bounded as parameters grow).
+pub fn e3_pde(n: usize, cases: &[(u64, usize, f64)], seed: u64) -> Table {
+    let mut t = Table::new(
+        "E3 (Cor 3.5 + Lemma 3.4): PDE rounds vs (h+sigma)/eps^2*ln(n); per-node msgs vs sigma^2",
+        &[
+            "h",
+            "sigma",
+            "eps",
+            "rounds",
+            "round_bound",
+            "r/bound",
+            "max_msgs_lvl",
+            "sigma^2",
+            "m/s^2",
+        ],
+    );
+    let g = workloads::gnp(n, seed);
+    // A spread-out source set: every fourth node.
+    let sources: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+    let tags = vec![false; n];
+    for &(h, sigma, eps) in cases {
+        let out = run_pde(&g, &sources, &tags, &PdeParams::new(h, sigma, eps));
+        let rounds = out.metrics.total.rounds;
+        let bound = (h as f64 + sigma as f64) / (eps * eps) * (n as f64).ln();
+        let msgs = out.metrics.max_broadcasts_single_level;
+        let s2 = (sigma * sigma) as f64;
+        t.row(vec![
+            h.to_string(),
+            sigma.to_string(),
+            f(eps),
+            rounds.to_string(),
+            f(bound),
+            f(rounds as f64 / bound),
+            msgs.to_string(),
+            f(s2),
+            f(msgs as f64 / s2),
+        ]);
+    }
+    t
+}

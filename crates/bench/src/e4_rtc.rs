@@ -1,0 +1,64 @@
+//! E4 — Theorem 4.5: routing tables with relabeling, stretch `6k−1+o(1)`,
+//! `O(log n)`-bit labels, `Õ(n^{1/2+1/(4k)} + D)` rounds.
+
+use crate::table::{f, Table};
+use crate::workloads;
+use graphs::algo::{apsp, hop_diameter};
+use routing::{build_rtc, evaluate, PairSelection, RtcParams};
+
+/// Sweeps `k` and `n` on G(n,p); reports build rounds against the
+/// `n^{1/2+1/(4k)}·ln n + D` bound, the measured max stretch against the
+/// `6k−1` target, and label sizes in bits against `O(log n)`.
+pub fn e4_rtc(sizes: &[usize], ks: &[u32], seed: u64) -> Table {
+    let mut t = Table::new(
+        "E4 (Theorem 4.5): RTC with relabeling — stretch <= ~(6k-1), labels O(log n) bits",
+        &[
+            "n",
+            "k",
+            "D",
+            "|S|",
+            "rounds",
+            "bound",
+            "r/bound",
+            "max_stretch",
+            "6k-1",
+            "label_bits",
+            "fails",
+        ],
+    );
+    for &n in sizes {
+        let g = workloads::gnp(n, seed);
+        let exact = apsp(&g);
+        let d = hop_diameter(&g);
+        for &k in ks {
+            let mut params = RtcParams::new(k);
+            params.seed = seed ^ u64::from(k);
+            let scheme = build_rtc(&g, &params);
+            let pairs = if n <= 40 {
+                PairSelection::All
+            } else {
+                PairSelection::Sample {
+                    count: 600,
+                    seed: 7,
+                }
+            };
+            let report = evaluate(&g, &scheme, &exact, pairs);
+            let bound = (n as f64).powf(0.5 + 1.0 / (4.0 * f64::from(k))) * (n as f64).ln()
+                + f64::from(d);
+            t.row(vec![
+                n.to_string(),
+                k.to_string(),
+                d.to_string(),
+                scheme.metrics.skeleton_size.to_string(),
+                scheme.metrics.total_rounds.to_string(),
+                f(bound),
+                f(scheme.metrics.total_rounds as f64 / bound),
+                f(report.max_stretch),
+                (6 * k - 1).to_string(),
+                report.max_label_bits.to_string(),
+                report.failures.len().to_string(),
+            ]);
+        }
+    }
+    t
+}

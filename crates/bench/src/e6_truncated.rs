@@ -1,0 +1,80 @@
+//! E6 — Theorem 4.13 / Corollary 4.14: the truncated hierarchy and its
+//! `l0`/mode trade-off as the hop diameter varies.
+
+use crate::table::{f, Table};
+use crate::workloads;
+use compact::{build_driver, build_truncated, CompactParams, UpperMode};
+use graphs::algo::{apsp, hop_diameter};
+use routing::{evaluate, PairSelection};
+
+/// On a small-diameter G(n,p) and a large-diameter dumbbell, builds the
+/// truncated scheme for each `(l0, mode)` and the Corollary 4.14 driver's
+/// choice; reports the round decomposition (lower PDE / base PDE / charged
+/// upper cost) and the stretch. The paper's claim to validate: the
+/// simulated mode's upper cost scales with `Σ M_i + rounds·D`, so it wins
+/// on small `D` and loses to broadcast-local on large `D`.
+pub fn e6_truncated(n: usize, k: u32, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E6 (Thm 4.13 / Cor 4.14): truncated hierarchy — rounds decomposition vs diameter",
+        &[
+            "graph", "D", "l0", "mode", "|S_l0|", "lower", "base", "upper", "total", "stretch",
+            "fails",
+        ],
+    );
+    let graphs_list = [
+        ("gnp", workloads::gnp(n, seed)),
+        ("dumbbell", workloads::dumbbell(n, seed)),
+    ];
+    for (name, g) in &graphs_list {
+        let exact = apsp(g);
+        let d = hop_diameter(g);
+        let pairs = if g.len() <= 40 {
+            PairSelection::All
+        } else {
+            PairSelection::Sample {
+                count: 400,
+                seed: 9,
+            }
+        };
+        let mut params = CompactParams::new(k);
+        params.seed = seed;
+        for l0 in 1..k {
+            for mode in [UpperMode::Simulated, UpperMode::Local] {
+                let scheme = build_truncated(g, &params, l0, mode);
+                let report = evaluate(g, &scheme, &exact, pairs);
+                let m = &scheme.metrics;
+                t.row(vec![
+                    name.to_string(),
+                    d.to_string(),
+                    l0.to_string(),
+                    format!("{mode:?}"),
+                    m.skeleton_size.to_string(),
+                    m.lower_rounds.to_string(),
+                    m.base_rounds.to_string(),
+                    m.upper_rounds.to_string(),
+                    m.total_rounds.to_string(),
+                    f(report.max_stretch),
+                    report.failures.len().to_string(),
+                ]);
+            }
+        }
+        // The driver's own pick.
+        let (scheme, choice) = build_driver(g, &params, d);
+        let report = evaluate(g, &scheme, &exact, pairs);
+        let m = &scheme.metrics;
+        t.row(vec![
+            format!("{name}*"),
+            d.to_string(),
+            choice.l0.to_string(),
+            format!("driver:{:?}", choice.mode),
+            m.skeleton_size.to_string(),
+            m.lower_rounds.to_string(),
+            m.base_rounds.to_string(),
+            m.upper_rounds.to_string(),
+            m.total_rounds.to_string(),
+            f(report.max_stretch),
+            report.failures.len().to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,55 @@
+//! E7 — Lemma 4.4: detection-tree depth `O(h·log n/ε)` and per-node tree
+//! membership `O(log n)`.
+
+use crate::table::{f, Table};
+use crate::workloads;
+use routing::{build_rtc, RtcParams};
+
+/// Builds the Theorem 4.5 scheme across sizes and measures the detection
+/// trees `T_s`: the maximum depth against the `h·ln n/ε` bound, and the
+/// maximum number of trees any node belongs to against `ln n`.
+pub fn e7_trees(sizes: &[usize], k: u32, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E7 (Lemma 4.4): detection-tree depth O(h ln n / eps); node membership O(ln n)",
+        &[
+            "n",
+            "h",
+            "trees",
+            "max_depth",
+            "h*ln(n)/eps",
+            "d/bound",
+            "max_member",
+            "ln(n)",
+            "m/ln(n)",
+        ],
+    );
+    for &n in sizes {
+        let g = workloads::gnp(n, seed);
+        let mut params = RtcParams::new(k);
+        params.seed = seed;
+        let scheme = build_rtc(&g, &params);
+        let max_depth = scheme
+            .trees
+            .trees
+            .values()
+            .map(|t| t.height())
+            .max()
+            .unwrap_or(0);
+        let max_member = scheme.trees.max_membership(n);
+        let h = scheme.metrics.h;
+        let depth_bound = h as f64 * (n as f64).ln() / params.eps;
+        let ln_n = (n as f64).ln();
+        t.row(vec![
+            n.to_string(),
+            h.to_string(),
+            scheme.trees.trees.len().to_string(),
+            max_depth.to_string(),
+            f(depth_bound),
+            f(f64::from(max_depth) / depth_bound),
+            max_member.to_string(),
+            f(ln_n),
+            f(max_member as f64 / ln_n),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,52 @@
+//! E8 — Baswana–Sen on skeleton graphs: size `O(k·|S|^{1+1/k})`, stretch
+//! `≤ 2k−1`, dissemination `Õ(|S|^{1+1/k} + D)` rounds.
+
+use crate::table::{f, Table};
+use crate::workloads;
+use graphs::gen::{self, Weights};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner::{baswana_sen, verify_stretch};
+
+/// Runs Baswana–Sen on dense weighted graphs (stand-ins for the virtual
+/// skeleton graphs of Theorem 4.5, which are near-cliques) across `k`;
+/// reports spanner size against `k·m^{1+1/k}`, exact stretch against
+/// `2k−1`, and the broadcast item count driving the dissemination rounds.
+pub fn e8_spanner(sizes: &[usize], ks: &[u32], seed: u64) -> Table {
+    let mut t = Table::new(
+        "E8 (Baswana-Sen): spanner size O(k*m^{1+1/k}), stretch <= 2k-1",
+        &[
+            "m",
+            "k",
+            "edges_in",
+            "edges_out",
+            "k*m^{1+1/k}",
+            "e/bound",
+            "stretch",
+            "2k-1",
+            "bc_items",
+        ],
+    );
+    for &m in sizes {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::gnp_connected(m, 0.5, Weights::Uniform { lo: 1, hi: 64 }, &mut rng);
+        for &k in ks {
+            let sp = baswana_sen(&g, k, &mut rng);
+            let stretch = verify_stretch(&g, &sp.edges);
+            let bound = f64::from(k) * (m as f64).powf(1.0 + 1.0 / f64::from(k));
+            t.row(vec![
+                m.to_string(),
+                k.to_string(),
+                g.num_edges().to_string(),
+                sp.edges.len().to_string(),
+                f(bound),
+                f(sp.edges.len() as f64 / bound),
+                f(stretch),
+                (2 * k - 1).to_string(),
+                sp.broadcast_items.to_string(),
+            ]);
+        }
+    }
+    let _ = workloads::W; // shared weight convention documented here
+    t
+}

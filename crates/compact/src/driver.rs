@@ -1,0 +1,126 @@
+//! Corollary 4.14: choosing the truncation level from `D`.
+//!
+//! For `k ≥ 3`, pick `l0` closest to `k(log D / log n + 1)/2` (clamped to
+//! `[k/2+1, k−1]`) and run the Lemma 4.12 simulation; the alternative is
+//! to broadcast `G̃(l0)` (with `l0` balancing `n^{l0/k}` against
+//! `n^{2(k−l0)/k}`) and solve the upper levels locally. The corollary's
+//! bound is the minimum of the two:
+//! `Õ(min{(Dn)^{1/2}·n^{1/k}, n^{2/3+2/(3k)}} + D)`. For `k = 2` the
+//! minimum is always attained by the broadcast variant.
+
+use crate::hierarchy::CompactParams;
+use crate::truncated::{build_truncated, TruncatedScheme, UpperMode};
+use graphs::WGraph;
+
+/// The driver's decision record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DriverChoice {
+    /// Chosen truncation level.
+    pub l0: u32,
+    /// Chosen upper-level mode.
+    pub mode: UpperMode,
+    /// The hop diameter the choice was based on.
+    pub diameter: u32,
+}
+
+/// Picks `l0` and the upper mode per Corollary 4.14 and builds the scheme.
+///
+/// `diameter` is the hop diameter `D` (known to nodes after `O(D)` rounds
+/// of BFS; callers typically pass `graphs::algo::hop_diameter`).
+///
+/// # Panics
+///
+/// Panics if `k < 2` (no truncation possible) or on build failures.
+pub fn build_driver(
+    g: &WGraph,
+    params: &CompactParams,
+    diameter: u32,
+) -> (TruncatedScheme, DriverChoice) {
+    let k = params.k;
+    assert!(k >= 2, "Corollary 4.14 needs k ≥ 2");
+    let n = g.len() as f64;
+
+    let choice = if k == 2 {
+        // "If k = 2, the minimum is attained for the second term."
+        DriverChoice {
+            l0: 1,
+            mode: UpperMode::Local,
+            diameter,
+        }
+    } else {
+        // l0 ≈ k(log D / log n + 1)/2, clamped to [k/2+1, k−1].
+        let ratio = f64::from(diameter.max(1)).ln() / n.ln().max(1.0);
+        let raw = (f64::from(k) * (ratio + 1.0) / 2.0).round() as i64;
+        let lo = i64::from(k / 2 + 1);
+        let hi = i64::from(k - 1);
+        let l0_sim = raw.clamp(lo, hi) as u32;
+        // Broadcast-local alternative: l0 balancing n^{l0/k} = n^{2(k−l0)/k}
+        // → l0 = 2k/3.
+        let l0_loc = ((2 * k).div_ceil(3)).clamp(1, k - 1);
+        // Estimated costs (the corollary's two terms).
+        let cost_sim = (f64::from(diameter.max(1)) * n).sqrt() * n.powf(1.0 / f64::from(k));
+        let cost_loc = n.powf(2.0 / 3.0 + 2.0 / (3.0 * f64::from(k)));
+        if cost_sim <= cost_loc {
+            DriverChoice {
+                l0: l0_sim,
+                mode: UpperMode::Simulated,
+                diameter,
+            }
+        } else {
+            DriverChoice {
+                l0: l0_loc,
+                mode: UpperMode::Local,
+                diameter,
+            }
+        }
+    };
+
+    let scheme = build_truncated(g, params, choice.l0, choice.mode);
+    (scheme, choice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::algo::{apsp, hop_diameter};
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use routing::{evaluate, PairSelection};
+
+    #[test]
+    fn k2_always_chooses_local_broadcast() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 10 }, &mut rng);
+        let d = hop_diameter(&g);
+        let (_, choice) = build_driver(&g, &CompactParams::new(2), d);
+        assert_eq!(choice.mode, UpperMode::Local);
+        assert_eq!(choice.l0, 1);
+    }
+
+    #[test]
+    fn large_diameter_prefers_local_small_prefers_sim() {
+        // The decision rule itself (costs cross over in D).
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = gen::gnp_connected(30, 0.25, Weights::Uniform { lo: 1, hi: 10 }, &mut rng);
+        let (_, tiny_d) = build_driver(&g, &CompactParams::new(4), 1);
+        let (_, huge_d) = build_driver(&g, &CompactParams::new(4), 10_000);
+        assert_eq!(tiny_d.mode, UpperMode::Simulated);
+        assert_eq!(huge_d.mode, UpperMode::Local);
+    }
+
+    #[test]
+    fn driver_scheme_routes_correctly() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::gnp_connected(26, 0.2, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+        let d = hop_diameter(&g);
+        let (scheme, choice) = build_driver(&g, &CompactParams::new(3), d);
+        let exact = apsp(&g);
+        let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+        assert!(
+            report.failures.is_empty(),
+            "choice {choice:?}: {:?}",
+            &report.failures[..report.failures.len().min(5)]
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! The per-level hierarchy construction (Lemma 4.7 / Theorem 4.8).
+
+use congest::{bits_for, Metrics, NodeId, Topology};
+use graphs::WGraph;
+use pde_core::{run_pde, PdeParams, RouteInfo};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use treeroute::{label_forest, TreeSet};
+
+use crate::levels::{level_flags, sample_levels};
+
+/// How per-level detection horizons are chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HorizonMode {
+    /// Lemma 4.7: `h_{l+1} = c · n^{(l+1)/k} · ln n` for the level-`l` run.
+    Lemma47,
+    /// Theorem 4.8: a uniform horizon `h = SPD` (the caller supplies the
+    /// bound — the paper assumes an upper bound on `SPD` is known).
+    Spd(u64),
+}
+
+/// Parameters for [`build_hierarchy`].
+#[derive(Clone, Debug)]
+pub struct CompactParams {
+    /// Number of hierarchy levels `k` (stretch `4k−3+o(1)`).
+    pub k: u32,
+    /// PDE approximation parameter ε.
+    pub eps: f64,
+    /// Constant `c` in horizons and list sizes.
+    pub c: f64,
+    /// RNG seed for level sampling.
+    pub seed: u64,
+    /// Horizon selection (Lemma 4.7 vs Theorem 4.8).
+    pub horizon: HorizonMode,
+}
+
+impl CompactParams {
+    /// Defaults for a given `k` (Lemma 4.7 horizons).
+    pub fn new(k: u32) -> Self {
+        CompactParams {
+            k,
+            eps: 0.25,
+            c: 2.0,
+            seed: 0xBEEF,
+            horizon: HorizonMode::Lemma47,
+        }
+    }
+}
+
+/// A node's label: `O(k log n)` bits (Theorem 4.8).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactLabel {
+    /// The node's own id.
+    pub id: NodeId,
+    /// For each level `l ∈ {1, …, k−1}` (index `l−1`): the pivot
+    /// `s'_l(w)`, the estimate `wd'_l(w, s'_l(w))`, and `w`'s DFS label in
+    /// the detection tree `T_{s'_l(w)}`.
+    pub pivots: Vec<(NodeId, u64, u64)>,
+}
+
+impl CompactLabel {
+    /// Semantic label size in bits.
+    pub fn bits(&self, n: usize) -> usize {
+        let id = bits_for(n as u64);
+        id + self
+            .pivots
+            .iter()
+            .map(|&(_, d, f)| id + bits_for(d + 1) + bits_for(f + 1))
+            .sum::<usize>()
+    }
+}
+
+/// Build metrics for the hierarchy.
+#[derive(Clone, Debug)]
+pub struct CompactBuildMetrics {
+    /// Total rounds over all stages.
+    pub total_rounds: u64,
+    /// Rounds per PDE level run (index = level `l`).
+    pub per_level_rounds: Vec<u64>,
+    /// Rounds of distributed tree labeling (all levels).
+    pub tree_label_rounds: u64,
+    /// Aggregate simulator metrics.
+    pub total: Metrics,
+    /// `|S_l|` for each level.
+    pub level_sizes: Vec<usize>,
+    /// Level re-sampling attempts.
+    pub sample_attempts: u32,
+    /// The horizons used per level run.
+    pub horizons: Vec<u64>,
+    /// The list size σ used.
+    pub sigma: usize,
+}
+
+/// The constructed compact scheme.
+#[derive(Debug)]
+pub struct CompactScheme {
+    pub(crate) topo: Topology,
+    /// `k`.
+    pub k: u32,
+    /// Per-node sampled level.
+    pub levels: Vec<u32>,
+    /// `routes[l][v]`: the level-`l` PDE routing archive of `v`
+    /// (sources `S_l`).
+    pub routes: Vec<Vec<HashMap<NodeId, RouteInfo>>>,
+    /// `bunch_sizes[v]`: Σ_l |S'_l(v)| — the paper-sized table entries.
+    pub bunch_sizes: Vec<usize>,
+    /// Detection-tree sets, one per pivot level `l ∈ {1, …, k−1}`
+    /// (index `l−1`).
+    pub trees: Vec<TreeSet>,
+    /// Per-node labels.
+    pub labels: Vec<CompactLabel>,
+    /// Build metrics.
+    pub metrics: CompactBuildMetrics,
+}
+
+/// Traces the chain `from → to` through a route map (panics loudly on a
+/// broken invariant, as in the `routing` crate).
+pub(crate) fn trace_chain(
+    routes: &[HashMap<NodeId, RouteInfo>],
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+) -> Vec<NodeId> {
+    let mut path = vec![from];
+    let mut cur = from;
+    let mut est = u64::MAX;
+    while cur != to {
+        let r = routes[cur.index()]
+            .get(&to)
+            .unwrap_or_else(|| panic!("broken chain: {cur} has no entry for {to}"));
+        assert!(r.est < est, "chain stalled at {cur}");
+        est = r.est;
+        cur = topo.neighbor(cur, r.port);
+        path.push(cur);
+        assert!(path.len() <= topo.len() * 4, "chain exceeded hop cap");
+    }
+    path
+}
+
+/// Builds the Lemma 4.7 / Theorem 4.8 hierarchy on `g`.
+///
+/// # Panics
+///
+/// Panics on disconnected inputs and — with advice to raise `c` — when a
+/// w.h.p. event fails at small scale (a node missing a pivot at some
+/// level).
+pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
+    let n = g.len();
+    assert!(n >= 2, "need at least two nodes");
+    let k = params.k;
+    assert!(k >= 1, "k must be ≥ 1");
+    let topo = g.to_topology();
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut total = Metrics::new(n);
+
+    let (levels, sample_attempts) = sample_levels(n, k, &mut rng);
+    let level_sizes: Vec<usize> = (0..k)
+        .map(|l| levels.iter().filter(|&&lv| lv >= l).count())
+        .collect();
+
+    let ln_n = (n as f64).ln().max(1.0);
+    let sigma_base =
+        ((params.c * (n as f64).powf(1.0 / f64::from(k)) * ln_n).ceil() as usize).clamp(1, n);
+
+    // One PDE run per level l, sources S_l, tags = membership in S_{l+1}.
+    let mut routes = Vec::with_capacity(k as usize);
+    let mut lists = Vec::with_capacity(k as usize);
+    let mut per_level_rounds = Vec::with_capacity(k as usize);
+    let mut horizons = Vec::with_capacity(k as usize);
+    for l in 0..k {
+        let sources = level_flags(&levels, l);
+        let tags = if l + 1 < k {
+            level_flags(&levels, l + 1)
+        } else {
+            vec![false; n]
+        };
+        let h = match params.horizon {
+            HorizonMode::Lemma47 => ((params.c
+                * (n as f64).powf(f64::from(l + 1) / f64::from(k))
+                * ln_n)
+                .ceil() as u64)
+                .clamp(1, 2 * n as u64),
+            HorizonMode::Spd(spd) => spd.max(1),
+        };
+        let sigma = if l == k - 1 {
+            sigma_base.max(level_sizes[l as usize])
+        } else {
+            sigma_base
+        };
+        horizons.push(h);
+        let pde = run_pde(g, &sources, &tags, &PdeParams::new(h, sigma, params.eps));
+        per_level_rounds.push(pde.metrics.total.rounds);
+        total.absorb(&pde.metrics.total);
+        routes.push(pde.routes);
+        lists.push(pde.lists);
+    }
+
+    // Pivots s'_l(v) for l in 1..=k-1: the first entry of v's level-l list
+    // (all sources of run l are S_l, so the first entry is the closest).
+    let mut pivots: Vec<Vec<(NodeId, u64)>> = Vec::with_capacity(k as usize - 1);
+    for l in 1..k {
+        let run = &lists[l as usize];
+        let pv: Vec<(NodeId, u64)> = g
+            .nodes()
+            .map(|v| {
+                run[v.index()]
+                    .first()
+                    .map(|e| (e.src, e.est))
+                    .unwrap_or_else(|| {
+                        panic!("node {v} has no level-{l} pivot; raise CompactParams::c")
+                    })
+            })
+            .collect();
+        pivots.push(pv);
+    }
+
+    // Bunches: entries of the level-l list strictly below the level-(l+1)
+    // pivot (by (est, src) order); the full list at the top level.
+    let mut bunch_sizes = vec![0usize; n];
+    for l in 0..k {
+        let run = &lists[l as usize];
+        for v in g.nodes() {
+            let list = &run[v.index()];
+            let cnt = if l + 1 < k {
+                let cut = list
+                    .iter()
+                    .find(|e| e.tag)
+                    .map(|e| (e.est, e.src));
+                match cut {
+                    Some(c) => list.iter().take_while(|e| (e.est, e.src) < c).count(),
+                    None => list.len(),
+                }
+            } else {
+                list.len()
+            };
+            bunch_sizes[v.index()] += cnt;
+        }
+    }
+
+    // Detection trees per pivot level + distributed labels.
+    let mut trees = Vec::with_capacity(k as usize - 1);
+    let mut tree_label_rounds = 0u64;
+    for l in 1..k {
+        let mut set = TreeSet::new();
+        for v in g.nodes() {
+            let (s, _) = pivots[(l - 1) as usize][v.index()];
+            let chain = trace_chain(&routes[l as usize], &topo, v, s);
+            set.add_chain(&chain);
+        }
+        set.build();
+        let labeling = label_forest(&topo, &set);
+        tree_label_rounds += labeling.metrics.rounds;
+        total.absorb(&labeling.metrics);
+        trees.push(set);
+    }
+
+    let labels: Vec<CompactLabel> = g
+        .nodes()
+        .map(|v| {
+            let per: Vec<(NodeId, u64, u64)> = (1..k)
+                .map(|l| {
+                    let (s, d) = pivots[(l - 1) as usize][v.index()];
+                    let dfs = trees[(l - 1) as usize].trees[&s]
+                        .label(v)
+                        .expect("node labeled in its pivot tree");
+                    (s, d, dfs)
+                })
+                .collect();
+            CompactLabel { id: v, pivots: per }
+        })
+        .collect();
+
+    let metrics = CompactBuildMetrics {
+        total_rounds: total.rounds,
+        per_level_rounds,
+        tree_label_rounds,
+        total,
+        level_sizes,
+        sample_attempts,
+        horizons,
+        sigma: sigma_base,
+    };
+
+    CompactScheme {
+        topo,
+        k,
+        levels,
+        routes,
+        bunch_sizes,
+        trees,
+        labels,
+        metrics,
+    }
+}

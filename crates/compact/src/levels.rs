@@ -1,0 +1,94 @@
+//! Geometric level sampling for the Thorup–Zwick hierarchy.
+
+use congest::NodeId;
+use rand::Rng;
+
+/// Samples a level for every node: `Pr[level(v) ≥ l] = n^{−l/k}` for
+/// `l ∈ {0, …, k−1}` (Section 4.3, step 1), retrying with fresh coins
+/// until the top set `S_{k−1}` is nonempty (the paper conditions on this
+/// w.h.p. event).
+///
+/// Returns `(levels, attempts)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or after 1000 failed attempts.
+pub fn sample_levels<R: Rng + ?Sized>(n: usize, k: u32, rng: &mut R) -> (Vec<u32>, u32) {
+    assert!(k >= 1, "k must be ≥ 1");
+    let p = (n as f64).powf(-1.0 / f64::from(k));
+    for attempt in 1..=1000 {
+        let levels: Vec<u32> = (0..n)
+            .map(|_| {
+                let mut l = 0;
+                while l < k - 1 && rng.random_bool(p) {
+                    l += 1;
+                }
+                l
+            })
+            .collect();
+        if k == 1 || levels.iter().any(|&l| l == k - 1) {
+            return (levels, attempt);
+        }
+    }
+    panic!("level sampling failed 1000 times (n={n}, k={k})");
+}
+
+/// The member list of `S_l` given per-node levels.
+pub fn level_set(levels: &[u32], l: u32) -> Vec<NodeId> {
+    levels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &lv)| lv >= l)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+/// Membership flags for `S_l`.
+pub fn level_flags(levels: &[u32], l: u32) -> Vec<bool> {
+    levels.iter().map(|&lv| lv >= l).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn levels_are_nested() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (levels, _) = sample_levels(200, 4, &mut rng);
+        for l in 1..4 {
+            let upper = level_set(&levels, l);
+            let lower = level_set(&levels, l - 1);
+            assert!(upper.iter().all(|v| lower.contains(v)), "S_{l} ⊄ S_{}", l - 1);
+        }
+        assert_eq!(level_set(&levels, 0).len(), 200);
+    }
+
+    #[test]
+    fn top_level_nonempty() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let (levels, _) = sample_levels(50, 3, &mut rng);
+            assert!(!level_set(&levels, 2).is_empty());
+        }
+    }
+
+    #[test]
+    fn set_sizes_shrink_geometrically() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (levels, _) = sample_levels(10_000, 2, &mut rng);
+        let s1 = level_set(&levels, 1).len();
+        // E[|S_1|] = 10000^{1/2} = 100.
+        assert!((40..=220).contains(&s1), "|S_1| = {s1} far from 100");
+    }
+
+    #[test]
+    fn k1_is_trivial() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (levels, attempts) = sample_levels(10, 1, &mut rng);
+        assert!(levels.iter().all(|&l| l == 0));
+        assert_eq!(attempts, 1);
+    }
+}

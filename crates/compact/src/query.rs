@@ -1,0 +1,155 @@
+//! Stateless routing and distance queries for the compact hierarchy.
+//!
+//! The forwarding potential at node `x` for destination `w` is
+//!
+//! ```text
+//! Φ(x) = min over levels l of:
+//!          l = 0:        wd'_0(x, w)
+//!          l ∈ 1..k−1:   wd'_l(x, s'_l(w)) + wd'_l(w, s'_l(w))
+//! ```
+//!
+//! where the second summand comes from `w`'s label. Following the chosen
+//! level's next-hop chain decreases Φ by at least the traversed edge
+//! weight, so the walk reaches some pivot `s'_l(w)` (or `w` directly);
+//! there, DFS-interval descent of `T_{s'_l(w)}` takes over (tree mode has
+//! priority and is self-sustaining). Lemma 4.6 bounds the resulting
+//! stretch by `4k−3+o(1)`.
+
+use crate::hierarchy::CompactScheme;
+use congest::NodeId;
+use graphs::INF;
+use routing::RoutingScheme;
+
+impl CompactScheme {
+    /// The label of `v`.
+    pub fn label(&self, v: NodeId) -> &crate::hierarchy::CompactLabel {
+        &self.labels[v.index()]
+    }
+
+    /// The level-`l` potential option at `x` for destination `dest`:
+    /// `(estimate, next hop)`.
+    fn option(&self, x: NodeId, dest: NodeId, l: u32) -> Option<(u64, NodeId)> {
+        if l == 0 {
+            return self.routes[0][x.index()]
+                .get(&dest)
+                .map(|r| (r.est, self.topo.neighbor(x, r.port)));
+        }
+        let (pivot, d_w, _) = self.labels[dest.index()].pivots[(l - 1) as usize];
+        if x == pivot {
+            return None; // already there; tree mode handles descent
+        }
+        self.routes[l as usize][x.index()]
+            .get(&pivot)
+            .map(|r| (r.est.saturating_add(d_w), self.topo.neighbor(x, r.port)))
+    }
+}
+
+impl RoutingScheme for CompactScheme {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn next_hop(&self, x: NodeId, dest: NodeId) -> Option<NodeId> {
+        if x == dest {
+            return None;
+        }
+        let label = &self.labels[dest.index()];
+        // Tree mode: if x sits in some pivot tree of dest with dest in its
+        // subtree, descend the cheapest such tree.
+        let mut tree_best: Option<(u64, NodeId)> = None;
+        for (i, &(pivot, d_w, dfs)) in label.pivots.iter().enumerate() {
+            if let Some(tree) = self.trees[i].trees.get(&pivot) {
+                if tree.in_subtree(x, dfs) {
+                    if let Some(child) = tree.next_hop_down(x, dfs) {
+                        if tree_best.is_none_or(|(b, _)| d_w < b) {
+                            tree_best = Some((d_w, child));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((_, child)) = tree_best {
+            return Some(child);
+        }
+        // Φ mode: the minimum over level options.
+        let mut best: Option<(u64, NodeId)> = None;
+        for l in 0..self.k {
+            if let Some((est, hop)) = self.option(x, dest, l) {
+                if best.is_none_or(|(b, _)| est < b) {
+                    best = Some((est, hop));
+                }
+            }
+        }
+        best.map(|(_, hop)| hop)
+    }
+
+    fn estimate(&self, x: NodeId, dest: NodeId) -> u64 {
+        if x == dest {
+            return 0;
+        }
+        let mut best = INF;
+        for l in 0..self.k {
+            if let Some((est, _)) = self.option(x, dest, l) {
+                best = best.min(est);
+            }
+            // If x *is* the level-l pivot of dest, the estimate is the
+            // label distance itself.
+            if l >= 1 {
+                let (pivot, d_w, _) = self.labels[dest.index()].pivots[(l - 1) as usize];
+                if x == pivot {
+                    best = best.min(d_w);
+                }
+            }
+        }
+        best
+    }
+
+    fn label_bits(&self, v: NodeId) -> usize {
+        self.labels[v.index()].bits(self.labels.len())
+    }
+
+    fn table_entries(&self, v: NodeId) -> usize {
+        // Paper-sized tables: bunches plus per-tree interval rows.
+        let tree_rows: usize = self
+            .trees
+            .iter()
+            .flat_map(|set| set.trees.values())
+            .filter_map(|t| t.children.get(&v).map(|ch| 1 + ch.len()))
+            .sum();
+        self.bunch_sizes[v.index()] + tree_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hierarchy::{build_hierarchy, CompactParams};
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use routing::RoutingScheme;
+
+    #[test]
+    fn self_queries_are_trivial() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gen::gnp_connected(20, 0.2, Weights::Uniform { lo: 1, hi: 10 }, &mut rng);
+        let scheme = build_hierarchy(&g, &CompactParams::new(2));
+        for v in g.nodes() {
+            assert_eq!(scheme.next_hop(v, v), None);
+            assert_eq!(scheme.estimate(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn labels_have_k_minus_1_pivots() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 10 }, &mut rng);
+        for k in [1u32, 2, 3] {
+            let mut p = CompactParams::new(k);
+            p.seed = 99;
+            let scheme = build_hierarchy(&g, &p);
+            for v in g.nodes() {
+                assert_eq!(scheme.label(v).pivots.len(), (k - 1) as usize);
+            }
+        }
+    }
+}

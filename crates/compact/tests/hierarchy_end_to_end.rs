@@ -1,0 +1,123 @@
+//! End-to-end validation of the compact hierarchy (Lemma 4.7 /
+//! Theorem 4.8): every pair routes without failures, stretch within the
+//! ε-adjusted `4k−3` ceiling, labels `O(k log n)`.
+
+use compact::{build_hierarchy, CompactParams, HorizonMode};
+use graphs::algo::{apsp, shortest_path_diameter};
+use graphs::gen::{self, Weights};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use routing::{evaluate, PairSelection, RoutingScheme};
+
+/// Lemma 4.6's bound at finite ε: `(1+ε)^{4(k−1)}·(4(k−1)+1)`.
+fn ceiling(k: u32, eps: f64) -> f64 {
+    let l = f64::from(k - 1);
+    (1.0 + eps).powi(4 * (k as i32 - 1) + 4) * (4.0 * l + 1.0)
+}
+
+fn check(g: &graphs::WGraph, k: u32, seed: u64, horizon: HorizonMode) {
+    let mut params = CompactParams::new(k);
+    params.seed = seed;
+    params.horizon = horizon;
+    let scheme = build_hierarchy(g, &params);
+    let exact = apsp(g);
+    let report = evaluate(g, &scheme, &exact, PairSelection::All);
+    assert!(
+        report.failures.is_empty(),
+        "routing failures (k={k}, seed={seed}): {:?}",
+        &report.failures[..report.failures.len().min(5)]
+    );
+    let ceil = ceiling(k.max(2), params.eps);
+    assert!(
+        report.max_stretch <= ceil,
+        "stretch {} exceeds ceiling {ceil} (k={k}, seed={seed})",
+        report.max_stretch
+    );
+    assert!(
+        report.max_estimate_stretch <= ceil,
+        "estimate stretch {} exceeds ceiling {ceil} (k={k}, seed={seed})",
+        report.max_estimate_stretch
+    );
+}
+
+#[test]
+fn k1_is_near_exact() {
+    // k = 1: a single level, S_0 = V, full tables — stretch ≤ 1+ε-ish.
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = gen::gnp_connected(20, 0.2, Weights::Uniform { lo: 1, hi: 30 }, &mut rng);
+    let scheme = build_hierarchy(&g, &CompactParams::new(1));
+    let exact = apsp(&g);
+    let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert!(report.max_stretch <= 1.25f64.powi(2) + 1e-9);
+}
+
+#[test]
+fn random_graphs_k2() {
+    for seed in 0..3 {
+        let mut rng = SmallRng::seed_from_u64(20 + seed);
+        let g = gen::gnp_connected(28, 0.15, Weights::Uniform { lo: 1, hi: 40 }, &mut rng);
+        check(&g, 2, seed, HorizonMode::Lemma47);
+    }
+}
+
+#[test]
+fn random_graphs_k3() {
+    for seed in 0..2 {
+        let mut rng = SmallRng::seed_from_u64(40 + seed);
+        let g = gen::gnp_connected(30, 0.18, Weights::Uniform { lo: 1, hi: 25 }, &mut rng);
+        check(&g, 3, seed, HorizonMode::Lemma47);
+    }
+}
+
+#[test]
+fn spd_horizon_mode_theorem_4_8() {
+    let mut rng = SmallRng::seed_from_u64(60);
+    let g = gen::gnp_connected(26, 0.15, Weights::Uniform { lo: 1, hi: 30 }, &mut rng);
+    let spd = u64::from(shortest_path_diameter(&g));
+    check(&g, 2, 3, HorizonMode::Spd(spd));
+}
+
+#[test]
+fn structured_graphs_k2() {
+    let mut rng = SmallRng::seed_from_u64(70);
+    let grid = gen::grid(5, 5, Weights::Uniform { lo: 1, hi: 9 }, &mut rng);
+    check(&grid, 2, 4, HorizonMode::Lemma47);
+    let clique = gen::weighted_clique_multihop(12);
+    check(&clique, 2, 5, HorizonMode::Lemma47);
+}
+
+#[test]
+fn tables_shrink_with_k() {
+    // The point of the hierarchy: larger k → smaller tables (Õ(n^{1/k})).
+    let mut rng = SmallRng::seed_from_u64(80);
+    let g = gen::gnp_connected(48, 0.12, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+    let exact = apsp(&g);
+    let mut sizes = Vec::new();
+    for k in [1u32, 3] {
+        let mut p = CompactParams::new(k);
+        p.c = 1.0; // tighter σ so the trend is visible at this scale
+        let scheme = build_hierarchy(&g, &p);
+        let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+        assert!(report.failures.is_empty(), "k={k}: {:?}", report.failures);
+        sizes.push(report.max_table_entries);
+    }
+    assert!(
+        sizes[1] < sizes[0],
+        "tables did not shrink with k: {sizes:?}"
+    );
+}
+
+#[test]
+fn label_bits_grow_linearly_in_k() {
+    let mut rng = SmallRng::seed_from_u64(90);
+    let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 10 }, &mut rng);
+    let mut bits = Vec::new();
+    for k in [1u32, 2, 4] {
+        let scheme = build_hierarchy(&g, &CompactParams::new(k));
+        bits.push(g.nodes().map(|v| scheme.label_bits(v)).max().unwrap());
+    }
+    assert!(bits[0] < bits[1] && bits[1] < bits[2], "bits: {bits:?}");
+    // O(k log n): k=4 labels within 4× the k=1 id-only label + slack.
+    assert!(bits[2] <= 4 * (bits[1] + 16));
+}

@@ -1,0 +1,216 @@
+//! Distributed BFS-tree construction.
+//!
+//! A BFS tree rooted at a designated node is the standard CONGEST
+//! coordination substrate: its construction takes `O(D)` rounds (`D` = hop
+//! diameter), and the paper charges `O(D)` terms for exactly this kind of
+//! global coordination (learning `w_max`, synchronizing phases,
+//! broadcasting skeleton-graph messages).
+
+use crate::metrics::Metrics;
+use crate::model::{Message, NodeId, Port};
+use crate::program::{Ctx, Program};
+use crate::runtime::{Config, Runtime};
+use crate::topology::Topology;
+
+/// Messages of the BFS construction protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BfsMsg {
+    /// "My BFS depth is `d`" — flooded outward from the root.
+    Dist(u64),
+    /// "You are my parent" — sent once to the chosen parent.
+    Adopt,
+}
+
+impl Message for BfsMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            // depth value + 1 tag bit; depth < n so 32 bits are generous
+            BfsMsg::Dist(_) => 33,
+            BfsMsg::Adopt => 1,
+        }
+    }
+}
+
+/// Per-node program that floods BFS levels and reports adoption.
+#[derive(Debug)]
+pub struct BfsProgram {
+    is_root: bool,
+    depth: Option<u64>,
+    parent_port: Option<Port>,
+    children: Vec<Port>,
+}
+
+impl BfsProgram {
+    fn new(is_root: bool) -> Self {
+        BfsProgram {
+            is_root,
+            depth: None,
+            parent_port: None,
+            children: Vec::new(),
+        }
+    }
+}
+
+impl Program for BfsProgram {
+    type Msg = BfsMsg;
+
+    fn round(&mut self, ctx: &mut Ctx<'_, BfsMsg>) {
+        if self.is_root && ctx.round() == 0 {
+            self.depth = Some(0);
+            ctx.broadcast(BfsMsg::Dist(0));
+            return;
+        }
+        let mut best: Option<(u64, Port)> = None;
+        for a in ctx.inbox() {
+            match a.msg {
+                BfsMsg::Dist(d) => {
+                    if best.is_none_or(|(bd, bp)| (d, a.port) < (bd, bp)) {
+                        best = Some((d, a.port));
+                    }
+                }
+                BfsMsg::Adopt => self.children.push(a.port),
+            }
+        }
+        if self.depth.is_none() {
+            if let Some((d, port)) = best {
+                self.depth = Some(d + 1);
+                self.parent_port = Some(port);
+                ctx.send(port, BfsMsg::Adopt);
+                for p in 0..ctx.degree() as Port {
+                    if p != port {
+                        ctx.send(p, BfsMsg::Dist(d + 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The result of a BFS-tree construction.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// The root node.
+    pub root: NodeId,
+    /// BFS depth of each node (root = 0).
+    pub depth: Vec<u64>,
+    /// Parent of each node (`None` for the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// Port towards the parent (`None` for the root).
+    pub parent_port: Vec<Option<Port>>,
+    /// Ports towards the children of each node, sorted.
+    pub children: Vec<Vec<Port>>,
+    /// Height of the tree (max depth).
+    pub height: u64,
+}
+
+impl BfsTree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// `true` if the tree is empty (never for valid construction results).
+    pub fn is_empty(&self) -> bool {
+        self.depth.is_empty()
+    }
+}
+
+/// Builds a BFS tree of `topo` rooted at `root` by running the distributed
+/// protocol; returns the tree and the run's metrics (`O(D)` rounds).
+///
+/// BFS layers are hop-based, so this must run on unit delays.
+///
+/// # Panics
+///
+/// Panics if `topo` has non-unit delays or is disconnected.
+pub fn build_bfs(topo: &Topology, root: NodeId) -> (BfsTree, Metrics) {
+    assert_eq!(topo.max_delay(), 1, "BFS requires the unit-delay topology");
+    let programs: Vec<BfsProgram> = topo
+        .nodes()
+        .map(|v| BfsProgram::new(v == root))
+        .collect();
+    let mut rt = Runtime::new(topo, programs, Config::default());
+    let report = rt.run();
+    assert!(report.quiescent, "BFS did not quiesce within budget");
+    let (programs, metrics) = rt.into_parts();
+
+    let mut depth = Vec::with_capacity(topo.len());
+    let mut parent = Vec::with_capacity(topo.len());
+    let mut parent_port = Vec::with_capacity(topo.len());
+    let mut children = Vec::with_capacity(topo.len());
+    for (i, p) in programs.into_iter().enumerate() {
+        let v = NodeId::from_index(i);
+        let d = p
+            .depth
+            .unwrap_or_else(|| panic!("node {v} unreachable from root {root}: graph disconnected"));
+        depth.push(d);
+        parent.push(p.parent_port.map(|pp| topo.neighbor(v, pp)));
+        parent_port.push(p.parent_port);
+        let mut ch = p.children;
+        ch.sort_unstable();
+        children.push(ch);
+    }
+    let height = depth.iter().copied().max().unwrap_or(0);
+    (
+        BfsTree {
+            root,
+            depth,
+            parent,
+            parent_port,
+            children,
+            height,
+        },
+        metrics,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_bfs() {
+        let topo = Topology::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]).unwrap();
+        let (tree, metrics) = build_bfs(&topo, NodeId(0));
+        assert_eq!(tree.depth, vec![0, 1, 2, 3, 4]);
+        assert_eq!(tree.height, 4);
+        assert_eq!(tree.parent[2], Some(NodeId(1)));
+        assert_eq!(tree.parent[0], None);
+        assert_eq!(tree.children[0].len(), 1);
+        assert_eq!(tree.children[4].len(), 0);
+        // BFS completes in O(D) rounds: depth 4 tree, ≤ height + 2 rounds.
+        assert!(metrics.rounds <= tree.height + 2);
+    }
+
+    #[test]
+    fn bfs_ignores_weights() {
+        // Heavy direct edge, light two-hop path: BFS uses hops, not weights.
+        let topo = Topology::from_edges(3, &[(0, 2, 100), (0, 1, 1), (1, 2, 1)]).unwrap();
+        let (tree, _) = build_bfs(&topo, NodeId(0));
+        assert_eq!(tree.depth[2], 1); // direct hop, despite weight 100
+    }
+
+    #[test]
+    fn children_match_parents() {
+        let topo =
+            Topology::from_edges(6, &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 4, 1), (2, 5, 1)])
+                .unwrap();
+        let (tree, _) = build_bfs(&topo, NodeId(0));
+        let mut pair_count = 0;
+        for v in topo.nodes() {
+            for &cp in &tree.children[v.index()] {
+                let c = topo.neighbor(v, cp);
+                assert_eq!(tree.parent[c.index()], Some(v));
+                pair_count += 1;
+            }
+        }
+        assert_eq!(pair_count, 5); // n - 1 tree edges
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_panics() {
+        let topo = Topology::from_edges(4, &[(0, 1, 1), (2, 3, 1)]).unwrap();
+        build_bfs(&topo, NodeId(0));
+    }
+}

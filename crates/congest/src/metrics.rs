@@ -1,0 +1,111 @@
+//! Execution metrics: the quantities the paper's theorems bound.
+
+/// Metrics recorded by a [`crate::Runtime`] run.
+///
+/// The paper's results are statements about *rounds* (time complexity in
+/// the CONGEST model), *messages* (Lemma 3.4 bounds per-node broadcasts,
+/// which drives the skeleton-graph simulation cost in Section 4.3) and
+/// *message size* (the `B ∈ Θ(log n)` bandwidth bound). All three are
+/// recorded here.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Number of rounds executed (including the final quiet round, if any).
+    pub rounds: u64,
+    /// Total number of messages sent.
+    pub messages: u64,
+    /// Messages sent per node (indexed by node id).
+    pub per_node_sent: Vec<u64>,
+    /// Messages sent per round (indexed by round; used to charge the
+    /// `Σ_i O(M_i + D)` cost of simulating skeleton-graph rounds over a
+    /// BFS tree, Lemma 4.12).
+    pub per_round_sent: Vec<u64>,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+    /// Sum of all message sizes, in bits.
+    pub total_bits: u64,
+    /// Number of messages exceeding the configured bandwidth `B`.
+    pub bandwidth_violations: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_node_sent: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Largest number of messages sent by any single node.
+    pub fn max_per_node(&self) -> u64 {
+        self.per_node_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Adds another run's metrics (for multi-phase algorithms that execute
+    /// several runtime invocations back to back: rounds add up, message
+    /// counts add up element-wise).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        if self.per_node_sent.len() < other.per_node_sent.len() {
+            self.per_node_sent.resize(other.per_node_sent.len(), 0);
+        }
+        for (a, b) in self.per_node_sent.iter_mut().zip(&other.per_node_sent) {
+            *a += b;
+        }
+        self.per_round_sent.extend_from_slice(&other.per_round_sent);
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.total_bits += other.total_bits;
+        self.bandwidth_violations += other.bandwidth_violations;
+    }
+
+    /// Adds `rounds` idle rounds (e.g. an explicitly charged `O(D)`
+    /// synchronization barrier that sends no messages).
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.rounds += rounds;
+        self.per_round_sent.extend(std::iter::repeat_n(0, rounds as usize));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = Metrics::new(2);
+        a.rounds = 3;
+        a.messages = 5;
+        a.per_node_sent = vec![2, 3];
+        a.per_round_sent = vec![1, 2, 2];
+        a.max_message_bits = 10;
+        a.total_bits = 50;
+
+        let mut b = Metrics::new(2);
+        b.rounds = 2;
+        b.messages = 4;
+        b.per_node_sent = vec![4, 0];
+        b.per_round_sent = vec![4, 0];
+        b.max_message_bits = 12;
+        b.total_bits = 48;
+
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.messages, 9);
+        assert_eq!(a.per_node_sent, vec![6, 3]);
+        assert_eq!(a.per_round_sent, vec![1, 2, 2, 4, 0]);
+        assert_eq!(a.max_message_bits, 12);
+        assert_eq!(a.total_bits, 98);
+        assert_eq!(a.max_per_node(), 6);
+    }
+
+    #[test]
+    fn charge_rounds_extends_history() {
+        let mut m = Metrics::new(1);
+        m.rounds = 2;
+        m.per_round_sent = vec![1, 1];
+        m.charge_rounds(3);
+        assert_eq!(m.rounds, 5);
+        assert_eq!(m.per_round_sent, vec![1, 1, 0, 0, 0]);
+    }
+}

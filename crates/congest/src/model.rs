@@ -1,0 +1,125 @@
+//! Core identifiers and the message-size trait.
+
+use std::fmt;
+
+/// Identifier of a network node.
+///
+/// Nodes are numbered `0..n`. The paper assumes each node has a unique
+/// `O(log n)`-bit identifier; a `u32` index plays that role here (and its
+/// *semantic* size in bits is `ceil(log2 n)`, which is what
+/// [`bits_for`] computes for bandwidth accounting).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A port is the index of an incident arc in a node's (sorted) arc list.
+///
+/// Routing tables in the paper map a destination label to "the next hop",
+/// i.e. to one of the node's incident edges; ports are the local names of
+/// those edges.
+pub type Port = u32;
+
+/// Number of bits needed to address `universe` distinct values.
+///
+/// `bits_for(0)` and `bits_for(1)` are 0; otherwise `ceil(log2 universe)`.
+#[inline]
+pub fn bits_for(universe: u64) -> usize {
+    if universe <= 1 {
+        0
+    } else {
+        64 - (universe - 1).leading_zeros() as usize
+    }
+}
+
+/// Trait for CONGEST messages: anything sent over an edge in one round.
+///
+/// Implementors report their size in bits so the runtime can enforce (or
+/// just record) the `B ∈ Θ(log n)` bandwidth bound of the model.
+pub trait Message: Clone + fmt::Debug {
+    /// Semantic size of this message in bits.
+    ///
+    /// This should be the information-theoretic size of the *encoded*
+    /// message (e.g. `2⌈log n⌉ + 1` bits for a `(distance, source, flag)`
+    /// triple), not `size_of::<Self>()`.
+    fn bit_size(&self) -> usize;
+}
+
+impl Message for u64 {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+impl Message for u32 {
+    fn bit_size(&self) -> usize {
+        32
+    }
+}
+
+impl Message for () {
+    fn bit_size(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::from_index(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(v, NodeId(17));
+        assert_eq!(format!("{v}"), "v17");
+    }
+
+    #[test]
+    fn bits_for_small_universes() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(1 << 20), 20);
+        assert_eq!(bits_for((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn node_id_ordering_is_by_index() {
+        assert!(NodeId(3) < NodeId(10));
+        let mut v = vec![NodeId(5), NodeId(1), NodeId(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+}

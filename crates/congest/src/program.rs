@@ -1,0 +1,206 @@
+//! The node-program trait and its per-round execution context.
+
+use crate::model::{Message, NodeId, Port};
+use crate::topology::Topology;
+
+/// A message delivered to a node at the start of a round.
+#[derive(Clone, Debug)]
+pub struct Arrival<M> {
+    /// The local port the message arrived on.
+    pub port: Port,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// A distributed node program, one instance per node.
+///
+/// The runtime calls [`Program::round`] once per round for every node, in
+/// node-id order (the order is unobservable to programs — all sends take
+/// effect simultaneously at the end of the round, as in the synchronous
+/// model).
+pub trait Program {
+    /// The message type this program exchanges.
+    type Msg: Message;
+
+    /// Executes one round: read `ctx.inbox()`, update local state, and send
+    /// at most one message per port via [`Ctx::send`] / [`Ctx::broadcast`].
+    ///
+    /// Round 0 is called with an empty inbox (it corresponds to the round in
+    /// which inputs have just been placed at the nodes).
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// `true` if this node will not send any further messages unless it
+    /// receives one first.
+    ///
+    /// Used for quiescence detection: the runtime stops early when no
+    /// messages are in flight, the last round sent nothing, and every
+    /// program reports `is_idle()`. The default is conservative for
+    /// message-driven programs (idle when nothing arrived last round is
+    /// *not* assumed; programs with internal send queues should override).
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+/// Outgoing messages produced by one node in one round.
+#[derive(Debug)]
+pub(crate) struct Outbox<M> {
+    /// `(port, msg)` pairs, at most one per port.
+    pub sends: Vec<(Port, M)>,
+}
+
+/// Per-round execution context handed to [`Program::round`].
+///
+/// Exposes the node's local view of the topology (its id, degree, and the
+/// weight/delay of incident arcs — exactly the input the paper assumes each
+/// node is given) plus the inbox and an outbox.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) round: u64,
+    pub(crate) topo: &'a Topology,
+    pub(crate) inbox: &'a [Arrival<M>],
+    pub(crate) out: Outbox<M>,
+    pub(crate) port_used: Vec<bool>,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    pub(crate) fn new(
+        node: NodeId,
+        round: u64,
+        topo: &'a Topology,
+        inbox: &'a [Arrival<M>],
+    ) -> Self {
+        Ctx {
+            node,
+            round,
+            topo,
+            inbox,
+            out: Outbox { sends: Vec::new() },
+            port_used: vec![false; topo.degree(node)],
+        }
+    }
+
+    /// This node's id.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round number (starting at 0).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.topo.degree(self.node)
+    }
+
+    /// The neighbor behind `port`.
+    #[inline]
+    pub fn neighbor(&self, port: Port) -> NodeId {
+        self.topo.neighbor(self.node, port)
+    }
+
+    /// The weight of the incident edge at `port`.
+    #[inline]
+    pub fn weight(&self, port: Port) -> u64 {
+        self.topo.weight(self.node, port)
+    }
+
+    /// The delay of the incident arc at `port` (1 in plain CONGEST; the
+    /// subdivision length of the edge when simulating a `G_i`).
+    #[inline]
+    pub fn delay(&self, port: Port) -> u64 {
+        self.topo.delay(self.node, port)
+    }
+
+    /// Messages that arrived at the start of this round, sorted by port.
+    #[inline]
+    pub fn inbox(&self) -> &[Arrival<M>] {
+        self.inbox
+    }
+
+    /// Sends `msg` over `port` (delivered `delay(port)` rounds later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message was already sent on `port` this round (the
+    /// CONGEST model allows one message per edge per round) or if `port`
+    /// is out of range.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(
+            (port as usize) < self.port_used.len(),
+            "send: port {port} out of range for node {} (degree {})",
+            self.node,
+            self.port_used.len()
+        );
+        assert!(
+            !self.port_used[port as usize],
+            "CONGEST violation: node {} sent two messages on port {port} in round {}",
+            self.node,
+            self.round
+        );
+        self.port_used[port as usize] = true;
+        self.out.sends.push((port, msg));
+    }
+
+    /// Sends a copy of `msg` over every incident edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any port was already used this round.
+    pub fn broadcast(&mut self, msg: M) {
+        for port in 0..self.degree() as Port {
+            self.send(port, msg.clone());
+        }
+    }
+
+    /// `true` if no message has been sent on `port` yet this round.
+    #[inline]
+    pub fn port_free(&self, port: Port) -> bool {
+        !self.port_used[port as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn ctx_exposes_local_view() {
+        let topo = Topology::from_edges(3, &[(0, 1, 4), (0, 2, 6)]).unwrap();
+        let inbox: Vec<Arrival<u32>> = vec![];
+        let ctx = Ctx::<u32>::new(NodeId(0), 3, &topo, &inbox);
+        assert_eq!(ctx.node(), NodeId(0));
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.neighbor(0), NodeId(1));
+        assert_eq!(ctx.weight(1), 6);
+        assert_eq!(ctx.delay(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn double_send_panics() {
+        let topo = Topology::from_edges(2, &[(0, 1, 1)]).unwrap();
+        let inbox: Vec<Arrival<u32>> = vec![];
+        let mut ctx = Ctx::<u32>::new(NodeId(0), 0, &topo, &inbox);
+        ctx.send(0, 1);
+        ctx.send(0, 2);
+    }
+
+    #[test]
+    fn broadcast_uses_every_port_once() {
+        let topo = Topology::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]).unwrap();
+        let inbox: Vec<Arrival<u32>> = vec![];
+        let mut ctx = Ctx::<u32>::new(NodeId(0), 0, &topo, &inbox);
+        ctx.broadcast(9);
+        assert_eq!(ctx.out.sends.len(), 3);
+        assert!(!ctx.port_free(0) && !ctx.port_free(1) && !ctx.port_free(2));
+    }
+}

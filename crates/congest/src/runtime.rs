@@ -1,0 +1,329 @@
+//! The synchronous round scheduler.
+
+use crate::metrics::Metrics;
+use crate::model::{Message, NodeId, Port};
+use crate::program::{Arrival, Ctx, Program};
+use crate::topology::Topology;
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Hard upper bound on executed rounds. The theorems under test give
+    /// explicit round budgets; callers that validate a bound set it here
+    /// and check [`RunReport::quiescent`].
+    pub max_rounds: u64,
+    /// Bandwidth `B` in bits. Messages larger than this are counted in
+    /// [`Metrics::bandwidth_violations`] (and panic if `strict_bandwidth`).
+    pub bandwidth_bits: usize,
+    /// Panic on over-size messages instead of just counting them.
+    pub strict_bandwidth: bool,
+    /// Stop as soon as the network is quiescent (no messages in flight,
+    /// nothing sent last round, all programs idle).
+    pub stop_when_quiet: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_rounds: 1_000_000,
+            bandwidth_bits: 256,
+            strict_bandwidth: false,
+            stop_when_quiet: true,
+        }
+    }
+}
+
+impl Config {
+    /// A config with a fixed round budget and quiescence stopping disabled:
+    /// runs *exactly* `rounds` rounds (unless quiescence would make the
+    /// remainder a no-op, which is still executed for fidelity).
+    pub fn exact_rounds(rounds: u64) -> Self {
+        Config {
+            max_rounds: rounds,
+            stop_when_quiet: false,
+            ..Default::default()
+        }
+    }
+
+    /// A config bounded by `rounds` that stops early on quiescence.
+    pub fn up_to_rounds(rounds: u64) -> Self {
+        Config {
+            max_rounds: rounds,
+            stop_when_quiet: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result summary of a run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// `true` if the run ended because the network went quiet (rather than
+    /// exhausting `max_rounds`).
+    pub quiescent: bool,
+}
+
+struct Delivery<M> {
+    node: NodeId,
+    port: Port,
+    msg: M,
+}
+
+/// Executes a [`Program`] instance per node over a [`Topology`].
+///
+/// Delivery semantics: a message sent in round `r` over an arc with delay
+/// `d` is delivered at the start of round `r + d`. Per-node inboxes are
+/// sorted by arrival port, so execution is fully deterministic.
+pub struct Runtime<'t, P: Program> {
+    topo: &'t Topology,
+    programs: Vec<P>,
+    cfg: Config,
+    metrics: Metrics,
+    /// Ring buffer of future deliveries, indexed by round modulo capacity.
+    buckets: Vec<Vec<Delivery<P::Msg>>>,
+    in_flight: u64,
+    round: u64,
+}
+
+impl<'t, P: Program> Runtime<'t, P> {
+    /// Creates a runtime for `topo` with one program per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != topo.len()`.
+    pub fn new(topo: &'t Topology, programs: Vec<P>, cfg: Config) -> Self {
+        assert_eq!(
+            programs.len(),
+            topo.len(),
+            "one program per node is required"
+        );
+        let cap = (topo.max_delay() + 1) as usize;
+        let mut buckets = Vec::with_capacity(cap);
+        buckets.resize_with(cap, Vec::new);
+        Runtime {
+            topo,
+            programs,
+            cfg,
+            metrics: Metrics::new(topo.len()),
+            buckets,
+            in_flight: 0,
+            round: 0,
+        }
+    }
+
+    /// Runs rounds until quiescence or the round budget is exhausted.
+    pub fn run(&mut self) -> RunReport {
+        let n = self.topo.len();
+        let mut quiescent = false;
+        while self.round < self.cfg.max_rounds {
+            // Deliver this round's messages.
+            let slot = (self.round as usize) % self.buckets.len();
+            let mut deliveries = std::mem::take(&mut self.buckets[slot]);
+            self.in_flight -= deliveries.len() as u64;
+            deliveries.sort_by_key(|d| (d.node, d.port));
+            let mut inboxes: Vec<Vec<Arrival<P::Msg>>> = vec![Vec::new(); n];
+            for d in deliveries {
+                inboxes[d.node.index()].push(Arrival {
+                    port: d.port,
+                    msg: d.msg,
+                });
+            }
+
+            // Execute programs and collect sends.
+            let mut sent_this_round = 0u64;
+            #[allow(clippy::needless_range_loop)] // v indexes programs and inboxes
+            for v in 0..n {
+                let node = NodeId::from_index(v);
+                let mut ctx = Ctx::new(node, self.round, self.topo, &inboxes[v]);
+                self.programs[v].round(&mut ctx);
+                let sends = ctx.out.sends;
+                sent_this_round += sends.len() as u64;
+                for (port, msg) in sends {
+                    let bits = msg.bit_size();
+                    self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                    self.metrics.total_bits += bits as u64;
+                    if bits > self.cfg.bandwidth_bits {
+                        self.metrics.bandwidth_violations += 1;
+                        assert!(
+                            !self.cfg.strict_bandwidth,
+                            "message of {bits} bits exceeds bandwidth B={} (node {node}, round {})",
+                            self.cfg.bandwidth_bits, self.round
+                        );
+                    }
+                    self.metrics.per_node_sent[v] += 1;
+                    let delay = self.topo.delay(node, port);
+                    let arrival = self.round + delay;
+                    // Deliveries beyond the budget can never be observed;
+                    // dropping them keeps the ring buffer small. The send
+                    // itself is still counted (bandwidth was consumed).
+                    if arrival < self.cfg.max_rounds {
+                        let target = self.topo.neighbor(node, port);
+                        let rport = self.topo.reverse_port(node, port);
+                        let slot = (arrival as usize) % self.buckets.len();
+                        self.buckets[slot].push(Delivery {
+                            node: target,
+                            port: rport,
+                            msg,
+                        });
+                        self.in_flight += 1;
+                    }
+                }
+            }
+            self.metrics.messages += sent_this_round;
+            self.metrics.per_round_sent.push(sent_this_round);
+            self.round += 1;
+
+            if self.cfg.stop_when_quiet
+                && sent_this_round == 0
+                && self.in_flight == 0
+                && self.programs.iter().all(|p| p.is_idle())
+            {
+                quiescent = true;
+                break;
+            }
+        }
+        self.metrics.rounds = self.round;
+        RunReport {
+            rounds: self.round,
+            quiescent,
+        }
+    }
+
+    /// Consumes the runtime, returning the final program states and metrics.
+    pub fn into_parts(self) -> (Vec<P>, Metrics) {
+        (self.programs, self.metrics)
+    }
+
+    /// Borrow the metrics gathered so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Borrow the program states.
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every received value +1 back on the same port, starting from
+    /// one initiator; used to test delivery timing.
+    struct PingPong {
+        start: bool,
+        log: Vec<(u64, u64)>,
+        limit: u64,
+    }
+
+    impl Program for PingPong {
+        type Msg = u64;
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.start && ctx.round() == 0 {
+                ctx.send(0, 0);
+            }
+            let arrivals: Vec<(Port, u64)> =
+                ctx.inbox().iter().map(|a| (a.port, a.msg)).collect();
+            for (port, val) in arrivals {
+                self.log.push((ctx.round(), val));
+                if val < self.limit {
+                    ctx.send(port, val + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_delay_round_trip() {
+        let topo = Topology::from_edges(2, &[(0, 1, 1)]).unwrap();
+        let programs = vec![
+            PingPong {
+                start: true,
+                log: vec![],
+                limit: 4,
+            },
+            PingPong {
+                start: false,
+                log: vec![],
+                limit: 4,
+            },
+        ];
+        let mut rt = Runtime::new(&topo, programs, Config::default());
+        let report = rt.run();
+        assert!(report.quiescent);
+        let (programs, metrics) = rt.into_parts();
+        // Value v arrives at round v+1 (sent at round v with delay 1).
+        assert_eq!(programs[1].log, vec![(1, 0), (3, 2), (5, 4)]);
+        assert_eq!(programs[0].log, vec![(2, 1), (4, 3)]);
+        assert_eq!(metrics.messages, 5); // values 0..=4
+        assert_eq!(metrics.per_node_sent, vec![3, 2]);
+    }
+
+    #[test]
+    fn delayed_arc_delivers_late() {
+        let topo = Topology::from_edges(2, &[(0, 1, 10)]).unwrap().with_delays(|w| w / 2);
+        assert_eq!(topo.delay(NodeId(0), 0), 5);
+        let programs = vec![
+            PingPong {
+                start: true,
+                log: vec![],
+                limit: 0,
+            },
+            PingPong {
+                start: false,
+                log: vec![],
+                limit: 0,
+            },
+        ];
+        let mut rt = Runtime::new(&topo, programs, Config::default());
+        rt.run();
+        let (programs, _) = rt.into_parts();
+        assert_eq!(programs[1].log, vec![(5, 0)]);
+    }
+
+    #[test]
+    fn max_rounds_is_respected() {
+        let topo = Topology::from_edges(2, &[(0, 1, 1)]).unwrap();
+        let programs = vec![
+            PingPong {
+                start: true,
+                log: vec![],
+                limit: u64::MAX,
+            },
+            PingPong {
+                start: false,
+                log: vec![],
+                limit: u64::MAX,
+            },
+        ];
+        let mut rt = Runtime::new(&topo, programs, Config::up_to_rounds(10));
+        let report = rt.run();
+        assert!(!report.quiescent);
+        assert_eq!(report.rounds, 10);
+    }
+
+    #[test]
+    fn metrics_record_bits() {
+        let topo = Topology::from_edges(2, &[(0, 1, 1)]).unwrap();
+        let programs = vec![
+            PingPong {
+                start: true,
+                log: vec![],
+                limit: 0,
+            },
+            PingPong {
+                start: false,
+                log: vec![],
+                limit: 0,
+            },
+        ];
+        let mut rt = Runtime::new(&topo, programs, Config::default());
+        rt.run();
+        assert_eq!(rt.metrics().max_message_bits, 64);
+        assert_eq!(rt.metrics().total_bits, 64);
+        assert_eq!(rt.metrics().bandwidth_violations, 0);
+    }
+}

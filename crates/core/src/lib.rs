@@ -1,0 +1,54 @@
+//! Partial distance estimation (PDE) and `(1+ε)`-approximate APSP in the
+//! CONGEST model — the core contribution of Lenzen & Patt-Shamir, *Fast
+//! Partial Distance Estimation and Applications* (PODC 2015).
+//!
+//! # What this implements
+//!
+//! * **Section 3, Theorem 3.3 / Corollary 3.5** — `(1+ε)`-approximate
+//!   `(S, h, σ)`-estimation: reduce the weighted problem to
+//!   `O(log_{1+ε} w_max)` unweighted source-detection instances on the
+//!   subdivided graphs `G_i` (simulated via arc delays), solve each with
+//!   the Lenzen–Peleg algorithm, and combine the per-level lists. Runs in
+//!   `O((h + σ)/ε² · log n + D)` rounds; each node broadcasts
+//!   `O(σ²/ε · log n)` messages.
+//! * **Section 4.1, Theorem 4.1** — deterministic `(1+ε)`-approximate APSP
+//!   in `O(n/ε² · log n)` rounds, by instantiating PDE with `S = V`,
+//!   `h = σ = n`.
+//!
+//! # Deviations from the paper (documented in DESIGN.md)
+//!
+//! * The real-valued rung `b(i) = (1+ε)^i` is replaced by an *integer*
+//!   ladder (see [`rounding::level_ladder`]) so the estimate invariant
+//!   `wd'(v,s) ≥ wd(v,s)` holds exactly in integer arithmetic. The horizon
+//!   `h' ∈ O(h/ε)` absorbs the ladder's worst-case rung ratio.
+//!
+//! # Example
+//!
+//! ```
+//! use graphs::{WGraph, NodeId, algo};
+//! use pde_core::{run_pde, PdeParams};
+//!
+//! # fn main() -> Result<(), graphs::GraphError> {
+//! let g = WGraph::from_edges(5, &[(0, 1, 4), (1, 2, 4), (2, 3, 4), (3, 4, 4), (0, 4, 100)])?;
+//! let sources = vec![true, false, false, false, true]; // S = {0, 4}
+//! let out = run_pde(&g, &sources, &[false; 5], &PdeParams::new(4, 2, 0.25));
+//! // Node 2's list holds both sources with (1+ε)-approximate distances.
+//! let exact = algo::apsp(&g);
+//! for e in &out.lists[2] {
+//!     let wd = exact.dist(NodeId(2), e.src);
+//!     assert!(e.est >= wd);
+//!     assert!(e.est as f64 <= 1.25 * wd as f64);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apsp;
+pub mod pde;
+pub mod rounding;
+
+pub use apsp::{approx_apsp, ApspApprox};
+pub use pde::{run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo};

@@ -1,0 +1,422 @@
+//! `(1+ε)`-approximate `(S, h, σ)`-estimation (Theorem 3.3 / Corollary 3.5).
+
+use crate::rounding::{horizon, level_ladder, subdivision_len};
+use congest::aggregate::global_max;
+use congest::bfs::build_bfs;
+use congest::{Metrics, NodeId, Port};
+use graphs::WGraph;
+use sourcedetect::{run_detection, DetectParams};
+use std::collections::HashMap;
+
+/// Parameters of a PDE run.
+#[derive(Clone, Debug)]
+pub struct PdeParams {
+    /// Detection horizon `h` (over minimum-hop shortest weighted paths).
+    pub h: u64,
+    /// List size σ.
+    pub sigma: usize,
+    /// Approximation parameter ε.
+    pub eps: f64,
+    /// Optional per-node, per-level broadcast cap (Lemma 3.4: `O(σ²)`).
+    pub msg_cap: Option<u64>,
+    /// Run every level for its full theoretical round budget instead of
+    /// stopping at quiescence (used when validating round bounds).
+    pub exact_rounds: bool,
+}
+
+impl PdeParams {
+    /// Convenience constructor with no message cap and quiescence stopping.
+    pub fn new(h: u64, sigma: usize, eps: f64) -> Self {
+        PdeParams {
+            h,
+            sigma,
+            eps,
+            msg_cap: None,
+            exact_rounds: false,
+        }
+    }
+}
+
+/// One entry of a node's combined output list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PdeEntry {
+    /// Distance estimate `wd'(v, src)` (`≥ wd`, and `≤ (1+ε)·wd` when
+    /// `h_{v,src} ≤ h`).
+    pub est: u64,
+    /// The source.
+    pub src: NodeId,
+    /// The source's tag bit (e.g. membership in a higher sample level).
+    pub tag: bool,
+}
+
+/// Next-hop information for one source: the estimate, the port it arrived
+/// on, and the ladder level that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Distance estimate for this source at this node.
+    pub est: u64,
+    /// Port towards the neighbor that announced the estimate.
+    pub port: Port,
+    /// Ladder level index of the winning announcement.
+    pub level: u32,
+}
+
+/// Metrics of a PDE run, broken down the way the paper's bounds are.
+#[derive(Clone, Debug)]
+pub struct PdeMetrics {
+    /// Aggregate simulator metrics over all phases.
+    pub total: Metrics,
+    /// Rounds used by each ladder level's detection instance.
+    pub per_level_rounds: Vec<u64>,
+    /// Rounds used for global coordination (BFS tree + `w_max` aggregate):
+    /// the `O(D)` term.
+    pub coordination_rounds: u64,
+    /// Largest per-node broadcast count in any single level (Lemma 3.4:
+    /// `O(σ²)`), and summed over levels (Corollary 3.5: `O(σ²/ε · log n)`).
+    pub max_broadcasts_single_level: u64,
+    /// Largest total broadcast count of any node across all levels.
+    pub max_broadcasts_total: u64,
+}
+
+/// Output of a PDE run.
+#[derive(Debug)]
+pub struct PdeOutput {
+    /// Per-node combined lists: the up-to-σ smallest `(wd', src)` pairs.
+    pub lists: Vec<Vec<PdeEntry>>,
+    /// Per-node routing tables/archives: best `(est, port, level)` per
+    /// source ever received. A superset of the list entries (needed to make
+    /// greedy forwarding total; see DESIGN.md).
+    pub routes: Vec<HashMap<NodeId, RouteInfo>>,
+    /// The integer rung ladder used.
+    pub levels: Vec<u64>,
+    /// The per-level hop horizon `h'`.
+    pub horizon: u64,
+    /// Execution metrics.
+    pub metrics: PdeMetrics,
+}
+
+impl PdeOutput {
+    /// The distance estimate `wd'(v, s)`, if `v` ever heard of `s`.
+    ///
+    /// Guaranteed `≥ wd(v, s)`; `≤ (1+ε)·wd(v, s)` whenever `h_{v,s} ≤ h`
+    /// *and* `s` survived list truncation along the way.
+    pub fn estimate(&self, v: NodeId, s: NodeId) -> Option<u64> {
+        if v == s {
+            return Some(0);
+        }
+        self.routes[v.index()].get(&s).map(|r| r.est)
+    }
+
+    /// The next hop from `v` towards `s`, if known.
+    ///
+    /// Following next hops strictly decreases the estimate by at least the
+    /// traversed edge weight per hop, so the walk terminates at `s` with
+    /// total weight `≤ estimate(v, s)` (greedy-forwarding invariant,
+    /// validated by tests).
+    pub fn next_hop(&self, v: NodeId, s: NodeId) -> Option<Port> {
+        self.routes[v.index()].get(&s).map(|r| r.port)
+    }
+
+    /// Traces the route `v → s` by greedy forwarding; returns the visited
+    /// nodes and the total weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description if forwarding gets stuck or fails
+    /// to make strict progress (which would falsify the invariant — tests
+    /// treat this as a hard failure).
+    pub fn trace_route(
+        &self,
+        g: &WGraph,
+        v: NodeId,
+        s: NodeId,
+    ) -> Result<(Vec<NodeId>, u64), String> {
+        let topo = g.to_topology();
+        let mut cur = v;
+        let mut path = vec![v];
+        let mut weight = 0u64;
+        let mut est = match self.estimate(v, s) {
+            Some(e) => e,
+            None => return Err(format!("no estimate for {s} at {v}")),
+        };
+        while cur != s {
+            let r = self.routes[cur.index()]
+                .get(&s)
+                .ok_or_else(|| format!("routing stuck: {cur} has no entry for {s}"))?;
+            let next = topo.neighbor(cur, r.port);
+            let w = topo.weight(cur, r.port);
+            weight += w;
+            if cur != v && r.est > est.saturating_sub(1) {
+                return Err(format!(
+                    "no strict progress at {cur}: est {} after {est}",
+                    r.est
+                ));
+            }
+            est = r.est;
+            cur = next;
+            path.push(cur);
+            if path.len() > g.len() * 4 {
+                return Err("route exceeded hop cap".into());
+            }
+        }
+        Ok((path, weight))
+    }
+}
+
+/// Runs `(1+ε)`-approximate `(S, h, σ)`-estimation on `g`
+/// (Corollary 3.5).
+///
+/// `sources[v]` marks membership in `S`; `tags[v]` is an auxiliary bit
+/// carried with `v`'s announcements.
+///
+/// The run consists of: a BFS + aggregate phase that determines `w_max`
+/// (`O(D)` rounds), then one delay-simulated unweighted detection instance
+/// per ladder rung (`O((h+σ)/ε)` rounds each, `O(log_{1+ε} w_max)` rungs),
+/// executed sequentially as in Theorem 3.3.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected, flag slices are mis-sized, or ε is
+/// out of range.
+pub fn run_pde(g: &WGraph, sources: &[bool], tags: &[bool], params: &PdeParams) -> PdeOutput {
+    assert_eq!(sources.len(), g.len(), "one source flag per node");
+    assert_eq!(tags.len(), g.len(), "one tag flag per node");
+    let topo = g.to_topology();
+    assert!(topo.is_connected(), "PDE requires a connected graph");
+
+    // O(D) coordination: build a BFS tree, learn w_max.
+    let (tree, bfs_metrics) = build_bfs(&topo, NodeId(0));
+    let local_max: Vec<u64> = topo
+        .nodes()
+        .map(|v| topo.arcs(v).map(|(_, _, w, _)| w).max().unwrap_or(1))
+        .collect();
+    let (w_max, agg_metrics) = global_max(&topo, &tree, &local_max);
+    let mut total = Metrics::new(g.len());
+    total.absorb(&bfs_metrics);
+    total.absorb(&agg_metrics);
+    let coordination_rounds = total.rounds;
+
+    let levels = level_ladder(params.eps, w_max);
+    let h_prime = horizon(params.h, params.eps);
+
+    let mut best: Vec<HashMap<NodeId, (u64, bool, u32)>> = vec![HashMap::new(); g.len()];
+    let mut routes: Vec<HashMap<NodeId, RouteInfo>> = vec![HashMap::new(); g.len()];
+    let mut per_level_rounds = Vec::with_capacity(levels.len());
+    let mut max_single = 0u64;
+    let mut totals_per_node = vec![0u64; g.len()];
+
+    for (li, &b) in levels.iter().enumerate() {
+        let level_topo = topo.with_delays(|w| subdivision_len(w, b));
+        let out = run_detection(
+            &level_topo,
+            sources,
+            tags,
+            &DetectParams {
+                h: h_prime,
+                sigma: params.sigma,
+                msg_cap: params.msg_cap,
+                exact_rounds: params.exact_rounds,
+            },
+        );
+        per_level_rounds.push(out.metrics.rounds);
+        max_single = max_single.max(out.msgs_per_node.iter().copied().max().unwrap_or(0));
+        for (t, m) in totals_per_node.iter_mut().zip(&out.msgs_per_node) {
+            *t += m;
+        }
+        for v in g.nodes() {
+            for e in &out.lists[v.index()] {
+                let est = e
+                    .dist
+                    .checked_mul(b)
+                    .expect("estimate overflow: weights too large");
+                let entry = best[v.index()].entry(e.src).or_insert((est, e.tag, li as u32));
+                if est < entry.0 {
+                    *entry = (est, e.tag, li as u32);
+                }
+            }
+            for (&src, &(d, port)) in &out.routes[v.index()] {
+                let est = d.checked_mul(b).expect("estimate overflow");
+                let entry = routes[v.index()].entry(src).or_insert(RouteInfo {
+                    est,
+                    port,
+                    level: li as u32,
+                });
+                if est < entry.est {
+                    *entry = RouteInfo {
+                        est,
+                        port,
+                        level: li as u32,
+                    };
+                }
+            }
+        }
+        total.absorb(&out.metrics);
+    }
+
+    let lists: Vec<Vec<PdeEntry>> = best
+        .into_iter()
+        .map(|m| {
+            let mut list: Vec<PdeEntry> = m
+                .into_iter()
+                .map(|(src, (est, tag, _))| PdeEntry { est, src, tag })
+                .collect();
+            list.sort_unstable();
+            list.truncate(params.sigma);
+            list
+        })
+        .collect();
+
+    PdeOutput {
+        lists,
+        routes,
+        levels,
+        horizon: h_prime,
+        metrics: PdeMetrics {
+            total,
+            per_level_rounds,
+            coordination_rounds,
+            max_broadcasts_single_level: max_single,
+            max_broadcasts_total: totals_per_node.iter().copied().max().unwrap_or(0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::algo;
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// PDE guarantees of Definition 2.2, checked against exact APSP.
+    fn check_guarantees(g: &WGraph, sources: &[bool], params: &PdeParams) {
+        let out = run_pde(g, sources, &vec![false; g.len()], params);
+        let exact = algo::apsp(g);
+        for v in g.nodes() {
+            // Soundness: estimates never underestimate (exact integers).
+            for e in &out.lists[v.index()] {
+                assert!(
+                    e.est >= exact.dist(v, e.src),
+                    "underestimate at {v} for {}: {} < {}",
+                    e.src,
+                    e.est,
+                    exact.dist(v, e.src)
+                );
+            }
+            for (&s, r) in &out.routes[v.index()] {
+                assert!(r.est >= exact.dist(v, s), "route underestimate");
+            }
+            // Completeness + accuracy: sources within h hops are either
+            // listed with a (1+ε)-accurate value, or crowded out by σ
+            // entries that are all at least as small.
+            let mut in_range: Vec<(u64, NodeId)> = g
+                .nodes()
+                .filter(|s| sources[s.index()])
+                .filter(|&s| u64::from(exact.hops(v, s)) <= params.h)
+                .map(|s| (exact.dist(v, s), s))
+                .collect();
+            in_range.sort_unstable();
+            let list = &out.lists[v.index()];
+            assert!(
+                list.len() >= in_range.len().min(params.sigma),
+                "node {v}: list too short ({} < {})",
+                list.len(),
+                in_range.len().min(params.sigma)
+            );
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "list not sorted");
+            for (i, e) in list.iter().enumerate() {
+                if i < in_range.len() {
+                    // The i-th listed estimate is within (1+ε) of the i-th
+                    // best true distance (standard prefix argument).
+                    assert!(
+                        e.est as f64 <= (1.0 + params.eps) * in_range[i].0 as f64 + 1e-9,
+                        "node {v} entry {i}: est {} vs true {}",
+                        e.est,
+                        in_range[i].0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_unit_weights() {
+        // With w_max = 1 the ladder is [1] and PDE degenerates to exact
+        // unweighted detection.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gen::gnp_connected(20, 0.15, Weights::Unit, &mut rng);
+        let sources = vec![true; 20];
+        let out = run_pde(&g, &sources, &[false; 20], &PdeParams::new(20, 20, 0.5));
+        assert_eq!(out.levels, vec![1]);
+        let exact = algo::apsp(&g);
+        for v in g.nodes() {
+            for e in &out.lists[v.index()] {
+                assert_eq!(e.est, exact.dist(v, e.src));
+            }
+        }
+    }
+
+    #[test]
+    fn guarantees_on_weighted_path() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = gen::path(12, Weights::Uniform { lo: 1, hi: 50 }, &mut rng);
+        let sources: Vec<bool> = (0..12).map(|i| i % 3 == 0).collect();
+        check_guarantees(&g, &sources, &PdeParams::new(12, 4, 0.25));
+    }
+
+    #[test]
+    fn guarantees_on_random_graphs() {
+        for seed in 0..3 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::gnp_connected(24, 0.12, Weights::Uniform { lo: 1, hi: 100 }, &mut rng);
+            let sources: Vec<bool> = (0..24).map(|i| i % 4 == 0).collect();
+            check_guarantees(&g, &sources, &PdeParams::new(10, 3, 0.5));
+        }
+    }
+
+    #[test]
+    fn guarantees_with_heavy_tailed_weights() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = gen::gnp_connected(20, 0.15, Weights::PowerOfTwo { max_exp: 10 }, &mut rng);
+        let sources: Vec<bool> = (0..20).map(|i| i < 5).collect();
+        check_guarantees(&g, &sources, &PdeParams::new(8, 4, 0.25));
+    }
+
+    #[test]
+    fn routes_reach_sources_with_bounded_weight() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::gnp_connected(20, 0.15, Weights::Uniform { lo: 1, hi: 30 }, &mut rng);
+        let sources: Vec<bool> = (0..20).map(|i| i < 4).collect();
+        let out = run_pde(&g, &sources, &[false; 20], &PdeParams::new(20, 4, 0.5));
+        for v in g.nodes() {
+            for e in &out.lists[v.index()] {
+                if e.src == v {
+                    continue;
+                }
+                let (path, w) = out
+                    .trace_route(&g, v, e.src)
+                    .unwrap_or_else(|e| panic!("route failed: {e}"));
+                assert_eq!(*path.last().unwrap(), e.src);
+                assert!(w <= e.est, "route weight {w} exceeds estimate {}", e.est);
+            }
+        }
+    }
+
+    #[test]
+    fn coordination_rounds_are_charged() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gen::path(10, Weights::Uniform { lo: 1, hi: 5 }, &mut rng);
+        let out = run_pde(
+            &g,
+            &[true; 10],
+            &[false; 10],
+            &PdeParams::new(10, 2, 0.5),
+        );
+        assert!(out.metrics.coordination_rounds > 0);
+        assert_eq!(
+            out.metrics.total.rounds,
+            out.metrics.coordination_rounds + out.metrics.per_level_rounds.iter().sum::<u64>()
+        );
+    }
+}

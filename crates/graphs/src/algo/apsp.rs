@@ -1,0 +1,106 @@
+//! Exact all-pairs shortest paths (reference).
+
+use crate::algo::dijkstra::dijkstra;
+use crate::graph::{WGraph, INF};
+use congest::NodeId;
+
+/// Exact APSP result: distance and minimum-hop matrices.
+#[derive(Clone, Debug)]
+pub struct Apsp {
+    dist: Vec<u64>,
+    hops: Vec<u32>,
+    n: usize,
+}
+
+impl Apsp {
+    /// `wd(u, v)`; [`INF`] if unreachable.
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> u64 {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// `h_{u,v}`: minimum hops among shortest weighted `u`–`v` paths.
+    #[inline]
+    pub fn hops(&self, u: NodeId, v: NodeId) -> u32 {
+        self.hops[u.index() * self.n + v.index()]
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the instance is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Maximum finite distance (the weighted diameter `WD`).
+    pub fn weighted_diameter(&self) -> u64 {
+        self.dist.iter().copied().filter(|&d| d != INF).max().unwrap_or(0)
+    }
+
+    /// Maximum finite hop count (the shortest path diameter `SPD`).
+    pub fn shortest_path_diameter(&self) -> u32 {
+        self.hops
+            .iter()
+            .copied()
+            .filter(|&h| h != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Computes exact APSP by `n` Dijkstra runs (`O(n · m log n)`).
+pub fn apsp(g: &WGraph) -> Apsp {
+    let n = g.len();
+    let mut dist = Vec::with_capacity(n * n);
+    let mut hops = Vec::with_capacity(n * n);
+    for v in g.nodes() {
+        let s = dijkstra(g, v);
+        dist.extend_from_slice(&s.dist);
+        hops.extend_from_slice(&s.hops);
+    }
+    Apsp { dist, hops, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apsp_matches_dijkstra_rows() {
+        let g = WGraph::from_edges(4, &[(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 20)]).unwrap();
+        let a = apsp(&g);
+        for v in g.nodes() {
+            let s = dijkstra(&g, v);
+            for u in g.nodes() {
+                assert_eq!(a.dist(v, u), s.dist[u.index()]);
+                assert_eq!(a.hops(v, u), s.hops[u.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_is_symmetric() {
+        let g = WGraph::from_edges(5, &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (0, 4, 9)])
+            .unwrap();
+        let a = apsp(&g);
+        for v in g.nodes() {
+            for u in g.nodes() {
+                assert_eq!(a.dist(v, u), a.dist(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn diameters_from_matrix() {
+        // Path 0-1-2 with weights 1, 10.
+        let g = WGraph::from_edges(3, &[(0, 1, 1), (1, 2, 10)]).unwrap();
+        let a = apsp(&g);
+        assert_eq!(a.weighted_diameter(), 11);
+        assert_eq!(a.shortest_path_diameter(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Exact `(S, h, σ)`-detection reference (Definition 2.1 of the paper).
+
+use crate::algo::dijkstra::dijkstra;
+use congest::NodeId;
+
+use crate::graph::WGraph;
+
+/// Per-node detection output: the top-σ prefix of `L_v^{(h)}`.
+pub type DetectionList = Vec<(u64, NodeId)>;
+
+/// Computes, for every node `v`, the list `L_v`: the lexicographically
+/// smallest `σ` pairs `(wd(v, s), s)` over sources `s ∈ S` with
+/// `h_{v,s} ≤ h` (Definition 2.1).
+///
+/// Runs one Dijkstra per source (`O(|S|·m log n)`); used as ground truth
+/// for the distributed detection and PDE algorithms.
+///
+/// # Panics
+///
+/// Panics if `sources.len() != g.len()`.
+pub fn detection_reference(
+    g: &WGraph,
+    sources: &[bool],
+    h: u64,
+    sigma: usize,
+) -> Vec<DetectionList> {
+    assert_eq!(sources.len(), g.len(), "one source flag per node");
+    let mut lists: Vec<DetectionList> = vec![Vec::new(); g.len()];
+    for s in g.nodes() {
+        if !sources[s.index()] {
+            continue;
+        }
+        let sp = dijkstra(g, s);
+        for v in g.nodes() {
+            if sp.hops[v.index()] != u32::MAX && u64::from(sp.hops[v.index()]) <= h {
+                lists[v.index()].push((sp.dist[v.index()], s));
+            }
+        }
+    }
+    for list in &mut lists {
+        list.sort_unstable();
+        list.truncate(sigma);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3 with unit weights; sources {0, 3}.
+    fn path4() -> (WGraph, Vec<bool>) {
+        let g = WGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        (g, vec![true, false, false, true])
+    }
+
+    #[test]
+    fn full_horizon_lists_all_sources() {
+        let (g, s) = path4();
+        let lists = detection_reference(&g, &s, 10, 10);
+        assert_eq!(lists[1], vec![(1, NodeId(0)), (2, NodeId(3))]);
+        assert_eq!(lists[0], vec![(0, NodeId(0)), (3, NodeId(3))]);
+    }
+
+    #[test]
+    fn hop_horizon_filters() {
+        let (g, s) = path4();
+        let lists = detection_reference(&g, &s, 1, 10);
+        assert_eq!(lists[1], vec![(1, NodeId(0))]);
+        assert_eq!(lists[2], vec![(1, NodeId(3))]);
+    }
+
+    #[test]
+    fn sigma_truncates() {
+        let (g, s) = path4();
+        let lists = detection_reference(&g, &s, 10, 1);
+        assert_eq!(lists[1], vec![(1, NodeId(0))]);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        // Node 1 is equidistant (weight 1) from sources 0 and 2.
+        let g = WGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]).unwrap();
+        let lists = detection_reference(&g, &[true, false, true], 5, 1);
+        assert_eq!(lists[1], vec![(1, NodeId(0))]);
+    }
+
+    #[test]
+    fn horizon_uses_minhop_shortest_paths() {
+        // wd(0,3) = 3 via the 3-hop unit path; the direct edge has weight 10.
+        // h_{0,3} = 3, so with h = 1 source 3 must NOT appear at node 0,
+        // even though a 1-hop path exists (the detection horizon is over
+        // minimum-hop *shortest weighted* paths).
+        let g = WGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 10)]).unwrap();
+        let lists = detection_reference(&g, &[false, false, false, true], 1, 4);
+        assert!(lists[0].is_empty());
+        let lists3 = detection_reference(&g, &[false, false, false, true], 3, 4);
+        assert_eq!(lists3[0], vec![(3, NodeId(3))]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Dijkstra with minimum-hop tie-breaking.
+
+use crate::graph::{WGraph, INF};
+use congest::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest-path result.
+///
+/// `hops[v]` is the paper's *shortest path distance* `h_{v,s}`: the minimum
+/// hop-length among all minimum-weight `v`–`s` paths (Section 2.2). This is
+/// the quantity the `(S, h, σ)`-detection horizon is defined over, so the
+/// tie-breaking here is part of the specification, not an implementation
+/// detail.
+#[derive(Clone, Debug)]
+pub struct Sssp {
+    /// The source node.
+    pub source: NodeId,
+    /// `dist[v]` = weighted distance `wd(source, v)`; [`INF`] if unreachable.
+    pub dist: Vec<u64>,
+    /// `hops[v]` = minimum hops among shortest weighted paths (`h_{source,v}`).
+    pub hops: Vec<u32>,
+    /// A predecessor on a minimum-hop shortest weighted path.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+/// Runs Dijkstra from `source`, minimizing `(weight, hops)` lexicographically.
+pub fn dijkstra(g: &WGraph, source: NodeId) -> Sssp {
+    let n = g.len();
+    let mut dist = vec![INF; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut parent = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+
+    dist[source.index()] = 0;
+    hops[source.index()] = 0;
+    heap.push(Reverse((0, 0, source.0)));
+
+    while let Some(Reverse((d, h, v))) = heap.pop() {
+        let v = NodeId(v);
+        if done[v.index()] {
+            continue;
+        }
+        done[v.index()] = true;
+        debug_assert_eq!((d, h), (dist[v.index()], hops[v.index()]));
+        for (u, w) in g.neighbors(v) {
+            if done[u.index()] {
+                continue;
+            }
+            let nd = d.saturating_add(w);
+            let nh = h + 1;
+            if (nd, nh) < (dist[u.index()], hops[u.index()]) {
+                dist[u.index()] = nd;
+                hops[u.index()] = nh;
+                parent[u.index()] = Some(v);
+                heap.push(Reverse((nd, nh, u.0)));
+            }
+        }
+    }
+    Sssp {
+        source,
+        dist,
+        hops,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_distances_on_small_graph() {
+        // 0 -2- 1 -2- 2, plus direct 0-2 edge of weight 10.
+        let g = WGraph::from_edges(3, &[(0, 1, 2), (1, 2, 2), (0, 2, 10)]).unwrap();
+        let s = dijkstra(&g, NodeId(0));
+        assert_eq!(s.dist, vec![0, 2, 4]);
+        assert_eq!(s.hops, vec![0, 1, 2]);
+        assert_eq!(s.parent[2], Some(NodeId(1)));
+    }
+
+    #[test]
+    fn tie_break_minimizes_hops() {
+        // Two shortest paths 0→3 of weight 4: 0-1-3 (2 hops) and
+        // 0-2a-2b-3 style (3 hops). The reported hops must be 2.
+        let g = WGraph::from_edges(
+            5,
+            &[(0, 1, 2), (1, 4, 2), (0, 2, 1), (2, 3, 2), (3, 4, 1)],
+        )
+        .unwrap();
+        let s = dijkstra(&g, NodeId(0));
+        assert_eq!(s.dist[4], 4);
+        assert_eq!(s.hops[4], 2, "must pick the 2-hop shortest path");
+    }
+
+    #[test]
+    fn unreachable_nodes_are_inf() {
+        let g = WGraph::from_edges(3, &[(0, 1, 1)]).unwrap();
+        let s = dijkstra(&g, NodeId(0));
+        assert_eq!(s.dist[2], INF);
+        assert_eq!(s.hops[2], u32::MAX);
+        assert_eq!(s.parent[2], None);
+    }
+
+    #[test]
+    fn parents_trace_back_to_source() {
+        let g = WGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 5)]).unwrap();
+        let s = dijkstra(&g, NodeId(0));
+        let mut v = NodeId(3);
+        let mut steps = 0;
+        while let Some(p) = s.parent[v.index()] {
+            v = p;
+            steps += 1;
+        }
+        assert_eq!(v, NodeId(0));
+        assert_eq!(steps, s.hops[3]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Centralized reference algorithms (ground truth for the distributed ones).
+
+mod apsp;
+mod detection;
+mod dijkstra;
+mod hops;
+mod props;
+
+pub use apsp::{apsp, Apsp};
+pub use detection::{detection_reference, DetectionList};
+pub use dijkstra::{dijkstra, Sssp};
+pub use hops::{bfs_hops, hop_limited_distances};
+pub use props::{hop_diameter, shortest_path_diameter, weighted_diameter};

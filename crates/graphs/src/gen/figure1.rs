@@ -1,0 +1,152 @@
+//! The Figure 1 lower-bound family of the paper.
+//!
+//! A graph where exact `(S, h+1, σ)`-detection cannot be solved in `o(hσ)`
+//! rounds: all `hσ` source/distance values must cross one bottleneck edge.
+//!
+//! Construction (following the paper's Figure 1): a chain `v_1 … v_h`, a
+//! chain `u_1 … u_h`, a bridge edge `{u_1, v_h}`, and `σ` sources `s_{i,j}`
+//! attached to each `v_i` with edge weight `4^i · h` (all other edges have
+//! weight 1, i.e. negligible). Node `u_i` reaches the sources `s_{i,·}` in
+//! exactly `h + 1` hops, and the exponentially growing attachment weights
+//! make `s_{i,·}` precisely the σ closest sources visible to `u_i` within
+//! that horizon — so every `u_i` must learn a distinct set of σ values, all
+//! of which traverse `{u_1, v_h}`.
+
+use crate::graph::WGraph;
+use congest::NodeId;
+
+/// The Figure 1 graph plus the node-role bookkeeping experiments need.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The graph itself.
+    pub graph: WGraph,
+    /// Chain nodes `v_1 … v_h` (index 0 = `v_1`).
+    pub v_chain: Vec<NodeId>,
+    /// Chain nodes `u_1 … u_h` (index 0 = `u_1`).
+    pub u_chain: Vec<NodeId>,
+    /// `sources[i][j]` = `s_{i+1, j+1}` attached to `v_{i+1}`.
+    pub sources: Vec<Vec<NodeId>>,
+    /// The `h` parameter.
+    pub h: usize,
+    /// The `σ` parameter.
+    pub sigma: usize,
+}
+
+impl Figure1 {
+    /// Source-set indicator vector (all `s_{i,j}` are sources).
+    pub fn source_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.graph.len()];
+        for row in &self.sources {
+            for s in row {
+                flags[s.index()] = true;
+            }
+        }
+        flags
+    }
+
+    /// The detection horizon `h + 1` used in the lower-bound argument.
+    pub fn horizon(&self) -> u64 {
+        self.h as u64 + 1
+    }
+}
+
+/// Builds the Figure 1 instance with parameters `h` and `σ`.
+///
+/// Node ids: `v_i = i − 1`, `u_i = h + i − 1`,
+/// `s_{i,j} = 2h + (i−1)σ + (j−1)`; total `n = 2h + hσ`.
+///
+/// # Panics
+///
+/// Panics if `h < 2`, `σ < 1`, or `h > 20` (weights `4^h · h` must fit
+/// comfortably in `u64` and stay "polynomial in n" in spirit).
+pub fn figure1(h: usize, sigma: usize) -> Figure1 {
+    assert!((2..=20).contains(&h), "h must be in 2..=20");
+    assert!(sigma >= 1, "sigma must be ≥ 1");
+    let n = 2 * h + h * sigma;
+    let v = |i: usize| (i - 1) as u32; // i in 1..=h
+    let u = |i: usize| (h + i - 1) as u32;
+    let s = |i: usize, j: usize| (2 * h + (i - 1) * sigma + (j - 1)) as u32;
+
+    let mut edges = Vec::new();
+    for i in 1..h {
+        edges.push((v(i), v(i + 1), 1));
+        edges.push((u(i), u(i + 1), 1));
+    }
+    edges.push((u(1), v(h), 1)); // the bottleneck bridge
+    for i in 1..=h {
+        let w = 4u64.pow(i as u32) * h as u64;
+        for j in 1..=sigma {
+            edges.push((v(i), s(i, j), w));
+        }
+    }
+
+    let graph = WGraph::connected_from_edges(n, &edges).expect("figure1 produced an invalid graph");
+    Figure1 {
+        graph,
+        v_chain: (1..=h).map(|i| NodeId(v(i))).collect(),
+        u_chain: (1..=h).map(|i| NodeId(u(i))).collect(),
+        sources: (1..=h)
+            .map(|i| (1..=sigma).map(|j| NodeId(s(i, j))).collect())
+            .collect(),
+        h,
+        sigma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::detection_reference;
+
+    #[test]
+    fn shape_is_as_specified() {
+        let f = figure1(4, 3);
+        assert_eq!(f.graph.len(), 2 * 4 + 4 * 3);
+        // Edges: (h-1) per chain ×2 + bridge + h·σ attachments.
+        assert_eq!(f.graph.num_edges(), 3 + 3 + 1 + 12);
+        assert_eq!(
+            f.graph
+                .edge_weight(f.v_chain[1], f.sources[1][0])
+                .unwrap(),
+            4u64.pow(2) * 4
+        );
+    }
+
+    #[test]
+    fn u_i_sees_exactly_its_own_sources() {
+        // The lower-bound argument: within h+1 hops, the σ closest sources
+        // to u_i are exactly s_{i,·}.
+        let f = figure1(4, 2);
+        let lists = detection_reference(
+            &f.graph,
+            &f.source_flags(),
+            f.horizon(),
+            f.sigma,
+        );
+        for (idx, &ui) in f.u_chain.iter().enumerate() {
+            let i = idx + 1;
+            let list = &lists[ui.index()];
+            assert_eq!(list.len(), f.sigma, "u_{i} must see σ sources");
+            for (_, src) in list {
+                assert!(
+                    f.sources[idx].contains(src),
+                    "u_{i} detected a source outside s_{i},·"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_u_nodes_need_distinct_values() {
+        // Total information crossing the bridge: h disjoint σ-sets.
+        let f = figure1(3, 2);
+        let lists = detection_reference(&f.graph, &f.source_flags(), f.horizon(), f.sigma);
+        let mut all: Vec<NodeId> = Vec::new();
+        for &ui in &f.u_chain {
+            all.extend(lists[ui.index()].iter().map(|&(_, s)| s));
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), f.h * f.sigma);
+    }
+}

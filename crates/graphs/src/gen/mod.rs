@@ -1,0 +1,16 @@
+//! Graph generators used by tests, examples and experiments.
+//!
+//! All generators return connected [`crate::WGraph`]s and take an explicit
+//! RNG so runs are reproducible from a seed.
+
+mod basic;
+mod figure1;
+mod random;
+mod special;
+mod weights;
+
+pub use basic::{balanced_tree, complete, cycle, grid, path, star, torus};
+pub use figure1::{figure1, Figure1};
+pub use random::{gnp_connected, random_tree, watts_strogatz};
+pub use special::{dumbbell, lollipop, weighted_clique_multihop};
+pub use weights::Weights;

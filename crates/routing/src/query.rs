@@ -1,0 +1,167 @@
+//! Stateless routing and distance queries for the Theorem 4.5 scheme.
+//!
+//! Every decision here uses only (a) the queried node's own tables and
+//! (b) the destination's label — the stateless model of Section 2.3. The
+//! forwarding function is *total* and *loop-free* by a potential argument:
+//! outside the destination's tree, the next hop strictly decreases
+//!
+//! ```text
+//! Φ(x) = min( wd'(x, w),                                   — short range
+//!             min_t [ wd'_S(x, t) + d_spanner(t, s'_w) ]
+//!               + wd'(w, s'_w) )                            — long range
+//! ```
+//!
+//! by at least the traversed edge weight (each term rides a PDE next-hop
+//! chain whose estimates shrink by ≥ the edge weight per hop; spanner
+//! edges decompose into such chains). Once the walk enters `T_{s'_w}` at a
+//! node whose subtree contains `w`, DFS-interval descent finishes the job.
+
+use crate::eval::RoutingScheme;
+use crate::scheme::{RtcLabel, RtcScheme};
+use congest::NodeId;
+use graphs::INF;
+
+impl RtcScheme {
+    /// The label of `v` (what the paper publishes as `λ(v)`).
+    pub fn label(&self, v: NodeId) -> &RtcLabel {
+        &self.labels[v.index()]
+    }
+
+    /// Spanner distance between two skeleton nodes (`INF` if either is
+    /// unknown — cannot happen for valid skeleton ids).
+    fn spanner_dist(&self, s: NodeId, t: NodeId) -> u64 {
+        let m = self.skel_ids.len();
+        match (self.skel_index.get(&s), self.skel_index.get(&t)) {
+            (Some(&i), Some(&j)) => self.span_dist[i * m + j],
+            _ => INF,
+        }
+    }
+
+    /// The long-range option at `x` for destination label `label`:
+    /// `(total_estimate, next_hop)` via the best skeleton entry point.
+    fn skeleton_option(&self, x: NodeId, label: &RtcLabel) -> Option<(u64, NodeId)> {
+        let mut best: Option<(u64, NodeId)> = None;
+        // Entry points x knows a route to.
+        for (&t, r) in &self.skel_routes[x.index()] {
+            let sd = self.spanner_dist(t, label.home);
+            if sd == INF {
+                continue;
+            }
+            let total = r
+                .est
+                .saturating_add(sd)
+                .saturating_add(label.dist_home);
+            let hop = self.topo.neighbor(x, r.port);
+            if best.is_none_or(|(b, _)| total < b) {
+                best = Some((total, hop));
+            }
+        }
+        // If x is itself a skeleton node, it can enter at itself: the next
+        // hop is the first hop of its chain towards the next spanner node.
+        if self.skeleton[x.index()] {
+            let m = self.skel_ids.len();
+            let i = self.skel_index[&x];
+            let j = self.skel_index[&label.home];
+            let sd = self.span_dist[i * m + j];
+            if sd != INF && i != j {
+                let total = sd.saturating_add(label.dist_home);
+                if best.is_none_or(|(b, _)| total < b) {
+                    let z = self.skel_ids[self.span_next[i * m + j]];
+                    let r = self.skel_routes[x.index()]
+                        .get(&z)
+                        .expect("spanner edge endpoints route to each other");
+                    best = Some((total, self.topo.neighbor(x, r.port)));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl RoutingScheme for RtcScheme {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn next_hop(&self, x: NodeId, dest: NodeId) -> Option<NodeId> {
+        let label = &self.labels[dest.index()];
+        if x == dest {
+            return None;
+        }
+        // Tree mode: inside T_{s'_w} with w in our subtree → descend.
+        if let Some(tree) = self.trees.trees.get(&label.home) {
+            if tree.in_subtree(x, label.tree_dfs) {
+                return tree.next_hop_down(x, label.tree_dfs);
+            }
+        }
+        // Short range beats long range when available; pick min potential.
+        let direct = self.short[x.index()]
+            .get(&dest)
+            .map(|r| (r.est, self.topo.neighbor(x, r.port)));
+        let long = self.skeleton_option(x, label);
+        match (direct, long) {
+            (Some((de, dh)), Some((le, lh))) => Some(if de <= le { dh } else { lh }),
+            (Some((_, dh)), None) => Some(dh),
+            (None, Some((_, lh))) => Some(lh),
+            (None, None) => None,
+        }
+    }
+
+    fn estimate(&self, x: NodeId, dest: NodeId) -> u64 {
+        if x == dest {
+            return 0;
+        }
+        let label = &self.labels[dest.index()];
+        let direct = self.short[x.index()].get(&dest).map_or(INF, |r| r.est);
+        let long = self.skeleton_option(x, label).map_or(INF, |(e, _)| e);
+        direct.min(long)
+    }
+
+    fn label_bits(&self, v: NodeId) -> usize {
+        self.labels[v.index()].bits(self.labels.len())
+    }
+
+    fn table_entries(&self, v: NodeId) -> usize {
+        // Paper-sized tables: the top-σ short-range list, the skeleton
+        // table, the (globally known) spanner, and per-tree interval rows.
+        let tree_rows: usize = self
+            .trees
+            .trees
+            .values()
+            .filter_map(|t| t.children.get(&v).map(|ch| 1 + ch.len()))
+            .sum();
+        self.short_lists[v.index()].len() + self.skel_routes[v.index()].len() + tree_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{build_rtc, RtcParams};
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn self_route_is_empty_and_estimate_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gen::gnp_connected(20, 0.2, Weights::Uniform { lo: 1, hi: 10 }, &mut rng);
+        let scheme = build_rtc(&g, &RtcParams::new(2));
+        for v in g.nodes() {
+            assert_eq!(scheme.next_hop(v, v), None);
+            assert_eq!(scheme.estimate(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn labels_are_logarithmic() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = gen::gnp_connected(30, 0.15, Weights::Uniform { lo: 1, hi: 100 }, &mut rng);
+        let scheme = build_rtc(&g, &RtcParams::new(2));
+        for v in g.nodes() {
+            // 2 ids + distance + dfs: comfortably within a few dozen bits.
+            assert!(scheme.label_bits(v) <= 4 * 64);
+            assert!(scheme.label_bits(v) >= 2);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Construction of the Theorem 4.5 routing scheme.
+
+use congest::bfs::build_bfs;
+use congest::pipeline::broadcast_all;
+use congest::{bits_for, Message, Metrics, NodeId, Topology};
+use graphs::algo::apsp;
+use graphs::{WGraph, INF};
+use pde_core::{run_pde, PdeEntry, PdeParams, RouteInfo};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spanner::baswana_sen;
+use std::collections::HashMap;
+use treeroute::{label_forest, TreeSet};
+
+use crate::skeleton::{sample_skeleton, theorem45_probability};
+
+/// Parameters for [`build_rtc`].
+#[derive(Clone, Debug)]
+pub struct RtcParams {
+    /// The trade-off parameter `k` (stretch `6k−1+o(1)`).
+    pub k: u32,
+    /// PDE approximation parameter ε (the paper uses `1/log n`; moderate
+    /// values are the practical default, see DESIGN.md).
+    pub eps: f64,
+    /// Constant `c` in the horizon/list size `h = σ = c·ln n / p`.
+    pub c: f64,
+    /// RNG seed (skeleton sampling + spanner coins).
+    pub seed: u64,
+}
+
+impl RtcParams {
+    /// Sensible defaults for a given `k`.
+    pub fn new(k: u32) -> Self {
+        RtcParams {
+            k,
+            eps: 0.25,
+            c: 2.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The label of a node (`O(log n)` bits total, as in Theorem 4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtcLabel {
+    /// The node's own identifier.
+    pub id: NodeId,
+    /// `s'_w`: the node's (approximately) closest skeleton node.
+    pub home: NodeId,
+    /// `wd'(w, s'_w)`.
+    pub dist_home: u64,
+    /// DFS label of `w` in the detection tree `T_{s'_w}`.
+    pub tree_dfs: u64,
+}
+
+impl RtcLabel {
+    /// Semantic size of this label in bits (measured in Experiment E4).
+    pub fn bits(&self, n: usize) -> usize {
+        2 * bits_for(n as u64) + bits_for(self.dist_home + 1) + bits_for(self.tree_dfs + 1)
+    }
+}
+
+/// Build-time metrics, broken down by pipeline stage.
+#[derive(Clone, Debug)]
+pub struct RtcBuildMetrics {
+    /// Total rounds across all stages (the quantity Theorem 4.5 bounds by
+    /// `Õ(n^{1/2+1/(4k)} + D)`).
+    pub total_rounds: u64,
+    /// Rounds of the `(V, h, σ)`-estimation (short range).
+    pub pde_a_rounds: u64,
+    /// Rounds of the `(S, h, |S|)`-estimation (skeleton distances).
+    pub pde_s_rounds: u64,
+    /// Rounds of the pipelined spanner dissemination.
+    pub spanner_broadcast_rounds: u64,
+    /// Rounds of the distributed tree labeling.
+    pub tree_label_rounds: u64,
+    /// Aggregate simulator metrics.
+    pub total: Metrics,
+    /// `|S|`.
+    pub skeleton_size: usize,
+    /// Number of spanner edges (`Õ(|S|^{1+1/k})` expected).
+    pub spanner_edge_count: usize,
+    /// Skeleton re-sampling attempts (1 = first try).
+    pub sample_attempts: u32,
+    /// The horizon/list size `h = σ` used.
+    pub h: u64,
+}
+
+/// Item shipped through the pipelined broadcast: a spanner edge or a
+/// per-phase Baswana–Sen cluster membership.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum BsItem {
+    Edge(u32, u32, u64),
+    Member(u32, u32, u32),
+}
+
+impl Message for BsItem {
+    fn bit_size(&self) -> usize {
+        match self {
+            BsItem::Edge(a, b, w) => {
+                bits_for(u64::from(*a) + 1) + bits_for(u64::from(*b) + 1) + bits_for(w + 1) + 1
+            }
+            BsItem::Member(_, v, c) => {
+                8 + bits_for(u64::from(*v) + 1) + bits_for(u64::from(*c) + 1) + 1
+            }
+        }
+    }
+}
+
+/// The constructed scheme: everything queries and experiments need.
+#[derive(Debug)]
+pub struct RtcScheme {
+    pub(crate) topo: Topology,
+    /// Per-node labels.
+    pub labels: Vec<RtcLabel>,
+    /// Short-range routing state from the `(V, h, σ)` pass (archive).
+    pub short: Vec<HashMap<NodeId, RouteInfo>>,
+    /// Paper-sized short-range tables (the top-σ lists), for size metrics.
+    pub short_lists: Vec<Vec<PdeEntry>>,
+    /// Skeleton-distance routing state from the `(S, h, |S|)` pass.
+    pub skel_routes: Vec<HashMap<NodeId, RouteInfo>>,
+    /// Skeleton membership.
+    pub skeleton: Vec<bool>,
+    /// Sorted skeleton node ids.
+    pub skel_ids: Vec<NodeId>,
+    /// Spanner edges in original node ids (globally known).
+    pub spanner_edges: Vec<(u32, u32, u64)>,
+    /// Detection trees `T_s` with DFS labels.
+    pub trees: TreeSet,
+    /// Build metrics.
+    pub metrics: RtcBuildMetrics,
+    pub(crate) skel_index: HashMap<NodeId, usize>,
+    /// `|S| × |S|` spanner distance matrix.
+    pub(crate) span_dist: Vec<u64>,
+    /// `span_next[i·|S|+j]`: skeleton index of the first hop from `i`
+    /// towards `j` in the spanner.
+    pub(crate) span_next: Vec<usize>,
+}
+
+/// Traces the next-hop chain `from → … → to` through per-node route maps.
+///
+/// # Panics
+///
+/// Panics if the chain is broken or fails to make strict progress — that
+/// would falsify the greedy-forwarding invariant (Lemma 4.4 analogue).
+pub(crate) fn trace_chain(
+    routes: &[HashMap<NodeId, RouteInfo>],
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+) -> Vec<NodeId> {
+    let mut path = vec![from];
+    let mut cur = from;
+    let mut est = u64::MAX;
+    while cur != to {
+        let r = routes[cur.index()]
+            .get(&to)
+            .unwrap_or_else(|| panic!("broken chain: {cur} has no entry for {to}"));
+        assert!(r.est < est, "chain stalled at {cur} (est {} -> {})", est, r.est);
+        est = r.est;
+        cur = topo.neighbor(cur, r.port);
+        path.push(cur);
+        assert!(path.len() <= topo.len() * 4, "chain exceeded hop cap");
+    }
+    path
+}
+
+/// Builds the Theorem 4.5 scheme on `g`.
+///
+/// # Panics
+///
+/// Panics on disconnected inputs, and — loudly, with advice — if the
+/// sampled skeleton graph is disconnected or some node fails to see a
+/// skeleton node (both are w.h.p. events whose failure at small scale
+/// means the constant `c` must be raised).
+pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
+    let n = g.len();
+    assert!(n >= 2, "need at least two nodes");
+    let topo = g.to_topology();
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut total = Metrics::new(n);
+
+    // Stage 1: skeleton sampling (node-local coins; no rounds).
+    let p = theorem45_probability(n, params.k);
+    let (skeleton, sample_attempts) = sample_skeleton(n, p, &mut rng);
+    let skel_ids: Vec<NodeId> = g.nodes().filter(|v| skeleton[v.index()]).collect();
+
+    // Stage 2: (V, h, σ)-estimation with skeleton tags.
+    let h = ((params.c * (n as f64).ln() / p).ceil() as u64).clamp(1, 4 * n as u64);
+    let sigma = (h as usize).min(n);
+    let pde_a = run_pde(
+        g,
+        &vec![true; n],
+        &skeleton,
+        &PdeParams::new(h, sigma, params.eps),
+    );
+    let pde_a_rounds = pde_a.metrics.total.rounds;
+    total.absorb(&pde_a.metrics.total);
+
+    // Pivots s'_v: closest tagged source (v itself if sampled).
+    let labels_home: Vec<(NodeId, u64)> = g
+        .nodes()
+        .map(|v| {
+            if skeleton[v.index()] {
+                return (v, 0);
+            }
+            pde_a.routes[v.index()]
+                .iter()
+                .filter(|(s, _)| skeleton[s.index()])
+                .map(|(&s, r)| (r.est, s))
+                .min()
+                .map(|(e, s)| (s, e))
+                .unwrap_or_else(|| {
+                    panic!("node {v} saw no skeleton node; raise RtcParams::c (h={h})")
+                })
+        })
+        .collect();
+
+    // Stage 3: (S, h, |S|)-estimation.
+    let pde_s = run_pde(
+        g,
+        &skeleton,
+        &vec![false; n],
+        &PdeParams::new(h, skel_ids.len().max(1), params.eps),
+    );
+    let pde_s_rounds = pde_s.metrics.total.rounds;
+    total.absorb(&pde_s.metrics.total);
+
+    // Virtual skeleton graph: edge {s,t} iff both endpoints estimated each
+    // other; weight = max of the two estimates (both are routable upper
+    // bounds; see DESIGN.md).
+    let skel_index: HashMap<NodeId, usize> =
+        skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut sedges: Vec<(u32, u32, u64)> = Vec::new();
+    for (i, &s) in skel_ids.iter().enumerate() {
+        for (&t, r) in &pde_s.routes[s.index()] {
+            if let Some(&j) = skel_index.get(&t) {
+                if j > i {
+                    if let Some(back) = pde_s.routes[t.index()].get(&s) {
+                        sedges.push((i as u32, j as u32, r.est.max(back.est)));
+                    }
+                }
+            }
+        }
+    }
+    let skel_graph = WGraph::from_edges(skel_ids.len().max(1), &sedges)
+        .expect("skeleton graph edges are valid");
+    assert!(
+        skel_ids.len() <= 1 || skel_graph.is_connected(),
+        "skeleton graph disconnected (|S|={}); raise RtcParams::c",
+        skel_ids.len()
+    );
+
+    // Stage 4: Baswana–Sen spanner + pipelined dissemination.
+    let sp = baswana_sen(&skel_graph, params.k, &mut rng);
+    let (bfs, bfs_metrics) = build_bfs(&topo, NodeId(0));
+    total.absorb(&bfs_metrics);
+    let mut items: Vec<Vec<BsItem>> = vec![Vec::new(); n];
+    for &(a, b, w) in &sp.edges {
+        let origin = skel_ids[a as usize];
+        items[origin.index()].push(BsItem::Edge(a, b, w));
+    }
+    for &(phase, v, c) in &sp.memberships {
+        let origin = skel_ids[v as usize];
+        items[origin.index()].push(BsItem::Member(phase, v, c));
+    }
+    let (_, bc_metrics) = broadcast_all(&topo, &bfs, items);
+    let spanner_broadcast_rounds = bc_metrics.rounds;
+    total.absorb(&bc_metrics);
+
+    // Spanner APSP + next-hop matrix (computable locally by every node
+    // since the spanner is globally known).
+    let span = apsp(&skel_graph_from(&skel_ids, &sp.edges));
+    let m = skel_ids.len();
+    let mut span_dist = vec![INF; m * m];
+    let mut span_next = vec![usize::MAX; m * m];
+    for i in 0..m {
+        let sp_row = graphs::algo::dijkstra(
+            &skel_graph_from(&skel_ids, &sp.edges),
+            NodeId(i as u32),
+        );
+        for j in 0..m {
+            span_dist[i * m + j] = sp_row.dist[j];
+            if i != j && sp_row.dist[j] != INF {
+                // First hop from i towards j: walk parents back from j.
+                let mut cur = NodeId(j as u32);
+                while let Some(par) = sp_row.parent[cur.index()] {
+                    if par == NodeId(i as u32) {
+                        break;
+                    }
+                    cur = par;
+                }
+                span_next[i * m + j] = cur.index();
+            }
+        }
+    }
+    drop(span);
+
+    // Stage 5: detection trees T_s from pivot chains + distributed labels.
+    let mut trees = TreeSet::new();
+    for v in g.nodes() {
+        let (home, _) = labels_home[v.index()];
+        let chain = trace_chain(&pde_a.routes, &topo, v, home);
+        trees.add_chain(&chain);
+    }
+    trees.build();
+    let labeling = label_forest(&topo, &trees);
+    let tree_label_rounds = labeling.metrics.rounds;
+    total.absorb(&labeling.metrics);
+
+    let labels: Vec<RtcLabel> = g
+        .nodes()
+        .map(|v| {
+            let (home, dist_home) = labels_home[v.index()];
+            let tree_dfs = trees.trees[&home]
+                .label(v)
+                .expect("every node is labeled in its home tree");
+            RtcLabel {
+                id: v,
+                home,
+                dist_home,
+                tree_dfs,
+            }
+        })
+        .collect();
+
+    let spanner_edges: Vec<(u32, u32, u64)> = sp
+        .edges
+        .iter()
+        .map(|&(a, b, w)| (skel_ids[a as usize].0, skel_ids[b as usize].0, w))
+        .collect();
+
+    let metrics = RtcBuildMetrics {
+        total_rounds: total.rounds,
+        pde_a_rounds,
+        pde_s_rounds,
+        spanner_broadcast_rounds,
+        tree_label_rounds,
+        total,
+        skeleton_size: skel_ids.len(),
+        spanner_edge_count: spanner_edges.len(),
+        sample_attempts,
+        h,
+    };
+
+    RtcScheme {
+        topo,
+        labels,
+        short: pde_a.routes,
+        short_lists: pde_a.lists,
+        skel_routes: pde_s.routes,
+        skeleton,
+        skel_ids,
+        spanner_edges,
+        trees,
+        metrics,
+        skel_index,
+        span_dist,
+        span_next,
+    }
+}
+
+fn skel_graph_from(skel_ids: &[NodeId], edges: &[(u32, u32, u64)]) -> WGraph {
+    WGraph::from_edges(skel_ids.len().max(1), edges).expect("valid spanner edges")
+}

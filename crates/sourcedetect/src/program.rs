@@ -1,0 +1,257 @@
+//! The per-node source-detection program.
+
+use congest::{bits_for, Ctx, Message, NodeId, Port, Program};
+use std::collections::{BTreeSet, HashMap};
+
+/// A `(distance, source)` announcement, with the auxiliary tag bit the
+/// PODC 2015 paper appends to indicate membership of the source in a
+/// higher-level sample set (Lemma 4.7: "by appending a bit to messages
+/// indicating whether `s ∈ S_l` is also in `S_{l+1}`").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SdMsg {
+    /// Distance from the announcing node to the source, in delay-hops.
+    pub dist: u64,
+    /// The source.
+    pub src: NodeId,
+    /// Auxiliary source attribute carried alongside.
+    pub tag: bool,
+}
+
+impl Message for SdMsg {
+    fn bit_size(&self) -> usize {
+        // (distance, source id, tag): distances are < h + max_delay, ids
+        // < n; both are O(log n) under the paper's assumptions.
+        bits_for(self.dist.saturating_add(1)) + bits_for(u64::from(self.src.0) + 1) + 1
+    }
+}
+
+/// One entry of a node's output list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SdEntry {
+    /// Delay-hop distance to the source.
+    pub dist: u64,
+    /// The source.
+    pub src: NodeId,
+    /// The source's tag bit.
+    pub tag: bool,
+}
+
+#[derive(Clone, Debug)]
+struct SourceInfo {
+    dist: u64,
+    tag: bool,
+}
+
+/// Node state of the pipelined detection algorithm.
+///
+/// Each round the node broadcasts the lexicographically smallest
+/// not-yet-announced `(dist, src)` pair that (i) is currently among its σ
+/// smallest known pairs and (ii) has `dist < h` (a neighbor's copy would
+/// otherwise overshoot the horizon). This is the Lenzen–Peleg algorithm
+/// with the message-pruning modification of Lemma 3.4 of the PODC 2015
+/// paper.
+#[derive(Debug)]
+pub struct SdProgram {
+    /// `Some(tag)` if this node is a source.
+    self_source: Option<bool>,
+    h: u64,
+    sigma: usize,
+    cap: u64,
+    /// Current best `(dist, src)` pairs, ordered.
+    known: BTreeSet<(u64, NodeId)>,
+    /// Best distance (and tag) per source.
+    best: HashMap<NodeId, SourceInfo>,
+    /// Entries not yet announced (kept pruned to the current top-σ, with
+    /// `dist < h`).
+    pending: BTreeSet<(u64, NodeId)>,
+    /// Smallest announced distance per source.
+    sent_best: HashMap<NodeId, u64>,
+    /// Best `(dist, port)` this node ever *received* per source; the
+    /// "archive" that makes greedy next-hop forwarding total (see
+    /// DESIGN.md, routing-state archives).
+    route: HashMap<NodeId, (u64, Port)>,
+    msgs_sent: u64,
+}
+
+impl SdProgram {
+    /// Creates the program for one node.
+    ///
+    /// `source` is `Some(tag)` if the node is in `S` (with auxiliary bit
+    /// `tag`), `None` otherwise.
+    pub fn new(source: Option<bool>, h: u64, sigma: usize, cap: Option<u64>) -> Self {
+        SdProgram {
+            self_source: source,
+            h,
+            sigma,
+            cap: cap.unwrap_or(u64::MAX),
+            known: BTreeSet::new(),
+            best: HashMap::new(),
+            pending: BTreeSet::new(),
+            sent_best: HashMap::new(),
+            route: HashMap::new(),
+            msgs_sent: 0,
+        }
+    }
+
+    /// The node's current output list: its up-to-σ smallest entries.
+    pub fn list(&self) -> Vec<SdEntry> {
+        self.known
+            .iter()
+            .take(self.sigma)
+            .map(|&(dist, src)| SdEntry {
+                dist,
+                src,
+                tag: self.best[&src].tag,
+            })
+            .collect()
+    }
+
+    /// The routing archive: best received `(dist, arrival port)` per source.
+    pub fn routes(&self) -> &HashMap<NodeId, (u64, Port)> {
+        &self.route
+    }
+
+    /// Messages broadcast by this node so far.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent
+    }
+
+    fn insert(&mut self, dist: u64, src: NodeId, tag: bool) {
+        if dist > self.h {
+            return;
+        }
+        let improved = match self.best.get(&src) {
+            Some(info) => dist < info.dist,
+            None => true,
+        };
+        if !improved {
+            return;
+        }
+        if let Some(old) = self.best.get(&src) {
+            self.known.remove(&(old.dist, src));
+            self.pending.remove(&(old.dist, src));
+        }
+        self.best.insert(src, SourceInfo { dist, tag });
+        self.known.insert((dist, src));
+        let already_announced_better = self.sent_best.get(&src).is_some_and(|&sb| sb <= dist);
+        if dist < self.h && !already_announced_better {
+            self.pending.insert((dist, src));
+        }
+        // Rank pruning: an entry's rank in `known` never improves over
+        // time (improvements only move other entries further *up*), so
+        // anything outside the current top-σ can never become worth
+        // announcing.
+        if self.known.len() > self.sigma {
+            if let Some(&cut) = self.known.iter().nth(self.sigma - 1) {
+                self.pending.retain(|e| *e <= cut);
+            }
+        }
+    }
+}
+
+impl Program for SdProgram {
+    type Msg = SdMsg;
+
+    fn round(&mut self, ctx: &mut Ctx<'_, SdMsg>) {
+        if ctx.round() == 0 {
+            if let Some(tag) = self.self_source {
+                let me = ctx.node();
+                self.insert(0, me, tag);
+            }
+        }
+        // Ingest arrivals (the receiver adds the arc's delay: the message
+        // crossed `delay` virtual unit edges).
+        let arrivals: Vec<(Port, u64, SdMsg)> = ctx
+            .inbox()
+            .iter()
+            .map(|a| (a.port, ctx.delay(a.port), a.msg.clone()))
+            .collect();
+        for (port, delay, msg) in arrivals {
+            let d = msg.dist.saturating_add(delay);
+            if d > self.h {
+                continue;
+            }
+            match self.route.get(&msg.src) {
+                Some(&(rd, _)) if rd <= d => {}
+                _ => {
+                    self.route.insert(msg.src, (d, port));
+                }
+            }
+            self.insert(d, msg.src, msg.tag);
+        }
+        // Announce the smallest pending entry that is still in the top-σ.
+        if self.msgs_sent < self.cap {
+            let cut = self
+                .known
+                .iter()
+                .nth(self.sigma.saturating_sub(1))
+                .copied();
+            let candidate = self
+                .pending
+                .iter()
+                .find(|&&e| cut.is_none_or(|c| e <= c))
+                .copied();
+            if let Some((dist, src)) = candidate {
+                self.pending.remove(&(dist, src));
+                self.sent_best.insert(src, dist);
+                self.msgs_sent += 1;
+                let tag = self.best[&src].tag;
+                ctx.broadcast(SdMsg { dist, src, tag });
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_empty() || self.msgs_sent >= self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_bit_size_is_logarithmic() {
+        let m = SdMsg {
+            dist: 100,
+            src: NodeId(1000),
+            tag: true,
+        };
+        assert_eq!(m.bit_size(), 7 + 10 + 1);
+    }
+
+    #[test]
+    fn insert_keeps_best_per_source() {
+        let mut p = SdProgram::new(None, 10, 4, None);
+        p.insert(5, NodeId(1), false);
+        p.insert(3, NodeId(1), false);
+        p.insert(7, NodeId(1), false); // worse: ignored
+        assert_eq!(p.list().len(), 1);
+        assert_eq!(p.list()[0].dist, 3);
+    }
+
+    #[test]
+    fn insert_respects_horizon() {
+        let mut p = SdProgram::new(None, 4, 4, None);
+        p.insert(5, NodeId(1), false);
+        assert!(p.list().is_empty());
+        p.insert(4, NodeId(2), false);
+        assert_eq!(p.list().len(), 1);
+        // dist == h is recorded but never pending (can't help neighbors).
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn pending_pruned_outside_top_sigma() {
+        let mut p = SdProgram::new(None, 100, 2, None);
+        p.insert(10, NodeId(5), false);
+        p.insert(11, NodeId(6), false);
+        assert_eq!(p.pending.len(), 2);
+        p.insert(1, NodeId(1), false);
+        p.insert(2, NodeId(2), false);
+        // (10,5) and (11,6) fell out of the top-2 forever.
+        assert_eq!(p.pending.len(), 2);
+        assert!(p.pending.contains(&(1, NodeId(1))));
+        assert!(p.pending.contains(&(2, NodeId(2))));
+    }
+}

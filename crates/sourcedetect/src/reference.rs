@@ -1,0 +1,79 @@
+//! Centralized reference solution for detection on delayed topologies.
+
+use congest::{NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Exact solution of `(S, h, σ)`-detection on the *virtual subdivided
+/// graph* represented by `topo`'s delays: for every node, the σ smallest
+/// `(delay-distance, source)` pairs among sources within delay-distance
+/// `h`.
+///
+/// Used as ground truth for [`crate::run_detection`]. `O(|S| · m log n)`.
+pub fn delayed_detection_reference(
+    topo: &Topology,
+    sources: &[bool],
+    h: u64,
+    sigma: usize,
+) -> Vec<Vec<(u64, NodeId)>> {
+    assert_eq!(sources.len(), topo.len(), "one source flag per node");
+    let n = topo.len();
+    let mut lists: Vec<Vec<(u64, NodeId)>> = vec![Vec::new(); n];
+    for s in topo.nodes() {
+        if !sources[s.index()] {
+            continue;
+        }
+        // Dijkstra over delays from s.
+        let mut dist = vec![u64::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[s.index()] = 0;
+        heap.push(Reverse((0u64, s.0)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            let v = NodeId(v);
+            if d > dist[v.index()] || d > h {
+                continue;
+            }
+            for (_, u, _, delay) in topo.arcs(v) {
+                let nd = d.saturating_add(delay);
+                if nd < dist[u.index()] && nd <= h {
+                    dist[u.index()] = nd;
+                    heap.push(Reverse((nd, u.0)));
+                }
+            }
+        }
+        for v in topo.nodes() {
+            if dist[v.index()] <= h {
+                lists[v.index()].push((dist[v.index()], s));
+            }
+        }
+    }
+    for list in &mut lists {
+        list.sort_unstable();
+        list.truncate(sigma);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_delays_count_hops() {
+        let topo = Topology::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        let lists = delayed_detection_reference(&topo, &[true, false, false, true], 2, 5);
+        assert_eq!(lists[1], vec![(1, NodeId(0)), (2, NodeId(3))]);
+        assert_eq!(lists[0], vec![(0, NodeId(0))]); // node 3 is 3 hops away
+    }
+
+    #[test]
+    fn delays_stretch_distances() {
+        let topo = Topology::from_edges(3, &[(0, 1, 6), (1, 2, 6)])
+            .unwrap()
+            .with_delays(|w| w / 2);
+        let lists = delayed_detection_reference(&topo, &[true, false, false], 10, 5);
+        assert_eq!(lists[2], vec![(6, NodeId(0))]);
+        let lists_tight = delayed_detection_reference(&topo, &[true, false, false], 5, 5);
+        assert!(lists_tight[2].is_empty());
+    }
+}

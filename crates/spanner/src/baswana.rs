@@ -1,0 +1,242 @@
+//! The Baswana–Sen clustering algorithm.
+
+use congest::NodeId;
+use graphs::WGraph;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Result of a spanner construction.
+#[derive(Clone, Debug)]
+pub struct SpannerResult {
+    /// Spanner edges `(u, v, w)`, canonical (`u < v`), sorted, deduplicated.
+    pub edges: Vec<(u32, u32, u64)>,
+    /// The stretch parameter `k` used (`stretch ≤ 2k−1`).
+    pub k: u32,
+    /// Number of items that must be broadcast for every node to know the
+    /// spanner and for the algorithm's phases to proceed: one item per
+    /// spanner edge plus one per (node, phase) cluster-membership
+    /// announcement. The `routing` crate ships these through the real
+    /// pipelined BFS broadcast and charges the measured rounds
+    /// (`Õ(|S|^{1+1/k} + D)`, as used in Theorem 4.5).
+    pub broadcast_items: usize,
+    /// The per-phase cluster-membership announcements `(phase, node,
+    /// center)` that must be disseminated alongside the edges.
+    pub memberships: Vec<(u32, u32, u32)>,
+}
+
+/// Lightest edge from `v` to each adjacent cluster, deterministically
+/// tie-broken by `(weight, neighbor id)`.
+fn lightest_per_cluster(
+    g: &WGraph,
+    v: NodeId,
+    cluster: &[Option<NodeId>],
+    dead: &BTreeSet<(u32, u32)>,
+) -> BTreeMap<NodeId, (u64, NodeId)> {
+    let mut best: BTreeMap<NodeId, (u64, NodeId)> = BTreeMap::new();
+    for (u, w) in g.neighbors(v) {
+        let key = (v.0.min(u.0), v.0.max(u.0));
+        if dead.contains(&key) {
+            continue;
+        }
+        if let Some(c) = cluster[u.index()] {
+            let e = best.entry(c).or_insert((w, u));
+            if (w, u) < *e {
+                *e = (w, u);
+            }
+        }
+    }
+    best
+}
+
+/// Runs Baswana–Sen with parameter `k ≥ 1`, producing a spanner with
+/// stretch `≤ 2k−1` and expected size `O(k · n^{1+1/k})`.
+///
+/// `k = 1` returns the whole graph (stretch 1).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn baswana_sen<R: Rng + ?Sized>(g: &WGraph, k: u32, rng: &mut R) -> SpannerResult {
+    assert!(k >= 1, "k must be at least 1");
+    let n = g.len();
+    if k == 1 {
+        return SpannerResult {
+            edges: g.edges().to_vec(),
+            k,
+            broadcast_items: g.num_edges(),
+            memberships: Vec::new(),
+        };
+    }
+    let p = (n as f64).powf(-1.0 / f64::from(k));
+
+    // cluster[v] = center of v's current cluster (None = settled).
+    let mut cluster: Vec<Option<NodeId>> = g.nodes().map(Some).collect();
+    // Edges permanently removed from consideration.
+    let mut dead: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut spanner: BTreeSet<(u32, u32, u64)> = BTreeSet::new();
+    let mut memberships: Vec<(u32, u32, u32)> = Vec::new();
+
+    let add_edge = |spanner: &mut BTreeSet<(u32, u32, u64)>, a: NodeId, b: NodeId, w: u64| {
+        spanner.insert((a.0.min(b.0), a.0.max(b.0), w));
+    };
+
+    for phase in 1..k {
+        // Per-center coin: the center's own randomness (node-local).
+        let mut sampled: HashMap<NodeId, bool> = HashMap::new();
+        for c in cluster.iter().flatten() {
+            sampled.entry(*c).or_insert_with(|| rng.random_bool(p));
+        }
+        let mut next_cluster = cluster.clone();
+        for v in g.nodes() {
+            let Some(cv) = cluster[v.index()] else {
+                continue;
+            };
+            if sampled[&cv] {
+                continue; // members of sampled clusters carry over
+            }
+            let adjacent = lightest_per_cluster(g, v, &cluster, &dead);
+            let best_sampled = adjacent
+                .iter()
+                .filter(|(c, _)| *sampled.get(c).unwrap_or(&false))
+                .map(|(&c, &(w, u))| (w, u, c))
+                .min();
+            match best_sampled {
+                None => {
+                    // No sampled cluster nearby: connect to every adjacent
+                    // cluster and settle.
+                    for (&_c, &(w, u)) in &adjacent {
+                        add_edge(&mut spanner, v, u, w);
+                    }
+                    for (u, _) in g.neighbors(v) {
+                        dead.insert((v.0.min(u.0), v.0.max(u.0)));
+                    }
+                    next_cluster[v.index()] = None;
+                }
+                Some((w_star, u_star, c_star)) => {
+                    // Join the nearest sampled cluster; also connect to
+                    // every strictly nearer cluster, then drop those edges.
+                    add_edge(&mut spanner, v, u_star, w_star);
+                    next_cluster[v.index()] = Some(c_star);
+                    for (&c, &(w, u)) in &adjacent {
+                        if c == c_star || (w, u) < (w_star, u_star) {
+                            if c != c_star {
+                                add_edge(&mut spanner, v, u, w);
+                            }
+                            // Remove all v-edges into cluster c.
+                            for (x, _) in g.neighbors(v) {
+                                if cluster[x.index()] == Some(c) {
+                                    dead.insert((v.0.min(x.0), v.0.max(x.0)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cluster = next_cluster;
+        for v in g.nodes() {
+            if let Some(c) = cluster[v.index()] {
+                memberships.push((phase, v.0, c.0));
+            }
+        }
+        // Remove intra-cluster edges.
+        for &(a, b, _) in g.edges() {
+            let (ca, cb) = (cluster[a as usize], cluster[b as usize]);
+            if ca.is_some() && ca == cb {
+                dead.insert((a, b));
+            }
+        }
+    }
+
+    // Final phase: every still-clustered node connects to each adjacent
+    // cluster.
+    for v in g.nodes() {
+        let adjacent = lightest_per_cluster(g, v, &cluster, &dead);
+        for (&c, &(w, u)) in &adjacent {
+            if cluster[v.index()] == Some(c) {
+                continue;
+            }
+            add_edge(&mut spanner, v, u, w);
+        }
+    }
+
+    let edges: Vec<(u32, u32, u64)> = spanner.into_iter().collect();
+    let broadcast_items = edges.len() + memberships.len();
+    SpannerResult {
+        edges,
+        k,
+        broadcast_items,
+        memberships,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_stretch;
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k1_returns_everything() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gen::gnp_connected(20, 0.3, Weights::Unit, &mut rng);
+        let sp = baswana_sen(&g, 1, &mut rng);
+        assert_eq!(sp.edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn stretch_bound_holds_across_seeds_k2() {
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::gnp_connected(30, 0.3, Weights::Uniform { lo: 1, hi: 50 }, &mut rng);
+            let sp = baswana_sen(&g, 2, &mut rng);
+            let s = verify_stretch(&g, &sp.edges);
+            assert!(s <= 3.0 + 1e-9, "stretch {s} > 3 at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stretch_bound_holds_across_seeds_k3() {
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::gnp_connected(30, 0.4, Weights::Uniform { lo: 1, hi: 50 }, &mut rng);
+            let sp = baswana_sen(&g, 3, &mut rng);
+            let s = verify_stretch(&g, &sp.edges);
+            assert!(s <= 5.0 + 1e-9, "stretch {s} > 5 at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn spanner_is_sparser_on_dense_graphs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::complete(40, Weights::Uniform { lo: 1, hi: 9 }, &mut rng);
+        let sp = baswana_sen(&g, 2, &mut rng);
+        // O(k n^{1+1/k}) = O(2·40^{1.5}) ≈ 506 ≪ 780; use a loose factor.
+        assert!(
+            sp.edges.len() < g.num_edges(),
+            "spanner not sparser: {} vs {}",
+            sp.edges.len(),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn spanner_edges_are_subset_of_input() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gen::gnp_connected(25, 0.25, Weights::Uniform { lo: 1, hi: 30 }, &mut rng);
+        let sp = baswana_sen(&g, 3, &mut rng);
+        for &(a, b, w) in &sp.edges {
+            assert_eq!(g.edge_weight(NodeId(a), NodeId(b)), Some(w));
+        }
+    }
+
+    #[test]
+    fn broadcast_items_cover_edges() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = gen::gnp_connected(20, 0.3, Weights::Unit, &mut rng);
+        let sp = baswana_sen(&g, 2, &mut rng);
+        assert!(sp.broadcast_items >= sp.edges.len());
+    }
+}

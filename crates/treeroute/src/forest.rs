@@ -1,0 +1,305 @@
+//! Distributed DFS-interval labeling of overlapping trees.
+//!
+//! Implements the `Õ(depth)`-round tree-labeling step the paper imports
+//! from Thorup–Zwick: every tree performs a convergecast of subtree sizes
+//! followed by a downcast of DFS offsets. All trees run concurrently; each
+//! edge carries one message per round (per-port FIFO queues), so edges
+//! shared by many trees serialize naturally — exactly the congestion
+//! behaviour Lemma 4.4/4.7 bound via the `O(log n)` tree-membership count.
+
+use crate::trees::TreeSet;
+use congest::{bits_for, Config, Ctx, Message, Metrics, NodeId, Port, Program, Runtime, Topology};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Message of the labeling protocol, tagged with the tree it belongs to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeMsg {
+    /// Root id of the tree this message belongs to.
+    pub root: NodeId,
+    /// Payload.
+    pub kind: TreeMsgKind,
+}
+
+/// Payload of a [`TreeMsg`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeMsgKind {
+    /// Subtree size, travelling upward.
+    Size(u64),
+    /// DFS offset, travelling downward.
+    Offset(u64),
+}
+
+impl Message for TreeMsg {
+    fn bit_size(&self) -> usize {
+        let payload = match self.kind {
+            TreeMsgKind::Size(s) => bits_for(s + 1),
+            TreeMsgKind::Offset(o) => bits_for(o + 1),
+        };
+        bits_for(u64::from(self.root.0) + 1) + 1 + payload
+    }
+}
+
+#[derive(Debug)]
+struct NodeTreeState {
+    parent_port: Option<Port>,
+    /// Child ports, sorted (port order == neighbor-id order, matching the
+    /// deterministic DFS order of [`TreeSet::build`]).
+    children: Vec<Port>,
+    child_sizes: Vec<Option<u64>>,
+    my_size: Option<u64>,
+    interval: Option<(u64, u64)>,
+}
+
+#[derive(Debug)]
+struct LabelProgram {
+    trees: BTreeMap<NodeId, NodeTreeState>,
+    outq: Vec<VecDeque<TreeMsg>>,
+    initialized: bool,
+}
+
+impl LabelProgram {
+    fn try_complete_up(&mut self, root: NodeId) {
+        let st = self.trees.get_mut(&root).expect("tree state exists");
+        if st.my_size.is_some() || st.child_sizes.iter().any(Option::is_none) {
+            return;
+        }
+        let size = 1 + st
+            .child_sizes
+            .iter()
+            .map(|s| s.expect("all child sizes present"))
+            .sum::<u64>();
+        st.my_size = Some(size);
+        match st.parent_port {
+            Some(p) => self.outq[p as usize].push_back(TreeMsg {
+                root,
+                kind: TreeMsgKind::Size(size),
+            }),
+            None => {
+                // This node is the root: its interval starts at 0.
+                st.interval = Some((0, size));
+                self.push_child_offsets(root, 0);
+            }
+        }
+    }
+
+    fn push_child_offsets(&mut self, root: NodeId, my_in: u64) {
+        let st = self.trees.get_mut(&root).expect("tree state exists");
+        let mut offset = my_in + 1;
+        let sends: Vec<(Port, u64)> = st
+            .children
+            .iter()
+            .zip(&st.child_sizes)
+            .map(|(&p, s)| {
+                let o = offset;
+                offset += s.expect("sizes known before offsets");
+                (p, o)
+            })
+            .collect();
+        for (p, o) in sends {
+            self.outq[p as usize].push_back(TreeMsg {
+                root,
+                kind: TreeMsgKind::Offset(o),
+            });
+        }
+    }
+}
+
+impl Program for LabelProgram {
+    type Msg = TreeMsg;
+
+    fn round(&mut self, ctx: &mut Ctx<'_, TreeMsg>) {
+        if !self.initialized {
+            self.initialized = true;
+            let roots: Vec<NodeId> = self.trees.keys().copied().collect();
+            for root in roots {
+                self.try_complete_up(root);
+            }
+        }
+        let arrivals: Vec<(Port, TreeMsg)> = ctx
+            .inbox()
+            .iter()
+            .map(|a| (a.port, a.msg.clone()))
+            .collect();
+        for (port, msg) in arrivals {
+            let root = msg.root;
+            match msg.kind {
+                TreeMsgKind::Size(s) => {
+                    let st = self.trees.get_mut(&root).expect("size for unknown tree");
+                    let idx = st
+                        .children
+                        .iter()
+                        .position(|&c| c == port)
+                        .expect("size from non-child");
+                    st.child_sizes[idx] = Some(s);
+                    self.try_complete_up(root);
+                }
+                TreeMsgKind::Offset(o) => {
+                    let st = self.trees.get_mut(&root).expect("offset for unknown tree");
+                    let size = st.my_size.expect("offset before size");
+                    st.interval = Some((o, o + size));
+                    self.push_child_offsets(root, o);
+                }
+            }
+        }
+        for port in 0..ctx.degree() as Port {
+            if let Some(msg) = self.outq[port as usize].pop_front() {
+                ctx.send(port, msg);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.outq.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// Result of the distributed labeling run.
+#[derive(Debug)]
+pub struct LabelingOutcome {
+    /// Per node: tree root → DFS interval, as computed *distributedly*.
+    pub intervals: Vec<BTreeMap<NodeId, (u64, u64)>>,
+    /// Simulator metrics (`rounds` is the `Õ(depth)` cost charged to the
+    /// schemes).
+    pub metrics: Metrics,
+}
+
+/// Runs the distributed labeling protocol for every tree in `set` over
+/// `topo`, and checks the result against the centrally computed intervals
+/// (they must agree exactly — both use neighbor-id DFS order).
+///
+/// `set` must have been [`TreeSet::build`]-finalized, and every tree edge
+/// must be an edge of `topo` (chains are next-hop chains, so they are).
+///
+/// # Panics
+///
+/// Panics if a tree edge is missing from the topology, or if the
+/// distributed result disagrees with the central one (a protocol bug).
+pub fn label_forest(topo: &Topology, set: &TreeSet) -> LabelingOutcome {
+    let n = topo.len();
+    let mut programs: Vec<LabelProgram> = topo
+        .nodes()
+        .map(|v| LabelProgram {
+            trees: BTreeMap::new(),
+            outq: vec![VecDeque::new(); topo.degree(v)],
+            initialized: false,
+        })
+        .collect();
+    for (&root, tree) in &set.trees {
+        for &v in tree.interval.keys() {
+            let parent_port = tree.parent.get(&v).map(|&p| {
+                topo.port_to(v, p)
+                    .unwrap_or_else(|| panic!("tree edge {v}-{p} missing from topology"))
+            });
+            let mut children: Vec<Port> = tree.children[&v]
+                .iter()
+                .map(|&c| {
+                    topo.port_to(v, c)
+                        .unwrap_or_else(|| panic!("tree edge {v}-{c} missing from topology"))
+                })
+                .collect();
+            children.sort_unstable();
+            let child_sizes = vec![None; children.len()];
+            programs[v.index()].trees.insert(
+                root,
+                NodeTreeState {
+                    parent_port,
+                    children,
+                    child_sizes,
+                    my_size: None,
+                    interval: None,
+                },
+            );
+        }
+    }
+
+    let mut rt = Runtime::new(topo, programs, Config::default());
+    let report = rt.run();
+    assert!(report.quiescent, "forest labeling did not quiesce");
+    let (programs, metrics) = rt.into_parts();
+
+    let mut intervals: Vec<BTreeMap<NodeId, (u64, u64)>> = Vec::with_capacity(n);
+    for (i, p) in programs.into_iter().enumerate() {
+        let v = NodeId::from_index(i);
+        let mut m = BTreeMap::new();
+        for (root, st) in p.trees {
+            let got = st
+                .interval
+                .unwrap_or_else(|| panic!("node {v} unlabeled in tree {root}"));
+            let want = set.trees[&root].interval[&v];
+            assert_eq!(
+                got, want,
+                "distributed label of {v} in tree {root} disagrees with central DFS"
+            );
+            m.insert(root, got);
+        }
+        intervals.push(m);
+    }
+    LabelingOutcome { intervals, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn single_path_tree_labels() {
+        let topo = Topology::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        let mut set = TreeSet::new();
+        set.add_chain(&[v(3), v(2), v(1), v(0)]);
+        set.build();
+        let out = label_forest(&topo, &set);
+        assert_eq!(out.intervals[0][&v(0)], (0, 4));
+        assert_eq!(out.intervals[3][&v(0)], (3, 4));
+        // Up + down sweep of a depth-3 path: ~2·depth rounds.
+        assert!(out.metrics.rounds <= 2 * 3 + 4);
+    }
+
+    #[test]
+    fn branching_tree_labels() {
+        let topo =
+            Topology::from_edges(6, &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (1, 4, 1), (2, 5, 1)])
+                .unwrap();
+        let mut set = TreeSet::new();
+        set.add_chain(&[v(3), v(1), v(0)]);
+        set.add_chain(&[v(4), v(1), v(0)]);
+        set.add_chain(&[v(5), v(2), v(0)]);
+        set.build();
+        let out = label_forest(&topo, &set);
+        // DFS order: 0, 1, 3, 4, 2, 5.
+        assert_eq!(out.intervals[0][&v(0)], (0, 6));
+        assert_eq!(out.intervals[1][&v(0)], (1, 4));
+        assert_eq!(out.intervals[3][&v(0)], (2, 3));
+        assert_eq!(out.intervals[4][&v(0)], (3, 4));
+        assert_eq!(out.intervals[2][&v(0)], (4, 6));
+        assert_eq!(out.intervals[5][&v(0)], (5, 6));
+    }
+
+    #[test]
+    fn overlapping_trees_multiplex_edges() {
+        // Two trees sharing the spine 0-1-2: messages must serialize.
+        let topo = Topology::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        let mut set = TreeSet::new();
+        set.add_chain(&[v(3), v(2), v(1), v(0)]); // rooted at 0
+        set.add_chain(&[v(0), v(1), v(2), v(3)]); // rooted at 3
+        set.build();
+        let out = label_forest(&topo, &set);
+        assert_eq!(out.intervals[1].len(), 2);
+        assert_eq!(out.intervals[1][&v(0)], (1, 4));
+        assert_eq!(out.intervals[1][&v(3)], (2, 4));
+    }
+
+    #[test]
+    fn singleton_tree_needs_no_messages() {
+        let topo = Topology::from_edges(2, &[(0, 1, 1)]).unwrap();
+        let mut set = TreeSet::new();
+        set.add_chain(&[v(1)]);
+        set.build();
+        let out = label_forest(&topo, &set);
+        assert_eq!(out.intervals[1][&v(1)], (0, 1));
+        assert_eq!(out.metrics.messages, 0);
+    }
+}

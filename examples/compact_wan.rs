@@ -1,0 +1,59 @@
+//! Compact routing on a WAN-scale topology: the Thorup–Zwick hierarchy of
+//! Theorem 4.8, showing the table-size/stretch trade-off as k grows, plus
+//! the Corollary 4.14 driver choosing a truncation strategy from the
+//! diameter.
+//!
+//! Run with: `cargo run --release --example compact_wan`
+
+use pde_repro::compact::{build_driver, build_hierarchy, CompactParams};
+use pde_repro::graphs::algo::{apsp, hop_diameter};
+use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::routing::{evaluate, PairSelection};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let g = gen::gnp_connected(48, 0.12, Weights::Uniform { lo: 1, hi: 32 }, &mut rng);
+    let exact = apsp(&g);
+    let d = hop_diameter(&g);
+    println!(
+        "network: {} nodes, {} links, hop diameter {d}\n",
+        g.len(),
+        g.num_edges()
+    );
+
+    println!("k | stretch | max table | max label bits | build rounds");
+    println!("--+---------+-----------+----------------+-------------");
+    for k in [1u32, 2, 3, 4] {
+        let mut params = CompactParams::new(k);
+        params.c = 1.5;
+        params.seed = 7 ^ u64::from(k);
+        let scheme = build_hierarchy(&g, &params);
+        let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+        assert!(report.failures.is_empty(), "k={k}: {:?}", report.failures);
+        println!(
+            "{k} | {:7.3} | {:9} | {:14} | {}",
+            report.max_stretch,
+            report.max_table_entries,
+            report.max_label_bits,
+            scheme.metrics.total_rounds
+        );
+    }
+
+    // Corollary 4.14: let the driver pick l0 and the upper-level mode.
+    let mut params = CompactParams::new(3);
+    params.seed = 9;
+    let (scheme, choice) = build_driver(&g, &params, d);
+    let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    println!(
+        "\nCorollary 4.14 driver (k=3, D={d}): chose l0={} mode={:?}; \
+         {} rounds (upper levels {}), stretch {:.3}",
+        choice.l0,
+        choice.mode,
+        scheme.metrics.total_rounds,
+        scheme.metrics.upper_rounds,
+        report.max_stretch
+    );
+}

@@ -1,0 +1,77 @@
+//! ISP-style scenario: build relabeled routing tables (Theorem 4.5) for a
+//! latency-weighted backbone + access network, then answer distance and
+//! route queries from the labels — the "IP address contains routing
+//! information" use case from the paper's introduction.
+//!
+//! Run with: `cargo run --release --example isp_latency`
+
+use pde_repro::graphs::algo::{apsp, hop_diameter};
+use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::routing::{build_rtc, evaluate, PairSelection, RoutingScheme, RtcParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A dumbbell topology: two dense metro regions joined by a long-haul
+    // path — exactly where hop diameter D matters.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let g = gen::dumbbell(10, 8, Weights::Uniform { lo: 1, hi: 40 }, &mut rng);
+    let n = g.len();
+    println!(
+        "network: {n} routers, {} links, hop diameter {}",
+        g.num_edges(),
+        hop_diameter(&g)
+    );
+
+    // Build the Theorem 4.5 scheme with k = 2 (stretch ≤ ~11).
+    let params = RtcParams::new(2);
+    let scheme = build_rtc(&g, &params);
+    let m = &scheme.metrics;
+    println!(
+        "construction: {} rounds total (short-range PDE {}, skeleton PDE {}, \
+         spanner broadcast {}, tree labels {}), skeleton size {}",
+        m.total_rounds,
+        m.pde_a_rounds,
+        m.pde_s_rounds,
+        m.spanner_broadcast_rounds,
+        m.tree_label_rounds,
+        m.skeleton_size
+    );
+
+    // Every router's "address" is its O(log n)-bit label.
+    let w = pde_repro::graphs::NodeId(n as u32 - 1);
+    let label = scheme.label(w);
+    println!(
+        "label of {w}: home={}, dist_home={}, tree_dfs={} ({} bits)",
+        label.home,
+        label.dist_home,
+        label.tree_dfs,
+        scheme.label_bits(w)
+    );
+
+    // Route a packet across the long haul, hop by hop.
+    let mut x = pde_repro::graphs::NodeId(1);
+    print!("route {x} → {w}: {x}");
+    let mut hops = 0;
+    while x != w {
+        x = scheme.next_hop(x, w).expect("stateless forwarding is total");
+        print!(" → {x}");
+        hops += 1;
+        assert!(hops <= 4 * n, "routing loop");
+    }
+    println!();
+
+    // Full evaluation against exact shortest paths.
+    let exact = apsp(&g);
+    let report = evaluate(&g, &scheme, &exact, PairSelection::All);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    println!(
+        "all {} pairs routed: max stretch {:.3} (paper bound 6k−1 = 11), \
+         avg {:.3}, max label {} bits, max table {} entries",
+        report.pairs,
+        report.max_stretch,
+        report.avg_stretch,
+        report.max_label_bits,
+        report.max_table_entries
+    );
+}

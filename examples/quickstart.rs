@@ -1,0 +1,62 @@
+//! Quickstart: approximate APSP and a distance query on a tiny network.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pde_repro::graphs::algo;
+use pde_repro::graphs::{NodeId, WGraph};
+use pde_repro::pde_core::{approx_apsp, run_pde, PdeParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small weighted network: a ring with one expensive chord.
+    let g = WGraph::from_edges(
+        6,
+        &[
+            (0, 1, 3),
+            (1, 2, 4),
+            (2, 3, 2),
+            (3, 4, 6),
+            (4, 5, 1),
+            (5, 0, 5),
+            (0, 3, 20),
+        ],
+    )?;
+
+    // 1. Deterministic (1+ε)-approximate APSP (Theorem 4.1).
+    let eps = 0.25;
+    let apsp = approx_apsp(&g, eps);
+    let exact = algo::apsp(&g);
+    println!("(1+{eps})-approximate APSP in {} CONGEST rounds:", apsp.rounds());
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u < v {
+                println!(
+                    "  wd'({u}, {v}) = {:>3}   (exact {:>3})",
+                    apsp.dist(u, v),
+                    exact.dist(u, v)
+                );
+            }
+        }
+    }
+    println!("max stretch: {:.4} (bound {:.2})", apsp.max_stretch(&exact), 1.0 + eps);
+
+    // 2. Partial distance estimation towards a source set (Corollary 3.5):
+    //    every node finds its two nearest "servers" within 3 hops.
+    let servers = vec![true, false, false, true, false, false]; // S = {0, 3}
+    let out = run_pde(&g, &servers, &[false; 6], &PdeParams::new(3, 2, eps));
+    println!("\nnearest servers per node (σ=2, h=3):");
+    for v in g.nodes() {
+        let entries: Vec<String> = out.lists[v.index()]
+            .iter()
+            .map(|e| format!("{}@{}", e.src, e.est))
+            .collect();
+        println!("  {v}: {}", entries.join(", "));
+    }
+
+    // 3. Follow the computed next hops from node 2 to server 0.
+    let (path, weight) = out
+        .trace_route(&g, NodeId(2), NodeId(0))
+        .map_err(|e| format!("routing failed: {e}"))?;
+    let hops: Vec<String> = path.iter().map(ToString::to_string).collect();
+    println!("\nroute 2 → 0: {} (weight {weight})", hops.join(" → "));
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the PODC 2015 "Fast Partial Distance Estimation and
+//! Applications" reproduction: re-exports every workspace crate so examples
+//! and integration tests can use a single dependency.
+
+pub use baselines;
+pub use compact;
+pub use congest;
+pub use graphs;
+pub use pde_core;
+pub use routing;
+pub use sourcedetect;
+pub use spanner;
+pub use treeroute;

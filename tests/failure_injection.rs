@@ -1,0 +1,141 @@
+//! Failure-injection and edge-case tests: the model-level guard rails
+//! (bandwidth enforcement, disconnected inputs, degenerate parameters,
+//! message caps) fail loudly or degrade gracefully as documented.
+
+use pde_repro::congest::{Config, Ctx, Message, NodeId, Program, Runtime, Topology};
+use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::graphs::WGraph;
+use pde_repro::pde_core::{run_pde, PdeParams};
+use pde_repro::sourcedetect::{run_detection, DetectParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Debug)]
+struct FatMsg;
+impl Message for FatMsg {
+    fn bit_size(&self) -> usize {
+        10_000 // way over any reasonable B
+    }
+}
+
+struct FatSender {
+    sent: bool,
+}
+impl Program for FatSender {
+    type Msg = FatMsg;
+    fn round(&mut self, ctx: &mut Ctx<'_, FatMsg>) {
+        if !self.sent && ctx.node() == NodeId(0) {
+            self.sent = true;
+            ctx.broadcast(FatMsg);
+        }
+    }
+}
+
+#[test]
+fn oversize_messages_are_counted() {
+    let topo = Topology::from_edges(2, &[(0, 1, 1)]).unwrap();
+    let programs = vec![FatSender { sent: false }, FatSender { sent: true }];
+    let mut rt = Runtime::new(&topo, programs, Config::default());
+    rt.run();
+    assert_eq!(rt.metrics().bandwidth_violations, 1);
+}
+
+#[test]
+#[should_panic(expected = "exceeds bandwidth")]
+fn strict_bandwidth_panics() {
+    let topo = Topology::from_edges(2, &[(0, 1, 1)]).unwrap();
+    let programs = vec![FatSender { sent: false }, FatSender { sent: true }];
+    let cfg = Config {
+        strict_bandwidth: true,
+        ..Config::default()
+    };
+    let mut rt = Runtime::new(&topo, programs, cfg);
+    rt.run();
+}
+
+#[test]
+fn detection_messages_fit_congest_bandwidth() {
+    // The real point of B = Θ(log n): every protocol message must fit.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let g = gen::gnp_connected(30, 0.2, Weights::Uniform { lo: 1, hi: 1000 }, &mut rng);
+    let sources = vec![true; 30];
+    let out = run_pde(&g, &sources, &[false; 30], &PdeParams::new(30, 30, 0.5));
+    // (dist, id, tag): comfortably within a 256-bit B for n=30, w≤1000.
+    assert!(out.metrics.total.max_message_bits <= 128);
+    assert_eq!(out.metrics.total.bandwidth_violations, 0);
+}
+
+#[test]
+#[should_panic(expected = "connected")]
+fn pde_rejects_disconnected_graphs() {
+    let g = WGraph::from_edges(4, &[(0, 1, 1), (2, 3, 1)]).unwrap();
+    run_pde(&g, &[true; 4], &[false; 4], &PdeParams::new(2, 2, 0.5));
+}
+
+#[test]
+fn sigma_one_detects_single_closest() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = gen::path(10, Weights::Unit, &mut rng);
+    let topo = g.to_topology();
+    let sources = [true, false, false, false, false, false, false, false, false, true];
+    let out = run_detection(
+        &topo,
+        &sources,
+        &[false; 10],
+        &DetectParams {
+            h: 10,
+            sigma: 1,
+            msg_cap: None,
+            exact_rounds: false,
+        },
+    );
+    for v in 0..10 {
+        assert_eq!(out.lists[v].len(), 1);
+        let want = if v <= 4 { NodeId(0) } else { NodeId(9) };
+        assert_eq!(out.lists[v][0].src, want, "node {v}");
+    }
+}
+
+#[test]
+fn message_cap_trades_accuracy_never_soundness() {
+    // With a brutal cap, lists may be incomplete — but the entries that do
+    // appear still never underestimate (soundness is unconditional).
+    let mut rng = SmallRng::seed_from_u64(6);
+    let g = gen::gnp_connected(20, 0.2, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+    let sources = vec![true; 20];
+    let capped = run_pde(
+        &g,
+        &sources,
+        &[false; 20],
+        &PdeParams {
+            h: 20,
+            sigma: 20,
+            eps: 0.5,
+            msg_cap: Some(2),
+            exact_rounds: false,
+        },
+    );
+    let exact = pde_repro::graphs::algo::apsp(&g);
+    for v in g.nodes() {
+        for e in &capped.lists[v.index()] {
+            assert!(e.est >= exact.dist(v, e.src));
+        }
+    }
+}
+
+#[test]
+fn single_edge_graph_works_everywhere() {
+    // Degenerate n=2: APSP, PDE, detection all behave.
+    let g = WGraph::from_edges(2, &[(0, 1, 7)]).unwrap();
+    let a = pde_repro::pde_core::approx_apsp(&g, 0.5);
+    assert_eq!(a.dist(NodeId(0), NodeId(1)), 7);
+    let exact = pde_repro::graphs::algo::apsp(&g);
+    assert_eq!(a.max_stretch(&exact), 1.0);
+}
+
+#[test]
+fn zero_eps_is_rejected() {
+    let g = WGraph::from_edges(2, &[(0, 1, 1)]).unwrap();
+    let res = std::panic::catch_unwind(|| run_pde(&g, &[true; 2], &[false; 2], &PdeParams::new(1, 1, 0.0)));
+    assert!(res.is_err(), "eps = 0 must be rejected");
+}

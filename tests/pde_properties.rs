@@ -1,0 +1,127 @@
+//! Property-based tests of the core PDE guarantees (Definition 2.2),
+//! driven by randomly generated connected weighted graphs.
+
+use pde_repro::graphs::{algo, NodeId, WGraph};
+use pde_repro::pde_core::{run_pde, PdeParams};
+use pde_repro::sourcedetect::{delayed_detection_reference, run_detection, DetectParams};
+use proptest::prelude::*;
+
+/// Strategy: a connected weighted graph on `n ∈ 5..=16` nodes — a random
+/// spanning tree plus extra random edges, weights in `1..=max_w`.
+fn connected_graph(max_w: u64) -> impl Strategy<Value = WGraph> {
+    (5usize..=16).prop_flat_map(move |n| {
+        let tree = proptest::collection::vec(1u64..=max_w, n - 1);
+        let parents: Vec<BoxedStrategy<u32>> = (1..n)
+            .map(|i| (0..i as u32).boxed())
+            .collect();
+        let extra = proptest::collection::vec(
+            ((0..n as u32), (0..n as u32), 1u64..=max_w),
+            0..n,
+        );
+        (tree, parents, extra).prop_map(move |(tw, par, extra)| {
+            let mut edges: Vec<(u32, u32, u64)> = par
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, (i + 1) as u32, tw[i]))
+                .collect();
+            for (a, b, w) in extra {
+                if a != b && !edges.iter().any(|&(x, y, _)| {
+                    (x, y) == (a.min(b), a.max(b)) || (y, x) == (a.min(b), a.max(b))
+                }) {
+                    edges.push((a.min(b), a.max(b), w));
+                }
+            }
+            WGraph::connected_from_edges(n, &edges).expect("construction is connected")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness: PDE estimates never underestimate true distances —
+    /// exactly, in integer arithmetic (the reason for the integer ladder).
+    #[test]
+    fn estimates_never_underestimate(g in connected_graph(100), eps in prop_oneof![Just(0.25), Just(0.5), Just(1.0)]) {
+        let n = g.len();
+        let sources: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let out = run_pde(&g, &sources, &vec![false; n], &PdeParams::new(n as u64, n, eps));
+        let exact = algo::apsp(&g);
+        for v in g.nodes() {
+            for e in &out.lists[v.index()] {
+                prop_assert!(e.est >= exact.dist(v, e.src),
+                    "underestimate at {v} for {}: {} < {}", e.src, e.est, exact.dist(v, e.src));
+            }
+            for (&s, r) in &out.routes[v.index()] {
+                prop_assert!(r.est >= exact.dist(v, s));
+            }
+        }
+    }
+
+    /// Accuracy: with h = σ = n every source is listed within (1+ε).
+    #[test]
+    fn full_horizon_is_one_plus_eps_accurate(g in connected_graph(64)) {
+        let n = g.len();
+        let eps = 0.5;
+        let sources = vec![true; n];
+        let out = run_pde(&g, &sources, &vec![false; n], &PdeParams::new(n as u64, n, eps));
+        let exact = algo::apsp(&g);
+        for v in g.nodes() {
+            prop_assert_eq!(out.lists[v.index()].len(), n);
+            for e in &out.lists[v.index()] {
+                let wd = exact.dist(v, e.src);
+                prop_assert!(e.est as f64 <= (1.0 + eps) * wd as f64 + 1e-9,
+                    "estimate {} vs wd {} at ({v}, {})", e.est, wd, e.src);
+            }
+        }
+    }
+
+    /// Output lists are sorted prefixes (Definition 2.2 shape).
+    #[test]
+    fn lists_are_sorted_prefixes(g in connected_graph(50), sigma in 1usize..6) {
+        let n = g.len();
+        let sources: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let out = run_pde(&g, &sources, &vec![false; n], &PdeParams::new(6, sigma, 0.5));
+        for v in g.nodes() {
+            let list = &out.lists[v.index()];
+            prop_assert!(list.len() <= sigma);
+            prop_assert!(list.windows(2).all(|w| (w[0].est, w[0].src) < (w[1].est, w[1].src)));
+        }
+    }
+
+    /// Route tracing reaches the source with weight ≤ the estimate
+    /// (the greedy-forwarding invariant behind every routing scheme here).
+    #[test]
+    fn routes_realize_estimates(g in connected_graph(40)) {
+        let n = g.len();
+        let sources: Vec<bool> = (0..n).map(|i| i < 3).collect();
+        let out = run_pde(&g, &sources, &vec![false; n], &PdeParams::new(n as u64, 3, 0.5));
+        for v in g.nodes() {
+            for e in &out.lists[v.index()] {
+                if e.src == v { continue; }
+                let (path, w) = out.trace_route(&g, v, e.src)
+                    .map_err(TestCaseError::fail)?;
+                prop_assert_eq!(*path.last().unwrap(), e.src);
+                prop_assert!(w <= e.est);
+            }
+        }
+    }
+
+    /// The distributed source-detection program agrees with the
+    /// centralized reference on the delayed topology, for arbitrary
+    /// delays (the unweighted algorithm of [10] is exact).
+    #[test]
+    fn detection_matches_reference(g in connected_graph(8), h in 2u64..12, sigma in 1usize..5) {
+        let topo = g.to_topology().with_delays(|w| w.div_ceil(3));
+        let n = g.len();
+        let sources: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+        let out = run_detection(&topo, &sources, &vec![false; n],
+            &DetectParams { h, sigma, msg_cap: None, exact_rounds: false });
+        let reference = delayed_detection_reference(&topo, &sources, h, sigma);
+        for v in topo.nodes() {
+            let got: Vec<(u64, NodeId)> =
+                out.lists[v.index()].iter().map(|e| (e.dist, e.src)).collect();
+            prop_assert_eq!(&got, &reference[v.index()], "node {}", v);
+        }
+    }
+}
