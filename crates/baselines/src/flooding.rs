@@ -131,10 +131,7 @@ mod tests {
         let dense = gen::complete(30, Weights::Unit, &mut rng);
         let rs = flooding_apsp(&sparse).metrics.rounds;
         let rd = flooding_apsp(&dense).metrics.rounds;
-        assert!(
-            rd > rs,
-            "dense graph should flood longer: {rd} vs {rs}"
-        );
+        assert!(rd > rs, "dense graph should flood longer: {rd} vs {rs}");
         // Θ(m + D): the dense graph has 435 edges but D=1.
         assert!(rd as usize >= dense.num_edges() / 30);
     }

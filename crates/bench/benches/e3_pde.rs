@@ -14,7 +14,12 @@ fn bench(c: &mut Criterion) {
     for (h, sigma) in [(8u64, 4usize), (16, 8)] {
         group.bench_function(format!("h{h}_s{sigma}"), |b| {
             b.iter(|| {
-                black_box(run_pde(&g, &sources, &tags, &PdeParams::new(h, sigma, 0.5)).metrics.total.rounds)
+                black_box(
+                    run_pde(&g, &sources, &tags, &PdeParams::new(h, sigma, 0.5))
+                        .metrics
+                        .total
+                        .rounds,
+                )
             })
         });
     }

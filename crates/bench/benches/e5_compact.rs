@@ -11,7 +11,13 @@ fn bench(c: &mut Criterion) {
     let g = workloads::gnp(32, 1);
     for k in [2u32, 3] {
         group.bench_function(format!("k{k}"), |b| {
-            b.iter(|| black_box(build_hierarchy(&g, &CompactParams::new(k)).metrics.total_rounds))
+            b.iter(|| {
+                black_box(
+                    build_hierarchy(&g, &CompactParams::new(k))
+                        .metrics
+                        .total_rounds,
+                )
+            })
         });
     }
     group.finish();

@@ -50,7 +50,10 @@ fn main() {
         println!("{}", e4_rtc(sizes, &[1, 2, 3], seed));
     }
     if want("e5") {
-        println!("{}", e5_compact(if quick { 32 } else { 64 }, &[2, 3, 4], seed));
+        println!(
+            "{}",
+            e5_compact(if quick { 32 } else { 64 }, &[2, 3, 4], seed)
+        );
     }
     if want("e6") {
         println!("{}", e6_truncated(if quick { 24 } else { 40 }, 3, seed));

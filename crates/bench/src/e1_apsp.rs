@@ -13,7 +13,14 @@ pub fn e1_apsp(sizes: &[usize], epsilons: &[f64], seed: u64) -> Table {
     let mut t = Table::new(
         "E1 (Theorem 4.1): (1+eps)-approximate APSP — rounds vs n*ln(n)/eps^2, stretch <= 1+eps",
         &[
-            "n", "eps", "D", "rounds", "bound", "rounds/bound", "max_stretch", "ok",
+            "n",
+            "eps",
+            "D",
+            "rounds",
+            "bound",
+            "rounds/bound",
+            "max_stretch",
+            "ok",
         ],
     );
     for &n in sizes {

@@ -24,7 +24,13 @@ pub fn e2_figure1(cases: &[(usize, usize)], eps: f64) -> Table {
     let mut t = Table::new(
         "E2 (Figure 1): exact detection needs h*sigma rounds over the bridge; PDE avoids it",
         &[
-            "h", "sigma", "n", "exact_lb", "pde_rounds", "pde/lb", "u_lists_ok",
+            "h",
+            "sigma",
+            "n",
+            "exact_lb",
+            "pde_rounds",
+            "pde/lb",
+            "u_lists_ok",
         ],
     );
     for &(h, sigma) in cases {

@@ -43,8 +43,8 @@ pub fn e4_rtc(sizes: &[usize], ks: &[u32], seed: u64) -> Table {
                 }
             };
             let report = evaluate(&g, &scheme, &exact, pairs);
-            let bound = (n as f64).powf(0.5 + 1.0 / (4.0 * f64::from(k))) * (n as f64).ln()
-                + f64::from(d);
+            let bound =
+                (n as f64).powf(0.5 + 1.0 / (4.0 * f64::from(k))) * (n as f64).ln() + f64::from(d);
             t.row(vec![
                 n.to_string(),
                 k.to_string(),

@@ -17,7 +17,16 @@ use routing::{build_rtc, evaluate, PairSelection, RtcParams};
 pub fn e9_comparison(sizes: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         "E9 (intro comparison): rounds and stretch across algorithm families (k=2, eps=0.5)",
-        &["graph", "n", "m", "D", "algorithm", "rounds", "max_stretch", "table"],
+        &[
+            "graph",
+            "n",
+            "m",
+            "D",
+            "algorithm",
+            "rounds",
+            "max_stretch",
+            "table",
+        ],
     );
     let mut cases: Vec<(String, graphs::WGraph)> = sizes
         .iter()
@@ -31,7 +40,6 @@ pub fn e9_comparison(sizes: &[usize], seed: u64) -> Table {
         graphs::gen::weighted_clique_multihop(wc),
     ));
     for (gname, g) in &cases {
-
         let n = g.len();
         let exact = apsp(g);
         let d = hop_diameter(g);
@@ -58,7 +66,12 @@ pub fn e9_comparison(sizes: &[usize], seed: u64) -> Table {
         };
 
         let bf = bellman_ford_apsp(g);
-        push("bellman-ford (RIP)", bf.metrics.rounds, 1.0, format!("{n} dists"));
+        push(
+            "bellman-ford (RIP)",
+            bf.metrics.rounds,
+            1.0,
+            format!("{n} dists"),
+        );
 
         let fl = flooding_apsp(g);
         push(

@@ -176,11 +176,10 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
             vec![false; n]
         };
         let h = match params.horizon {
-            HorizonMode::Lemma47 => ((params.c
-                * (n as f64).powf(f64::from(l + 1) / f64::from(k))
-                * ln_n)
-                .ceil() as u64)
-                .clamp(1, 2 * n as u64),
+            HorizonMode::Lemma47 => {
+                ((params.c * (n as f64).powf(f64::from(l + 1) / f64::from(k)) * ln_n).ceil() as u64)
+                    .clamp(1, 2 * n as u64)
+            }
             HorizonMode::Spd(spd) => spd.max(1),
         };
         let sigma = if l == k - 1 {
@@ -223,10 +222,7 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
         for v in g.nodes() {
             let list = &run[v.index()];
             let cnt = if l + 1 < k {
-                let cut = list
-                    .iter()
-                    .find(|e| e.tag)
-                    .map(|e| (e.est, e.src));
+                let cut = list.iter().find(|e| e.tag).map(|e| (e.est, e.src));
                 match cut {
                     Some(c) => list.iter().take_while(|e| (e.est, e.src) < c).count(),
                     None => list.len(),

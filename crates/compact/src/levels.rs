@@ -61,7 +61,11 @@ mod tests {
         for l in 1..4 {
             let upper = level_set(&levels, l);
             let lower = level_set(&levels, l - 1);
-            assert!(upper.iter().all(|v| lower.contains(v)), "S_{l} ⊄ S_{}", l - 1);
+            assert!(
+                upper.iter().all(|v| lower.contains(v)),
+                "S_{l} ⊄ S_{}",
+                l - 1
+            );
         }
         assert_eq!(level_set(&levels, 0).len(), 200);
     }

@@ -35,4 +35,6 @@ pub use driver::{build_driver, DriverChoice};
 pub use hierarchy::{
     build_hierarchy, CompactBuildMetrics, CompactLabel, CompactParams, CompactScheme, HorizonMode,
 };
-pub use truncated::{build_truncated, TruncLabel, TruncatedMetrics, TruncatedScheme, UpperMode, UpperPivot};
+pub use truncated::{
+    build_truncated, TruncLabel, TruncatedMetrics, TruncatedScheme, UpperMode, UpperPivot,
+};

@@ -204,8 +204,7 @@ pub fn build_truncated(
     let skel_ids: Vec<NodeId> = g.nodes().filter(|v| skel_flags[v.index()]).collect();
     let skel_index: HashMap<NodeId, usize> =
         skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
-    let h_base = ((params.c * (n as f64).powf(f64::from(l0) / f64::from(k)) * ln_n).ceil()
-        as u64)
+    let h_base = ((params.c * (n as f64).powf(f64::from(l0) / f64::from(k)) * ln_n).ceil() as u64)
         .clamp(1, 2 * n as u64);
     let base = run_pde(
         g,
@@ -230,8 +229,7 @@ pub fn build_truncated(
             }
         }
     }
-    let gt_graph =
-        WGraph::from_edges(m.max(1), &gt_edges).expect("skeleton graph edges are valid");
+    let gt_graph = WGraph::from_edges(m.max(1), &gt_edges).expect("skeleton graph edges are valid");
     assert!(
         m <= 1 || gt_graph.is_connected(),
         "G̃(l0) disconnected (|S_l0|={m}); raise CompactParams::c"
@@ -255,9 +253,7 @@ pub fn build_truncated(
                     .iter()
                     .map(|&s| l + 1 < k && levels[s.index()] > l)
                     .collect();
-                let h = ((params.c
-                    * (n as f64).powf(f64::from(l + 1 - l0) / f64::from(k))
-                    * ln_n)
+                let h = ((params.c * (n as f64).powf(f64::from(l + 1 - l0) / f64::from(k)) * ln_n)
                     .ceil() as u64)
                     .clamp(1, 2 * m.max(1) as u64);
                 let sig = if l == k - 1 {
@@ -399,8 +395,8 @@ pub fn build_truncated(
                     }
                 }
             }
-            let (est, s_idx, t_idx, eb) = best
-                .unwrap_or_else(|| panic!("node {v} lacks upper level-{l} pivot; raise c"));
+            let (est, s_idx, t_idx, eb) =
+                best.unwrap_or_else(|| panic!("node {v} lacks upper level-{l} pivot; raise c"));
             upper_info[v.index()].push((s_idx, t_idx, est, eb));
             let chain = trace_chain(&base.routes, &topo, v, skel_ids[t_idx]);
             base_trees.add_chain(&chain);
@@ -571,9 +567,7 @@ impl TruncatedScheme {
                 if xi != s_idx {
                     if let Some(&eg) = self.upper_est[j].get(&(xi, s_idx)) {
                         if let Some(&z) = self.upper_next[j].get(&(xi, s_idx)) {
-                            if let Some(r) =
-                                self.base_routes[x.index()].get(&self.skel_ids[z])
-                            {
+                            if let Some(r) = self.base_routes[x.index()].get(&self.skel_ids[z]) {
                                 consider(
                                     eg.saturating_add(budget_a),
                                     self.topo.neighbor(x, r.port),

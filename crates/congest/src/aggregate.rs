@@ -98,12 +98,7 @@ impl Program for BroadcastProgram {
 /// # Panics
 ///
 /// Panics if `values.len() != topo.len()`.
-pub fn global_aggregate(
-    topo: &Topology,
-    tree: &BfsTree,
-    values: &[u64],
-    op: Op,
-) -> (u64, Metrics) {
+pub fn global_aggregate(topo: &Topology, tree: &BfsTree, values: &[u64], op: Op) -> (u64, Metrics) {
     assert_eq!(values.len(), topo.len(), "one value per node");
 
     // Phase 1: convergecast.

@@ -125,10 +125,7 @@ impl BfsTree {
 /// Panics if `topo` has non-unit delays or is disconnected.
 pub fn build_bfs(topo: &Topology, root: NodeId) -> (BfsTree, Metrics) {
     assert_eq!(topo.max_delay(), 1, "BFS requires the unit-delay topology");
-    let programs: Vec<BfsProgram> = topo
-        .nodes()
-        .map(|v| BfsProgram::new(v == root))
-        .collect();
+    let programs: Vec<BfsProgram> = topo.nodes().map(|v| BfsProgram::new(v == root)).collect();
     let mut rt = Runtime::new(topo, programs, Config::default());
     let report = rt.run();
     assert!(report.quiescent, "BFS did not quiesce within budget");

@@ -63,7 +63,8 @@ impl Metrics {
     /// synchronization barrier that sends no messages).
     pub fn charge_rounds(&mut self, rounds: u64) {
         self.rounds += rounds;
-        self.per_round_sent.extend(std::iter::repeat_n(0, rounds as usize));
+        self.per_round_sent
+            .extend(std::iter::repeat_n(0, rounds as usize));
     }
 }
 

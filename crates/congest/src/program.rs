@@ -141,8 +141,7 @@ impl<'a, M: Message> Ctx<'a, M> {
         assert!(
             !self.port_used[port as usize],
             "CONGEST violation: node {} sent two messages on port {port} in round {}",
-            self.node,
-            self.round
+            self.node, self.round
         );
         self.port_used[port as usize] = true;
         self.out.sends.push((port, msg));

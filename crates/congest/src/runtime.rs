@@ -225,8 +225,7 @@ mod tests {
             if self.start && ctx.round() == 0 {
                 ctx.send(0, 0);
             }
-            let arrivals: Vec<(Port, u64)> =
-                ctx.inbox().iter().map(|a| (a.port, a.msg)).collect();
+            let arrivals: Vec<(Port, u64)> = ctx.inbox().iter().map(|a| (a.port, a.msg)).collect();
             for (port, val) in arrivals {
                 self.log.push((ctx.round(), val));
                 if val < self.limit {
@@ -264,7 +263,9 @@ mod tests {
 
     #[test]
     fn delayed_arc_delivers_late() {
-        let topo = Topology::from_edges(2, &[(0, 1, 10)]).unwrap().with_delays(|w| w / 2);
+        let topo = Topology::from_edges(2, &[(0, 1, 10)])
+            .unwrap()
+            .with_delays(|w| w / 2);
         assert_eq!(topo.delay(NodeId(0), 0), 5);
         let programs = vec![
             PingPong {

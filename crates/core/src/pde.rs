@@ -229,7 +229,9 @@ pub fn run_pde(g: &WGraph, sources: &[bool], tags: &[bool], params: &PdeParams) 
                     .dist
                     .checked_mul(b)
                     .expect("estimate overflow: weights too large");
-                let entry = best[v.index()].entry(e.src).or_insert((est, e.tag, li as u32));
+                let entry = best[v.index()]
+                    .entry(e.src)
+                    .or_insert((est, e.tag, li as u32));
                 if est < entry.0 {
                     *entry = (est, e.tag, li as u32);
                 }
@@ -407,12 +409,7 @@ mod tests {
     fn coordination_rounds_are_charged() {
         let mut rng = SmallRng::seed_from_u64(1);
         let g = gen::path(10, Weights::Uniform { lo: 1, hi: 5 }, &mut rng);
-        let out = run_pde(
-            &g,
-            &[true; 10],
-            &[false; 10],
-            &PdeParams::new(10, 2, 0.5),
-        );
+        let out = run_pde(&g, &[true; 10], &[false; 10], &PdeParams::new(10, 2, 0.5));
         assert!(out.metrics.coordination_rounds > 0);
         assert_eq!(
             out.metrics.total.rounds,

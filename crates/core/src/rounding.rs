@@ -151,7 +151,8 @@ mod tests {
                     let x = eps * wd as f64 / h as f64;
                     // Largest rung ≤ max(1, X).
                     let b = *ladder
-                        .iter().rfind(|&&b| (b as f64) <= x.max(1.0))
+                        .iter()
+                        .rfind(|&&b| (b as f64) <= x.max(1.0))
                         .expect("rung 1 always qualifies");
                     // Worst-case rounded distance: wd + h·(b-1) (each of ≤ h
                     // hops rounded up by < b).

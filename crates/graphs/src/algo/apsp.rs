@@ -39,7 +39,12 @@ impl Apsp {
 
     /// Maximum finite distance (the weighted diameter `WD`).
     pub fn weighted_diameter(&self) -> u64 {
-        self.dist.iter().copied().filter(|&d| d != INF).max().unwrap_or(0)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != INF)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum finite hop count (the shortest path diameter `SPD`).

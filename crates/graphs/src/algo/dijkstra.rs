@@ -84,11 +84,8 @@ mod tests {
     fn tie_break_minimizes_hops() {
         // Two shortest paths 0→3 of weight 4: 0-1-3 (2 hops) and
         // 0-2a-2b-3 style (3 hops). The reported hops must be 2.
-        let g = WGraph::from_edges(
-            5,
-            &[(0, 1, 2), (1, 4, 2), (0, 2, 1), (2, 3, 2), (3, 4, 1)],
-        )
-        .unwrap();
+        let g = WGraph::from_edges(5, &[(0, 1, 2), (1, 4, 2), (0, 2, 1), (2, 3, 2), (3, 4, 1)])
+            .unwrap();
         let s = dijkstra(&g, NodeId(0));
         assert_eq!(s.dist[4], 4);
         assert_eq!(s.hops[4], 2, "must pick the 2-hop shortest path");

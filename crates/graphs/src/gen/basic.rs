@@ -86,7 +86,10 @@ pub fn balanced_tree<R: Rng + ?Sized>(
     w: Weights,
     rng: &mut R,
 ) -> WGraph {
-    assert!(arity >= 1 && depth >= 1, "tree needs arity ≥ 1 and depth ≥ 1");
+    assert!(
+        arity >= 1 && depth >= 1,
+        "tree needs arity ≥ 1 and depth ≥ 1"
+    );
     let mut edges = Vec::new();
     let mut next = 1u32;
     let mut frontier = vec![0u32];

@@ -105,9 +105,7 @@ mod tests {
         // Edges: (h-1) per chain ×2 + bridge + h·σ attachments.
         assert_eq!(f.graph.num_edges(), 3 + 3 + 1 + 12);
         assert_eq!(
-            f.graph
-                .edge_weight(f.v_chain[1], f.sources[1][0])
-                .unwrap(),
+            f.graph.edge_weight(f.v_chain[1], f.sources[1][0]).unwrap(),
             4u64.pow(2) * 4
         );
     }
@@ -117,12 +115,7 @@ mod tests {
         // The lower-bound argument: within h+1 hops, the σ closest sources
         // to u_i are exactly s_{i,·}.
         let f = figure1(4, 2);
-        let lists = detection_reference(
-            &f.graph,
-            &f.source_flags(),
-            f.horizon(),
-            f.sigma,
-        );
+        let lists = detection_reference(&f.graph, &f.source_flags(), f.horizon(), f.sigma);
         for (idx, &ui) in f.u_chain.iter().enumerate() {
             let i = idx + 1;
             let list = &lists[ui.index()];

@@ -114,7 +114,7 @@ mod tests {
         let g = weighted_clique_multihop(10);
         assert_eq!(algo::hop_diameter(&g), 1);
         assert_eq!(algo::shortest_path_diameter(&g) as usize, 5); // ⌊10/2⌋
-        // Shortest weighted path between antipodal ring nodes has weight 5.
+                                                                  // Shortest weighted path between antipodal ring nodes has weight 5.
         let a = algo::apsp(&g);
         assert_eq!(a.dist(congest::NodeId(0), congest::NodeId(5)), 5);
     }

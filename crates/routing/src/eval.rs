@@ -139,9 +139,7 @@ pub fn evaluate<S: RoutingScheme>(
                 }
                 Some(next) => match g.edge_weight(cur, next) {
                     None => {
-                        failures.push(format!(
-                            "next hop {cur}→{next} is not an edge (dest {v})"
-                        ));
+                        failures.push(format!("next hop {cur}→{next} is not an edge (dest {v})"));
                         break false;
                     }
                     Some(w) => {

@@ -47,10 +47,7 @@ impl RtcScheme {
             if sd == INF {
                 continue;
             }
-            let total = r
-                .est
-                .saturating_add(sd)
-                .saturating_add(label.dist_home);
+            let total = r.est.saturating_add(sd).saturating_add(label.dist_home);
             let hop = self.topo.neighbor(x, r.port);
             if best.is_none_or(|(b, _)| total < b) {
                 best = Some((total, hop));

@@ -156,7 +156,12 @@ pub(crate) fn trace_chain(
         let r = routes[cur.index()]
             .get(&to)
             .unwrap_or_else(|| panic!("broken chain: {cur} has no entry for {to}"));
-        assert!(r.est < est, "chain stalled at {cur} (est {} -> {})", est, r.est);
+        assert!(
+            r.est < est,
+            "chain stalled at {cur} (est {} -> {})",
+            est,
+            r.est
+        );
         est = r.est;
         cur = topo.neighbor(cur, r.port);
         path.push(cur);
@@ -243,8 +248,8 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
             }
         }
     }
-    let skel_graph = WGraph::from_edges(skel_ids.len().max(1), &sedges)
-        .expect("skeleton graph edges are valid");
+    let skel_graph =
+        WGraph::from_edges(skel_ids.len().max(1), &sedges).expect("skeleton graph edges are valid");
     assert!(
         skel_ids.len() <= 1 || skel_graph.is_connected(),
         "skeleton graph disconnected (|S|={}); raise RtcParams::c",
@@ -275,10 +280,8 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
     let mut span_dist = vec![INF; m * m];
     let mut span_next = vec![usize::MAX; m * m];
     for i in 0..m {
-        let sp_row = graphs::algo::dijkstra(
-            &skel_graph_from(&skel_ids, &sp.edges),
-            NodeId(i as u32),
-        );
+        let sp_row =
+            graphs::algo::dijkstra(&skel_graph_from(&skel_ids, &sp.edges), NodeId(i as u32));
         for j in 0..m {
             span_dist[i * m + j] = sp_row.dist[j];
             if i != j && sp_row.dist[j] != INF {

@@ -59,6 +59,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let (flags, _) = sample_skeleton(20_000, 0.1, &mut rng);
         let count = flags.iter().filter(|&&f| f).count();
-        assert!((1600..=2400).contains(&count), "count {count} far from 2000");
+        assert!(
+            (1600..=2400).contains(&count),
+            "count {count} far from 2000"
+        );
     }
 }

@@ -117,8 +117,7 @@ fn build_metrics_are_populated() {
     assert!(m.pde_a_rounds > 0 && m.pde_s_rounds > 0);
     assert!(m.spanner_broadcast_rounds > 0);
     assert_eq!(
-        m.total_rounds,
-        m.total.rounds,
+        m.total_rounds, m.total.rounds,
         "breakdown must sum to total"
     );
     assert!(m.total_rounds >= m.pde_a_rounds + m.pde_s_rounds);

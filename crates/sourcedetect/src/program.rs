@@ -181,11 +181,7 @@ impl Program for SdProgram {
         }
         // Announce the smallest pending entry that is still in the top-σ.
         if self.msgs_sent < self.cap {
-            let cut = self
-                .known
-                .iter()
-                .nth(self.sigma.saturating_sub(1))
-                .copied();
+            let cut = self.known.iter().nth(self.sigma.saturating_sub(1)).copied();
             let candidate = self
                 .pending
                 .iter()

@@ -148,9 +148,7 @@ mod tests {
                 }
             }
         }
-        let topo = Topology::from_edges(9, &edges)
-            .unwrap()
-            .with_delays(|w| w);
+        let topo = Topology::from_edges(9, &edges).unwrap().with_delays(|w| w);
         let sources = [true, false, false, false, true, false, false, false, true];
         for h in [2, 4, 8] {
             for sigma in [1, 2, 3] {
@@ -163,12 +161,20 @@ mod tests {
     fn finishes_within_theory_budget() {
         // Theorem ([10]): h + σ rounds suffice. Run with the exact budget
         // and verify correctness anyway (quiescence may come earlier).
-        let topo =
-            Topology::from_edges(8, &[
-                (0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1),
-                (4, 5, 1), (5, 6, 1), (6, 7, 1), (0, 7, 1),
-            ])
-            .unwrap();
+        let topo = Topology::from_edges(
+            8,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+                (6, 7, 1),
+                (0, 7, 1),
+            ],
+        )
+        .unwrap();
         let sources = [true, true, true, true, false, false, false, false];
         let h = 8;
         let sigma = 4;
@@ -213,7 +219,12 @@ mod tests {
     #[test]
     fn routes_point_backwards_along_paths() {
         let topo = Topology::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
-        let out = run_detection(&topo, &[true, false, false, false], &[false; 4], &params(4, 2));
+        let out = run_detection(
+            &topo,
+            &[true, false, false, false],
+            &[false; 4],
+            &params(4, 2),
+        );
         // Node 3's route for source 0 must point at node 2.
         let (d, port) = out.routes[3][&NodeId(0)];
         assert_eq!(d, 3);
@@ -226,8 +237,7 @@ mod tests {
 
     #[test]
     fn message_cap_limits_broadcasts() {
-        let topo =
-            Topology::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]).unwrap();
+        let topo = Topology::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]).unwrap();
         let sources = [true, true, true, true, true];
         let capped = run_detection(
             &topo,

@@ -54,7 +54,9 @@ fn main() {
     print!("route {x} → {w}: {x}");
     let mut hops = 0;
     while x != w {
-        x = scheme.next_hop(x, w).expect("stateless forwarding is total");
+        x = scheme
+            .next_hop(x, w)
+            .expect("stateless forwarding is total");
         print!(" → {x}");
         hops += 1;
         assert!(hops <= 4 * n, "routing loop");

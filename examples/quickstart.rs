@@ -1,12 +1,21 @@
-//! Quickstart: approximate APSP and a distance query on a tiny network.
-//!
-//! Run with: `cargo run --release --example quickstart`
+// Quickstart: approximate APSP and a distance query on a tiny network.
+//
+// Run with: `cargo run --release --example quickstart`
+//
+// (Plain `//` comments and a separate `demo` entry point, so that
+// `tests/quickstart_smoke.rs` can `include!` this file verbatim and keep
+// the public umbrella API exercised by `cargo test`.)
 
 use pde_repro::graphs::algo;
 use pde_repro::graphs::{NodeId, WGraph};
 use pde_repro::pde_core::{approx_apsp, run_pde, PdeParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    demo()
+}
+
+/// The whole example; also run as a smoke test by the test suite.
+pub fn demo() -> Result<(), Box<dyn std::error::Error>> {
     // A small weighted network: a ring with one expensive chord.
     let g = WGraph::from_edges(
         6,
@@ -25,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eps = 0.25;
     let apsp = approx_apsp(&g, eps);
     let exact = algo::apsp(&g);
-    println!("(1+{eps})-approximate APSP in {} CONGEST rounds:", apsp.rounds());
+    println!(
+        "(1+{eps})-approximate APSP in {} CONGEST rounds:",
+        apsp.rounds()
+    );
     for u in g.nodes() {
         for v in g.nodes() {
             if u < v {
@@ -37,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("max stretch: {:.4} (bound {:.2})", apsp.max_stretch(&exact), 1.0 + eps);
+    println!(
+        "max stretch: {:.4} (bound {:.2})",
+        apsp.max_stretch(&exact),
+        1.0 + eps
+    );
 
     // 2. Partial distance estimation towards a source set (Corollary 3.5):
     //    every node finds its two nearest "servers" within 3 hops.

@@ -50,12 +50,7 @@ fn quiescence_never_exceeds_theory_budget() {
     // identical outputs.
     let g = graph(2, 64);
     let sources: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
-    let quiet = run_pde(
-        &g,
-        &sources,
-        &[false; 24],
-        &PdeParams::new(12, 4, 0.5),
-    );
+    let quiet = run_pde(&g, &sources, &[false; 24], &PdeParams::new(12, 4, 0.5));
     let exact_budget = run_pde(
         &g,
         &sources,

@@ -77,7 +77,9 @@ fn sigma_one_detects_single_closest() {
     let mut rng = SmallRng::seed_from_u64(5);
     let g = gen::path(10, Weights::Unit, &mut rng);
     let topo = g.to_topology();
-    let sources = [true, false, false, false, false, false, false, false, false, true];
+    let sources = [
+        true, false, false, false, false, false, false, false, false, true,
+    ];
     let out = run_detection(
         &topo,
         &sources,
@@ -136,6 +138,8 @@ fn single_edge_graph_works_everywhere() {
 #[test]
 fn zero_eps_is_rejected() {
     let g = WGraph::from_edges(2, &[(0, 1, 1)]).unwrap();
-    let res = std::panic::catch_unwind(|| run_pde(&g, &[true; 2], &[false; 2], &PdeParams::new(1, 1, 0.0)));
+    let res = std::panic::catch_unwind(|| {
+        run_pde(&g, &[true; 2], &[false; 2], &PdeParams::new(1, 1, 0.0))
+    });
     assert!(res.is_err(), "eps = 0 must be rejected");
 }

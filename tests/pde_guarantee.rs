@@ -1,0 +1,148 @@
+//! End-to-end check of the PDE estimation guarantee (Definition 2.2 /
+//! Theorem 3.3) on seeded random weighted graphs, against *independent*
+//! ground truth from `crates/baselines`: the link-state baseline (topology
+//! flooding + local Dijkstra) and the pipelined Bellman–Ford baseline,
+//! cross-checked against each other before being trusted.
+//!
+//! For every node `v` and source `s` whose shortest weighted path uses at
+//! most `h` hops (the paper's `h_{v,s} ≤ h`, with minimum-hop
+//! tie-breaking), running PDE with `σ = |S|` must produce an entry for `s`
+//! at `v` with
+//!
+//! ```text
+//! wd(v, s) ≤ est ≤ (1 + ε) · wd(v, s)
+//! ```
+//!
+//! and *every* listed entry — covered by the horizon or not — must be
+//! sound (`est ≥ wd`, exactly, in integer arithmetic).
+
+use pde_repro::baselines::{bellman_ford_apsp, flooding_apsp};
+use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::graphs::WGraph;
+use pde_repro::pde_core::{run_pde, PdeParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Checks the PDE guarantee for one graph / source set / horizon / ε.
+fn check_guarantee(g: &WGraph, sources: &[bool], h: u64, eps: f64, label: &str) {
+    let n = g.len();
+    assert_eq!(sources.len(), n, "{label}: bad source flags");
+    let sigma = sources.iter().filter(|&&s| s).count();
+    assert!(sigma > 0, "{label}: empty source set");
+
+    // Ground truth, twice over: OSPF-style flooding (local Dijkstra) and
+    // RIP-style Bellman–Ford must agree exactly before we trust either.
+    let truth = flooding_apsp(g).apsp;
+    let bf = bellman_ford_apsp(g);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(
+                truth.dist(u, v),
+                bf.dist(u, v),
+                "{label}: Dijkstra and Bellman–Ford ground truths disagree at ({u}, {v})"
+            );
+        }
+    }
+
+    let out = run_pde(g, sources, &vec![false; n], &PdeParams::new(h, sigma, eps));
+
+    for v in g.nodes() {
+        let list = &out.lists[v.index()];
+        assert!(
+            list.len() <= sigma,
+            "{label}: node {v} lists {} entries for σ = {sigma}",
+            list.len()
+        );
+
+        // Soundness of everything reported, inside the horizon or not.
+        for e in list {
+            assert!(
+                e.est >= truth.dist(v, e.src),
+                "{label}: underestimate at ({v}, {}): {} < {}",
+                e.src,
+                e.est,
+                truth.dist(v, e.src)
+            );
+        }
+
+        // Completeness + (1+ε) accuracy for horizon-covered pairs.
+        for s in g.nodes() {
+            if !sources[s.index()] || u64::from(truth.hops(v, s)) > h {
+                continue;
+            }
+            let wd = truth.dist(v, s);
+            let e = list.iter().find(|e| e.src == s).unwrap_or_else(|| {
+                panic!(
+                    "{label}: source {s} within {} ≤ {h} hops of {v} missing from its list",
+                    truth.hops(v, s)
+                )
+            });
+            assert!(
+                e.est as f64 <= (1.0 + eps) * wd as f64 + 1e-9,
+                "{label}: estimate {} at ({v}, {s}) exceeds (1+{eps})·{wd}",
+                e.est
+            );
+        }
+    }
+}
+
+/// Sources on every third node.
+fn sparse_sources(n: usize) -> Vec<bool> {
+    (0..n).map(|i| i % 3 == 0).collect()
+}
+
+#[test]
+fn gnp_uniform_weights_meet_guarantee() {
+    for seed in [1u64, 2, 3] {
+        for eps in [0.25, 0.5] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::gnp_connected(16, 0.25, Weights::Uniform { lo: 1, hi: 50 }, &mut rng);
+            let n = g.len();
+            for h in [2u64, 4, n as u64] {
+                let label = format!("gnp uniform seed={seed} eps={eps} h={h}");
+                check_guarantee(&g, &sparse_sources(n), h, eps, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn gnp_power_of_two_weights_meet_guarantee() {
+    // Heavy-tailed weights exercise many rungs of the (1+ε) weight ladder.
+    for seed in [7u64, 8] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::gnp_connected(14, 0.3, Weights::PowerOfTwo { max_exp: 6 }, &mut rng);
+        let n = g.len();
+        for h in [3u64, n as u64] {
+            let label = format!("gnp pow2 seed={seed} h={h}");
+            check_guarantee(&g, &sparse_sources(n), h, 0.5, &label);
+        }
+    }
+}
+
+#[test]
+fn random_tree_long_hop_paths_meet_guarantee() {
+    // Trees maximize hop counts, so the horizon filter actually bites.
+    for seed in [11u64, 12] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::random_tree(24, Weights::Uniform { lo: 1, hi: 9 }, &mut rng);
+        let n = g.len();
+        for h in [2u64, 5, n as u64] {
+            let label = format!("tree seed={seed} h={h}");
+            check_guarantee(&g, &sparse_sources(n), h, 0.25, &label);
+        }
+    }
+}
+
+#[test]
+fn singleton_source_meets_guarantee() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let g = gen::gnp_connected(18, 0.2, Weights::Uniform { lo: 1, hi: 100 }, &mut rng);
+    let n = g.len();
+    let mut sources = vec![false; n];
+    sources[n / 2] = true;
+    for h in [3u64, n as u64] {
+        let label = format!("singleton h={h}");
+        check_guarantee(&g, &sources, h, 0.25, &label);
+    }
+}

@@ -11,13 +11,8 @@ use proptest::prelude::*;
 fn connected_graph(max_w: u64) -> impl Strategy<Value = WGraph> {
     (5usize..=16).prop_flat_map(move |n| {
         let tree = proptest::collection::vec(1u64..=max_w, n - 1);
-        let parents: Vec<BoxedStrategy<u32>> = (1..n)
-            .map(|i| (0..i as u32).boxed())
-            .collect();
-        let extra = proptest::collection::vec(
-            ((0..n as u32), (0..n as u32), 1u64..=max_w),
-            0..n,
-        );
+        let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
+        let extra = proptest::collection::vec(((0..n as u32), (0..n as u32), 1u64..=max_w), 0..n);
         (tree, parents, extra).prop_map(move |(tw, par, extra)| {
             let mut edges: Vec<(u32, u32, u64)> = par
                 .iter()
@@ -25,9 +20,11 @@ fn connected_graph(max_w: u64) -> impl Strategy<Value = WGraph> {
                 .map(|(i, &p)| (p, (i + 1) as u32, tw[i]))
                 .collect();
             for (a, b, w) in extra {
-                if a != b && !edges.iter().any(|&(x, y, _)| {
-                    (x, y) == (a.min(b), a.max(b)) || (y, x) == (a.min(b), a.max(b))
-                }) {
+                if a != b
+                    && !edges.iter().any(|&(x, y, _)| {
+                        (x, y) == (a.min(b), a.max(b)) || (y, x) == (a.min(b), a.max(b))
+                    })
+                {
                     edges.push((a.min(b), a.max(b), w));
                 }
             }

@@ -1,0 +1,17 @@
+//! Smoke test for `examples/quickstart.rs`.
+//!
+//! The example file is `include!`d verbatim, so this test compiles the
+//! exact code shown to users against the public umbrella API and runs it;
+//! if the quickstart rots, `cargo test` fails — not just
+//! `cargo build --examples`.
+
+// `main` is only used when the file is built as an example.
+#[allow(dead_code)]
+mod quickstart {
+    include!("../examples/quickstart.rs");
+}
+
+#[test]
+fn quickstart_example_runs() {
+    quickstart::demo().expect("quickstart example failed");
+}

@@ -58,7 +58,10 @@ fn every_scheme_routes_every_pair() {
     let reports = [
         ("rtc", evaluate(&g, &rtc, &exact, PairSelection::All)),
         ("hierarchy", evaluate(&g, &hier, &exact, PairSelection::All)),
-        ("truncated", evaluate(&g, &trunc, &exact, PairSelection::All)),
+        (
+            "truncated",
+            evaluate(&g, &trunc, &exact, PairSelection::All),
+        ),
         ("tz_exact", evaluate(&g, &tz, &exact, PairSelection::All)),
     ];
     for (name, r) in &reports {

@@ -61,12 +61,7 @@ fn delayed_topology_equals_explicit_subdivision() {
                 msg_cap: None,
                 exact_rounds: false,
             };
-            let a = run_detection(
-                &delayed,
-                &real_sources,
-                &[false; 6],
-                &params,
-            );
+            let a = run_detection(&delayed, &real_sources, &[false; 6], &params);
             let b_out = run_detection(
                 &explicit,
                 &explicit_sources,
@@ -74,8 +69,7 @@ fn delayed_topology_equals_explicit_subdivision() {
                 &params,
             );
             for v in 0..6 {
-                let la: Vec<(u64, NodeId)> =
-                    a.lists[v].iter().map(|e| (e.dist, e.src)).collect();
+                let la: Vec<(u64, NodeId)> = a.lists[v].iter().map(|e| (e.dist, e.src)).collect();
                 let lb: Vec<(u64, NodeId)> =
                     b_out.lists[v].iter().map(|e| (e.dist, e.src)).collect();
                 assert_eq!(
