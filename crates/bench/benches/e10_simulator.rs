@@ -1,0 +1,19 @@
+//! Criterion wrapper for experiment E10 (simulator throughput).
+
+use bench::{e10_run, E10_SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_simulator");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        group.bench_function(format!("run_pde_n{n}"), |b| {
+            b.iter(|| black_box(e10_run(n, 1, E10_SEED).messages))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,12 +6,25 @@
 //! cargo run --release -p bench --bin experiments            # all
 //! cargo run --release -p bench --bin experiments -- e1 e4   # selected
 //! cargo run --release -p bench --bin experiments -- quick   # reduced sizes
+//! cargo run --release -p bench --bin experiments -- --smoke # CI bench smoke
 //! ```
 
 use bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Bench smoke for CI: run the E10 throughput table at tiny sizes so
+    // the perf harness itself is exercised on every push, and fail loudly
+    // if the sequential/parallel outputs ever diverge.
+    if args.iter().any(|a| a == "--smoke") {
+        let table = e10_simulator(&[64, 128], 1, E10_SEED);
+        println!("{table}");
+        let seq = e10_run(128, 1, E10_SEED);
+        let par = e10_run(128, 4, E10_SEED);
+        assert_eq!(seq.digest, par.digest, "thread count changed outputs");
+        println!("smoke ok: digests match across thread counts");
+        return;
+    }
     let quick = args.iter().any(|a| a == "quick");
     let want = |name: &str| {
         args.is_empty() || args.iter().all(|a| a == "quick") || args.iter().any(|a| a == name)
@@ -69,5 +82,13 @@ fn main() {
     if want("e9") {
         let sizes: &[usize] = if quick { &[24] } else { &[24, 32, 48] };
         println!("{}", e9_comparison(sizes, seed));
+    }
+    if want("e10") {
+        let sizes: &[usize] = if quick {
+            &[256, 1024]
+        } else {
+            &[1024, 4096, 16384]
+        };
+        println!("{}", e10_simulator(sizes, 0, E10_SEED));
     }
 }

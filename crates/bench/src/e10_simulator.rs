@@ -1,0 +1,138 @@
+//! E10 — CONGEST simulator throughput: `run_pde` wall-clock, rounds/sec
+//! and messages/sec on seeded random graphs.
+//!
+//! This is the workload recorded in `BENCH_simulator.json` (the
+//! before/after evidence for the zero-alloc round-loop refactor): connected
+//! G(n, p) with average degree ≈ 6, weights 1..=32, one source per 64
+//! nodes, `h = 8`, `σ = 4`, `ε = 0.25`. Reproduce with
+//! `cargo run --release -p bench --bin experiments -- e10`
+//! (or `-- --smoke` for the tiny CI variant).
+
+use crate::table::{f, Table};
+use crate::workloads;
+use pde_core::{run_pde, PdeParams};
+use std::time::Instant;
+
+/// The seed used for the recorded benchmark workload.
+pub const E10_SEED: u64 = 0xE10;
+
+/// One measured `run_pde` execution.
+#[derive(Clone, Debug)]
+pub struct SimRun {
+    /// Number of nodes.
+    pub n: usize,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Total simulated rounds (all rungs + coordination).
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// FNV-1a digest over lists and routes (output-identity checks).
+    pub digest: u64,
+}
+
+impl SimRun {
+    /// Simulated rounds per wall-clock second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / (self.wall_ms / 1e3)
+    }
+
+    /// Delivered messages per wall-clock second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.messages as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Runs the canonical E10 workload once at size `n` with the given
+/// thread knob (`0` = auto).
+pub fn e10_run(n: usize, threads: usize, seed: u64) -> SimRun {
+    let g = workloads::gnp(n, seed);
+    let sources: Vec<bool> = (0..n).map(|i| i % 64 == 0).collect();
+    let tags = vec![false; n];
+    let params = PdeParams::new(8, 4, 0.25).with_threads(threads);
+    let t0 = Instant::now();
+    let out = run_pde(&g, &sources, &tags, &params);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // FNV-1a digest over lists and routes (sorted), so runs can assert
+    // output identity across thread counts and code versions.
+    let mut digest: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        digest ^= x;
+        digest = digest.wrapping_mul(0x100000001b3);
+    };
+    for l in &out.lists {
+        for e in l {
+            mix(e.est);
+            mix(u64::from(e.src.0));
+            mix(u64::from(e.tag));
+        }
+    }
+    for r in &out.routes {
+        let mut entries: Vec<_> = r.iter().collect();
+        entries.sort_by_key(|(s, _)| **s);
+        for (s, info) in entries {
+            mix(u64::from(s.0));
+            mix(info.est);
+            mix(u64::from(info.port));
+            mix(u64::from(info.level));
+        }
+    }
+    SimRun {
+        n,
+        wall_ms,
+        rounds: out.metrics.total.rounds,
+        messages: out.metrics.total.messages,
+        digest,
+    }
+}
+
+/// Sweeps the throughput workload over `sizes`; one row per size.
+pub fn e10_simulator(sizes: &[usize], threads: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E10 (simulator throughput): run_pde wall clock on G(n, ~6/n), h=8 sigma=4 eps=0.25",
+        &[
+            "n", "threads", "wall_ms", "rounds", "messages", "rounds/s", "msgs/s", "digest",
+        ],
+    );
+    for &n in sizes {
+        let r = e10_run(n, threads, seed);
+        t.row(vec![
+            n.to_string(),
+            if threads == 0 {
+                "auto".into()
+            } else {
+                threads.to_string()
+            },
+            f(r.wall_ms),
+            r.rounds.to_string(),
+            r.messages.to_string(),
+            f(r.rounds_per_sec()),
+            f(r.msgs_per_sec()),
+            format!("{:016x}", r.digest),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_runs_and_is_deterministic() {
+        let a = e10_run(96, 1, E10_SEED);
+        let b = e10_run(96, 4, E10_SEED);
+        assert!(a.wall_ms >= 0.0);
+        assert!(a.rounds > 0 && a.messages > 0);
+        assert_eq!(a.digest, b.digest, "outputs must not depend on threads");
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn table_has_one_row_per_size() {
+        let t = e10_simulator(&[48, 64], 1, E10_SEED);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -12,6 +12,7 @@
 pub mod table;
 pub mod workloads;
 
+mod e10_simulator;
 mod e1_apsp;
 mod e2_figure1;
 mod e3_pde;
@@ -22,6 +23,7 @@ mod e7_trees;
 mod e8_spanner;
 mod e9_comparison;
 
+pub use e10_simulator::{e10_run, e10_simulator, SimRun, E10_SEED};
 pub use e1_apsp::e1_apsp;
 pub use e2_figure1::e2_figure1;
 pub use e3_pde::e3_pde;

@@ -2,10 +2,9 @@
 
 use congest::{bits_for, Metrics, NodeId, Topology};
 use graphs::WGraph;
-use pde_core::{run_pde, PdeParams, RouteInfo};
+use pde_core::{run_pde, PdeParams, RouteTable};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 use treeroute::{label_forest, TreeSet};
 
 use crate::levels::{level_flags, sample_levels};
@@ -102,7 +101,7 @@ pub struct CompactScheme {
     pub levels: Vec<u32>,
     /// `routes[l][v]`: the level-`l` PDE routing archive of `v`
     /// (sources `S_l`).
-    pub routes: Vec<Vec<HashMap<NodeId, RouteInfo>>>,
+    pub routes: Vec<Vec<RouteTable>>,
     /// `bunch_sizes[v]`: Σ_l |S'_l(v)| — the paper-sized table entries.
     pub bunch_sizes: Vec<usize>,
     /// Detection-tree sets, one per pivot level `l ∈ {1, …, k−1}`
@@ -117,7 +116,7 @@ pub struct CompactScheme {
 /// Traces the chain `from → to` through a route map (panics loudly on a
 /// broken invariant, as in the `routing` crate).
 pub(crate) fn trace_chain(
-    routes: &[HashMap<NodeId, RouteInfo>],
+    routes: &[RouteTable],
     topo: &Topology,
     from: NodeId,
     to: NodeId,

@@ -23,7 +23,7 @@ use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
 use congest::{bits_for, Message, Metrics, NodeId, Topology};
 use graphs::{WGraph, INF};
-use pde_core::{run_pde, PdeParams, RouteInfo};
+use pde_core::{run_pde, PdeParams, RouteTable};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use routing::RoutingScheme;
@@ -132,9 +132,9 @@ pub struct TruncatedScheme {
     topo: Topology,
     l0: u32,
     /// Lower-level PDE route archives, `runs[l]` for `l < l0`.
-    lower_routes: Vec<Vec<HashMap<NodeId, RouteInfo>>>,
+    lower_routes: Vec<Vec<RouteTable>>,
     /// `(S_{l0}, h_{l0}, |S_{l0}|)` route archive.
-    base_routes: Vec<HashMap<NodeId, RouteInfo>>,
+    base_routes: Vec<RouteTable>,
     skel_ids: Vec<NodeId>,
     skel_index: HashMap<NodeId, usize>,
     /// `G̃(l0)` in skeleton-index space.

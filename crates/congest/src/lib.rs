@@ -26,6 +26,33 @@
 //!   `O(#items + D)` rounds (used to disseminate spanner edges and to
 //!   simulate skeleton-graph rounds in the paper's Section 4.3).
 //!
+//! # Performance model
+//!
+//! The round loop is the hottest code in the repository (every theorem is
+//! exercised through it), and it is **allocation-free in steady state**:
+//!
+//! * In-flight messages live in a ring of per-round buckets. The current
+//!   round's bucket is swapped into a reusable scratch vector, and each
+//!   delivery is scattered into a dense per-arc slot table — `(node, port)`
+//!   pairs are exactly the global arc indices of the CSR topology, and at
+//!   most one message can arrive per arc per round (fixed per-arc delays +
+//!   the one-message-per-port CONGEST rule). This replaces the former
+//!   per-round `Vec<Vec<_>>` inbox allocation and global `sort_by_key`
+//!   with a counting-style scatter/gather that yields port-sorted inboxes
+//!   for free.
+//! * [`Ctx`] borrows the runtime's reusable outbox and per-port send flags
+//!   instead of allocating its own, and [`Ctx::inbox`] returns a slice
+//!   that outlives the `Ctx` borrow so programs can relay arrivals without
+//!   cloning them.
+//! * Per-round message history is a bounded [`metrics::RoundWindow`]
+//!   (exact totals forever, per-round detail for the most recent rounds),
+//!   so multi-million-round simulations do not grow memory linearly in
+//!   simulated time.
+//!
+//! See the repository README's "Performance" section for measured
+//! throughput and `BENCH_simulator.json` for the recorded before/after
+//! comparison.
+//!
 //! # Example
 //!
 //! ```
@@ -68,6 +95,7 @@
 
 pub mod aggregate;
 pub mod bfs;
+pub mod fxhash;
 pub mod metrics;
 pub mod model;
 pub mod pipeline;
@@ -75,7 +103,8 @@ pub mod program;
 pub mod runtime;
 pub mod topology;
 
-pub use metrics::Metrics;
+pub use fxhash::{FxBuild, FxHashMap, FxHasher};
+pub use metrics::{Metrics, RoundWindow};
 pub use model::{bits_for, Message, NodeId, Port};
 pub use program::{Arrival, Ctx, Program};
 pub use runtime::{Config, RunReport, Runtime};

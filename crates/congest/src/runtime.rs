@@ -1,4 +1,17 @@
 //! The synchronous round scheduler.
+//!
+//! # Hot-path design
+//!
+//! The round loop is allocation-free in steady state. Messages in flight
+//! live in a ring of per-round buckets; the bucket for the current round is
+//! swapped into a reusable scratch vector and scattered into a dense
+//! per-arc slot table (`(node, port)` pairs are exactly the global arc
+//! indices of the CSR topology, and per-arc delays plus the
+//! one-message-per-port CONGEST rule guarantee at most one delivery per arc
+//! per round). Each node's inbox is then gathered from its contiguous arc
+//! range — which yields port-sorted order for free — into a single reused
+//! buffer, and programs write sends into a reused outbox. No per-round
+//! `Vec<Vec<_>>` inboxes, no global `sort_by_key`, no per-node allocations.
 
 use crate::metrics::Metrics;
 use crate::model::{Message, NodeId, Port};
@@ -35,8 +48,9 @@ impl Default for Config {
 
 impl Config {
     /// A config with a fixed round budget and quiescence stopping disabled:
-    /// runs *exactly* `rounds` rounds (unless quiescence would make the
-    /// remainder a no-op, which is still executed for fidelity).
+    /// exactly `rounds` rounds are counted and charged. Quiet trailing
+    /// rounds still elapse (and are metered), though idle nodes with empty
+    /// inboxes are not individually stepped — see [`Program::is_idle`].
     pub fn exact_rounds(rounds: u64) -> Self {
         Config {
             max_rounds: rounds,
@@ -66,8 +80,11 @@ pub struct RunReport {
 }
 
 struct Delivery<M> {
+    /// Destination node.
     node: NodeId,
-    port: Port,
+    /// Global index of the *receiving* arc (precomputed at send time, so
+    /// delivery needs no per-message offset lookup).
+    arc: u32,
     msg: M,
 }
 
@@ -85,6 +102,23 @@ pub struct Runtime<'t, P: Program> {
     buckets: Vec<Vec<Delivery<P::Msg>>>,
     in_flight: u64,
     round: u64,
+    // ---- reused hot-path scratch ----
+    /// The current round's deliveries (swapped out of the ring bucket so
+    /// both vectors keep their capacity).
+    current: Vec<Delivery<P::Msg>>,
+    /// One slot per directed arc; `Some` iff a message arrives on that arc
+    /// this round (drained back to `None` as inboxes are gathered).
+    arc_slots: Vec<Option<P::Msg>>,
+    /// Per-node arrival counts for this round (reset inline while
+    /// gathering, so cleanup is O(deliveries), not O(n)).
+    arrival_count: Vec<u32>,
+    /// The inbox buffer handed to the current node's [`Ctx`].
+    inbox: Vec<Arrival<P::Msg>>,
+    /// The outbox buffer handed to the current node's [`Ctx`].
+    sends: Vec<(Port, P::Msg)>,
+    /// Per-port send flags, sized to the maximum degree; entries set by a
+    /// node's sends are cleared while the outbox is drained.
+    port_used: Vec<bool>,
 }
 
 impl<'t, P: Program> Runtime<'t, P> {
@@ -102,6 +136,9 @@ impl<'t, P: Program> Runtime<'t, P> {
         let cap = (topo.max_delay() + 1) as usize;
         let mut buckets = Vec::with_capacity(cap);
         buckets.resize_with(cap, Vec::new);
+        let max_degree = topo.nodes().map(|v| topo.degree(v)).max().unwrap_or(0);
+        let mut arc_slots = Vec::new();
+        arc_slots.resize_with(topo.num_arcs(), || None);
         Runtime {
             topo,
             programs,
@@ -110,6 +147,12 @@ impl<'t, P: Program> Runtime<'t, P> {
             buckets,
             in_flight: 0,
             round: 0,
+            current: Vec::new(),
+            arc_slots,
+            arrival_count: vec![0; topo.len()],
+            inbox: Vec::new(),
+            sends: Vec::new(),
+            port_used: vec![false; max_degree],
         }
     }
 
@@ -118,29 +161,66 @@ impl<'t, P: Program> Runtime<'t, P> {
         let n = self.topo.len();
         let mut quiescent = false;
         while self.round < self.cfg.max_rounds {
-            // Deliver this round's messages.
+            // Deliver this round's messages: scatter into per-arc slots.
+            // At most one message per arc per round (delays are fixed per
+            // arc and senders use each port at most once per round), so
+            // the slot table doubles as a counting sort keyed on
+            // (node, port) with no comparison sort anywhere.
             let slot = (self.round as usize) % self.buckets.len();
-            let mut deliveries = std::mem::take(&mut self.buckets[slot]);
-            self.in_flight -= deliveries.len() as u64;
-            deliveries.sort_by_key(|d| (d.node, d.port));
-            let mut inboxes: Vec<Vec<Arrival<P::Msg>>> = vec![Vec::new(); n];
-            for d in deliveries {
-                inboxes[d.node.index()].push(Arrival {
-                    port: d.port,
-                    msg: d.msg,
-                });
+            std::mem::swap(&mut self.current, &mut self.buckets[slot]);
+            self.in_flight -= self.current.len() as u64;
+            for d in self.current.drain(..) {
+                let a = d.arc as usize;
+                debug_assert!(self.arc_slots[a].is_none(), "two deliveries on one arc");
+                self.arc_slots[a] = Some(d.msg);
+                self.arrival_count[d.node.index()] += 1;
             }
 
             // Execute programs and collect sends.
             let mut sent_this_round = 0u64;
-            #[allow(clippy::needless_range_loop)] // v indexes programs and inboxes
             for v in 0..n {
                 let node = NodeId::from_index(v);
-                let mut ctx = Ctx::new(node, self.round, self.topo, &inboxes[v]);
+                // Gather the inbox from the node's contiguous arc range;
+                // ascending arc index is ascending port.
+                self.inbox.clear();
+                if self.arrival_count[v] > 0 {
+                    let expected = std::mem::take(&mut self.arrival_count[v]) as usize;
+                    let range = self.topo.arc_range(node);
+                    let base = range.start;
+                    for a in range {
+                        if let Some(msg) = self.arc_slots[a].take() {
+                            self.inbox.push(Arrival {
+                                port: (a - base) as Port,
+                                msg,
+                            });
+                            if self.inbox.len() == expected {
+                                break;
+                            }
+                        }
+                    }
+                } else if self.round > 0 && self.programs[v].is_idle() {
+                    // Contract of `is_idle`: an idle node sends nothing
+                    // until it receives something, and its `round` with an
+                    // empty inbox is a no-op — so don't pay for the call.
+                    // Round 0 always executes (input placement).
+                    continue;
+                }
+                let degree = self.topo.degree(node);
+                let mut ctx = Ctx::new(
+                    node,
+                    self.round,
+                    self.topo,
+                    &self.inbox,
+                    &mut self.sends,
+                    &mut self.port_used[..degree],
+                );
                 self.programs[v].round(&mut ctx);
-                let sends = ctx.out.sends;
-                sent_this_round += sends.len() as u64;
-                for (port, msg) in sends {
+                sent_this_round += self.sends.len() as u64;
+                self.metrics.per_node_sent[v] += self.sends.len() as u64;
+                for (port, msg) in self.sends.drain(..) {
+                    // Every send marked exactly one flag; clearing here
+                    // keeps the reset O(sends) instead of O(degree).
+                    self.port_used[port as usize] = false;
                     let bits = msg.bit_size();
                     self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
                     self.metrics.total_bits += bits as u64;
@@ -152,7 +232,6 @@ impl<'t, P: Program> Runtime<'t, P> {
                             self.cfg.bandwidth_bits, self.round
                         );
                     }
-                    self.metrics.per_node_sent[v] += 1;
                     let delay = self.topo.delay(node, port);
                     let arrival = self.round + delay;
                     // Deliveries beyond the budget can never be observed;
@@ -160,11 +239,11 @@ impl<'t, P: Program> Runtime<'t, P> {
                     // itself is still counted (bandwidth was consumed).
                     if arrival < self.cfg.max_rounds {
                         let target = self.topo.neighbor(node, port);
-                        let rport = self.topo.reverse_port(node, port);
+                        let rarc = self.topo.reverse_arc(node, port);
                         let slot = (arrival as usize) % self.buckets.len();
                         self.buckets[slot].push(Delivery {
                             node: target,
-                            port: rport,
+                            arc: rarc,
                             msg,
                         });
                         self.in_flight += 1;
@@ -225,11 +304,10 @@ mod tests {
             if self.start && ctx.round() == 0 {
                 ctx.send(0, 0);
             }
-            let arrivals: Vec<(Port, u64)> = ctx.inbox().iter().map(|a| (a.port, a.msg)).collect();
-            for (port, val) in arrivals {
-                self.log.push((ctx.round(), val));
-                if val < self.limit {
-                    ctx.send(port, val + 1);
+            for a in ctx.inbox() {
+                self.log.push((ctx.round(), a.msg));
+                if a.msg < self.limit {
+                    ctx.send(a.port, a.msg + 1);
                 }
             }
         }
@@ -326,5 +404,59 @@ mod tests {
         assert_eq!(rt.metrics().max_message_bits, 64);
         assert_eq!(rt.metrics().total_bits, 64);
         assert_eq!(rt.metrics().bandwidth_violations, 0);
+    }
+
+    /// Broadcasts a fresh value every round on every port; stresses the
+    /// arc-slot scatter/gather with saturated inboxes and mixed delays.
+    struct Chatter {
+        rounds_left: u64,
+        heard: Vec<(u64, Port, u64)>,
+    }
+
+    impl Program for Chatter {
+        type Msg = u64;
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>) {
+            for a in ctx.inbox() {
+                self.heard.push((ctx.round(), a.port, a.msg));
+            }
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.broadcast(1000 * u64::from(ctx.node().0) + ctx.round());
+            }
+        }
+        fn is_idle(&self) -> bool {
+            self.rounds_left == 0
+        }
+    }
+
+    #[test]
+    fn saturated_inboxes_stay_port_sorted() {
+        // Triangle with heterogeneous delays: every node receives on every
+        // port most rounds; inboxes must come out sorted by port.
+        let topo = Topology::from_edges(3, &[(0, 1, 1), (1, 2, 2), (0, 2, 3)])
+            .unwrap()
+            .with_delays(|w| w);
+        let programs: Vec<Chatter> = (0..3)
+            .map(|_| Chatter {
+                rounds_left: 5,
+                heard: vec![],
+            })
+            .collect();
+        let mut rt = Runtime::new(&topo, programs, Config::default());
+        let report = rt.run();
+        assert!(report.quiescent);
+        let (programs, metrics) = rt.into_parts();
+        // 3 nodes * 5 rounds * degree 2 sends.
+        assert_eq!(metrics.messages, 30);
+        let mut received = 0;
+        for p in &programs {
+            received += p.heard.len();
+            for w in p.heard.windows(2) {
+                let ((r1, p1, _), (r2, p2, _)) = (w[0], w[1]);
+                assert!(r1 < r2 || (r1 == r2 && p1 < p2), "inbox not port-sorted");
+            }
+        }
+        // Every sent message is delivered exactly once.
+        assert_eq!(received, 30);
     }
 }

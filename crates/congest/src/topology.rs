@@ -163,6 +163,20 @@ impl Topology {
         a as usize
     }
 
+    /// Total number of directed arcs (`2 · num_edges`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The contiguous range of global arc indices owned by `v`; arc
+    /// `arc_range(v).start + p` is `v`'s port `p`. This is the dense
+    /// `(node, port)` key space the runtime's delivery buckets use.
+    #[inline]
+    pub fn arc_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    }
+
     /// The neighbor reached through `port` of node `v`.
     #[inline]
     pub fn neighbor(&self, v: NodeId, port: Port) -> NodeId {
@@ -187,6 +201,14 @@ impl Topology {
         let a = self.arc(v, port);
         let t = self.targets[a];
         self.rev[a] - self.offsets[t.index()]
+    }
+
+    /// The global arc index of the reverse arc of `v`'s `port` — i.e. the
+    /// receiving slot, in the dense `(node, port)` key space of
+    /// [`Topology::arc_range`], of a message sent by `v` over `port`.
+    #[inline]
+    pub fn reverse_arc(&self, v: NodeId, port: Port) -> u32 {
+        self.rev[self.arc(v, port)]
     }
 
     /// The port of node `v` leading to neighbor `u`, if `{v, u}` is an edge.

@@ -51,4 +51,4 @@ pub mod pde;
 pub mod rounding;
 
 pub use apsp::{approx_apsp, ApspApprox};
-pub use pde::{run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo};
+pub use pde::{run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo, RouteTable};

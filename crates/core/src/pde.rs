@@ -3,10 +3,11 @@
 use crate::rounding::{horizon, level_ladder, subdivision_len};
 use congest::aggregate::global_max;
 use congest::bfs::build_bfs;
-use congest::{Metrics, NodeId, Port};
+use congest::{FxHashMap, Metrics, NodeId, Port, Topology};
 use graphs::WGraph;
-use sourcedetect::{run_detection, DetectParams};
-use std::collections::HashMap;
+use sourcedetect::{run_detection, DetectParams, DetectionOutput, SourceSpace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Parameters of a PDE run.
 #[derive(Clone, Debug)]
@@ -22,10 +23,17 @@ pub struct PdeParams {
     /// Run every level for its full theoretical round budget instead of
     /// stopping at quiescence (used when validating round bounds).
     pub exact_rounds: bool,
+    /// Number of worker threads for the ladder rungs (the per-level
+    /// detection instances are independent). `0` = use
+    /// [`std::thread::available_parallelism`]; `1` = sequential. Results
+    /// are byte-identical for every thread count: rungs are merged in
+    /// ladder order regardless of completion order.
+    pub threads: usize,
 }
 
 impl PdeParams {
-    /// Convenience constructor with no message cap and quiescence stopping.
+    /// Convenience constructor with no message cap, quiescence stopping
+    /// and automatic rung parallelism.
     pub fn new(h: u64, sigma: usize, eps: f64) -> Self {
         PdeParams {
             h,
@@ -33,7 +41,14 @@ impl PdeParams {
             eps,
             msg_cap: None,
             exact_rounds: false,
+            threads: 0,
         }
+    }
+
+    /// Sets the worker-thread count (see [`PdeParams::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -61,6 +76,13 @@ pub struct RouteInfo {
     pub level: u32,
 }
 
+/// A node's routing table: source → best [`RouteInfo`].
+///
+/// Keyed with the deterministic [`congest::FxHasher`] — iteration order is
+/// reproducible across runs and inserts are ~10× cheaper than SipHash,
+/// which matters when merging millions of archive entries.
+pub type RouteTable = FxHashMap<NodeId, RouteInfo>;
+
 /// Metrics of a PDE run, broken down the way the paper's bounds are.
 #[derive(Clone, Debug)]
 pub struct PdeMetrics {
@@ -86,7 +108,7 @@ pub struct PdeOutput {
     /// Per-node routing tables/archives: best `(est, port, level)` per
     /// source ever received. A superset of the list entries (needed to make
     /// greedy forwarding total; see DESIGN.md).
-    pub routes: Vec<HashMap<NodeId, RouteInfo>>,
+    pub routes: Vec<RouteTable>,
     /// The integer rung ladder used.
     pub levels: Vec<u64>,
     /// The per-level hop horizon `h'`.
@@ -120,6 +142,9 @@ impl PdeOutput {
     /// Traces the route `v → s` by greedy forwarding; returns the visited
     /// nodes and the total weight.
     ///
+    /// Takes the prebuilt `topo` (e.g. `g.to_topology()`, built once and
+    /// reused across queries) so a trace costs O(path length), not O(m).
+    ///
     /// # Errors
     ///
     /// Returns `Err` with a description if forwarding gets stuck or fails
@@ -127,11 +152,10 @@ impl PdeOutput {
     /// treat this as a hard failure).
     pub fn trace_route(
         &self,
-        g: &WGraph,
+        topo: &Topology,
         v: NodeId,
         s: NodeId,
     ) -> Result<(Vec<NodeId>, u64), String> {
-        let topo = g.to_topology();
         let mut cur = v;
         let mut path = vec![v];
         let mut weight = 0u64;
@@ -155,7 +179,7 @@ impl PdeOutput {
             est = r.est;
             cur = next;
             path.push(cur);
-            if path.len() > g.len() * 4 {
+            if path.len() > topo.len() * 4 {
                 return Err("route exceeded hop cap".into());
             }
         }
@@ -171,8 +195,12 @@ impl PdeOutput {
 ///
 /// The run consists of: a BFS + aggregate phase that determines `w_max`
 /// (`O(D)` rounds), then one delay-simulated unweighted detection instance
-/// per ladder rung (`O((h+σ)/ε)` rounds each, `O(log_{1+ε} w_max)` rungs),
-/// executed sequentially as in Theorem 3.3.
+/// per ladder rung (`O((h+σ)/ε)` rounds each, `O(log_{1+ε} w_max)` rungs).
+/// The rungs are independent simulations, so they execute on
+/// [`PdeParams::threads`] worker threads; their outputs are merged in rung
+/// order, which makes the result byte-identical to the sequential
+/// execution of Theorem 3.3 (the round *accounting* still charges the sum
+/// over rungs, as the theorem does).
 ///
 /// # Panics
 ///
@@ -199,74 +227,62 @@ pub fn run_pde(g: &WGraph, sources: &[bool], tags: &[bool], params: &PdeParams) 
     let levels = level_ladder(params.eps, w_max);
     let h_prime = horizon(params.h, params.eps);
 
-    let mut best: Vec<HashMap<NodeId, (u64, bool, u32)>> = vec![HashMap::new(); g.len()];
-    let mut routes: Vec<HashMap<NodeId, RouteInfo>> = vec![HashMap::new(); g.len()];
-    let mut per_level_rounds = Vec::with_capacity(levels.len());
-    let mut max_single = 0u64;
-    let mut totals_per_node = vec![0u64; g.len()];
-
-    for (li, &b) in levels.iter().enumerate() {
+    let detect_params = DetectParams {
+        h: h_prime,
+        sigma: params.sigma,
+        msg_cap: params.msg_cap,
+        exact_rounds: params.exact_rounds,
+    };
+    let run_rung = |b: u64| {
         let level_topo = topo.with_delays(|w| subdivision_len(w, b));
-        let out = run_detection(
-            &level_topo,
-            sources,
-            tags,
-            &DetectParams {
-                h: h_prime,
-                sigma: params.sigma,
-                msg_cap: params.msg_cap,
-                exact_rounds: params.exact_rounds,
-            },
-        );
-        per_level_rounds.push(out.metrics.rounds);
-        max_single = max_single.max(out.msgs_per_node.iter().copied().max().unwrap_or(0));
-        for (t, m) in totals_per_node.iter_mut().zip(&out.msgs_per_node) {
-            *t += m;
-        }
-        for v in g.nodes() {
-            for e in &out.lists[v.index()] {
-                let est = e
-                    .dist
-                    .checked_mul(b)
-                    .expect("estimate overflow: weights too large");
-                let entry = best[v.index()]
-                    .entry(e.src)
-                    .or_insert((est, e.tag, li as u32));
-                if est < entry.0 {
-                    *entry = (est, e.tag, li as u32);
-                }
-            }
-            for (&src, &(d, port)) in &out.routes[v.index()] {
-                let est = d.checked_mul(b).expect("estimate overflow");
-                let entry = routes[v.index()].entry(src).or_insert(RouteInfo {
-                    est,
-                    port,
-                    level: li as u32,
-                });
-                if est < entry.est {
-                    *entry = RouteInfo {
-                        est,
-                        port,
-                        level: li as u32,
-                    };
-                }
-            }
-        }
-        total.absorb(&out.metrics);
-    }
+        run_detection(&level_topo, sources, tags, &detect_params)
+    };
 
-    let lists: Vec<Vec<PdeEntry>> = best
-        .into_iter()
-        .map(|m| {
-            let mut list: Vec<PdeEntry> = m
-                .into_iter()
-                .map(|(src, (est, tag, _))| PdeEntry { est, src, tag })
-                .collect();
-            list.sort_unstable();
-            list.truncate(params.sigma);
-            list
-        })
-        .collect();
+    // Execute the rungs — independent detection instances — on a worker
+    // pool. Completion order is irrelevant: results land in per-rung slots
+    // and are merged in ladder order below.
+    let threads = match params.threads {
+        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        t => t,
+    }
+    .min(levels.len())
+    .max(1);
+    let space = SourceSpace::new(sources, tags);
+    let mut merger = RungMerger::new(space, g.len(), levels.len());
+    if threads == 1 {
+        // Stream: run each rung, fold it into the merge tables, drop it —
+        // peak memory is one rung's output, as in the sequential algorithm.
+        for (li, &b) in levels.iter().enumerate() {
+            merger.absorb(li, b, run_rung(b), &mut total);
+        }
+    } else {
+        // Completion order is irrelevant: results land in per-rung slots
+        // and are folded in ladder order afterwards, so the merge is
+        // byte-identical to the streamed sequential path.
+        let slots: Vec<Mutex<Option<DetectionOutput>>> =
+            levels.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let li = next.fetch_add(1, Ordering::Relaxed);
+                    if li >= levels.len() {
+                        break;
+                    }
+                    let out = run_rung(levels[li]);
+                    *slots[li].lock().expect("rung slot poisoned") = Some(out);
+                });
+            }
+        });
+        for (li, slot) in slots.into_iter().enumerate() {
+            let out = slot
+                .into_inner()
+                .expect("rung slot poisoned")
+                .expect("every rung produced an output");
+            merger.absorb(li, levels[li], out, &mut total);
+        }
+    }
+    let (lists, routes, stats) = merger.finish(params.sigma);
 
     PdeOutput {
         lists,
@@ -275,11 +291,188 @@ pub fn run_pde(g: &WGraph, sources: &[bool], tags: &[bool], params: &PdeParams) 
         horizon: h_prime,
         metrics: PdeMetrics {
             total,
-            per_level_rounds,
+            per_level_rounds: stats.per_level_rounds,
             coordination_rounds,
-            max_broadcasts_single_level: max_single,
-            max_broadcasts_total: totals_per_node.iter().copied().max().unwrap_or(0),
+            max_broadcasts_single_level: stats.max_single,
+            max_broadcasts_total: stats.max_total,
         },
+    }
+}
+
+/// Per-rung merge statistics carried out of [`RungMerger::finish`].
+struct MergeStats {
+    per_level_rounds: Vec<u64>,
+    max_single: u64,
+    max_total: u64,
+}
+
+/// Cap on `n · |S|` for the flat dense merge tables (~16M entries,
+/// a few hundred MB). Above it — e.g. `S = V` at large `n`, where the hop
+/// horizon makes most `(node, source)` pairs unreachable anyway — the
+/// merge falls back to per-node hash tables so memory tracks *reached*
+/// pairs, not the full product.
+const DENSE_MERGE_LIMIT: usize = 1 << 24;
+
+/// Best-entry tables for one merge key: estimate + payload per
+/// `(node, source)` pair, either flat (dense) or per-node maps (sparse).
+/// Both keep the same tie-break: merged in ladder order, strictly smaller
+/// estimates win, so the lowest level wins ties — identical outputs.
+enum MergeTables<T: Copy> {
+    Dense { est: Vec<u64>, val: Vec<T> },
+    Sparse(Vec<FxHashMap<u32, (u64, T)>>),
+}
+
+impl<T: Copy + Default> MergeTables<T> {
+    fn new(n: usize, s: usize) -> Self {
+        if n.saturating_mul(s) <= DENSE_MERGE_LIMIT {
+            MergeTables::Dense {
+                est: vec![u64::MAX; n * s],
+                val: vec![T::default(); n * s],
+            }
+        } else {
+            MergeTables::Sparse(std::iter::repeat_with(FxHashMap::default).take(n).collect())
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, v: usize, s: usize, si: u32, est: u64, value: T) {
+        match self {
+            MergeTables::Dense { est: e, val } => {
+                let idx = v * s + si as usize;
+                if est < e[idx] {
+                    e[idx] = est;
+                    val[idx] = value;
+                }
+            }
+            MergeTables::Sparse(maps) => {
+                let entry = maps[v].entry(si).or_insert((u64::MAX, value));
+                if est < entry.0 {
+                    *entry = (est, value);
+                }
+            }
+        }
+    }
+
+    /// Drains node `v`'s entries as `(si, est, value)`, sorted by `si`.
+    fn take_node(&mut self, v: usize, s: usize, scratch: &mut Vec<(u32, u64, T)>) {
+        scratch.clear();
+        match self {
+            MergeTables::Dense { est, val } => {
+                let base = v * s;
+                for si in 0..s {
+                    if est[base + si] != u64::MAX {
+                        scratch.push((si as u32, est[base + si], val[base + si]));
+                    }
+                }
+            }
+            MergeTables::Sparse(maps) => {
+                scratch.extend(maps[v].drain().map(|(si, (est, val))| (si, est, val)));
+                scratch.sort_unstable_by_key(|&(si, _, _)| si);
+            }
+        }
+    }
+}
+
+/// Folds rung outputs (in ladder order) into combined lists and routes.
+struct RungMerger {
+    space: SourceSpace,
+    n: usize,
+    /// Lists key: payload = tag.
+    best: MergeTables<bool>,
+    /// Routes key: payload = (port, level).
+    route: MergeTables<(Port, u32)>,
+    per_level_rounds: Vec<u64>,
+    max_single: u64,
+    totals_per_node: Vec<u64>,
+}
+
+impl RungMerger {
+    fn new(space: SourceSpace, n: usize, num_levels: usize) -> Self {
+        let s = space.len();
+        RungMerger {
+            space,
+            n,
+            best: MergeTables::new(n, s),
+            route: MergeTables::new(n, s),
+            per_level_rounds: Vec::with_capacity(num_levels),
+            max_single: 0,
+            totals_per_node: vec![0; n],
+        }
+    }
+
+    /// Folds level `li` (rung value `b`) into the tables; absorbs its
+    /// metrics into `total`. Must be called in ladder order.
+    fn absorb(&mut self, li: usize, b: u64, out: DetectionOutput, total: &mut Metrics) {
+        debug_assert_eq!(li, self.per_level_rounds.len(), "rungs merge in order");
+        self.per_level_rounds.push(out.metrics.rounds);
+        self.max_single = self
+            .max_single
+            .max(out.msgs_per_node.iter().copied().max().unwrap_or(0));
+        for (t, m) in self.totals_per_node.iter_mut().zip(&out.msgs_per_node) {
+            *t += m;
+        }
+        let s = self.space.len();
+        for v in 0..self.n {
+            for e in &out.lists[v] {
+                let si = self
+                    .space
+                    .index_of(e.src)
+                    .expect("list entries originate at sources");
+                let est = e
+                    .dist
+                    .checked_mul(b)
+                    .expect("estimate overflow: weights too large");
+                self.best.update(v, s, si, est, e.tag);
+            }
+            for &(src, d, port) in &out.routes[v] {
+                let si = self
+                    .space
+                    .index_of(src)
+                    .expect("route entries originate at sources");
+                let est = d.checked_mul(b).expect("estimate overflow");
+                self.route.update(v, s, si, est, (port, li as u32));
+            }
+        }
+        total.absorb(&out.metrics);
+    }
+
+    fn finish(mut self, sigma: usize) -> (Vec<Vec<PdeEntry>>, Vec<RouteTable>, MergeStats) {
+        let s = self.space.len();
+        let mut scratch: Vec<(u32, u64, bool)> = Vec::new();
+        let mut lists = Vec::with_capacity(self.n);
+        for v in 0..self.n {
+            self.best.take_node(v, s, &mut scratch);
+            let mut list: Vec<PdeEntry> = scratch
+                .iter()
+                .map(|&(si, est, tag)| PdeEntry {
+                    est,
+                    src: self.space.id(si),
+                    tag,
+                })
+                .collect();
+            list.sort_unstable();
+            list.truncate(sigma);
+            lists.push(list);
+        }
+
+        let mut scratch: Vec<(u32, u64, (Port, u32))> = Vec::new();
+        let mut routes = Vec::with_capacity(self.n);
+        for v in 0..self.n {
+            self.route.take_node(v, s, &mut scratch);
+            let mut table = RouteTable::default();
+            table.reserve(scratch.len());
+            for &(si, est, (port, level)) in scratch.iter() {
+                table.insert(self.space.id(si), RouteInfo { est, port, level });
+            }
+            routes.push(table);
+        }
+
+        let stats = MergeStats {
+            per_level_rounds: self.per_level_rounds,
+            max_single: self.max_single,
+            max_total: self.totals_per_node.iter().copied().max().unwrap_or(0),
+        };
+        (lists, routes, stats)
     }
 }
 
@@ -391,13 +584,14 @@ mod tests {
         let g = gen::gnp_connected(20, 0.15, Weights::Uniform { lo: 1, hi: 30 }, &mut rng);
         let sources: Vec<bool> = (0..20).map(|i| i < 4).collect();
         let out = run_pde(&g, &sources, &[false; 20], &PdeParams::new(20, 4, 0.5));
+        let topo = g.to_topology();
         for v in g.nodes() {
             for e in &out.lists[v.index()] {
                 if e.src == v {
                     continue;
                 }
                 let (path, w) = out
-                    .trace_route(&g, v, e.src)
+                    .trace_route(&topo, v, e.src)
                     .unwrap_or_else(|e| panic!("route failed: {e}"));
                 assert_eq!(*path.last().unwrap(), e.src);
                 assert!(w <= e.est, "route weight {w} exceeds estimate {}", e.est);
@@ -415,5 +609,54 @@ mod tests {
             out.metrics.total.rounds,
             out.metrics.coordination_rounds + out.metrics.per_level_rounds.iter().sum::<u64>()
         );
+    }
+
+    #[test]
+    fn dense_and_sparse_merge_tables_agree() {
+        // The sparse fallback only triggers past DENSE_MERGE_LIMIT, far
+        // beyond test sizes — so check the two table variants directly
+        // against each other under the same update stream.
+        let (n, s) = (7usize, 5usize);
+        let mut dense: MergeTables<(Port, u32)> = MergeTables::Dense {
+            est: vec![u64::MAX; n * s],
+            val: vec![Default::default(); n * s],
+        };
+        let mut sparse: MergeTables<(Port, u32)> =
+            MergeTables::Sparse(std::iter::repeat_with(Default::default).take(n).collect());
+        let updates = [
+            (3usize, 2u32, 40u64, (1u32, 0u32)),
+            (3, 2, 30, (2, 1)), // improves
+            (3, 2, 35, (3, 2)), // worse: ignored
+            (3, 4, 30, (4, 2)), // different source, same node
+            (0, 0, 7, (5, 3)),
+            (6, 2, 1, (6, 0)),
+        ];
+        for &(v, si, est, val) in &updates {
+            dense.update(v, s, si, est, val);
+            sparse.update(v, s, si, est, val);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for v in 0..n {
+            dense.take_node(v, s, &mut a);
+            sparse.take_node(v, s, &mut b);
+            assert_eq!(a, b, "node {v}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outputs() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = gen::gnp_connected(28, 0.15, Weights::Uniform { lo: 1, hi: 60 }, &mut rng);
+        let sources: Vec<bool> = (0..28).map(|i| i % 3 == 0).collect();
+        let base = PdeParams::new(9, 3, 0.25);
+        let seq = run_pde(&g, &sources, &[false; 28], &base.clone().with_threads(1));
+        let par = run_pde(&g, &sources, &[false; 28], &base.with_threads(4));
+        assert_eq!(seq.lists, par.lists);
+        assert_eq!(seq.routes, par.routes);
+        assert_eq!(seq.levels, par.levels);
+        assert_eq!(seq.metrics.total.rounds, par.metrics.total.rounds);
+        assert_eq!(seq.metrics.total.messages, par.metrics.total.messages);
+        assert_eq!(seq.metrics.per_level_rounds, par.metrics.per_level_rounds);
     }
 }

@@ -5,7 +5,7 @@ use congest::pipeline::broadcast_all;
 use congest::{bits_for, Message, Metrics, NodeId, Topology};
 use graphs::algo::apsp;
 use graphs::{WGraph, INF};
-use pde_core::{run_pde, PdeEntry, PdeParams, RouteInfo};
+use pde_core::{run_pde, PdeEntry, PdeParams, RouteTable};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spanner::baswana_sen;
@@ -114,11 +114,11 @@ pub struct RtcScheme {
     /// Per-node labels.
     pub labels: Vec<RtcLabel>,
     /// Short-range routing state from the `(V, h, σ)` pass (archive).
-    pub short: Vec<HashMap<NodeId, RouteInfo>>,
+    pub short: Vec<RouteTable>,
     /// Paper-sized short-range tables (the top-σ lists), for size metrics.
     pub short_lists: Vec<Vec<PdeEntry>>,
     /// Skeleton-distance routing state from the `(S, h, |S|)` pass.
-    pub skel_routes: Vec<HashMap<NodeId, RouteInfo>>,
+    pub skel_routes: Vec<RouteTable>,
     /// Skeleton membership.
     pub skeleton: Vec<bool>,
     /// Sorted skeleton node ids.
@@ -144,7 +144,7 @@ pub struct RtcScheme {
 /// Panics if the chain is broken or fails to make strict progress — that
 /// would falsify the greedy-forwarding invariant (Lemma 4.4 analogue).
 pub(crate) fn trace_chain(
-    routes: &[HashMap<NodeId, RouteInfo>],
+    routes: &[RouteTable],
     topo: &Topology,
     from: NodeId,
     to: NodeId,

@@ -47,6 +47,6 @@ mod program;
 mod reference;
 mod runner;
 
-pub use program::{SdEntry, SdMsg, SdProgram};
+pub use program::{SdEntry, SdMsg, SdProgram, SourceSpace};
 pub use reference::delayed_detection_reference;
 pub use runner::{run_detection, DetectParams, DetectionOutput, RouteEntry};

@@ -1,7 +1,8 @@
 //! The per-node source-detection program.
 
 use congest::{bits_for, Ctx, Message, NodeId, Port, Program};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A `(distance, source)` announcement, with the auxiliary tag bit the
 /// PODC 2015 paper appends to indicate membership of the source in a
@@ -36,11 +37,127 @@ pub struct SdEntry {
     pub tag: bool,
 }
 
-#[derive(Clone, Debug)]
-struct SourceInfo {
-    dist: u64,
-    tag: bool,
+/// Dense indexing of the source set `S`.
+///
+/// Only source ids ever appear as state-table keys (every announcement
+/// originates at a source), so per-node state is stored in flat vectors
+/// indexed by *source index* instead of `HashMap<NodeId, …>` — no SipHash,
+/// no per-entry heap boxes, O(1) lookups. One `SourceSpace` is shared by
+/// all node programs of a detection instance via [`Arc`]; it also owns the
+/// per-source tag bits (a source's tag is a global attribute carried
+/// verbatim by every announcement, so storing it once replaces `n` per-node
+/// copies).
+///
+/// Source indices are assigned in increasing node-id order, so
+/// `(dist, source index)` ordering coincides with the paper's
+/// `(dist, source id)` lexicographic ordering.
+#[derive(Debug)]
+pub struct SourceSpace {
+    /// Node id → source index, `u32::MAX` for non-sources.
+    index_of: Vec<u32>,
+    /// Source index → node id, strictly increasing.
+    ids: Vec<NodeId>,
+    /// Source index → auxiliary tag bit.
+    tags: Vec<bool>,
 }
+
+impl SourceSpace {
+    /// Builds the index over `sources` (one flag per node) with the
+    /// per-node auxiliary `tags`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn new(sources: &[bool], tags: &[bool]) -> Self {
+        assert_eq!(sources.len(), tags.len(), "one tag per node");
+        let mut index_of = vec![u32::MAX; sources.len()];
+        let mut ids = Vec::new();
+        let mut src_tags = Vec::new();
+        for (v, &is_src) in sources.iter().enumerate() {
+            if is_src {
+                index_of[v] = ids.len() as u32;
+                ids.push(NodeId::from_index(v));
+                src_tags.push(tags[v]);
+            }
+        }
+        SourceSpace {
+            index_of,
+            ids,
+            tags: src_tags,
+        }
+    }
+
+    /// Number of sources.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the source set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The source index of node `v`, if `v` is a source.
+    #[inline]
+    pub fn index_of(&self, v: NodeId) -> Option<u32> {
+        match self.index_of.get(v.index()) {
+            Some(&si) if si != u32::MAX => Some(si),
+            _ => None,
+        }
+    }
+
+    /// The node id of source index `si`.
+    #[inline]
+    pub fn id(&self, si: u32) -> NodeId {
+        self.ids[si as usize]
+    }
+
+    /// The tag bit of source index `si`.
+    #[inline]
+    pub fn tag(&self, si: u32) -> bool {
+        self.tags[si as usize]
+    }
+}
+
+/// Sentinel for "no distance recorded" in the packed per-source state.
+const NONE32: u32 = u32::MAX;
+
+/// Packs a `(dist, source index)` pair into one ordered key.
+#[inline]
+fn pack(dist: u32, si: u32) -> u64 {
+    (u64::from(dist) << 32) | u64::from(si)
+}
+
+/// Inverse of [`pack`].
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Per-source node state, packed into one 16-byte record so the arrival
+/// hot path (best-distance check, routing archive, announce bookkeeping)
+/// touches a single cache line per source instead of three tables.
+#[derive(Clone, Copy, Debug)]
+struct SourceState {
+    /// Best known distance ([`NONE32`] = unknown).
+    best: u32,
+    /// Smallest announced distance ([`NONE32`] = never announced).
+    sent: u32,
+    /// Best *received* distance, for the routing archive
+    /// ([`NONE32`] = none).
+    route_dist: u32,
+    /// Arrival port of `route_dist`.
+    route_port: Port,
+}
+
+const EMPTY_STATE: SourceState = SourceState {
+    best: NONE32,
+    sent: NONE32,
+    route_dist: NONE32,
+    route_port: 0,
+};
 
 /// Node state of the pipelined detection algorithm.
 ///
@@ -50,45 +167,67 @@ struct SourceInfo {
 /// otherwise overshoot the horizon). This is the Lenzen–Peleg algorithm
 /// with the message-pruning modification of Lemma 3.4 of the PODC 2015
 /// paper.
+///
+/// All per-source state lives in one dense [`SourceState`] vector indexed
+/// by [`SourceSpace`] source index. Distances are stored as `u32` (the
+/// horizon bounds them far below `u32::MAX`).
 #[derive(Debug)]
 pub struct SdProgram {
+    space: Arc<SourceSpace>,
     /// `Some(tag)` if this node is a source.
     self_source: Option<bool>,
-    h: u64,
+    h: u32,
     sigma: usize,
     cap: u64,
-    /// Current best `(dist, src)` pairs, ordered.
-    known: BTreeSet<(u64, NodeId)>,
-    /// Best distance (and tag) per source.
-    best: HashMap<NodeId, SourceInfo>,
+    /// Current best `(dist, source index)` pairs, packed as
+    /// `dist << 32 | si` (same lexicographic order, single-word compares).
+    known: BTreeSet<u64>,
     /// Entries not yet announced (kept pruned to the current top-σ, with
-    /// `dist < h`).
-    pending: BTreeSet<(u64, NodeId)>,
-    /// Smallest announced distance per source.
-    sent_best: HashMap<NodeId, u64>,
-    /// Best `(dist, port)` this node ever *received* per source; the
-    /// "archive" that makes greedy next-hop forwarding total (see
-    /// DESIGN.md, routing-state archives).
-    route: HashMap<NodeId, (u64, Port)>,
+    /// `dist < h`), same packing as `known`.
+    pending: BTreeSet<u64>,
+    /// Dense per-source state (best/sent/route), indexed by source index.
+    state: Vec<SourceState>,
+    /// Cached packed key of the σ-th smallest `known` entry
+    /// (`u64::MAX` while `known.len() ≤ σ`). Monotonically non-increasing
+    /// (entries only ever improve), maintained by [`SdProgram::insert`] so
+    /// neither the announce path nor non-improving inserts walk the tree.
+    cut: u64,
     msgs_sent: u64,
 }
 
 impl SdProgram {
     /// Creates the program for one node.
     ///
+    /// `space` is the instance-wide source index (shared across nodes);
     /// `source` is `Some(tag)` if the node is in `S` (with auxiliary bit
     /// `tag`), `None` otherwise.
-    pub fn new(source: Option<bool>, h: u64, sigma: usize, cap: Option<u64>) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h ≥ u32::MAX` (distances are stored as `u32`; every
+    /// meaningful horizon is a hop count far below that).
+    pub fn new(
+        space: Arc<SourceSpace>,
+        source: Option<bool>,
+        h: u64,
+        sigma: usize,
+        cap: Option<u64>,
+    ) -> Self {
+        assert!(
+            h < u64::from(u32::MAX),
+            "horizon {h} too large for the packed distance representation"
+        );
+        let s = space.len();
         SdProgram {
+            space,
             self_source: source,
-            h,
+            h: h as u32,
             sigma,
             cap: cap.unwrap_or(u64::MAX),
             known: BTreeSet::new(),
-            best: HashMap::new(),
             pending: BTreeSet::new(),
-            sent_best: HashMap::new(),
-            route: HashMap::new(),
+            state: vec![EMPTY_STATE; s],
+            cut: u64::MAX,
             msgs_sent: 0,
         }
     }
@@ -98,17 +237,32 @@ impl SdProgram {
         self.known
             .iter()
             .take(self.sigma)
-            .map(|&(dist, src)| SdEntry {
-                dist,
-                src,
-                tag: self.best[&src].tag,
+            .map(|&key| {
+                let (dist, si) = unpack(key);
+                SdEntry {
+                    dist: u64::from(dist),
+                    src: self.space.id(si),
+                    tag: self.space.tag(si),
+                }
             })
             .collect()
     }
 
-    /// The routing archive: best received `(dist, arrival port)` per source.
-    pub fn routes(&self) -> &HashMap<NodeId, (u64, Port)> {
-        &self.route
+    /// The routing archive: best received `(dist, arrival port)` per
+    /// source, as `(source, dist, port)` triples sorted by source id.
+    pub fn routes(&self) -> Vec<(NodeId, u64, Port)> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.route_dist != NONE32)
+            .map(|(si, st)| {
+                (
+                    self.space.id(si as u32),
+                    u64::from(st.route_dist),
+                    st.route_port,
+                )
+            })
+            .collect()
     }
 
     /// Messages broadcast by this node so far.
@@ -116,35 +270,39 @@ impl SdProgram {
         self.msgs_sent
     }
 
-    fn insert(&mut self, dist: u64, src: NodeId, tag: bool) {
+    fn insert(&mut self, dist: u32, si: u32) {
         if dist > self.h {
             return;
         }
-        let improved = match self.best.get(&src) {
-            Some(info) => dist < info.dist,
-            None => true,
-        };
-        if !improved {
+        let st = &mut self.state[si as usize];
+        if dist >= st.best {
             return;
         }
-        if let Some(old) = self.best.get(&src) {
-            self.known.remove(&(old.dist, src));
-            self.pending.remove(&(old.dist, src));
+        let old = st.best;
+        st.best = dist;
+        let already_announced_better = st.sent <= dist;
+        let key = pack(dist, si);
+        if old != NONE32 {
+            self.known.remove(&pack(old, si));
+            self.pending.remove(&pack(old, si));
         }
-        self.best.insert(src, SourceInfo { dist, tag });
-        self.known.insert((dist, src));
-        let already_announced_better = self.sent_best.get(&src).is_some_and(|&sb| sb <= dist);
-        if dist < self.h && !already_announced_better {
-            self.pending.insert((dist, src));
-        }
+        self.known.insert(key);
         // Rank pruning: an entry's rank in `known` never improves over
         // time (improvements only move other entries further *up*), so
         // anything outside the current top-σ can never become worth
-        // announcing.
-        if self.known.len() > self.sigma {
-            if let Some(&cut) = self.known.iter().nth(self.sigma - 1) {
-                self.pending.retain(|e| *e <= cut);
-            }
+        // announcing — it never enters `pending`.
+        if dist < self.h && !already_announced_better && key <= self.cut {
+            self.pending.insert(key);
+        }
+        // The cached cut only needs refreshing when the top-σ prefix
+        // changed, i.e. when the new key landed inside it.
+        if self.known.len() > self.sigma && key < self.cut {
+            self.cut = *self
+                .known
+                .iter()
+                .nth(self.sigma - 1)
+                .expect("known has more than sigma entries");
+            self.pending.retain(|e| *e <= self.cut);
         }
     }
 }
@@ -153,46 +311,47 @@ impl Program for SdProgram {
     type Msg = SdMsg;
 
     fn round(&mut self, ctx: &mut Ctx<'_, SdMsg>) {
-        if ctx.round() == 0 {
-            if let Some(tag) = self.self_source {
-                let me = ctx.node();
-                self.insert(0, me, tag);
-            }
+        if ctx.round() == 0 && self.self_source.is_some() {
+            let si = self
+                .space
+                .index_of(ctx.node())
+                .expect("self-source must be in the source space");
+            self.insert(0, si);
         }
-        // Ingest arrivals (the receiver adds the arc's delay: the message
-        // crossed `delay` virtual unit edges).
-        let arrivals: Vec<(Port, u64, SdMsg)> = ctx
-            .inbox()
-            .iter()
-            .map(|a| (a.port, ctx.delay(a.port), a.msg.clone()))
-            .collect();
-        for (port, delay, msg) in arrivals {
-            let d = msg.dist.saturating_add(delay);
-            if d > self.h {
+        // Ingest arrivals in place (the receiver adds the arc's delay: the
+        // message crossed `delay` virtual unit edges). The inbox slice
+        // outlives the ctx borrow, so no arrival is cloned.
+        for a in ctx.inbox() {
+            let d = a.msg.dist.saturating_add(ctx.delay(a.port));
+            if d > u64::from(self.h) {
                 continue;
             }
-            match self.route.get(&msg.src) {
-                Some(&(rd, _)) if rd <= d => {}
-                _ => {
-                    self.route.insert(msg.src, (d, port));
-                }
+            let d = d as u32;
+            let si = self
+                .space
+                .index_of(a.msg.src)
+                .expect("announcements originate at sources");
+            let st = &mut self.state[si as usize];
+            if d < st.route_dist {
+                st.route_dist = d;
+                st.route_port = a.port;
             }
-            self.insert(d, msg.src, msg.tag);
+            self.insert(d, si);
         }
-        // Announce the smallest pending entry that is still in the top-σ.
+        // Announce the smallest pending entry; `pending ⊆ {e ≤ cut}` is an
+        // invariant of `insert`, so the head of `pending` is always inside
+        // the current top-σ.
         if self.msgs_sent < self.cap {
-            let cut = self.known.iter().nth(self.sigma.saturating_sub(1)).copied();
-            let candidate = self
-                .pending
-                .iter()
-                .find(|&&e| cut.is_none_or(|c| e <= c))
-                .copied();
-            if let Some((dist, src)) = candidate {
-                self.pending.remove(&(dist, src));
-                self.sent_best.insert(src, dist);
+            if let Some(key) = self.pending.pop_first() {
+                debug_assert!(key <= self.cut, "pending entry outside top-sigma");
+                let (dist, si) = unpack(key);
+                self.state[si as usize].sent = dist;
                 self.msgs_sent += 1;
-                let tag = self.best[&src].tag;
-                ctx.broadcast(SdMsg { dist, src, tag });
+                ctx.broadcast(SdMsg {
+                    dist: u64::from(dist),
+                    src: self.space.id(si),
+                    tag: self.space.tag(si),
+                });
             }
         }
     }
@@ -206,6 +365,11 @@ impl Program for SdProgram {
 mod tests {
     use super::*;
 
+    /// A space where every node is a source, so source index == node id.
+    fn full_space(n: usize) -> Arc<SourceSpace> {
+        Arc::new(SourceSpace::new(&vec![true; n], &vec![false; n]))
+    }
+
     #[test]
     fn msg_bit_size_is_logarithmic() {
         let m = SdMsg {
@@ -217,21 +381,37 @@ mod tests {
     }
 
     #[test]
+    fn source_space_indexes_densely() {
+        let space = SourceSpace::new(
+            &[false, true, false, true, true],
+            &[false, true, false, false, true],
+        );
+        assert_eq!(space.len(), 3);
+        assert_eq!(space.index_of(NodeId(1)), Some(0));
+        assert_eq!(space.index_of(NodeId(2)), None);
+        assert_eq!(space.index_of(NodeId(4)), Some(2));
+        assert_eq!(space.id(1), NodeId(3));
+        assert!(space.tag(0));
+        assert!(!space.tag(1));
+        assert!(space.tag(2));
+    }
+
+    #[test]
     fn insert_keeps_best_per_source() {
-        let mut p = SdProgram::new(None, 10, 4, None);
-        p.insert(5, NodeId(1), false);
-        p.insert(3, NodeId(1), false);
-        p.insert(7, NodeId(1), false); // worse: ignored
+        let mut p = SdProgram::new(full_space(8), None, 10, 4, None);
+        p.insert(5, 1);
+        p.insert(3, 1);
+        p.insert(7, 1); // worse: ignored
         assert_eq!(p.list().len(), 1);
         assert_eq!(p.list()[0].dist, 3);
     }
 
     #[test]
     fn insert_respects_horizon() {
-        let mut p = SdProgram::new(None, 4, 4, None);
-        p.insert(5, NodeId(1), false);
+        let mut p = SdProgram::new(full_space(8), None, 4, 4, None);
+        p.insert(5, 1);
         assert!(p.list().is_empty());
-        p.insert(4, NodeId(2), false);
+        p.insert(4, 2);
         assert_eq!(p.list().len(), 1);
         // dist == h is recorded but never pending (can't help neighbors).
         assert!(p.is_idle());
@@ -239,15 +419,15 @@ mod tests {
 
     #[test]
     fn pending_pruned_outside_top_sigma() {
-        let mut p = SdProgram::new(None, 100, 2, None);
-        p.insert(10, NodeId(5), false);
-        p.insert(11, NodeId(6), false);
+        let mut p = SdProgram::new(full_space(8), None, 100, 2, None);
+        p.insert(10, 5);
+        p.insert(11, 6);
         assert_eq!(p.pending.len(), 2);
-        p.insert(1, NodeId(1), false);
-        p.insert(2, NodeId(2), false);
+        p.insert(1, 1);
+        p.insert(2, 2);
         // (10,5) and (11,6) fell out of the top-2 forever.
         assert_eq!(p.pending.len(), 2);
-        assert!(p.pending.contains(&(1, NodeId(1))));
-        assert!(p.pending.contains(&(2, NodeId(2))));
+        assert!(p.pending.contains(&pack(1, 1)));
+        assert!(p.pending.contains(&pack(2, 2)));
     }
 }

@@ -1,8 +1,8 @@
 //! Driver for a detection run.
 
-use crate::program::{SdEntry, SdProgram};
+use crate::program::{SdEntry, SdProgram, SourceSpace};
 use congest::{Config, Metrics, NodeId, Port, Runtime, Topology};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Parameters of an `(S, h, σ)`-detection run.
 #[derive(Clone, Debug)]
@@ -27,12 +27,25 @@ pub struct DetectionOutput {
     /// Per-node top-σ lists, sorted lexicographically.
     pub lists: Vec<Vec<SdEntry>>,
     /// Per-node routing archive: best `(dist, port)` per source ever
-    /// received (see DESIGN.md on archives).
-    pub routes: Vec<HashMap<NodeId, RouteEntry>>,
+    /// received, as `(source, dist, port)` triples sorted by source id
+    /// (see DESIGN.md on archives).
+    pub routes: Vec<Vec<(NodeId, u64, Port)>>,
     /// Per-node broadcast counts (for the Lemma 3.4 experiment).
     pub msgs_per_node: Vec<u64>,
     /// Simulator metrics.
     pub metrics: Metrics,
+}
+
+impl DetectionOutput {
+    /// The routing archive entry of node `v` for source `src`, if any
+    /// (binary search over the sorted per-node triples).
+    pub fn route(&self, v: NodeId, src: NodeId) -> Option<RouteEntry> {
+        let entries = &self.routes[v.index()];
+        entries
+            .binary_search_by_key(&src, |&(s, _, _)| s)
+            .ok()
+            .map(|i| (entries[i].1, entries[i].2))
+    }
 }
 
 /// Runs `(S, h, σ)`-detection on `topo`.
@@ -56,11 +69,18 @@ pub fn run_detection(
     assert_eq!(sources.len(), topo.len(), "one source flag per node");
     assert_eq!(tags.len(), topo.len(), "one tag flag per node");
 
+    let space = Arc::new(SourceSpace::new(sources, tags));
     let programs: Vec<SdProgram> = topo
         .nodes()
         .map(|v| {
             let src = sources[v.index()].then_some(tags[v.index()]);
-            SdProgram::new(src, params.h, params.sigma, params.msg_cap)
+            SdProgram::new(
+                Arc::clone(&space),
+                src,
+                params.h,
+                params.sigma,
+                params.msg_cap,
+            )
         })
         .collect();
 
@@ -80,7 +100,7 @@ pub fn run_detection(
     for p in programs {
         lists.push(p.list());
         msgs_per_node.push(p.msgs_sent());
-        routes.push(p.routes().clone());
+        routes.push(p.routes());
     }
     DetectionOutput {
         lists,
@@ -226,13 +246,18 @@ mod tests {
             &params(4, 2),
         );
         // Node 3's route for source 0 must point at node 2.
-        let (d, port) = out.routes[3][&NodeId(0)];
+        let (d, port) = out.route(NodeId(3), NodeId(0)).unwrap();
         assert_eq!(d, 3);
         assert_eq!(topo.neighbor(NodeId(3), port), NodeId(2));
         // And node 2's route for source 0 must have distance 2: strictly
         // decreasing along the chain (the greedy-forwarding invariant).
-        let (d2, _) = out.routes[2][&NodeId(0)];
+        let (d2, _) = out.route(NodeId(2), NodeId(0)).unwrap();
         assert_eq!(d2, 2);
+        // Archives are sorted by source id (binary-searchable).
+        for v in topo.nodes() {
+            let r = &out.routes[v.index()];
+            assert!(r.windows(2).all(|w| w[0].0 < w[1].0));
+        }
     }
 
     #[test]

@@ -68,9 +68,11 @@ pub fn demo() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {v}: {}", entries.join(", "));
     }
 
-    // 3. Follow the computed next hops from node 2 to server 0.
+    // 3. Follow the computed next hops from node 2 to server 0. Route
+    //    tracing works over a prebuilt topology (build once, query often).
+    let topo = g.to_topology();
     let (path, weight) = out
-        .trace_route(&g, NodeId(2), NodeId(0))
+        .trace_route(&topo, NodeId(2), NodeId(0))
         .map_err(|e| format!("routing failed: {e}"))?;
     let hops: Vec<String> = path.iter().map(ToString::to_string).collect();
     println!("\nroute 2 → 0: {} (weight {weight})", hops.join(" → "));

@@ -56,11 +56,8 @@ fn quiescence_never_exceeds_theory_budget() {
         &sources,
         &[false; 24],
         &PdeParams {
-            h: 12,
-            sigma: 4,
-            eps: 0.5,
-            msg_cap: None,
             exact_rounds: true,
+            ..PdeParams::new(12, 4, 0.5)
         },
     );
     assert!(quiet.metrics.total.rounds <= exact_budget.metrics.total.rounds);

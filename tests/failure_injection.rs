@@ -110,11 +110,8 @@ fn message_cap_trades_accuracy_never_soundness() {
         &sources,
         &[false; 20],
         &PdeParams {
-            h: 20,
-            sigma: 20,
-            eps: 0.5,
             msg_cap: Some(2),
-            exact_rounds: false,
+            ..PdeParams::new(20, 20, 0.5)
         },
     );
     let exact = pde_repro::graphs::algo::apsp(&g);

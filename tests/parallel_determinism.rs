@@ -1,0 +1,97 @@
+//! Determinism of the parallel ladder: `run_pde` must produce *identical*
+//! `lists`, `routes` and message/round metrics for every thread count, and
+//! across repeated runs — the rungs are independent simulations merged in
+//! ladder order, so scheduling must be unobservable.
+
+use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::graphs::WGraph;
+use pde_repro::pde_core::{run_pde, PdeOutput, PdeParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run(g: &WGraph, sources: &[bool], threads: usize) -> PdeOutput {
+    let params = PdeParams::new(8, 4, 0.25).with_threads(threads);
+    run_pde(g, sources, &vec![false; g.len()], &params)
+}
+
+/// Full structural equality of two PDE outputs, including metrics.
+fn assert_identical(a: &PdeOutput, b: &PdeOutput, what: &str) {
+    assert_eq!(a.lists, b.lists, "{what}: lists differ");
+    assert_eq!(a.routes, b.routes, "{what}: routes differ");
+    assert_eq!(a.levels, b.levels, "{what}: ladders differ");
+    assert_eq!(a.horizon, b.horizon, "{what}: horizons differ");
+    let (ma, mb) = (&a.metrics, &b.metrics);
+    assert_eq!(ma.total.rounds, mb.total.rounds, "{what}: rounds differ");
+    assert_eq!(
+        ma.total.messages, mb.total.messages,
+        "{what}: messages differ"
+    );
+    assert_eq!(
+        ma.total.per_node_sent, mb.total.per_node_sent,
+        "{what}: per-node counts differ"
+    );
+    assert_eq!(
+        ma.total.per_round_sent.to_vec(),
+        mb.total.per_round_sent.to_vec(),
+        "{what}: per-round counts differ"
+    );
+    assert_eq!(
+        ma.total.total_bits, mb.total.total_bits,
+        "{what}: bit counts differ"
+    );
+    assert_eq!(
+        ma.per_level_rounds, mb.per_level_rounds,
+        "{what}: per-level rounds differ"
+    );
+    assert_eq!(
+        ma.coordination_rounds, mb.coordination_rounds,
+        "{what}: coordination rounds differ"
+    );
+    assert_eq!(
+        ma.max_broadcasts_single_level, mb.max_broadcasts_single_level,
+        "{what}: Lemma 3.4 stat differs"
+    );
+    assert_eq!(
+        ma.max_broadcasts_total, mb.max_broadcasts_total,
+        "{what}: total broadcast stat differs"
+    );
+}
+
+#[test]
+fn threads_do_not_change_outputs_on_random_graphs() {
+    for seed in [3u64, 17, 40] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::gnp_connected(72, 0.1, Weights::Uniform { lo: 1, hi: 32 }, &mut rng);
+        let sources: Vec<bool> = (0..g.len()).map(|i| i % 5 == 0).collect();
+        let seq = run(&g, &sources, 1);
+        for threads in [2, 4, 9] {
+            let par = run(&g, &sources, threads);
+            assert_identical(&seq, &par, &format!("seed {seed}, {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    // Same inputs → same outputs, run to run, for both the sequential and
+    // the parallel path (no hidden global state, no map-iteration order).
+    let mut rng = SmallRng::seed_from_u64(8);
+    let g = gen::gnp_connected(64, 0.12, Weights::Uniform { lo: 1, hi: 48 }, &mut rng);
+    let sources: Vec<bool> = (0..g.len()).map(|i| i % 3 == 0).collect();
+    for threads in [1, 4] {
+        let a = run(&g, &sources, threads);
+        let b = run(&g, &sources, threads);
+        assert_identical(&a, &b, &format!("repeat with {threads} threads"));
+    }
+}
+
+#[test]
+fn auto_threads_matches_sequential() {
+    // threads = 0 (available_parallelism) must agree with threads = 1.
+    let mut rng = SmallRng::seed_from_u64(21);
+    let g = gen::grid(6, 6, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+    let sources: Vec<bool> = (0..g.len()).map(|i| i % 4 == 1).collect();
+    let auto = run(&g, &sources, 0);
+    let seq = run(&g, &sources, 1);
+    assert_identical(&auto, &seq, "auto vs sequential");
+}

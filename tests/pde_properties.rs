@@ -93,10 +93,11 @@ proptest! {
         let n = g.len();
         let sources: Vec<bool> = (0..n).map(|i| i < 3).collect();
         let out = run_pde(&g, &sources, &vec![false; n], &PdeParams::new(n as u64, 3, 0.5));
+        let topo = g.to_topology();
         for v in g.nodes() {
             for e in &out.lists[v.index()] {
                 if e.src == v { continue; }
-                let (path, w) = out.trace_route(&g, v, e.src)
+                let (path, w) = out.trace_route(&topo, v, e.src)
                     .map_err(TestCaseError::fail)?;
                 prop_assert_eq!(*path.last().unwrap(), e.src);
                 prop_assert!(w <= e.est);
