@@ -1,7 +1,7 @@
 //! Link-state (OSPF-style) baseline: flood the topology, solve locally.
 
 use congest::{bits_for, Config, Ctx, Message, Metrics, NodeId, Program, Runtime};
-use graphs::algo::{apsp, Apsp};
+use graphs::algo::{apsp_with_first_hops, Apsp};
 use graphs::WGraph;
 use std::collections::{BTreeSet, VecDeque};
 
@@ -60,6 +60,10 @@ fn ctx_arcs(ctx: &Ctx<'_, Lsa>) -> Vec<(u32, NodeId, u64, u64)> {
 pub struct FloodResult {
     /// Exact APSP computed locally from the collected topology.
     pub apsp: Apsp,
+    /// Exact first hops (`first_hops[u·n + v]`; `u32::MAX` on the
+    /// diagonal), from the same local Dijkstra sweep — what an OSPF node
+    /// actually installs in its forwarding table.
+    pub first_hops: Vec<u32>,
     /// Simulator metrics (`rounds ∈ Θ(m + D)`; storage per node `Θ(m)`).
     pub metrics: Metrics,
     /// Link-state database size per node (edges stored) — the `Θ(m)`
@@ -95,8 +99,10 @@ pub fn flooding_apsp(g: &WGraph) -> FloodResult {
             "node {i} missed link-state advertisements"
         );
     }
+    let (apsp, first_hops) = apsp_with_first_hops(g);
     FloodResult {
-        apsp: apsp(g),
+        apsp,
+        first_hops,
         metrics,
         lsdb_edges: g.num_edges(),
     }
@@ -105,6 +111,7 @@ pub fn flooding_apsp(g: &WGraph) -> FloodResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphs::algo::apsp;
     use graphs::gen::{self, Weights};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;

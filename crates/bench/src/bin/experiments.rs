@@ -3,20 +3,31 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin experiments            # all
-//! cargo run --release -p bench --bin experiments -- e1 e4   # selected
-//! cargo run --release -p bench --bin experiments -- quick   # reduced sizes
-//! cargo run --release -p bench --bin experiments -- --smoke # CI bench smoke
+//! cargo run --release -p bench --bin experiments                    # all
+//! cargo run --release -p bench --bin experiments -- e1 e4           # selected
+//! cargo run --release -p bench --bin experiments -- quick           # reduced sizes
+//! cargo run --release -p bench --bin experiments -- --smoke         # CI bench smoke
+//! cargo run --release -p bench --bin experiments -- oracles         # DistanceOracle table
+//! cargo run --release -p bench --bin experiments -- oracles --smoke # CI oracle smoke
 //! ```
 
 use bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Oracle smoke for CI: build every backend at a tiny size, print the
+    // unified table, and fail loudly if any backend's save/load snapshot
+    // stops answering bit-identically.
+    if smoke && args.iter().any(|a| a == "oracles") {
+        println!("{}", oracles_roundtrip_check(24, 0x5EED));
+        println!("smoke ok: all backends round-trip through save/load");
+        return;
+    }
     // Bench smoke for CI: run the E10 throughput table at tiny sizes so
     // the perf harness itself is exercised on every push, and fail loudly
     // if the sequential/parallel outputs ever diverge.
-    if args.iter().any(|a| a == "--smoke") {
+    if smoke {
         let table = e10_simulator(&[64, 128], 1, E10_SEED);
         println!("{table}");
         let seq = e10_run(128, 1, E10_SEED);
@@ -90,5 +101,8 @@ fn main() {
             &[1024, 4096, 16384]
         };
         println!("{}", e10_simulator(sizes, 0, E10_SEED));
+    }
+    if want("oracles") {
+        println!("{}", oracles(if quick { 24 } else { 48 }, seed));
     }
 }

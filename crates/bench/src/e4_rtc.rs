@@ -4,6 +4,7 @@
 use crate::table::{f, Table};
 use crate::workloads;
 use graphs::algo::{apsp, hop_diameter};
+use graphs::Seed;
 use routing::{build_rtc, evaluate, PairSelection, RtcParams};
 
 /// Sweeps `k` and `n` on G(n,p); reports build rounds against the
@@ -32,7 +33,7 @@ pub fn e4_rtc(sizes: &[usize], ks: &[u32], seed: u64) -> Table {
         let d = hop_diameter(&g);
         for &k in ks {
             let mut params = RtcParams::new(k);
-            params.seed = seed ^ u64::from(k);
+            params.seed = Seed(seed ^ u64::from(k));
             let scheme = build_rtc(&g, &params);
             let pairs = if n <= 40 {
                 PairSelection::All

@@ -6,6 +6,7 @@ use crate::workloads;
 use baselines::ExactTz;
 use compact::{build_hierarchy, CompactParams};
 use graphs::algo::apsp;
+use graphs::Seed;
 use routing::{evaluate, PairSelection};
 
 /// Sweeps `k` on a fixed G(n,p); reports table entries against
@@ -41,7 +42,7 @@ pub fn e5_compact(n: usize, ks: &[u32], seed: u64) -> Table {
     };
     for &k in ks {
         let mut params = CompactParams::new(k);
-        params.seed = seed ^ u64::from(k);
+        params.seed = Seed(seed ^ u64::from(k));
         params.c = 1.5;
         let scheme = build_hierarchy(&g, &params);
         let report = evaluate(&g, &scheme, &exact, pairs);

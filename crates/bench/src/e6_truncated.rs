@@ -5,6 +5,7 @@ use crate::table::{f, Table};
 use crate::workloads;
 use compact::{build_driver, build_truncated, CompactParams, UpperMode};
 use graphs::algo::{apsp, hop_diameter};
+use graphs::Seed;
 use routing::{evaluate, PairSelection};
 
 /// On a small-diameter G(n,p) and a large-diameter dumbbell, builds the
@@ -37,7 +38,7 @@ pub fn e6_truncated(n: usize, k: u32, seed: u64) -> Table {
             }
         };
         let mut params = CompactParams::new(k);
-        params.seed = seed;
+        params.seed = Seed(seed);
         for l0 in 1..k {
             for mode in [UpperMode::Simulated, UpperMode::Local] {
                 let scheme = build_truncated(g, &params, l0, mode);

@@ -3,6 +3,7 @@
 
 use crate::table::{f, Table};
 use crate::workloads;
+use graphs::Seed;
 use routing::{build_rtc, RtcParams};
 
 /// Builds the Theorem 4.5 scheme across sizes and measures the detection
@@ -26,7 +27,7 @@ pub fn e7_trees(sizes: &[usize], k: u32, seed: u64) -> Table {
     for &n in sizes {
         let g = workloads::gnp(n, seed);
         let mut params = RtcParams::new(k);
-        params.seed = seed;
+        params.seed = Seed(seed);
         let scheme = build_rtc(&g, &params);
         let max_depth = scheme
             .trees

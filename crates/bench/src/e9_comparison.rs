@@ -6,6 +6,7 @@ use crate::workloads;
 use baselines::{bellman_ford_apsp, flooding_apsp};
 use compact::{build_hierarchy, CompactParams};
 use graphs::algo::{apsp, hop_diameter};
+use graphs::Seed;
 use pde_core::approx_apsp;
 use routing::{build_rtc, evaluate, PairSelection, RtcParams};
 
@@ -90,7 +91,7 @@ pub fn e9_comparison(sizes: &[usize], seed: u64) -> Table {
         );
 
         let mut rp = RtcParams::new(2);
-        rp.seed = seed;
+        rp.seed = Seed(seed);
         let rtc = build_rtc(g, &rp);
         let rr = evaluate(g, &rtc, &exact, pairs);
         push(
@@ -101,7 +102,7 @@ pub fn e9_comparison(sizes: &[usize], seed: u64) -> Table {
         );
 
         let mut cp = CompactParams::new(2);
-        cp.seed = seed;
+        cp.seed = Seed(seed);
         cp.c = 1.5;
         let comp = build_hierarchy(g, &cp);
         let cr = evaluate(g, &comp, &exact, pairs);

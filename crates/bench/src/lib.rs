@@ -22,6 +22,7 @@ mod e6_truncated;
 mod e7_trees;
 mod e8_spanner;
 mod e9_comparison;
+mod oracles;
 
 pub use e10_simulator::{e10_run, e10_simulator, SimRun, E10_SEED};
 pub use e1_apsp::e1_apsp;
@@ -33,4 +34,5 @@ pub use e6_truncated::e6_truncated;
 pub use e7_trees::e7_trees;
 pub use e8_spanner::e8_spanner;
 pub use e9_comparison::e9_comparison;
+pub use oracles::{oracles, oracles_roundtrip_check};
 pub use table::Table;

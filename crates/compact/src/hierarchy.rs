@@ -1,10 +1,8 @@
 //! The per-level hierarchy construction (Lemma 4.7 / Theorem 4.8).
 
-use congest::{bits_for, Metrics, NodeId, Topology};
-use graphs::WGraph;
+use congest::{label_record_bits, Metrics, NodeId, Topology};
+use graphs::{Seed, WGraph};
 use pde_core::{run_pde, PdeParams, RouteTable};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use treeroute::{label_forest, TreeSet};
 
 use crate::levels::{level_flags, sample_levels};
@@ -29,7 +27,7 @@ pub struct CompactParams {
     /// Constant `c` in horizons and list sizes.
     pub c: f64,
     /// RNG seed for level sampling.
-    pub seed: u64,
+    pub seed: Seed,
     /// Horizon selection (Lemma 4.7 vs Theorem 4.8).
     pub horizon: HorizonMode,
 }
@@ -41,7 +39,7 @@ impl CompactParams {
             k,
             eps: 0.25,
             c: 2.0,
-            seed: 0xBEEF,
+            seed: Seed(0xBEEF),
             horizon: HorizonMode::Lemma47,
         }
     }
@@ -59,14 +57,17 @@ pub struct CompactLabel {
 }
 
 impl CompactLabel {
-    /// Semantic label size in bits.
+    /// Semantic label size in bits: the node's own id plus one
+    /// `(pivot id, distance, DFS index)` record per level, via the shared
+    /// [`congest::label_record_bits`] formula.
     pub fn bits(&self, n: usize) -> usize {
-        let id = bits_for(n as u64);
-        id + self
-            .pivots
-            .iter()
-            .map(|&(_, d, f)| id + bits_for(d + 1) + bits_for(f + 1))
-            .sum::<usize>()
+        let n = n as u64;
+        label_record_bits(n, 1, &[])
+            + self
+                .pivots
+                .iter()
+                .map(|&(_, d, f)| label_record_bits(n, 1, &[d, f]))
+                .sum::<usize>()
     }
 }
 
@@ -113,6 +114,14 @@ pub struct CompactScheme {
     pub metrics: CompactBuildMetrics,
 }
 
+impl CompactScheme {
+    /// The topology the scheme was built on (shared with route tracing
+    /// and snapshot serialization, so callers need no separate copy).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
 /// Traces the chain `from → to` through a route map (panics loudly on a
 /// broken invariant, as in the `routing` crate).
 pub(crate) fn trace_chain(
@@ -150,10 +159,9 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
     let k = params.k;
     assert!(k >= 1, "k must be ≥ 1");
     let topo = g.to_topology();
-    let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut total = Metrics::new(n);
 
-    let (levels, sample_attempts) = sample_levels(n, k, &mut rng);
+    let (levels, sample_attempts) = sample_levels(n, k, params.seed);
     let level_sizes: Vec<usize> = (0..k)
         .map(|l| levels.iter().filter(|&&lv| lv >= l).count())
         .collect();

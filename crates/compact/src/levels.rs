@@ -1,20 +1,23 @@
 //! Geometric level sampling for the Thorup–Zwick hierarchy.
 
 use congest::NodeId;
+use graphs::Seed;
 use rand::Rng;
 
 /// Samples a level for every node: `Pr[level(v) ≥ l] = n^{−l/k}` for
 /// `l ∈ {0, …, k−1}` (Section 4.3, step 1), retrying with fresh coins
 /// until the top set `S_{k−1}` is nonempty (the paper conditions on this
-/// w.h.p. event).
+/// w.h.p. event). The coins come from `seed`'s own stream, so the levels
+/// are a pure function of `(n, k, seed)`.
 ///
 /// Returns `(levels, attempts)`.
 ///
 /// # Panics
 ///
 /// Panics if `k == 0` or after 1000 failed attempts.
-pub fn sample_levels<R: Rng + ?Sized>(n: usize, k: u32, rng: &mut R) -> (Vec<u32>, u32) {
+pub fn sample_levels(n: usize, k: u32, seed: Seed) -> (Vec<u32>, u32) {
     assert!(k >= 1, "k must be ≥ 1");
+    let mut rng = seed.rng();
     let p = (n as f64).powf(-1.0 / f64::from(k));
     for attempt in 1..=1000 {
         let levels: Vec<u32> = (0..n)
@@ -51,13 +54,10 @@ pub fn level_flags(levels: &[u32], l: u32) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn levels_are_nested() {
-        let mut rng = SmallRng::seed_from_u64(3);
-        let (levels, _) = sample_levels(200, 4, &mut rng);
+        let (levels, _) = sample_levels(200, 4, Seed(3));
         for l in 1..4 {
             let upper = level_set(&levels, l);
             let lower = level_set(&levels, l - 1);
@@ -72,17 +72,22 @@ mod tests {
 
     #[test]
     fn top_level_nonempty() {
-        let mut rng = SmallRng::seed_from_u64(4);
-        for _ in 0..20 {
-            let (levels, _) = sample_levels(50, 3, &mut rng);
+        for s in 0..20u64 {
+            let (levels, _) = sample_levels(50, 3, Seed(4).derive(s));
             assert!(!level_set(&levels, 2).is_empty());
         }
     }
 
     #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let (a, _) = sample_levels(100, 3, Seed(11));
+        let (b, _) = sample_levels(100, 3, Seed(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn set_sizes_shrink_geometrically() {
-        let mut rng = SmallRng::seed_from_u64(5);
-        let (levels, _) = sample_levels(10_000, 2, &mut rng);
+        let (levels, _) = sample_levels(10_000, 2, Seed(5));
         let s1 = level_set(&levels, 1).len();
         // E[|S_1|] = 10000^{1/2} = 100.
         assert!((40..=220).contains(&s1), "|S_1| = {s1} far from 100");
@@ -90,8 +95,7 @@ mod tests {
 
     #[test]
     fn k1_is_trivial() {
-        let mut rng = SmallRng::seed_from_u64(6);
-        let (levels, attempts) = sample_levels(10, 1, &mut rng);
+        let (levels, attempts) = sample_levels(10, 1, Seed(6));
         assert!(levels.iter().all(|&l| l == 0));
         assert_eq!(attempts, 1);
     }

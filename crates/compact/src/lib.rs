@@ -29,6 +29,7 @@ pub mod driver;
 pub mod hierarchy;
 pub mod levels;
 pub mod query;
+pub mod snapshot;
 pub mod truncated;
 
 pub use driver::{build_driver, DriverChoice};

@@ -124,6 +124,7 @@ impl RoutingScheme for CompactScheme {
 mod tests {
     use crate::hierarchy::{build_hierarchy, CompactParams};
     use graphs::gen::{self, Weights};
+    use graphs::Seed;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use routing::RoutingScheme;
@@ -145,7 +146,7 @@ mod tests {
         let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 10 }, &mut rng);
         for k in [1u32, 2, 3] {
             let mut p = CompactParams::new(k);
-            p.seed = 99;
+            p.seed = Seed(99);
             let scheme = build_hierarchy(&g, &p);
             for v in g.nodes() {
                 assert_eq!(scheme.label(v).pivots.len(), (k - 1) as usize);

@@ -1,0 +1,507 @@
+//! Binary snapshot codecs for the compact hierarchies (Theorems 4.8 and
+//! 4.13), using the handwritten little-endian framing of
+//! [`congest::wire`].
+//!
+//! As with the `routing` scheme codec: all hash tables are written in
+//! sorted key order, so reload → re-save is byte-identical and reloaded
+//! schemes answer queries bit-identically to the originals. Build metrics
+//! are persisted in summary form (round/message totals and per-stage
+//! breakdowns); bounded per-round histories are not.
+
+use crate::hierarchy::{CompactBuildMetrics, CompactLabel, CompactScheme};
+use crate::truncated::{TruncLabel, TruncatedMetrics, TruncatedScheme, UpperPivot};
+use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
+use congest::{Metrics, NodeId, Topology};
+use graphs::WGraph;
+use pde_core::snapshot::{read_route_tables, validate_route_tables, write_route_tables};
+use pde_core::RouteTable;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use treeroute::TreeSet;
+
+fn write_route_table_runs(sink: &mut dyn Write, runs: &[Vec<RouteTable>]) -> io::Result<()> {
+    WireWriter::new(sink).len(runs.len())?;
+    for run in runs {
+        write_route_tables(sink, run)?;
+    }
+    Ok(())
+}
+
+fn read_route_table_runs(source: &mut dyn Read) -> io::Result<Vec<Vec<RouteTable>>> {
+    let count = WireReader::new(source).len(1 << 32)?;
+    let mut runs = Vec::with_capacity(clamped_capacity(count));
+    for _ in 0..count {
+        runs.push(read_route_tables(source)?);
+    }
+    Ok(runs)
+}
+
+fn write_tree_sets(sink: &mut dyn Write, sets: &[TreeSet]) -> io::Result<()> {
+    WireWriter::new(sink).len(sets.len())?;
+    for set in sets {
+        set.write_into(sink)?;
+    }
+    Ok(())
+}
+
+fn read_tree_sets(source: &mut dyn Read) -> io::Result<Vec<TreeSet>> {
+    let count = WireReader::new(source).len(1 << 32)?;
+    let mut sets = Vec::with_capacity(clamped_capacity(count));
+    for _ in 0..count {
+        sets.push(TreeSet::read_from(source)?);
+    }
+    Ok(sets)
+}
+
+fn write_u64_seq(w: &mut WireWriter<'_>, xs: &[u64]) -> io::Result<()> {
+    w.len(xs.len())?;
+    for &x in xs {
+        w.u64(x)?;
+    }
+    Ok(())
+}
+
+fn read_u64_seq(r: &mut WireReader<'_>) -> io::Result<Vec<u64>> {
+    let n = r.len(1 << 32)?;
+    let mut xs = Vec::with_capacity(clamped_capacity(n));
+    for _ in 0..n {
+        xs.push(r.u64()?);
+    }
+    Ok(xs)
+}
+
+/// `(node index, source index) → value` maps of the truncated upper
+/// levels, written in sorted key order.
+fn write_pair_map(w: &mut WireWriter<'_>, map: &HashMap<(usize, usize), u64>) -> io::Result<()> {
+    let mut entries: Vec<((usize, usize), u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable();
+    w.len(entries.len())?;
+    for ((a, b), v) in entries {
+        w.usize(a)?;
+        w.usize(b)?;
+        w.u64(v)?;
+    }
+    Ok(())
+}
+
+fn read_pair_map(r: &mut WireReader<'_>) -> io::Result<HashMap<(usize, usize), u64>> {
+    let n = r.len(1 << 32)?;
+    let mut map = HashMap::with_capacity(clamped_capacity(n));
+    for _ in 0..n {
+        let a = r.usize()?;
+        let b = r.usize()?;
+        map.insert((a, b), r.u64()?);
+    }
+    Ok(map)
+}
+
+impl CompactScheme {
+    /// Serializes the hierarchy's full query state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.topo.write_into(sink)?;
+        let mut w = WireWriter::new(sink);
+        w.u32(self.k)?;
+        w.len(self.levels.len())?;
+        for &l in &self.levels {
+            w.u32(l)?;
+        }
+        w.len(self.bunch_sizes.len())?;
+        for &b in &self.bunch_sizes {
+            w.usize(b)?;
+        }
+        w.len(self.labels.len())?;
+        for label in &self.labels {
+            w.u32(label.id.0)?;
+            w.len(label.pivots.len())?;
+            for &(s, d, f) in &label.pivots {
+                w.u32(s.0)?;
+                w.u64(d)?;
+                w.u64(f)?;
+            }
+        }
+        write_route_table_runs(sink, &self.routes)?;
+        write_tree_sets(sink, &self.trees)?;
+        let mut w = WireWriter::new(sink);
+        let mt = &self.metrics;
+        w.u64(mt.total_rounds)?;
+        write_u64_seq(&mut w, &mt.per_level_rounds)?;
+        w.u64(mt.tree_label_rounds)?;
+        w.u64(mt.total.rounds)?;
+        w.u64(mt.total.messages)?;
+        w.len(mt.level_sizes.len())?;
+        for &s in &mt.level_sizes {
+            w.usize(s)?;
+        }
+        w.u32(mt.sample_attempts)?;
+        write_u64_seq(&mut w, &mt.horizons)?;
+        w.usize(mt.sigma)?;
+        Ok(())
+    }
+
+    /// Deserializes a hierarchy written by [`CompactScheme::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        let topo = Topology::read_from(source)?;
+        let n = topo.len();
+        let mut r = WireReader::new(source);
+        let k = r.u32()?;
+        if k == 0 {
+            return Err(invalid_data("compact snapshot with k = 0"));
+        }
+        // Shape checks: queries index levels[v], routes[l][v],
+        // labels[v].pivots[l-1] and trees[l-1], so all per-node tables
+        // must cover every node and all per-level tables every level —
+        // a short table must fail here, not at query time.
+        let num_levels = r.len(n)?;
+        if num_levels != n {
+            return Err(invalid_data("compact level table shorter than n"));
+        }
+        let mut levels = Vec::with_capacity(clamped_capacity(num_levels));
+        for _ in 0..num_levels {
+            levels.push(r.u32()?);
+        }
+        let nb = r.len(n)?;
+        if nb != n {
+            return Err(invalid_data("compact bunch table shorter than n"));
+        }
+        let mut bunch_sizes = Vec::with_capacity(clamped_capacity(nb));
+        for _ in 0..nb {
+            bunch_sizes.push(r.usize()?);
+        }
+        let nl = r.len(n)?;
+        if nl != n {
+            return Err(invalid_data("compact label table shorter than n"));
+        }
+        let mut labels = Vec::with_capacity(clamped_capacity(nl));
+        for _ in 0..nl {
+            let id = NodeId(r.u32()?);
+            let np = r.len(n)?;
+            if np != (k - 1) as usize {
+                return Err(invalid_data("compact label pivot count mismatch"));
+            }
+            let mut pivots = Vec::with_capacity(clamped_capacity(np));
+            for _ in 0..np {
+                let s = NodeId(r.u32()?);
+                let d = r.u64()?;
+                let f = r.u64()?;
+                pivots.push((s, d, f));
+            }
+            labels.push(CompactLabel { id, pivots });
+        }
+        let routes = read_route_table_runs(source)?;
+        if routes.len() != k as usize {
+            return Err(invalid_data("compact route run shape mismatch"));
+        }
+        for run in &routes {
+            validate_route_tables(run, &topo)?;
+        }
+        let trees = read_tree_sets(source)?;
+        if trees.len() != (k - 1) as usize {
+            return Err(invalid_data("compact tree set count mismatch"));
+        }
+        let mut r = WireReader::new(source);
+        let total_rounds = r.u64()?;
+        let per_level_rounds = read_u64_seq(&mut r)?;
+        let tree_label_rounds = r.u64()?;
+        let mut total = Metrics::new(n);
+        total.rounds = r.u64()?;
+        total.messages = r.u64()?;
+        let ns = r.len(n)?;
+        let mut level_sizes = Vec::with_capacity(clamped_capacity(ns));
+        for _ in 0..ns {
+            level_sizes.push(r.usize()?);
+        }
+        let sample_attempts = r.u32()?;
+        let horizons = read_u64_seq(&mut r)?;
+        let sigma = r.usize()?;
+        Ok(CompactScheme {
+            topo,
+            k,
+            levels,
+            routes,
+            bunch_sizes,
+            trees,
+            labels,
+            metrics: CompactBuildMetrics {
+                total_rounds,
+                per_level_rounds,
+                tree_label_rounds,
+                total,
+                level_sizes,
+                sample_attempts,
+                horizons,
+                sigma,
+            },
+        })
+    }
+}
+
+impl TruncatedScheme {
+    /// Serializes the truncated scheme's full query state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.topo.write_into(sink)?;
+        let mut w = WireWriter::new(sink);
+        w.u32(self.l0)?;
+        w.len(self.skel_ids.len())?;
+        for &s in &self.skel_ids {
+            w.u32(s.0)?;
+        }
+        write_route_table_runs(sink, &self.lower_routes)?;
+        write_route_tables(sink, &self.base_routes)?;
+        self.gt_graph.write_into(sink)?;
+        let mut w = WireWriter::new(sink);
+        w.len(self.upper_est.len())?;
+        for map in &self.upper_est {
+            write_pair_map(&mut w, map)?;
+        }
+        w.len(self.upper_next.len())?;
+        for map in &self.upper_next {
+            let as_u64: HashMap<(usize, usize), u64> =
+                map.iter().map(|(&k, &v)| (k, v as u64)).collect();
+            write_pair_map(&mut w, &as_u64)?;
+        }
+        write_tree_sets(sink, &self.lower_trees)?;
+        self.base_trees.write_into(sink)?;
+        let mut w = WireWriter::new(sink);
+        w.len(self.labels.len())?;
+        for label in &self.labels {
+            w.u32(label.id.0)?;
+            w.len(label.lower.len())?;
+            for &(s, d, f) in &label.lower {
+                w.u32(s.0)?;
+                w.u64(d)?;
+                w.u64(f)?;
+            }
+            w.len(label.upper.len())?;
+            for up in &label.upper {
+                w.u32(up.pivot.0)?;
+                w.u64(up.est)?;
+                w.u32(up.t_star.0)?;
+                w.u64(up.est_base)?;
+                w.u64(up.base_dfs)?;
+            }
+        }
+        w.len(self.bunch_sizes.len())?;
+        for &b in &self.bunch_sizes {
+            w.usize(b)?;
+        }
+        let mt = &self.metrics;
+        w.u64(mt.total_rounds)?;
+        w.u64(mt.lower_rounds)?;
+        w.u64(mt.base_rounds)?;
+        w.u64(mt.upper_rounds)?;
+        w.u64(mt.tree_label_rounds)?;
+        w.u64(mt.total.rounds)?;
+        w.u64(mt.total.messages)?;
+        w.usize(mt.skeleton_size)?;
+        w.usize(mt.gt_edges)?;
+        Ok(())
+    }
+
+    /// Deserializes a scheme written by [`TruncatedScheme::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        let topo = Topology::read_from(source)?;
+        let n = topo.len();
+        let mut r = WireReader::new(source);
+        let l0 = r.u32()?;
+        if l0 == 0 {
+            return Err(invalid_data("truncated snapshot with l0 = 0"));
+        }
+        let m = r.len(n)?;
+        let mut skel_ids = Vec::with_capacity(clamped_capacity(m));
+        for _ in 0..m {
+            skel_ids.push(NodeId(r.u32()?));
+        }
+        // Shape checks mirror the query paths: lower_routes[l][v] for
+        // l < l0, base_routes[v], labels[v] with l0−1 lower and
+        // |upper_est| upper records — short tables fail here, not at
+        // query time.
+        let lower_routes = read_route_table_runs(source)?;
+        if lower_routes.len() != l0 as usize {
+            return Err(invalid_data("truncated lower route shape mismatch"));
+        }
+        for run in &lower_routes {
+            validate_route_tables(run, &topo)?;
+        }
+        let base_routes = read_route_tables(source)?;
+        validate_route_tables(&base_routes, &topo)?;
+        let gt_graph = WGraph::read_from(source)?;
+        if gt_graph.len() != m.max(1) {
+            return Err(invalid_data("truncated skeleton graph size mismatch"));
+        }
+        let mut r = WireReader::new(source);
+        let ne = r.len(1 << 32)?;
+        let mut upper_est = Vec::with_capacity(clamped_capacity(ne));
+        for _ in 0..ne {
+            upper_est.push(read_pair_map(&mut r)?);
+        }
+        let nn = r.len(1 << 32)?;
+        if nn != ne {
+            return Err(invalid_data("truncated upper map count mismatch"));
+        }
+        let mut upper_next = Vec::with_capacity(clamped_capacity(nn));
+        for _ in 0..nn {
+            let raw = read_pair_map(&mut r)?;
+            let mut map = HashMap::with_capacity(clamped_capacity(raw.len()));
+            for (k, v) in raw {
+                map.insert(
+                    k,
+                    usize::try_from(v).map_err(|_| invalid_data("upper_next overflow"))?,
+                );
+            }
+            upper_next.push(map);
+        }
+        let lower_trees = read_tree_sets(source)?;
+        if lower_trees.len() != (l0 - 1) as usize {
+            return Err(invalid_data("truncated lower tree count mismatch"));
+        }
+        let base_trees = TreeSet::read_from(source)?;
+        let mut r = WireReader::new(source);
+        let nl = r.len(n)?;
+        if nl != n {
+            return Err(invalid_data("truncated label table shorter than n"));
+        }
+        let mut labels = Vec::with_capacity(clamped_capacity(nl));
+        for _ in 0..nl {
+            let id = NodeId(r.u32()?);
+            let lo = r.len(n)?;
+            if lo != (l0 - 1) as usize {
+                return Err(invalid_data("truncated label lower count mismatch"));
+            }
+            let mut lower = Vec::with_capacity(clamped_capacity(lo));
+            for _ in 0..lo {
+                let s = NodeId(r.u32()?);
+                let d = r.u64()?;
+                let f = r.u64()?;
+                lower.push((s, d, f));
+            }
+            let hi = r.len(n)?;
+            if hi != ne {
+                return Err(invalid_data("truncated label upper count mismatch"));
+            }
+            let mut upper = Vec::with_capacity(clamped_capacity(hi));
+            for _ in 0..hi {
+                upper.push(UpperPivot {
+                    pivot: NodeId(r.u32()?),
+                    est: r.u64()?,
+                    t_star: NodeId(r.u32()?),
+                    est_base: r.u64()?,
+                    base_dfs: r.u64()?,
+                });
+            }
+            labels.push(TruncLabel { id, lower, upper });
+        }
+        let nb = r.len(n)?;
+        if nb != n {
+            return Err(invalid_data("truncated bunch table shorter than n"));
+        }
+        let mut bunch_sizes = Vec::with_capacity(clamped_capacity(nb));
+        for _ in 0..nb {
+            bunch_sizes.push(r.usize()?);
+        }
+        let total_rounds = r.u64()?;
+        let lower_rounds = r.u64()?;
+        let base_rounds = r.u64()?;
+        let upper_rounds = r.u64()?;
+        let tree_label_rounds = r.u64()?;
+        let mut total = Metrics::new(n);
+        total.rounds = r.u64()?;
+        total.messages = r.u64()?;
+        let skeleton_size = r.usize()?;
+        let gt_edges = r.usize()?;
+        let skel_index: HashMap<NodeId, usize> =
+            skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        Ok(TruncatedScheme {
+            topo,
+            l0,
+            lower_routes,
+            base_routes,
+            skel_ids,
+            skel_index,
+            gt_graph,
+            upper_est,
+            upper_next,
+            lower_trees,
+            base_trees,
+            labels,
+            bunch_sizes,
+            metrics: TruncatedMetrics {
+                total_rounds,
+                lower_rounds,
+                base_rounds,
+                upper_rounds,
+                tree_label_rounds,
+                total,
+                skeleton_size,
+                gt_edges,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{build_hierarchy, CompactParams};
+    use crate::truncated::{build_truncated, UpperMode};
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use routing::RoutingScheme;
+
+    fn assert_query_identical<S: RoutingScheme>(g: &WGraph, a: &S, b: &S) {
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(a.estimate(u, v), b.estimate(u, v), "({u},{v})");
+                assert_eq!(a.next_hop(u, v), b.next_hop(u, v), "({u},{v})");
+            }
+            assert_eq!(a.label_bits(u), b.label_bits(u));
+            assert_eq!(a.table_entries(u), b.table_entries(u));
+        }
+    }
+
+    #[test]
+    fn hierarchy_snapshot_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+        let scheme = build_hierarchy(&g, &CompactParams::new(3));
+        let mut buf = Vec::new();
+        scheme.write_into(&mut buf).unwrap();
+        let back = CompactScheme::read_from(&mut &buf[..]).unwrap();
+        assert_query_identical(&g, &scheme, &back);
+        let mut buf2 = Vec::new();
+        back.write_into(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn truncated_snapshot_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(45);
+        let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+        for mode in [UpperMode::Local, UpperMode::Simulated] {
+            let scheme = build_truncated(&g, &CompactParams::new(2), 1, mode);
+            let mut buf = Vec::new();
+            scheme.write_into(&mut buf).unwrap();
+            let back = TruncatedScheme::read_from(&mut &buf[..]).unwrap();
+            assert_query_identical(&g, &scheme, &back);
+            let mut buf2 = Vec::new();
+            back.write_into(&mut buf2).unwrap();
+            assert_eq!(buf, buf2, "{mode:?}");
+        }
+    }
+}

@@ -21,11 +21,9 @@
 
 use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
-use congest::{bits_for, Message, Metrics, NodeId, Topology};
+use congest::{bits_for, label_record_bits, Message, Metrics, NodeId, Topology};
 use graphs::{WGraph, INF};
 use pde_core::{run_pde, PdeParams, RouteTable};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use routing::RoutingScheme;
 use std::collections::HashMap;
 use treeroute::{label_forest, TreeSet};
@@ -83,23 +81,22 @@ pub struct TruncLabel {
 }
 
 impl TruncLabel {
-    /// Semantic size in bits.
+    /// Semantic size in bits: own id, one `(pivot, dist, dfs)` record per
+    /// lower level and one `(pivot, connector, est, est_base, dfs)` record
+    /// per upper level — all via the shared
+    /// [`congest::label_record_bits`] formula.
     pub fn bits(&self, n: usize) -> usize {
-        let id = bits_for(n as u64);
-        id + self
-            .lower
-            .iter()
-            .map(|&(_, d, f)| id + bits_for(d + 1) + bits_for(f + 1))
-            .sum::<usize>()
+        let n = n as u64;
+        label_record_bits(n, 1, &[])
+            + self
+                .lower
+                .iter()
+                .map(|&(_, d, f)| label_record_bits(n, 1, &[d, f]))
+                .sum::<usize>()
             + self
                 .upper
                 .iter()
-                .map(|u| {
-                    2 * id
-                        + bits_for(u.est + 1)
-                        + bits_for(u.est_base + 1)
-                        + bits_for(u.base_dfs + 1)
-                })
+                .map(|u| label_record_bits(n, 2, &[u.est, u.est_base, u.base_dfs]))
                 .sum::<usize>()
     }
 }
@@ -129,27 +126,27 @@ pub struct TruncatedMetrics {
 /// The truncated compact scheme (Theorem 4.13 / Corollary 4.14).
 #[derive(Debug)]
 pub struct TruncatedScheme {
-    topo: Topology,
-    l0: u32,
+    pub(crate) topo: Topology,
+    pub(crate) l0: u32,
     /// Lower-level PDE route archives, `runs[l]` for `l < l0`.
-    lower_routes: Vec<Vec<RouteTable>>,
+    pub(crate) lower_routes: Vec<Vec<RouteTable>>,
     /// `(S_{l0}, h_{l0}, |S_{l0}|)` route archive.
-    base_routes: Vec<RouteTable>,
-    skel_ids: Vec<NodeId>,
-    skel_index: HashMap<NodeId, usize>,
+    pub(crate) base_routes: Vec<RouteTable>,
+    pub(crate) skel_ids: Vec<NodeId>,
+    pub(crate) skel_index: HashMap<NodeId, usize>,
     /// `G̃(l0)` in skeleton-index space.
-    gt_graph: WGraph,
+    pub(crate) gt_graph: WGraph,
     /// Per upper level `j = l − l0`: `(node index, source index) → est`.
-    upper_est: Vec<HashMap<(usize, usize), u64>>,
+    pub(crate) upper_est: Vec<HashMap<(usize, usize), u64>>,
     /// Per upper level: `(from index, source index) → next index` chains.
-    upper_next: Vec<HashMap<(usize, usize), usize>>,
+    pub(crate) upper_next: Vec<HashMap<(usize, usize), usize>>,
     /// Lower pivot trees (levels `1..l0`).
-    lower_trees: Vec<TreeSet>,
+    pub(crate) lower_trees: Vec<TreeSet>,
     /// Base trees `T^base_t` (descent of the last segment).
-    base_trees: TreeSet,
+    pub(crate) base_trees: TreeSet,
     /// Per-node labels.
     pub labels: Vec<TruncLabel>,
-    bunch_sizes: Vec<usize>,
+    pub(crate) bunch_sizes: Vec<usize>,
     /// Build metrics.
     pub metrics: TruncatedMetrics,
 }
@@ -174,10 +171,9 @@ pub fn build_truncated(
     assert!(k >= 2, "truncation needs k ≥ 2");
     assert!((1..k).contains(&l0), "l0 must be in 1..k");
     let topo = g.to_topology();
-    let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut total = Metrics::new(n);
 
-    let (levels, _) = sample_levels(n, k, &mut rng);
+    let (levels, _) = sample_levels(n, k, params.seed);
     let ln_n = (n as f64).ln().max(1.0);
     let sigma =
         ((params.c * (n as f64).powf(1.0 / f64::from(k)) * ln_n).ceil() as usize).clamp(1, n);
@@ -492,6 +488,12 @@ impl TruncatedScheme {
         self.l0
     }
 
+    /// The topology the scheme was built on (shared with route tracing
+    /// and snapshot serialization, so callers need no separate copy).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
     /// The waypoint path (skeleton indices, from the pivot `s` down to
     /// `t_star`) and its suffix weights for upper level `j`.
     fn waypoints(&self, j: usize, t_star: usize, s: usize) -> Option<(Vec<usize>, Vec<u64>)> {
@@ -521,8 +523,11 @@ impl TruncatedScheme {
     fn best_option(&self, x: NodeId, dest: NodeId) -> Option<(u64, NodeId)> {
         let label = &self.labels[dest.index()];
         let mut best: Option<(u64, NodeId)> = None;
+        // Ties broken by the smaller next-hop id, so the choice does not
+        // depend on routing-table iteration order (keeps answers
+        // bit-identical across snapshot save/load).
         let consider = |est: u64, hop: NodeId, best: &mut Option<(u64, NodeId)>| {
-            if best.is_none_or(|(b, _)| est < b) {
+            if best.is_none_or(|b| (est, hop) < b) {
                 *best = Some((est, hop));
             }
         };
@@ -695,11 +700,14 @@ mod tests {
     use super::*;
     use graphs::algo::apsp;
     use graphs::gen::{self, Weights};
+    use graphs::Seed;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
     use routing::{evaluate, PairSelection};
 
     fn check(g: &WGraph, k: u32, l0: u32, mode: UpperMode, seed: u64) {
         let mut params = CompactParams::new(k);
-        params.seed = seed;
+        params.seed = Seed(seed);
         let scheme = build_truncated(g, &params, l0, mode);
         let exact = apsp(g);
         let report = evaluate(g, &scheme, &exact, PairSelection::All);

@@ -5,6 +5,7 @@
 use compact::{build_hierarchy, CompactParams, HorizonMode};
 use graphs::algo::{apsp, shortest_path_diameter};
 use graphs::gen::{self, Weights};
+use graphs::Seed;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use routing::{evaluate, PairSelection, RoutingScheme};
@@ -17,7 +18,7 @@ fn ceiling(k: u32, eps: f64) -> f64 {
 
 fn check(g: &graphs::WGraph, k: u32, seed: u64, horizon: HorizonMode) {
     let mut params = CompactParams::new(k);
-    params.seed = seed;
+    params.seed = Seed(seed);
     params.horizon = horizon;
     let scheme = build_hierarchy(g, &params);
     let exact = apsp(g);

@@ -102,10 +102,11 @@ pub mod pipeline;
 pub mod program;
 pub mod runtime;
 pub mod topology;
+pub mod wire;
 
 pub use fxhash::{FxBuild, FxHashMap, FxHasher};
 pub use metrics::{Metrics, RoundWindow};
-pub use model::{bits_for, Message, NodeId, Port};
+pub use model::{bits_for, label_record_bits, Message, NodeId, Port};
 pub use program::{Arrival, Ctx, Program};
 pub use runtime::{Config, RunReport, Runtime};
 pub use topology::{Topology, TopologyError};

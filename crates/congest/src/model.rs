@@ -60,6 +60,19 @@ pub fn bits_for(universe: u64) -> usize {
     }
 }
 
+/// Semantic size in bits of a routing-label record: `id_fields` node
+/// identifiers (each `⌈log₂ n⌉` bits) plus one value field per entry of
+/// `values`, where a value `x` costs `bits_for(x + 1)` bits (enough to
+/// address the half-open universe `0..=x`).
+///
+/// This is the one formula behind every label-size computation in the
+/// repository (`RtcLabel`, `CompactLabel`, `TruncLabel`); the unit test
+/// below pins it.
+#[inline]
+pub fn label_record_bits(n: u64, id_fields: usize, values: &[u64]) -> usize {
+    id_fields * bits_for(n) + values.iter().map(|&x| bits_for(x + 1)).sum::<usize>()
+}
+
 /// Trait for CONGEST messages: anything sent over an edge in one round.
 ///
 /// Implementors report their size in bits so the runtime can enforce (or
@@ -113,6 +126,26 @@ mod tests {
         assert_eq!(bits_for(5), 3);
         assert_eq!(bits_for(1 << 20), 20);
         assert_eq!(bits_for((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn label_record_bits_pins_the_formula() {
+        // n = 30 → id fields cost ⌈log₂ 30⌉ = 5 bits each; a value x costs
+        // bits_for(x + 1) = ⌈log₂(x + 1)⌉ bits (0 is free).
+        assert_eq!(label_record_bits(30, 2, &[]), 10);
+        assert_eq!(label_record_bits(30, 0, &[0]), 0);
+        assert_eq!(label_record_bits(30, 0, &[1]), 1);
+        assert_eq!(label_record_bits(30, 0, &[255]), 8);
+        assert_eq!(
+            label_record_bits(30, 2, &[17, 4]),
+            2 * 5 + bits_for(18) + bits_for(5)
+        );
+        // Exactly the historical per-label formulas:
+        // RtcLabel: 2 ids + dist + dfs.
+        assert_eq!(
+            label_record_bits(64, 2, &[100, 7]),
+            2 * bits_for(64) + bits_for(101) + bits_for(8)
+        );
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Little-endian wire helpers for versioned binary snapshots.
+//!
+//! The `oracle` crate persists built distance oracles ("build once, serve
+//! from disk"); every scheme crate encodes its own state with these
+//! helpers so the framing is uniform and handwritten — fixed-width
+//! little-endian integers, `u64` length prefixes for sequences, `f64` as
+//! IEEE-754 bits — with no derive machinery or external dependencies.
+//!
+//! Corruption is reported as [`std::io::ErrorKind::InvalidData`] via
+//! [`invalid_data`], so callers only deal with `io::Result`.
+
+use std::io::{self, Read, Write};
+
+/// Builds the `InvalidData` error used for malformed snapshot bytes.
+pub fn invalid_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Upper bound on the node count any snapshot reader accepts.
+///
+/// Node ids are `u32`, and the CSR/matrix structures behind an oracle
+/// allocate `O(n)` before edge validation can run — a tampered `n` field
+/// must not be able to request an absurd allocation (which would abort
+/// instead of returning `InvalidData`). 2²⁸ nodes is far beyond any
+/// simulated workload while keeping the pre-validation allocations
+/// bounded.
+pub const MAX_SNAPSHOT_NODES: usize = 1 << 28;
+
+/// Pre-allocation clamp for sequence lengths read from untrusted bytes.
+///
+/// Genuine snapshots pre-allocate exactly; a tampered length prefix
+/// reserves at most this many elements up front and then fails on the
+/// `read_exact` of the missing payload — it cannot request an absurd
+/// allocation (which would abort the serving process instead of
+/// returning `InvalidData`).
+pub fn clamped_capacity(len: usize) -> usize {
+    len.min(1 << 16)
+}
+
+/// Thin writer over any [`Write`] emitting little-endian primitives.
+pub struct WireWriter<'a> {
+    sink: &'a mut dyn Write,
+}
+
+impl<'a> WireWriter<'a> {
+    /// Wraps `sink`.
+    pub fn new(sink: &'a mut dyn Write) -> Self {
+        WireWriter { sink }
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn bytes(&mut self, b: &[u8]) -> io::Result<()> {
+        self.sink.write_all(b)
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, x: u8) -> io::Result<()> {
+        self.sink.write_all(&[x])
+    }
+
+    /// Writes a `u16` (little-endian).
+    pub fn u16(&mut self, x: u16) -> io::Result<()> {
+        self.sink.write_all(&x.to_le_bytes())
+    }
+
+    /// Writes a `u32` (little-endian).
+    pub fn u32(&mut self, x: u32) -> io::Result<()> {
+        self.sink.write_all(&x.to_le_bytes())
+    }
+
+    /// Writes a `u64` (little-endian).
+    pub fn u64(&mut self, x: u64) -> io::Result<()> {
+        self.sink.write_all(&x.to_le_bytes())
+    }
+
+    /// Writes a `usize` as `u64`.
+    pub fn usize(&mut self, x: usize) -> io::Result<()> {
+        self.u64(x as u64)
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, x: f64) -> io::Result<()> {
+        self.u64(x.to_bits())
+    }
+
+    /// Writes a `bool` as one byte (0/1).
+    pub fn bool(&mut self, x: bool) -> io::Result<()> {
+        self.u8(u8::from(x))
+    }
+
+    /// Writes a sequence length prefix.
+    pub fn len(&mut self, n: usize) -> io::Result<()> {
+        self.usize(n)
+    }
+}
+
+/// Thin reader over any [`Read`] consuming little-endian primitives.
+pub struct WireReader<'a> {
+    source: &'a mut dyn Read,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps `source`.
+    pub fn new(source: &'a mut dyn Read) -> Self {
+        WireReader { source }
+    }
+
+    /// Reads exactly `N` bytes.
+    fn array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        let mut buf = [0u8; N];
+        self.source.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; n];
+        self.source.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a `usize` (stored as `u64`).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the value does not fit in `usize`.
+    pub fn usize(&mut self) -> io::Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| invalid_data("length exceeds usize"))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool` (rejecting bytes other than 0/1).
+    pub fn bool(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(invalid_data(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Reads a sequence length prefix, rejecting lengths above `max`
+    /// (a corrupted prefix must not trigger a huge allocation).
+    pub fn len(&mut self, max: usize) -> io::Result<usize> {
+        let n = self.usize()?;
+        if n > max {
+            return Err(invalid_data(format!("sequence length {n} exceeds {max}")));
+        }
+        Ok(n)
+    }
+}
+
+/// A [`Write`] sink that discards bytes but counts them — used to compute
+/// the serialized size of an artifact without materializing it.
+#[derive(Debug, Default)]
+pub struct CountingWriter {
+    bytes: u64,
+}
+
+impl CountingWriter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = WireWriter::new(&mut buf);
+            w.u8(7).unwrap();
+            w.u16(300).unwrap();
+            w.u32(70_000).unwrap();
+            w.u64(u64::MAX - 1).unwrap();
+            w.usize(42).unwrap();
+            w.f64(0.25).unwrap();
+            w.bool(true).unwrap();
+            w.bool(false).unwrap();
+            w.len(3).unwrap();
+            w.bytes(b"abc").unwrap();
+        }
+        let mut cursor = &buf[..];
+        let mut r = WireReader::new(&mut cursor);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.len(10).unwrap(), 3);
+        assert_eq!(r.bytes(3).unwrap(), b"abc");
+        assert!(cursor.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn truncated_input_and_bad_values_error() {
+        let mut short = &[1u8, 2][..];
+        assert!(WireReader::new(&mut short).u32().is_err());
+        let mut bad_bool = &[9u8][..];
+        assert!(WireReader::new(&mut bad_bool).bool().is_err());
+        let mut big_len = Vec::new();
+        WireWriter::new(&mut big_len).u64(1 << 40).unwrap();
+        let mut cursor = &big_len[..];
+        assert!(WireReader::new(&mut cursor).len(1 << 20).is_err());
+    }
+
+    #[test]
+    fn counting_writer_counts() {
+        let mut c = CountingWriter::new();
+        {
+            let mut w = WireWriter::new(&mut c);
+            w.u64(1).unwrap();
+            w.u8(2).unwrap();
+        }
+        assert_eq!(c.bytes(), 9);
+    }
+}

@@ -76,8 +76,19 @@ impl ApspApprox {
 /// Panics if the graph is disconnected or some pair ends up without an
 /// estimate (impossible for connected inputs; treated as a hard failure).
 pub fn approx_apsp(g: &WGraph, eps: f64) -> ApspApprox {
+    approx_apsp_with(g, eps, 0)
+}
+
+/// [`approx_apsp`] with an explicit worker-thread count for the ladder
+/// rungs (see [`PdeParams::threads`]); outputs are identical for every
+/// thread count.
+///
+/// # Panics
+///
+/// As [`approx_apsp`].
+pub fn approx_apsp_with(g: &WGraph, eps: f64, threads: usize) -> ApspApprox {
     let n = g.len();
-    let params = PdeParams::new(n as u64, n, eps);
+    let params = PdeParams::new(n as u64, n, eps).with_threads(threads);
     let sources = vec![true; n];
     let tags = vec![false; n];
     let pde = run_pde(g, &sources, &tags, &params);

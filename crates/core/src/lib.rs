@@ -49,6 +49,7 @@
 pub mod apsp;
 pub mod pde;
 pub mod rounding;
+pub mod snapshot;
 
-pub use apsp::{approx_apsp, ApspApprox};
+pub use apsp::{approx_apsp, approx_apsp_with, ApspApprox};
 pub use pde::{run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo, RouteTable};

@@ -1,0 +1,194 @@
+//! Wire codecs for PDE state shared by every scheme snapshot.
+//!
+//! Route tables are serialized sorted by source id and re-inserted in that
+//! order on load; together with the deterministic [`congest::FxHasher`]
+//! this makes reload → re-save byte-identical.
+
+use crate::pde::{PdeEntry, RouteInfo, RouteTable};
+use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
+use congest::{NodeId, Topology};
+use std::io::{self, Read, Write};
+
+/// Serializes a per-node vector of route tables.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_route_tables(sink: &mut dyn Write, tables: &[RouteTable]) -> io::Result<()> {
+    let mut w = WireWriter::new(sink);
+    w.len(tables.len())?;
+    for table in tables {
+        let mut entries: Vec<(NodeId, RouteInfo)> =
+            table.iter().map(|(&s, &info)| (s, info)).collect();
+        entries.sort_unstable_by_key(|&(s, _)| s);
+        w.len(entries.len())?;
+        for (src, info) in entries {
+            w.u32(src.0)?;
+            w.u64(info.est)?;
+            w.u32(info.port)?;
+            w.u32(info.level)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes what [`write_route_tables`] wrote.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed bytes.
+pub fn read_route_tables(source: &mut dyn Read) -> io::Result<Vec<RouteTable>> {
+    let mut r = WireReader::new(source);
+    let n = r.len(1 << 32)?;
+    let mut tables = Vec::with_capacity(clamped_capacity(n));
+    for _ in 0..n {
+        let entries = r.len(1 << 32)?;
+        let mut table = RouteTable::default();
+        table.reserve(clamped_capacity(entries));
+        for _ in 0..entries {
+            let src = NodeId(r.u32()?);
+            let est = r.u64()?;
+            let port = r.u32()?;
+            let level = r.u32()?;
+            table.insert(src, RouteInfo { est, port, level });
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Validates deserialized route tables against the topology they will be
+/// queried on: one table per node, every source id in range, every port
+/// within its node's degree.
+///
+/// [`congest::Topology::neighbor`] only debug-asserts its port argument,
+/// so an out-of-range port from a corrupted snapshot would silently
+/// resolve to a *wrong neighbor* in release builds — this check turns
+/// that into `InvalidData` at load time.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any out-of-range source or port.
+pub fn validate_route_tables(tables: &[RouteTable], topo: &Topology) -> io::Result<()> {
+    if tables.len() != topo.len() {
+        return Err(invalid_data("route table count mismatch"));
+    }
+    for (v, table) in tables.iter().enumerate() {
+        let deg = topo.degree(NodeId::from_index(v)) as u32;
+        for (&src, info) in table {
+            if src.index() >= topo.len() {
+                return Err(invalid_data(format!("route source {src} out of range")));
+            }
+            if info.port >= deg {
+                return Err(invalid_data(format!(
+                    "route port {} out of range at node {v} (degree {deg})",
+                    info.port
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes per-node combined lists (`PdeOutput::lists`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_lists(sink: &mut dyn Write, lists: &[Vec<PdeEntry>]) -> io::Result<()> {
+    let mut w = WireWriter::new(sink);
+    w.len(lists.len())?;
+    for list in lists {
+        w.len(list.len())?;
+        for e in list {
+            w.u64(e.est)?;
+            w.u32(e.src.0)?;
+            w.bool(e.tag)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes what [`write_lists`] wrote.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed bytes.
+pub fn read_lists(source: &mut dyn Read) -> io::Result<Vec<Vec<PdeEntry>>> {
+    let mut r = WireReader::new(source);
+    let n = r.len(1 << 32)?;
+    let mut lists = Vec::with_capacity(clamped_capacity(n));
+    for _ in 0..n {
+        let len = r.len(1 << 32)?;
+        let mut list = Vec::with_capacity(clamped_capacity(len));
+        for _ in 0..len {
+            let est = r.u64()?;
+            let src = NodeId(r.u32()?);
+            let tag = r.bool()?;
+            list.push(PdeEntry { est, src, tag });
+        }
+        lists.push(list);
+    }
+    Ok(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_tables_round_trip_byte_identically() {
+        let mut t0 = RouteTable::default();
+        t0.insert(
+            NodeId(3),
+            RouteInfo {
+                est: 10,
+                port: 1,
+                level: 0,
+            },
+        );
+        t0.insert(
+            NodeId(1),
+            RouteInfo {
+                est: 7,
+                port: 0,
+                level: 2,
+            },
+        );
+        let tables = vec![t0, RouteTable::default()];
+        let mut buf = Vec::new();
+        write_route_tables(&mut buf, &tables).unwrap();
+        let back = read_route_tables(&mut &buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].len(), 2);
+        assert_eq!(back[0][&NodeId(1)].est, 7);
+        assert_eq!(back[0][&NodeId(3)].port, 1);
+        assert!(back[1].is_empty());
+        let mut buf2 = Vec::new();
+        write_route_tables(&mut buf2, &back).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn lists_round_trip() {
+        let lists = vec![
+            vec![
+                PdeEntry {
+                    est: 4,
+                    src: NodeId(2),
+                    tag: true,
+                },
+                PdeEntry {
+                    est: 9,
+                    src: NodeId(5),
+                    tag: false,
+                },
+            ],
+            vec![],
+        ];
+        let mut buf = Vec::new();
+        write_lists(&mut buf, &lists).unwrap();
+        let back = read_lists(&mut &buf[..]).unwrap();
+        assert_eq!(back, lists);
+    }
+}

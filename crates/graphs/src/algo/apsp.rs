@@ -56,6 +56,50 @@ impl Apsp {
             .max()
             .unwrap_or(0)
     }
+
+    /// Serializes the distance and hop matrices (snapshot wire format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let mut w = congest::wire::WireWriter::new(sink);
+        w.usize(self.n)?;
+        for &d in &self.dist {
+            w.u64(d)?;
+        }
+        for &h in &self.hops {
+            w.u32(h)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a matrix pair written by [`Apsp::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    pub fn read_from(source: &mut dyn std::io::Read) -> std::io::Result<Self> {
+        let mut r = congest::wire::WireReader::new(source);
+        let n = r.usize()?;
+        if n > congest::wire::MAX_SNAPSHOT_NODES {
+            return Err(congest::wire::invalid_data(format!(
+                "APSP snapshot claims {n} nodes"
+            )));
+        }
+        let cells = n
+            .checked_mul(n)
+            .ok_or_else(|| congest::wire::invalid_data("APSP size overflow"))?;
+        let mut dist = Vec::with_capacity(congest::wire::clamped_capacity(cells));
+        for _ in 0..cells {
+            dist.push(r.u64()?);
+        }
+        let mut hops = Vec::with_capacity(congest::wire::clamped_capacity(cells));
+        for _ in 0..cells {
+            hops.push(r.u32()?);
+        }
+        Ok(Apsp { dist, hops, n })
+    }
 }
 
 /// Computes exact APSP by `n` Dijkstra runs (`O(n · m log n)`).
@@ -69,6 +113,39 @@ pub fn apsp(g: &WGraph) -> Apsp {
         hops.extend_from_slice(&s.hops);
     }
     Apsp { dist, hops, n }
+}
+
+/// Exact APSP plus the first-hop matrix, from the *same* `n` Dijkstra
+/// runs — `first_hops[u·n + v]` is the first hop on a shortest `u → v`
+/// path (`u32::MAX` on the diagonal and for unreachable pairs).
+///
+/// Schemes that need both (exact baselines, flooding-style local
+/// routing) should call this instead of running a second sweep just to
+/// walk parents. First hops propagate down the shortest-path tree in
+/// distance order (`next(v) = next(parent(v))`), so the extra cost over
+/// plain [`apsp`] is one sort per source — not a parent walk per pair.
+pub fn apsp_with_first_hops(g: &WGraph) -> (Apsp, Vec<u32>) {
+    let n = g.len();
+    let mut dist = Vec::with_capacity(n * n);
+    let mut hops = Vec::with_capacity(n * n);
+    let mut next = vec![u32::MAX; n * n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for u in g.nodes() {
+        let s = dijkstra(g, u);
+        // Parents have strictly smaller distance (weights ≥ 1), so
+        // processing in distance order sees next(parent) before next(v).
+        order.sort_unstable_by_key(|&v| s.dist[v as usize]);
+        let row = &mut next[u.index() * n..(u.index() + 1) * n];
+        for &v in &order {
+            let Some(p) = s.parent[v as usize] else {
+                continue; // the source itself, or unreachable
+            };
+            row[v as usize] = if p == u { v } else { row[p.index()] };
+        }
+        dist.extend_from_slice(&s.dist);
+        hops.extend_from_slice(&s.hops);
+    }
+    (Apsp { dist, hops, n }, next)
 }
 
 #[cfg(test)]
@@ -96,6 +173,45 @@ mod tests {
         for v in g.nodes() {
             for u in g.nodes() {
                 assert_eq!(a.dist(v, u), a.dist(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn first_hops_match_parent_walks() {
+        let g = WGraph::from_edges(
+            6,
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 3, 1),
+                (3, 4, 4),
+                (4, 5, 1),
+                (5, 0, 5),
+                (0, 3, 20),
+            ],
+        )
+        .unwrap();
+        let (a, next) = apsp_with_first_hops(&g);
+        let n = g.len();
+        for u in g.nodes() {
+            let s = dijkstra(&g, u);
+            for v in g.nodes() {
+                assert_eq!(a.dist(u, v), s.dist[v.index()]);
+                let got = next[u.index() * n + v.index()];
+                if u == v {
+                    assert_eq!(got, u32::MAX);
+                } else {
+                    // Reference: walk parents back from v until u.
+                    let mut cur = v;
+                    while let Some(p) = s.parent[cur.index()] {
+                        if p == u {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    assert_eq!(got, cur.0, "first hop {u} -> {v}");
+                }
             }
         }
     }

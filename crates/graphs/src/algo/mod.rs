@@ -6,7 +6,7 @@ mod dijkstra;
 mod hops;
 mod props;
 
-pub use apsp::{apsp, Apsp};
+pub use apsp::{apsp, apsp_with_first_hops, Apsp};
 pub use detection::{detection_reference, DetectionList};
 pub use dijkstra::{dijkstra, Sssp};
 pub use hops::{bfs_hops, hop_limited_distances};

@@ -31,6 +31,8 @@
 pub mod algo;
 pub mod gen;
 mod graph;
+mod seed;
 
 pub use congest::NodeId;
 pub use graph::{GraphError, WGraph, INF};
+pub use seed::Seed;

@@ -1,0 +1,86 @@
+//! The shared RNG-seed newtype.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A deterministic RNG seed, shared by every randomized construction in
+/// the workspace (skeleton sampling, hierarchy levels, spanner coins,
+/// evaluation pair sampling).
+///
+/// Replaces the former mix of bare `u64` seeds and implicitly threaded
+/// RNG state: a `Seed` names a reproducible random stream, [`Seed::rng`]
+/// instantiates it, and [`Seed::derive`] splits off statistically
+/// independent sub-streams so two stages of one build never share coins
+/// by accident.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Seed(pub u64);
+
+impl Seed {
+    /// A fresh RNG positioned at the start of this seed's stream.
+    pub fn rng(self) -> SmallRng {
+        SmallRng::seed_from_u64(self.0)
+    }
+
+    /// A statistically independent sub-seed for stream `stream`
+    /// (SplitMix64 finalizer over the pair — `derive(a) != derive(b)`
+    /// whenever `a != b`, and derived seeds don't collide with the raw
+    /// value for any realistic inputs).
+    #[must_use]
+    pub fn derive(self, stream: u64) -> Seed {
+        let mut z = self
+            .0
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Seed(z ^ (z >> 31))
+    }
+}
+
+impl From<u64> for Seed {
+    fn from(v: u64) -> Self {
+        Seed(v)
+    }
+}
+
+impl fmt::Display for Seed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Seed(42).rng();
+        let mut b = Seed(42).rng();
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ_from_parent_and_each_other() {
+        let s = Seed(7);
+        let d0 = s.derive(0);
+        let d1 = s.derive(1);
+        assert_ne!(d0, d1);
+        assert_ne!(d0, s);
+        assert_ne!(d1, s);
+        // Deterministic: deriving twice gives the same sub-seed.
+        assert_eq!(s.derive(1), d1);
+        let (x, y) = (d0.rng().next_u64(), d1.rng().next_u64());
+        assert_ne!(x, y, "derived streams should decorrelate");
+    }
+
+    #[test]
+    fn from_u64_and_display() {
+        let s: Seed = 0xC0FFEE.into();
+        assert_eq!(s, Seed(0xC0FFEE));
+        assert_eq!(format!("{s}"), "seed:0xc0ffee");
+    }
+}

@@ -1,0 +1,720 @@
+//! The eight backend wrappers behind [`crate::DistanceOracle`].
+//!
+//! Each wrapper can trace routes without caller-side plumbing: the
+//! distributed schemes expose the topology they were built on (borrowed,
+//! not copied), and the flat/centralized backends keep the graph
+//! themselves. The PDE-family wrappers flatten their routing archives
+//! into per-node source-sorted arrays ([`FlatRoutes`]): point queries
+//! are a binary search and batch queries stream through dense memory
+//! with no per-query hashing.
+
+use crate::{Backend, DistanceOracle, OracleBuildMetrics, OracleBuilder, TracedRoute};
+use baselines::{bellman_ford_apsp, flooding_apsp, ExactTz};
+use compact::{build_hierarchy, build_truncated, CompactParams, CompactScheme, HorizonMode};
+use compact::{TruncatedScheme, UpperMode};
+use congest::{NodeId, Port, Topology};
+use graphs::{WGraph, INF};
+use pde_core::{approx_apsp_with, run_pde, PdeParams, RouteTable};
+use routing::{build_rtc, RoutingScheme, RtcParams, RtcScheme};
+
+/// One flattened routing entry: destination source, estimate, out-port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct FlatEntry {
+    pub(crate) src: u32,
+    pub(crate) est: u64,
+    pub(crate) port: Port,
+}
+
+/// Per-node routing tables flattened into one source-sorted array with
+/// CSR offsets — the cache-friendly backing store for batch queries.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FlatRoutes {
+    pub(crate) starts: Vec<u32>,
+    pub(crate) entries: Vec<FlatEntry>,
+}
+
+impl FlatRoutes {
+    pub(crate) fn from_tables(tables: &[RouteTable]) -> Self {
+        let mut starts = Vec::with_capacity(tables.len() + 1);
+        let mut entries = Vec::new();
+        starts.push(0u32);
+        let mut scratch: Vec<FlatEntry> = Vec::new();
+        for table in tables {
+            scratch.clear();
+            scratch.extend(table.iter().map(|(&s, r)| FlatEntry {
+                src: s.0,
+                est: r.est,
+                port: r.port,
+            }));
+            scratch.sort_unstable_by_key(|e| e.src);
+            entries.extend_from_slice(&scratch);
+            starts.push(u32::try_from(entries.len()).expect("flat table fits u32"));
+        }
+        FlatRoutes { starts, entries }
+    }
+
+    #[inline]
+    pub(crate) fn node_entries(&self, v: NodeId) -> &[FlatEntry] {
+        &self.entries[self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize]
+    }
+
+    #[inline]
+    pub(crate) fn lookup(&self, v: NodeId, s: NodeId) -> Option<FlatEntry> {
+        let slice = self.node_entries(v);
+        slice
+            .binary_search_by_key(&s.0, |e| e.src)
+            .ok()
+            .map(|i| slice[i])
+    }
+
+    pub(crate) fn len_nodes(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+}
+
+/// Traces a route by repeatedly applying `next`, validating that every
+/// hop is a real edge; `None` on a stuck walk or when the hop cap is hit.
+pub(crate) fn trace_next_hops<F>(
+    topo: &Topology,
+    u: NodeId,
+    v: NodeId,
+    next: F,
+) -> Option<TracedRoute>
+where
+    F: Fn(NodeId, NodeId) -> Option<NodeId>,
+{
+    let mut nodes = vec![u];
+    let mut ports = Vec::new();
+    let mut weight = 0u64;
+    let mut cur = u;
+    let cap = 20 * topo.len() + 50;
+    while cur != v {
+        if ports.len() >= cap {
+            return None;
+        }
+        let hop = next(cur, v)?;
+        let port = topo.port_to(cur, hop)?;
+        weight += topo.weight(cur, port);
+        ports.push(port);
+        nodes.push(hop);
+        cur = hop;
+    }
+    Some(TracedRoute {
+        nodes,
+        ports,
+        weight,
+    })
+}
+
+/// The finite-ε stretch ceiling of the Theorem 4.5 scheme
+/// (`(6k−1)·(1+ε)^4`, as validated end to end by the routing tests).
+fn rtc_ceiling(k: u32, eps: f64) -> f64 {
+    (6.0 * f64::from(k) - 1.0) * (1.0 + eps).powi(4)
+}
+
+/// The finite-ε stretch ceiling of the Theorem 4.8 hierarchy
+/// (`(1+ε)^{4(k−1)+4}·(4(k−1)+1)` at `k ≥ 2`).
+fn compact_ceiling(k: u32, eps: f64) -> f64 {
+    let k = k.max(2);
+    let l = f64::from(k - 1);
+    (1.0 + eps).powi(4 * (k as i32 - 1) + 4) * (4.0 * l + 1.0)
+}
+
+/// The finite-ε stretch ceiling of the Theorem 4.13 truncated hierarchy
+/// (with the waypoint-descent constant, as in its end-to-end tests).
+fn truncated_ceiling(k: u32, eps: f64) -> f64 {
+    (4.0 * f64::from(k) - 3.0) * (1.0 + eps).powi(6) * 2.0
+}
+
+// ---------------------------------------------------------------- PDE --
+
+/// [`Backend::Pde`]: flat per-node tables from one PDE run.
+pub struct PdeOracle {
+    pub(crate) g: WGraph,
+    pub(crate) topo: Topology,
+    pub(crate) routes: FlatRoutes,
+    pub(crate) eps: f64,
+    pub(crate) h: u64,
+    pub(crate) sigma: usize,
+    pub(crate) metrics: OracleBuildMetrics,
+}
+
+impl DistanceOracle for PdeOracle {
+    fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
+        if u == v {
+            return 0;
+        }
+        self.routes.lookup(u, v).map_or(INF, |e| e.est)
+    }
+
+    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(pairs.len());
+        // Straight off the flat arrays: a binary search per pair, zero
+        // hashing, zero allocation beyond the output.
+        out.extend(pairs.iter().map(|&(u, v)| {
+            if u == v {
+                0
+            } else {
+                self.routes.lookup(u, v).map_or(INF, |e| e.est)
+            }
+        }));
+    }
+
+    fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        if u == v {
+            return None;
+        }
+        self.routes
+            .lookup(u, v)
+            .map(|e| self.topo.neighbor(u, e.port))
+    }
+
+    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+        // Greedy forwarding: estimates strictly decrease along the chain,
+        // so the cap in the generic tracer is never the limiting factor
+        // for intact tables.
+        trace_next_hops(&self.topo, u, v, |x, dest| self.next_hop(x, dest))
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        1.0 + self.eps
+    }
+
+    fn size_bits(&self) -> u64 {
+        crate::snapshot::size_bits_of(self)
+    }
+
+    fn build_metrics(&self) -> &OracleBuildMetrics {
+        &self.metrics
+    }
+}
+
+// --------------------------------------------------------- ApproxApsp --
+
+/// [`Backend::ApproxApsp`]: dense `(1+ε)`-approximate distance matrix
+/// plus PDE next hops.
+pub struct ApsOracle {
+    pub(crate) g: WGraph,
+    pub(crate) topo: Topology,
+    pub(crate) dist: Vec<u64>,
+    pub(crate) routes: FlatRoutes,
+    pub(crate) eps: f64,
+    pub(crate) metrics: OracleBuildMetrics,
+}
+
+impl ApsOracle {
+    #[inline]
+    fn mat(&self, u: NodeId, v: NodeId) -> u64 {
+        self.dist[u.index() * self.g.len() + v.index()]
+    }
+}
+
+impl DistanceOracle for ApsOracle {
+    fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
+        if u == v {
+            0
+        } else {
+            self.mat(u, v)
+        }
+    }
+
+    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(pairs.len());
+        let n = self.g.len();
+        out.extend(pairs.iter().map(|&(u, v)| {
+            if u == v {
+                0
+            } else {
+                self.dist[u.index() * n + v.index()]
+            }
+        }));
+    }
+
+    fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        if u == v {
+            return None;
+        }
+        self.routes
+            .lookup(u, v)
+            .map(|e| self.topo.neighbor(u, e.port))
+    }
+
+    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+        trace_next_hops(&self.topo, u, v, |x, dest| self.next_hop(x, dest))
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        1.0 + self.eps
+    }
+
+    fn size_bits(&self) -> u64 {
+        crate::snapshot::size_bits_of(self)
+    }
+
+    fn build_metrics(&self) -> &OracleBuildMetrics {
+        &self.metrics
+    }
+}
+
+// ---------------------------------------------- RoutingScheme wrappers --
+
+/// The distributed schemes own their topology; wrappers borrow it for
+/// route tracing instead of keeping a second copy (and the snapshot
+/// payload serializes the scheme's topology exactly once).
+macro_rules! scheme_oracle {
+    ($(#[$doc:meta])* $name:ident, $scheme:ty, $bound:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            pub(crate) scheme: $scheme,
+            pub(crate) k: u32,
+            pub(crate) eps: f64,
+            pub(crate) metrics: OracleBuildMetrics,
+        }
+
+        impl DistanceOracle for $name {
+            fn len(&self) -> usize {
+                RoutingScheme::len(&self.scheme)
+            }
+
+            fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
+                RoutingScheme::estimate(&self.scheme, u, v)
+            }
+
+            fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+                RoutingScheme::next_hop(&self.scheme, u, v)
+            }
+
+            fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+                trace_next_hops(self.scheme.topology(), u, v, |x, dest| {
+                    RoutingScheme::next_hop(&self.scheme, x, dest)
+                })
+            }
+
+            fn stretch_bound(&self) -> f64 {
+                #[allow(clippy::redundant_closure_call)]
+                ($bound)(self.k, self.eps)
+            }
+
+            fn size_bits(&self) -> u64 {
+                crate::snapshot::size_bits_of(self)
+            }
+
+            fn build_metrics(&self) -> &OracleBuildMetrics {
+                &self.metrics
+            }
+        }
+    };
+}
+
+scheme_oracle!(
+    /// [`Backend::Rtc`]: the Theorem 4.5 scheme behind the unified trait.
+    RtcOracle,
+    RtcScheme,
+    rtc_ceiling
+);
+scheme_oracle!(
+    /// [`Backend::Compact`]: the Theorem 4.8 hierarchy behind the trait.
+    CompactOracle,
+    CompactScheme,
+    compact_ceiling
+);
+scheme_oracle!(
+    /// [`Backend::Truncated`]: the Theorem 4.13 scheme behind the trait.
+    TruncatedOracle,
+    TruncatedScheme,
+    truncated_ceiling
+);
+
+/// [`Backend::ExactTz`]: the centralized exact baseline behind the trait
+/// (its `4k−3` bound needs no ε adjustment). Unlike the distributed
+/// schemes, `ExactTz` holds no topology of its own, so the wrapper keeps
+/// the graph for route tracing and snapshot serialization.
+pub struct TzOracle {
+    pub(crate) g: WGraph,
+    pub(crate) topo: Topology,
+    pub(crate) scheme: ExactTz,
+    pub(crate) k: u32,
+    pub(crate) metrics: OracleBuildMetrics,
+}
+
+impl DistanceOracle for TzOracle {
+    fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
+        RoutingScheme::estimate(&self.scheme, u, v)
+    }
+
+    fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        RoutingScheme::next_hop(&self.scheme, u, v)
+    }
+
+    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+        trace_next_hops(&self.topo, u, v, |x, dest| {
+            RoutingScheme::next_hop(&self.scheme, x, dest)
+        })
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        f64::from(4 * self.k - 3).max(1.0)
+    }
+
+    fn size_bits(&self) -> u64 {
+        crate::snapshot::size_bits_of(self)
+    }
+
+    fn build_metrics(&self) -> &OracleBuildMetrics {
+        &self.metrics
+    }
+}
+
+// -------------------------------------------------------- BellmanFord --
+
+/// [`Backend::BellmanFord`]: exact dense distances, estimate-only (the
+/// distance-vector baseline keeps no next-hop state in this repo).
+pub struct BfOracle {
+    pub(crate) n: usize,
+    pub(crate) dist: Vec<u64>,
+    pub(crate) metrics: OracleBuildMetrics,
+}
+
+impl DistanceOracle for BfOracle {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(pairs.len());
+        out.extend(
+            pairs
+                .iter()
+                .map(|&(u, v)| self.dist[u.index() * self.n + v.index()]),
+        );
+    }
+
+    fn next_hop(&self, _u: NodeId, _v: NodeId) -> Option<NodeId> {
+        None
+    }
+
+    fn route(&self, _u: NodeId, _v: NodeId) -> Option<TracedRoute> {
+        None
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        1.0
+    }
+
+    fn size_bits(&self) -> u64 {
+        crate::snapshot::size_bits_of(self)
+    }
+
+    fn build_metrics(&self) -> &OracleBuildMetrics {
+        &self.metrics
+    }
+}
+
+// ----------------------------------------------------------- Flooding --
+
+/// [`Backend::Flooding`]: exact distances and first hops computed locally
+/// from the flooded topology (the OSPF baseline: `Θ(m)` state per node,
+/// stretch 1).
+pub struct FloodOracle {
+    pub(crate) g: WGraph,
+    pub(crate) topo: Topology,
+    pub(crate) dist: Vec<u64>,
+    /// First-hop matrix; `u32::MAX` on the diagonal.
+    pub(crate) next: Vec<u32>,
+    pub(crate) lsdb_edges: usize,
+    pub(crate) metrics: OracleBuildMetrics,
+}
+
+impl DistanceOracle for FloodOracle {
+    fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
+        self.dist[u.index() * self.g.len() + v.index()]
+    }
+
+    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(pairs.len());
+        let n = self.g.len();
+        out.extend(
+            pairs
+                .iter()
+                .map(|&(u, v)| self.dist[u.index() * n + v.index()]),
+        );
+    }
+
+    fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        let raw = self.next[u.index() * self.g.len() + v.index()];
+        (raw != u32::MAX).then_some(NodeId(raw))
+    }
+
+    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+        trace_next_hops(&self.topo, u, v, |x, dest| self.next_hop(x, dest))
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        1.0
+    }
+
+    fn size_bits(&self) -> u64 {
+        crate::snapshot::size_bits_of(self)
+    }
+
+    fn build_metrics(&self) -> &OracleBuildMetrics {
+        &self.metrics
+    }
+}
+
+// ------------------------------------------------------- construction --
+
+/// The concrete backend behind an [`crate::Oracle`].
+pub(crate) enum Inner {
+    Pde(PdeOracle),
+    Aps(ApsOracle),
+    Rtc(RtcOracle),
+    Compact(CompactOracle),
+    Truncated(TruncatedOracle),
+    Tz(TzOracle),
+    Bf(BfOracle),
+    Flood(FloodOracle),
+}
+
+impl Inner {
+    pub(crate) fn as_dyn(&self) -> &dyn DistanceOracle {
+        match self {
+            Inner::Pde(o) => o,
+            Inner::Aps(o) => o,
+            Inner::Rtc(o) => o,
+            Inner::Compact(o) => o,
+            Inner::Truncated(o) => o,
+            Inner::Tz(o) => o,
+            Inner::Bf(o) => o,
+            Inner::Flood(o) => o,
+        }
+    }
+}
+
+fn metrics(backend: Backend, n: usize, rounds: u64, messages: u64) -> OracleBuildMetrics {
+    OracleBuildMetrics {
+        backend,
+        n,
+        rounds,
+        messages,
+        build_nanos: 0,
+    }
+}
+
+pub(crate) fn set_build_nanos(inner: &mut Inner, nanos: u64) {
+    let m = match inner {
+        Inner::Pde(o) => &mut o.metrics,
+        Inner::Aps(o) => &mut o.metrics,
+        Inner::Rtc(o) => &mut o.metrics,
+        Inner::Compact(o) => &mut o.metrics,
+        Inner::Truncated(o) => &mut o.metrics,
+        Inner::Tz(o) => &mut o.metrics,
+        Inner::Bf(o) => &mut o.metrics,
+        Inner::Flood(o) => &mut o.metrics,
+    };
+    m.build_nanos = nanos;
+}
+
+pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
+    let n = g.len();
+    match b.backend() {
+        Backend::Pde => {
+            let sources = match b.knob_sources() {
+                Some(s) => {
+                    assert_eq!(s.len(), n, "one source flag per node");
+                    s.to_vec()
+                }
+                None => vec![true; n],
+            };
+            let h = b.knob_horizon().unwrap_or(n as u64);
+            let sigma = b.knob_sigma().unwrap_or(n);
+            let params = PdeParams::new(h, sigma, b.knob_eps()).with_threads(b.knob_threads());
+            let out = run_pde(g, &sources, &vec![false; n], &params);
+            let m = metrics(
+                Backend::Pde,
+                n,
+                out.metrics.total.rounds,
+                out.metrics.total.messages,
+            );
+            Inner::Pde(PdeOracle {
+                g: g.clone(),
+                topo: g.to_topology(),
+                routes: FlatRoutes::from_tables(&out.routes),
+                eps: b.knob_eps(),
+                h,
+                sigma,
+                metrics: m,
+            })
+        }
+        Backend::ApproxApsp => {
+            let a = approx_apsp_with(g, b.knob_eps(), b.knob_threads());
+            let mut dist = vec![0u64; n * n];
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    dist[u.index() * n + v.index()] = a.dist(u, v);
+                }
+            }
+            let m = metrics(
+                Backend::ApproxApsp,
+                n,
+                a.pde.metrics.total.rounds,
+                a.pde.metrics.total.messages,
+            );
+            Inner::Aps(ApsOracle {
+                g: g.clone(),
+                topo: g.to_topology(),
+                dist,
+                routes: FlatRoutes::from_tables(&a.pde.routes),
+                eps: b.knob_eps(),
+                metrics: m,
+            })
+        }
+        Backend::Rtc => {
+            let params = RtcParams {
+                k: b.knob_k(),
+                eps: b.knob_eps(),
+                c: b.knob_c(),
+                seed: b.knob_seed(),
+            };
+            let scheme = build_rtc(g, &params);
+            let m = metrics(
+                Backend::Rtc,
+                n,
+                scheme.metrics.total_rounds,
+                scheme.metrics.total.messages,
+            );
+            Inner::Rtc(RtcOracle {
+                scheme,
+                k: b.knob_k(),
+                eps: b.knob_eps(),
+                metrics: m,
+            })
+        }
+        Backend::Compact => {
+            let params = CompactParams {
+                k: b.knob_k(),
+                eps: b.knob_eps(),
+                c: b.knob_c(),
+                seed: b.knob_seed(),
+                horizon: b
+                    .knob_horizon()
+                    .map_or(HorizonMode::Lemma47, HorizonMode::Spd),
+            };
+            let scheme = build_hierarchy(g, &params);
+            let m = metrics(
+                Backend::Compact,
+                n,
+                scheme.metrics.total_rounds,
+                scheme.metrics.total.messages,
+            );
+            Inner::Compact(CompactOracle {
+                scheme,
+                k: b.knob_k(),
+                eps: b.knob_eps(),
+                metrics: m,
+            })
+        }
+        Backend::Truncated => {
+            let k = b.knob_k();
+            assert!(k >= 2, "Backend::Truncated needs k >= 2");
+            let l0 = b.knob_l0().unwrap_or(k - 1);
+            assert!(
+                (1..k).contains(&l0),
+                "Backend::Truncated needs l0 in 1..k (got l0={l0}, k={k})"
+            );
+            let params = CompactParams {
+                k,
+                eps: b.knob_eps(),
+                c: b.knob_c(),
+                seed: b.knob_seed(),
+                horizon: HorizonMode::Lemma47,
+            };
+            let scheme = build_truncated(g, &params, l0, UpperMode::Local);
+            let m = metrics(
+                Backend::Truncated,
+                n,
+                scheme.metrics.total_rounds,
+                scheme.metrics.total.messages,
+            );
+            Inner::Truncated(TruncatedOracle {
+                scheme,
+                k,
+                eps: b.knob_eps(),
+                metrics: m,
+            })
+        }
+        Backend::ExactTz => {
+            let scheme = ExactTz::new(g, b.knob_k(), b.knob_seed());
+            let m = metrics(Backend::ExactTz, n, 0, 0);
+            Inner::Tz(TzOracle {
+                g: g.clone(),
+                topo: g.to_topology(),
+                scheme,
+                k: b.knob_k(),
+                metrics: m,
+            })
+        }
+        Backend::BellmanFord => {
+            let bf = bellman_ford_apsp(g);
+            let mut dist = vec![0u64; n * n];
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    dist[u.index() * n + v.index()] = bf.dist(u, v);
+                }
+            }
+            let m = metrics(
+                Backend::BellmanFord,
+                n,
+                bf.metrics.rounds,
+                bf.metrics.messages,
+            );
+            Inner::Bf(BfOracle {
+                n,
+                dist,
+                metrics: m,
+            })
+        }
+        Backend::Flooding => {
+            let fl = flooding_apsp(g);
+            let mut dist = vec![0u64; n * n];
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    dist[u.index() * n + v.index()] = fl.apsp.dist(u, v);
+                }
+            }
+            let m = metrics(Backend::Flooding, n, fl.metrics.rounds, fl.metrics.messages);
+            Inner::Flood(FloodOracle {
+                g: g.clone(),
+                topo: g.to_topology(),
+                dist,
+                next: fl.first_hops,
+                lsdb_edges: fl.lsdb_edges,
+                metrics: m,
+            })
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! One `DistanceOracle` API over every scheme in the workspace.
+//!
+//! The paper's point is that partial distance estimation is a *primitive*
+//! many applications are built on — approximate APSP (Theorem 4.1),
+//! routing tables with relabeling (Theorem 4.5), compact Thorup–Zwick
+//! hierarchies (Theorems 4.8/4.13) — and Thorup–Zwick-style distance
+//! oracles are exactly the "preprocess into a compact artifact, then
+//! answer queries" contract a production system wants. This crate makes
+//! that contract first-class:
+//!
+//! * [`DistanceOracle`] — the unified query surface: `estimate`,
+//!   batch [`DistanceOracle::estimate_many`] (overridable with
+//!   cache-friendly flat-table implementations), `next_hop`, full
+//!   [`DistanceOracle::route`] tracing (no manual `Topology` plumbing),
+//!   the advertised [`DistanceOracle::stretch_bound`], the serialized
+//!   artifact size, and build metrics.
+//! * [`OracleBuilder`] — one builder over every [`Backend`] with
+//!   consistently named knobs (`seed`, `threads`, `eps`, `k`, `horizon`,
+//!   `sigma`, `c`, `l0`), replacing the per-crate
+//!   `PdeParams`/`RtcParams`/`CompactParams` constructors (which remain
+//!   as the underlying implementations).
+//! * [`Oracle::save`] / [`Oracle::load`] — a versioned binary snapshot
+//!   (handwritten little-endian framing, no serde) so an oracle is built
+//!   once and served from disk; reloaded oracles answer queries
+//!   bit-identically (verified by `tests/oracle_matrix.rs`).
+//! * [`evaluate`] — an oracle-generic evaluator with stretch percentiles
+//!   and measured queries/second.
+//!
+//! ```
+//! use graphs::WGraph;
+//! use oracle::{Backend, DistanceOracle, Oracle, OracleBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = WGraph::from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 3, 9)])?;
+//! let oracle = OracleBuilder::new(Backend::ApproxApsp).eps(0.25).build(&g);
+//! assert!(oracle.estimate(graphs::NodeId(0), graphs::NodeId(2)) >= 5);
+//! let mut bytes = Vec::new();
+//! oracle.save(&mut bytes)?;
+//! let served = Oracle::load(&mut &bytes[..])?;
+//! assert_eq!(
+//!     served.estimate(graphs::NodeId(0), graphs::NodeId(2)),
+//!     oracle.estimate(graphs::NodeId(0), graphs::NodeId(2)),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backends;
+pub mod eval;
+mod snapshot;
+
+use congest::{NodeId, Port};
+use graphs::{Seed, WGraph, INF};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+pub use backends::{
+    ApsOracle, BfOracle, CompactOracle, FloodOracle, PdeOracle, RtcOracle, TruncatedOracle,
+    TzOracle,
+};
+pub use eval::{evaluate, EvalReport};
+pub use routing::PairSelection;
+
+/// A fully traced route: the visited nodes (`u` first, destination last),
+/// the output port taken at each intermediate node, and the total edge
+/// weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedRoute {
+    /// Visited nodes, source first and destination last.
+    pub nodes: Vec<NodeId>,
+    /// Port taken at each node along the way (`nodes.len() - 1` entries).
+    pub ports: Vec<Port>,
+    /// Sum of traversed edge weights.
+    pub weight: u64,
+}
+
+impl TracedRoute {
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.ports.len()
+    }
+}
+
+/// Build-time metrics common to every backend.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleBuildMetrics {
+    /// Which backend built this oracle.
+    pub backend: Backend,
+    /// Number of nodes covered.
+    pub n: usize,
+    /// CONGEST rounds charged by the distributed construction
+    /// (0 for centralized baselines).
+    pub rounds: u64,
+    /// Messages sent by the distributed construction.
+    pub messages: u64,
+    /// Wall-clock build time in nanoseconds. Snapshots persist the
+    /// *original* build's time — loading is not rebuilding.
+    pub build_nanos: u64,
+}
+
+/// The unified build-once / query-many surface over every scheme.
+///
+/// Implementations must uphold: `estimate(u, u) == 0`; estimates never
+/// underestimate the true distance; a returned [`TracedRoute`] ends at
+/// the destination and walks real graph edges. `estimate` returns
+/// [`graphs::INF`] when the backend has no answer for the pair (possible
+/// only for partial-coverage PDE oracles).
+pub trait DistanceOracle {
+    /// Number of nodes covered.
+    fn len(&self) -> usize;
+
+    /// `true` if the oracle covers no nodes (never for valid builds).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance estimate `wd'(u, v)` (`0` on the diagonal, [`INF`] when
+    /// the pair is outside the oracle's coverage).
+    fn estimate(&self, u: NodeId, v: NodeId) -> u64;
+
+    /// Batch estimates: fills `out` with one answer per pair, in order.
+    ///
+    /// The default implementation loops over [`DistanceOracle::estimate`];
+    /// flat-table backends override it to answer straight out of dense
+    /// arrays with no per-query hashing.
+    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(pairs.len());
+        out.extend(pairs.iter().map(|&(u, v)| self.estimate(u, v)));
+    }
+
+    /// The next hop from `u` towards `v`, when the backend routes
+    /// (`None` for `u == v`, unknown destinations, or estimate-only
+    /// backends such as [`Backend::BellmanFord`]).
+    fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId>;
+
+    /// Traces the full route `u → v` — no caller-side `Topology` needed.
+    ///
+    /// `None` when the backend cannot route the pair.
+    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute>;
+
+    /// The advertised worst-case multiplicative stretch of estimates and
+    /// routes (at the finite-ε ceilings validated by the test suite).
+    fn stretch_bound(&self) -> f64;
+
+    /// Size of the serialized artifact in bits (what [`Oracle::save`]
+    /// writes) — the "compact" in compact routing, measured end to end.
+    fn size_bits(&self) -> u64;
+
+    /// Build metrics.
+    fn build_metrics(&self) -> &OracleBuildMetrics;
+}
+
+/// Which scheme answers the queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Partial distance estimation towards a source set (Corollary 3.5):
+    /// flat per-node tables, coverage limited by `horizon`/`sigma`.
+    Pde,
+    /// Deterministic `(1+ε)`-approximate APSP (Theorem 4.1): dense
+    /// distance matrix plus PDE next hops.
+    ApproxApsp,
+    /// Routing tables with relabeling (Theorem 4.5), stretch `6k−1+o(1)`.
+    Rtc,
+    /// Compact Thorup–Zwick hierarchy (Theorem 4.8), stretch `4k−3+o(1)`.
+    Compact,
+    /// Truncated hierarchy over the skeleton graph (Theorem 4.13).
+    Truncated,
+    /// Centralized exact-distance Thorup–Zwick baseline.
+    ExactTz,
+    /// Pipelined distance-vector APSP (exact; estimate-only, no routes).
+    BellmanFord,
+    /// Link-state flooding + local Dijkstra (exact, full tables).
+    Flooding,
+}
+
+impl Backend {
+    /// Every backend, in builder-matrix order.
+    pub const ALL: [Backend; 8] = [
+        Backend::Pde,
+        Backend::ApproxApsp,
+        Backend::Rtc,
+        Backend::Compact,
+        Backend::Truncated,
+        Backend::ExactTz,
+        Backend::BellmanFord,
+        Backend::Flooding,
+    ];
+
+    /// Stable lowercase name (used in tables and snapshots).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Pde => "pde",
+            Backend::ApproxApsp => "approx_apsp",
+            Backend::Rtc => "rtc",
+            Backend::Compact => "compact",
+            Backend::Truncated => "truncated",
+            Backend::ExactTz => "exact_tz",
+            Backend::BellmanFord => "bellman_ford",
+            Backend::Flooding => "flooding",
+        }
+    }
+
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Backend::Pde => 0,
+            Backend::ApproxApsp => 1,
+            Backend::Rtc => 2,
+            Backend::Compact => 3,
+            Backend::Truncated => 4,
+            Backend::ExactTz => 5,
+            Backend::BellmanFord => 6,
+            Backend::Flooding => 7,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.tag() == tag)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds any [`Backend`] with one set of consistently named knobs.
+///
+/// Unset knobs take backend-appropriate defaults; knobs irrelevant to a
+/// backend are ignored (e.g. `k` for [`Backend::BellmanFord`]).
+#[derive(Clone, Debug)]
+pub struct OracleBuilder {
+    backend: Backend,
+    seed: Seed,
+    threads: usize,
+    eps: f64,
+    k: u32,
+    c: f64,
+    horizon: Option<u64>,
+    sigma: Option<usize>,
+    l0: Option<u32>,
+    sources: Option<Vec<bool>>,
+}
+
+impl OracleBuilder {
+    /// A builder for `backend` with default knobs: `seed 0xC0FFEE`,
+    /// automatic `threads`, `eps 0.25`, `k 2`, `c 2.0`, and full-coverage
+    /// `horizon`/`sigma`.
+    pub fn new(backend: Backend) -> Self {
+        OracleBuilder {
+            backend,
+            seed: Seed(0xC0FFEE),
+            threads: 0,
+            eps: 0.25,
+            k: 2,
+            c: 2.0,
+            horizon: None,
+            sigma: None,
+            l0: None,
+            sources: None,
+        }
+    }
+
+    /// RNG seed for every random choice of the build.
+    #[must_use]
+    pub fn seed(mut self, seed: impl Into<Seed>) -> Self {
+        self.seed = seed.into();
+        self
+    }
+
+    /// Worker threads for parallel ladder rungs (`0` = auto, `1` =
+    /// sequential); outputs are identical for every value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Approximation parameter ε.
+    #[must_use]
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Stretch/size trade-off parameter `k`.
+    #[must_use]
+    pub fn k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Constant `c` in horizon/list-size formulas.
+    #[must_use]
+    pub fn c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Detection horizon `h`: for [`Backend::Pde`] the hop horizon
+    /// (default `n`, i.e. full coverage); for [`Backend::Compact`] a
+    /// Theorem 4.8 `SPD` bound (default: Lemma 4.7 per-level horizons).
+    #[must_use]
+    pub fn horizon(mut self, h: u64) -> Self {
+        self.horizon = Some(h);
+        self
+    }
+
+    /// List size σ for [`Backend::Pde`] (default `n`).
+    #[must_use]
+    pub fn sigma(mut self, sigma: usize) -> Self {
+        self.sigma = Some(sigma);
+        self
+    }
+
+    /// Truncation level `l0` for [`Backend::Truncated`]
+    /// (default `k − 1`).
+    #[must_use]
+    pub fn l0(mut self, l0: u32) -> Self {
+        self.l0 = Some(l0);
+        self
+    }
+
+    /// Source set for [`Backend::Pde`] (default: every node).
+    #[must_use]
+    pub fn sources(mut self, sources: Vec<bool>) -> Self {
+        self.sources = Some(sources);
+        self
+    }
+
+    /// Builds the oracle on `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid knob combinations (e.g. `k < 2` for
+    /// [`Backend::Truncated`]) and on the underlying builders' failure
+    /// modes (disconnected inputs, failed w.h.p. events).
+    pub fn build(&self, g: &WGraph) -> Oracle {
+        let start = Instant::now();
+        let mut inner = backends::build_inner(self, g);
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        backends::set_build_nanos(&mut inner, nanos);
+        Oracle { inner }
+    }
+
+    pub(crate) fn backend(&self) -> Backend {
+        self.backend
+    }
+    pub(crate) fn knob_seed(&self) -> Seed {
+        self.seed
+    }
+    pub(crate) fn knob_threads(&self) -> usize {
+        self.threads
+    }
+    pub(crate) fn knob_eps(&self) -> f64 {
+        self.eps
+    }
+    pub(crate) fn knob_k(&self) -> u32 {
+        self.k
+    }
+    pub(crate) fn knob_c(&self) -> f64 {
+        self.c
+    }
+    pub(crate) fn knob_horizon(&self) -> Option<u64> {
+        self.horizon
+    }
+    pub(crate) fn knob_sigma(&self) -> Option<usize> {
+        self.sigma
+    }
+    pub(crate) fn knob_l0(&self) -> Option<u32> {
+        self.l0
+    }
+    pub(crate) fn knob_sources(&self) -> Option<&[bool]> {
+        self.sources.as_deref()
+    }
+}
+
+/// A built (or loaded) distance oracle: one concrete type over every
+/// backend, usable directly or as `&dyn DistanceOracle`.
+pub struct Oracle {
+    pub(crate) inner: backends::Inner,
+}
+
+impl Oracle {
+    /// The backend answering queries.
+    pub fn backend(&self) -> Backend {
+        self.build_metrics().backend
+    }
+
+    /// Writes the versioned binary snapshot of this oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn save<W: Write>(&self, sink: &mut W) -> io::Result<()> {
+        snapshot::save(self, sink)
+    }
+
+    /// Loads an oracle from a snapshot written by [`Oracle::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on bad magic/version/backend bytes or any
+    /// malformed payload.
+    pub fn load<R: Read>(source: &mut R) -> io::Result<Oracle> {
+        snapshot::load(source)
+    }
+
+    fn as_dyn(&self) -> &dyn DistanceOracle {
+        self.inner.as_dyn()
+    }
+}
+
+impl fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Oracle")
+            .field("backend", &self.backend())
+            .field("n", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DistanceOracle for Oracle {
+    fn len(&self) -> usize {
+        self.as_dyn().len()
+    }
+    fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
+        self.as_dyn().estimate(u, v)
+    }
+    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
+        self.as_dyn().estimate_many(pairs, out);
+    }
+    fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        self.as_dyn().next_hop(u, v)
+    }
+    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+        self.as_dyn().route(u, v)
+    }
+    fn stretch_bound(&self) -> f64 {
+        self.as_dyn().stretch_bound()
+    }
+    fn size_bits(&self) -> u64 {
+        self.as_dyn().size_bits()
+    }
+    fn build_metrics(&self) -> &OracleBuildMetrics {
+        self.as_dyn().build_metrics()
+    }
+}
+
+/// Convenience: an estimate is "covered" when it is not [`INF`].
+pub fn is_covered(est: u64) -> bool {
+    est != INF
+}

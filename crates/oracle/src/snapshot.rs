@@ -1,0 +1,403 @@
+//! Versioned binary snapshots: `Oracle::save` / `Oracle::load`.
+//!
+//! Layout (all little-endian, via [`congest::wire`]):
+//!
+//! ```text
+//! magic  "PDOR"            4 bytes
+//! version u16              currently 1
+//! backend u8               Backend::tag
+//! n       u64
+//! rounds  u64              build metrics (summary)
+//! msgs    u64
+//! nanos   u64
+//! payload …                backend-specific (see the Payload impls)
+//! ```
+//!
+//! Every map written anywhere in a payload is in sorted key order, so
+//! `load` → `save` reproduces the byte stream exactly, and a reloaded
+//! oracle answers queries bit-identically to the one that was saved
+//! (`tests/oracle_matrix.rs` pins both properties).
+
+use crate::backends::{
+    ApsOracle, BfOracle, CompactOracle, FlatEntry, FlatRoutes, FloodOracle, Inner, PdeOracle,
+    RtcOracle, TruncatedOracle, TzOracle,
+};
+use crate::{Backend, Oracle, OracleBuildMetrics};
+use baselines::ExactTz;
+use compact::{CompactScheme, TruncatedScheme};
+use congest::wire::{
+    clamped_capacity, invalid_data, CountingWriter, WireReader, WireWriter, MAX_SNAPSHOT_NODES,
+};
+use graphs::WGraph;
+use routing::RtcScheme;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PDOR";
+const VERSION: u16 = 1;
+/// Fixed header size: magic + version + backend + 4 × u64 metrics.
+const HEADER_BYTES: u64 = 4 + 2 + 1 + 4 * 8;
+
+/// Backend-specific payload codec (object-safe on the write side so the
+/// serialized size can be measured through a counting sink).
+pub(crate) trait Payload {
+    fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()>;
+}
+
+/// Serialized size of a backend in bits: fixed header plus payload.
+pub(crate) fn size_bits_of<P: Payload>(p: &P) -> u64 {
+    let mut counter = CountingWriter::new();
+    p.write_payload(&mut counter)
+        .expect("counting writer cannot fail");
+    8 * (HEADER_BYTES + counter.bytes())
+}
+
+pub(crate) fn save(oracle: &Oracle, sink: &mut dyn Write) -> io::Result<()> {
+    let m = *oracle.inner.as_dyn().build_metrics();
+    let mut w = WireWriter::new(sink);
+    w.bytes(MAGIC)?;
+    w.u16(VERSION)?;
+    w.u8(m.backend.tag())?;
+    w.usize(m.n)?;
+    w.u64(m.rounds)?;
+    w.u64(m.messages)?;
+    w.u64(m.build_nanos)?;
+    match &oracle.inner {
+        Inner::Pde(o) => o.write_payload(sink),
+        Inner::Aps(o) => o.write_payload(sink),
+        Inner::Rtc(o) => o.write_payload(sink),
+        Inner::Compact(o) => o.write_payload(sink),
+        Inner::Truncated(o) => o.write_payload(sink),
+        Inner::Tz(o) => o.write_payload(sink),
+        Inner::Bf(o) => o.write_payload(sink),
+        Inner::Flood(o) => o.write_payload(sink),
+    }
+}
+
+pub(crate) fn load(source: &mut dyn Read) -> io::Result<Oracle> {
+    let mut r = WireReader::new(source);
+    let magic = r.bytes(4)?;
+    if magic != MAGIC {
+        return Err(invalid_data("not an oracle snapshot (bad magic)"));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(invalid_data(format!(
+            "unsupported snapshot version {version} (expected {VERSION})"
+        )));
+    }
+    let tag = r.u8()?;
+    let backend =
+        Backend::from_tag(tag).ok_or_else(|| invalid_data(format!("unknown backend tag {tag}")))?;
+    let n = r.usize()?;
+    let rounds = r.u64()?;
+    let messages = r.u64()?;
+    let build_nanos = r.u64()?;
+    let metrics = OracleBuildMetrics {
+        backend,
+        n,
+        rounds,
+        messages,
+        build_nanos,
+    };
+    let inner = match backend {
+        Backend::Pde => Inner::Pde(PdeOracle::read_payload(source, metrics)?),
+        Backend::ApproxApsp => Inner::Aps(ApsOracle::read_payload(source, metrics)?),
+        Backend::Rtc => Inner::Rtc(RtcOracle::read_payload(source, metrics)?),
+        Backend::Compact => Inner::Compact(CompactOracle::read_payload(source, metrics)?),
+        Backend::Truncated => Inner::Truncated(TruncatedOracle::read_payload(source, metrics)?),
+        Backend::ExactTz => Inner::Tz(TzOracle::read_payload(source, metrics)?),
+        Backend::BellmanFord => Inner::Bf(BfOracle::read_payload(source, metrics)?),
+        Backend::Flooding => Inner::Flood(FloodOracle::read_payload(source, metrics)?),
+    };
+    Ok(Oracle { inner })
+}
+
+// ------------------------------------------------------------ helpers --
+
+fn write_flat_routes(sink: &mut dyn Write, fr: &FlatRoutes) -> io::Result<()> {
+    let mut w = WireWriter::new(sink);
+    w.len(fr.starts.len())?;
+    for &s in &fr.starts {
+        w.u32(s)?;
+    }
+    w.len(fr.entries.len())?;
+    for e in &fr.entries {
+        w.u32(e.src)?;
+        w.u64(e.est)?;
+        w.u32(e.port)?;
+    }
+    Ok(())
+}
+
+fn read_flat_routes(source: &mut dyn Read) -> io::Result<FlatRoutes> {
+    let mut r = WireReader::new(source);
+    let ns = r.len(1 << 32)?;
+    let mut starts = Vec::with_capacity(clamped_capacity(ns));
+    for _ in 0..ns {
+        starts.push(r.u32()?);
+    }
+    let ne = r.len(1 << 32)?;
+    let mut entries = Vec::with_capacity(clamped_capacity(ne));
+    for _ in 0..ne {
+        let src = r.u32()?;
+        let est = r.u64()?;
+        let port = r.u32()?;
+        entries.push(FlatEntry { src, est, port });
+    }
+    let fr = FlatRoutes { starts, entries };
+    // Full CSR validation: first offset 0, monotonically non-decreasing,
+    // last offset equal to the entry count — anything else would defer a
+    // slice-index panic from load time into the serving path.
+    if fr.starts.first() != Some(&0)
+        || fr.starts.last().map(|&s| s as usize) != Some(fr.entries.len())
+        || fr.starts.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(invalid_data("flat route offsets inconsistent"));
+    }
+    Ok(fr)
+}
+
+/// Validates flat tables against the graph they will be queried on: one
+/// CSR row per node, sources in range, ports within each node's degree
+/// (`Topology::neighbor` only debug-asserts its port, so a corrupted
+/// port would silently resolve to a wrong neighbor in release builds).
+fn validate_flat_routes(fr: &FlatRoutes, g: &WGraph) -> io::Result<()> {
+    if fr.len_nodes() != g.len() {
+        return Err(invalid_data("route table count mismatch"));
+    }
+    for v in g.nodes() {
+        let deg = g.degree(v) as u32;
+        for e in fr.node_entries(v) {
+            if e.src as usize >= g.len() {
+                return Err(invalid_data(format!("route source {} out of range", e.src)));
+            }
+            if e.port >= deg {
+                return Err(invalid_data(format!(
+                    "route port {} out of range at {v} (degree {deg})",
+                    e.port
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_dense_u64(sink: &mut dyn Write, xs: &[u64]) -> io::Result<()> {
+    let mut w = WireWriter::new(sink);
+    w.len(xs.len())?;
+    for &x in xs {
+        w.u64(x)?;
+    }
+    Ok(())
+}
+
+fn read_dense_u64(source: &mut dyn Read, expect: usize) -> io::Result<Vec<u64>> {
+    let mut r = WireReader::new(source);
+    let n = r.len(expect)?;
+    if n != expect {
+        return Err(invalid_data("dense matrix size mismatch"));
+    }
+    let mut xs = Vec::with_capacity(clamped_capacity(n));
+    for _ in 0..n {
+        xs.push(r.u64()?);
+    }
+    Ok(xs)
+}
+
+// ------------------------------------------------------------ payloads --
+
+impl Payload for PdeOracle {
+    fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()> {
+        let mut w = WireWriter::new(sink);
+        w.f64(self.eps)?;
+        w.u64(self.h)?;
+        w.usize(self.sigma)?;
+        self.g.write_into(sink)?;
+        write_flat_routes(sink, &self.routes)
+    }
+}
+
+impl PdeOracle {
+    fn read_payload(source: &mut dyn Read, metrics: OracleBuildMetrics) -> io::Result<Self> {
+        let mut r = WireReader::new(source);
+        let eps = r.f64()?;
+        let h = r.u64()?;
+        let sigma = r.usize()?;
+        let g = WGraph::read_from(source)?;
+        let routes = read_flat_routes(source)?;
+        validate_flat_routes(&routes, &g)?;
+        let topo = g.to_topology();
+        Ok(PdeOracle {
+            g,
+            topo,
+            routes,
+            eps,
+            h,
+            sigma,
+            metrics,
+        })
+    }
+}
+
+impl Payload for ApsOracle {
+    fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()> {
+        WireWriter::new(sink).f64(self.eps)?;
+        self.g.write_into(sink)?;
+        write_dense_u64(sink, &self.dist)?;
+        write_flat_routes(sink, &self.routes)
+    }
+}
+
+impl ApsOracle {
+    fn read_payload(source: &mut dyn Read, metrics: OracleBuildMetrics) -> io::Result<Self> {
+        let eps = WireReader::new(source).f64()?;
+        let g = WGraph::read_from(source)?;
+        let cells = g
+            .len()
+            .checked_mul(g.len())
+            .ok_or_else(|| invalid_data("distance matrix size overflow"))?;
+        let dist = read_dense_u64(source, cells)?;
+        let routes = read_flat_routes(source)?;
+        validate_flat_routes(&routes, &g)?;
+        let topo = g.to_topology();
+        Ok(ApsOracle {
+            g,
+            topo,
+            dist,
+            routes,
+            eps,
+            metrics,
+        })
+    }
+}
+
+// The distributed schemes serialize their own topology inside
+// `write_into`, so their payloads carry the edge list exactly once.
+macro_rules! scheme_payload {
+    ($oracle:ident, $scheme:ident) => {
+        impl Payload for $oracle {
+            fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()> {
+                let mut w = WireWriter::new(sink);
+                w.u32(self.k)?;
+                w.f64(self.eps)?;
+                self.scheme.write_into(sink)
+            }
+        }
+
+        impl $oracle {
+            fn read_payload(
+                source: &mut dyn Read,
+                metrics: OracleBuildMetrics,
+            ) -> io::Result<Self> {
+                let mut r = WireReader::new(source);
+                let k = r.u32()?;
+                let eps = r.f64()?;
+                let scheme = $scheme::read_from(source)?;
+                Ok($oracle {
+                    scheme,
+                    k,
+                    eps,
+                    metrics,
+                })
+            }
+        }
+    };
+}
+
+scheme_payload!(RtcOracle, RtcScheme);
+scheme_payload!(CompactOracle, CompactScheme);
+scheme_payload!(TruncatedOracle, TruncatedScheme);
+
+impl Payload for TzOracle {
+    fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()> {
+        WireWriter::new(sink).u32(self.k)?;
+        // ExactTz holds no topology, so the wrapper persists the graph.
+        self.g.write_into(sink)?;
+        self.scheme.write_into(sink)
+    }
+}
+
+impl TzOracle {
+    fn read_payload(source: &mut dyn Read, metrics: OracleBuildMetrics) -> io::Result<Self> {
+        let k = WireReader::new(source).u32()?;
+        let g = WGraph::read_from(source)?;
+        let scheme = ExactTz::read_from(source)?;
+        let topo = g.to_topology();
+        Ok(TzOracle {
+            g,
+            topo,
+            scheme,
+            k,
+            metrics,
+        })
+    }
+}
+
+impl Payload for BfOracle {
+    fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()> {
+        WireWriter::new(sink).usize(self.n)?;
+        write_dense_u64(sink, &self.dist)
+    }
+}
+
+impl BfOracle {
+    fn read_payload(source: &mut dyn Read, metrics: OracleBuildMetrics) -> io::Result<Self> {
+        let n = WireReader::new(source).usize()?;
+        if n > MAX_SNAPSHOT_NODES {
+            return Err(invalid_data(format!("snapshot claims {n} nodes")));
+        }
+        let cells = n
+            .checked_mul(n)
+            .ok_or_else(|| invalid_data("distance matrix size overflow"))?;
+        let dist = read_dense_u64(source, cells)?;
+        Ok(BfOracle { n, dist, metrics })
+    }
+}
+
+impl Payload for FloodOracle {
+    fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.g.write_into(sink)?;
+        write_dense_u64(sink, &self.dist)?;
+        let mut w = WireWriter::new(sink);
+        w.len(self.next.len())?;
+        for &x in &self.next {
+            w.u32(x)?;
+        }
+        w.usize(self.lsdb_edges)?;
+        Ok(())
+    }
+}
+
+impl FloodOracle {
+    fn read_payload(source: &mut dyn Read, metrics: OracleBuildMetrics) -> io::Result<Self> {
+        let g = WGraph::read_from(source)?;
+        let cells = g
+            .len()
+            .checked_mul(g.len())
+            .ok_or_else(|| invalid_data("distance matrix size overflow"))?;
+        let dist = read_dense_u64(source, cells)?;
+        let mut r = WireReader::new(source);
+        let nn = r.len(cells)?;
+        if nn != cells {
+            return Err(invalid_data("first-hop matrix size mismatch"));
+        }
+        let mut next = Vec::with_capacity(clamped_capacity(nn));
+        for _ in 0..nn {
+            let raw = r.u32()?;
+            if raw != u32::MAX && raw as usize >= g.len() {
+                return Err(invalid_data(format!("first hop {raw} out of range")));
+            }
+            next.push(raw);
+        }
+        let lsdb_edges = r.usize()?;
+        let topo = g.to_topology();
+        Ok(FloodOracle {
+            g,
+            topo,
+            dist,
+            next,
+            lsdb_edges,
+            metrics,
+        })
+    }
+}

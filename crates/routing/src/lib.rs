@@ -34,6 +34,7 @@ pub mod eval;
 pub mod query;
 pub mod scheme;
 pub mod skeleton;
+pub mod snapshot;
 
 pub use eval::{evaluate, EvalReport, PairSelection, RoutingScheme};
 pub use scheme::{build_rtc, RtcBuildMetrics, RtcLabel, RtcParams, RtcScheme};

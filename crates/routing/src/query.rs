@@ -39,8 +39,17 @@ impl RtcScheme {
 
     /// The long-range option at `x` for destination label `label`:
     /// `(total_estimate, next_hop)` via the best skeleton entry point.
+    ///
+    /// Ties in the total estimate are broken by the smaller next-hop id,
+    /// so the answer is independent of routing-table iteration order —
+    /// which keeps queries bit-identical across snapshot save/load.
     fn skeleton_option(&self, x: NodeId, label: &RtcLabel) -> Option<(u64, NodeId)> {
         let mut best: Option<(u64, NodeId)> = None;
+        let consider = |total: u64, hop: NodeId, best: &mut Option<(u64, NodeId)>| {
+            if best.is_none_or(|b| (total, hop) < b) {
+                *best = Some((total, hop));
+            }
+        };
         // Entry points x knows a route to.
         for (&t, r) in &self.skel_routes[x.index()] {
             let sd = self.spanner_dist(t, label.home);
@@ -48,10 +57,7 @@ impl RtcScheme {
                 continue;
             }
             let total = r.est.saturating_add(sd).saturating_add(label.dist_home);
-            let hop = self.topo.neighbor(x, r.port);
-            if best.is_none_or(|(b, _)| total < b) {
-                best = Some((total, hop));
-            }
+            consider(total, self.topo.neighbor(x, r.port), &mut best);
         }
         // If x is itself a skeleton node, it can enter at itself: the next
         // hop is the first hop of its chain towards the next spanner node.
@@ -62,13 +68,11 @@ impl RtcScheme {
             let sd = self.span_dist[i * m + j];
             if sd != INF && i != j {
                 let total = sd.saturating_add(label.dist_home);
-                if best.is_none_or(|(b, _)| total < b) {
-                    let z = self.skel_ids[self.span_next[i * m + j]];
-                    let r = self.skel_routes[x.index()]
-                        .get(&z)
-                        .expect("spanner edge endpoints route to each other");
-                    best = Some((total, self.topo.neighbor(x, r.port)));
-                }
+                let z = self.skel_ids[self.span_next[i * m + j]];
+                let r = self.skel_routes[x.index()]
+                    .get(&z)
+                    .expect("spanner edge endpoints route to each other");
+                consider(total, self.topo.neighbor(x, r.port), &mut best);
             }
         }
         best

@@ -2,12 +2,10 @@
 
 use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
-use congest::{bits_for, Message, Metrics, NodeId, Topology};
+use congest::{bits_for, label_record_bits, Message, Metrics, NodeId, Topology};
 use graphs::algo::apsp;
-use graphs::{WGraph, INF};
+use graphs::{Seed, WGraph, INF};
 use pde_core::{run_pde, PdeEntry, PdeParams, RouteTable};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use spanner::baswana_sen;
 use std::collections::HashMap;
 use treeroute::{label_forest, TreeSet};
@@ -24,8 +22,9 @@ pub struct RtcParams {
     pub eps: f64,
     /// Constant `c` in the horizon/list size `h = σ = c·ln n / p`.
     pub c: f64,
-    /// RNG seed (skeleton sampling + spanner coins).
-    pub seed: u64,
+    /// RNG seed; skeleton sampling and spanner coins use independent
+    /// streams derived from it (see [`graphs::Seed::derive`]).
+    pub seed: Seed,
 }
 
 impl RtcParams {
@@ -35,7 +34,7 @@ impl RtcParams {
             k,
             eps: 0.25,
             c: 2.0,
-            seed: 0xC0FFEE,
+            seed: Seed(0xC0FFEE),
         }
     }
 }
@@ -54,9 +53,11 @@ pub struct RtcLabel {
 }
 
 impl RtcLabel {
-    /// Semantic size of this label in bits (measured in Experiment E4).
+    /// Semantic size of this label in bits (measured in Experiment E4):
+    /// two node ids plus the home distance and DFS index, via the shared
+    /// [`congest::label_record_bits`] formula.
     pub fn bits(&self, n: usize) -> usize {
-        2 * bits_for(n as u64) + bits_for(self.dist_home + 1) + bits_for(self.tree_dfs + 1)
+        label_record_bits(n as u64, 2, &[self.dist_home, self.tree_dfs])
     }
 }
 
@@ -137,6 +138,14 @@ pub struct RtcScheme {
     pub(crate) span_next: Vec<usize>,
 }
 
+impl RtcScheme {
+    /// The topology the scheme was built on (shared with route tracing
+    /// and snapshot serialization, so callers need no separate copy).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
 /// Traces the next-hop chain `from → … → to` through per-node route maps.
 ///
 /// # Panics
@@ -182,12 +191,13 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
     let n = g.len();
     assert!(n >= 2, "need at least two nodes");
     let topo = g.to_topology();
-    let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut total = Metrics::new(n);
 
-    // Stage 1: skeleton sampling (node-local coins; no rounds).
+    // Stage 1: skeleton sampling (node-local coins; no rounds). The
+    // sample uses the seed's primary stream; the spanner below gets an
+    // independent derived stream.
     let p = theorem45_probability(n, params.k);
-    let (skeleton, sample_attempts) = sample_skeleton(n, p, &mut rng);
+    let (skeleton, sample_attempts) = sample_skeleton(n, p, params.seed);
     let skel_ids: Vec<NodeId> = g.nodes().filter(|v| skeleton[v.index()]).collect();
 
     // Stage 2: (V, h, σ)-estimation with skeleton tags.
@@ -257,7 +267,8 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
     );
 
     // Stage 4: Baswana–Sen spanner + pipelined dissemination.
-    let sp = baswana_sen(&skel_graph, params.k, &mut rng);
+    let mut spanner_rng = params.seed.derive(1).rng();
+    let sp = baswana_sen(&skel_graph, params.k, &mut spanner_rng);
     let (bfs, bfs_metrics) = build_bfs(&topo, NodeId(0));
     total.absorb(&bfs_metrics);
     let mut items: Vec<Vec<BsItem>> = vec![Vec::new(); n];

@@ -1,9 +1,12 @@
 //! Skeleton sampling.
 
+use graphs::Seed;
 use rand::Rng;
 
 /// Samples each node into the skeleton independently with probability `p`,
-/// retrying (fresh coins) until the skeleton is nonempty.
+/// retrying (fresh coins) until the skeleton is nonempty. The coins come
+/// from `seed`'s own stream (see [`graphs::Seed`]), so the sample is a
+/// pure function of `(n, p, seed)`.
 ///
 /// The paper conditions on `S ≠ ∅` ("for convenience, we assume that
 /// always `S ≠ ∅`, which holds w.h.p."); at simulation scale an empty
@@ -13,8 +16,9 @@ use rand::Rng;
 ///
 /// Panics if `p` is not in `(0, 1]` or after 1000 failed attempts
 /// (p astronomically small for the given n — a caller bug).
-pub fn sample_skeleton<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> (Vec<bool>, u32) {
+pub fn sample_skeleton(n: usize, p: f64, seed: Seed) -> (Vec<bool>, u32) {
     assert!(p > 0.0 && p <= 1.0, "sampling probability out of range");
+    let mut rng = seed.rng();
     for attempt in 1..=1000 {
         let flags: Vec<bool> = (0..n).map(|_| rng.random_bool(p)).collect();
         if flags.iter().any(|&f| f) {
@@ -33,16 +37,14 @@ pub fn theorem45_probability(n: usize, k: u32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
-    fn sample_is_nonempty() {
-        let mut rng = SmallRng::seed_from_u64(1);
-        for _ in 0..50 {
-            let (flags, _) = sample_skeleton(30, 0.05, &mut rng);
+    fn sample_is_nonempty_and_deterministic() {
+        for s in 0..50u64 {
+            let (flags, _) = sample_skeleton(30, 0.05, Seed(s));
             assert!(flags.iter().any(|&f| f));
             assert_eq!(flags.len(), 30);
+            assert_eq!(flags, sample_skeleton(30, 0.05, Seed(s)).0);
         }
     }
 
@@ -56,8 +58,7 @@ mod tests {
 
     #[test]
     fn sample_rate_tracks_p() {
-        let mut rng = SmallRng::seed_from_u64(2);
-        let (flags, _) = sample_skeleton(20_000, 0.1, &mut rng);
+        let (flags, _) = sample_skeleton(20_000, 0.1, Seed(2));
         let count = flags.iter().filter(|&&f| f).count();
         assert!(
             (1600..=2400).contains(&count),

@@ -1,0 +1,214 @@
+//! Binary snapshot codec for the Theorem 4.5 scheme.
+//!
+//! A built [`RtcScheme`] is a pure query artifact: everything
+//! [`crate::eval::RoutingScheme`] needs is serialized here with the
+//! handwritten little-endian framing of [`congest::wire`], so an oracle
+//! can be constructed once (the expensive distributed build) and then
+//! served from disk. Query answers of a reloaded scheme are bit-identical
+//! to the original: all hash tables are written in sorted key order and
+//! rebuilt with identical insertion sequences, and tie-breaking in the
+//! query paths is key-ordered rather than iteration-ordered.
+//!
+//! Build *metrics* are persisted in summary form (round/message totals and
+//! the per-stage breakdown); the bounded per-round histories are not.
+
+use crate::scheme::{RtcBuildMetrics, RtcLabel, RtcScheme};
+use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
+use congest::{Metrics, NodeId, Topology};
+use pde_core::snapshot::{
+    read_lists, read_route_tables, validate_route_tables, write_lists, write_route_tables,
+};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use treeroute::TreeSet;
+
+impl RtcScheme {
+    /// Serializes the scheme's full query state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.topo.write_into(sink)?;
+        let mut w = WireWriter::new(sink);
+        for l in &self.labels {
+            w.u32(l.id.0)?;
+            w.u32(l.home.0)?;
+            w.u64(l.dist_home)?;
+            w.u64(l.tree_dfs)?;
+        }
+        for &f in &self.skeleton {
+            w.bool(f)?;
+        }
+        write_route_tables(sink, &self.short)?;
+        write_lists(sink, &self.short_lists)?;
+        write_route_tables(sink, &self.skel_routes)?;
+        let mut w = WireWriter::new(sink);
+        w.len(self.spanner_edges.len())?;
+        for &(a, b, wt) in &self.spanner_edges {
+            w.u32(a)?;
+            w.u32(b)?;
+            w.u64(wt)?;
+        }
+        let m = self.skel_ids.len();
+        w.usize(m)?;
+        for &d in &self.span_dist {
+            w.u64(d)?;
+        }
+        for &nx in &self.span_next {
+            w.u64(if nx == usize::MAX {
+                u64::MAX
+            } else {
+                nx as u64
+            })?;
+        }
+        self.trees.write_into(sink)?;
+        let mut w = WireWriter::new(sink);
+        let mt = &self.metrics;
+        w.u64(mt.total_rounds)?;
+        w.u64(mt.pde_a_rounds)?;
+        w.u64(mt.pde_s_rounds)?;
+        w.u64(mt.spanner_broadcast_rounds)?;
+        w.u64(mt.tree_label_rounds)?;
+        w.u64(mt.total.rounds)?;
+        w.u64(mt.total.messages)?;
+        w.u32(mt.sample_attempts)?;
+        w.u64(mt.h)?;
+        Ok(())
+    }
+
+    /// Deserializes a scheme written by [`RtcScheme::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        let topo = Topology::read_from(source)?;
+        let n = topo.len();
+        let mut r = WireReader::new(source);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            labels.push(RtcLabel {
+                id: NodeId(r.u32()?),
+                home: NodeId(r.u32()?),
+                dist_home: r.u64()?,
+                tree_dfs: r.u64()?,
+            });
+        }
+        let mut skeleton = Vec::with_capacity(n);
+        for _ in 0..n {
+            skeleton.push(r.bool()?);
+        }
+        let short = read_route_tables(source)?;
+        let short_lists = read_lists(source)?;
+        let skel_routes = read_route_tables(source)?;
+        if short_lists.len() != n {
+            return Err(invalid_data("table count mismatch"));
+        }
+        validate_route_tables(&short, &topo)?;
+        validate_route_tables(&skel_routes, &topo)?;
+        let mut r = WireReader::new(source);
+        let num_sedges = r.len(n.saturating_mul(n))?;
+        let mut spanner_edges = Vec::with_capacity(clamped_capacity(num_sedges));
+        for _ in 0..num_sedges {
+            let a = r.u32()?;
+            let b = r.u32()?;
+            let wt = r.u64()?;
+            spanner_edges.push((a, b, wt));
+        }
+        let m = r.usize()?;
+        let skel_ids: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|v| skeleton[v.index()])
+            .collect();
+        if skel_ids.len() != m {
+            return Err(invalid_data("skeleton size mismatch"));
+        }
+        let mut span_dist = Vec::with_capacity(clamped_capacity(m * m));
+        for _ in 0..m * m {
+            span_dist.push(r.u64()?);
+        }
+        let mut span_next = Vec::with_capacity(clamped_capacity(m * m));
+        for _ in 0..m * m {
+            let x = r.u64()?;
+            span_next.push(if x == u64::MAX {
+                usize::MAX
+            } else {
+                usize::try_from(x).map_err(|_| invalid_data("span_next overflow"))?
+            });
+        }
+        let trees = TreeSet::read_from(source)?;
+        let mut r = WireReader::new(source);
+        let total_rounds = r.u64()?;
+        let pde_a_rounds = r.u64()?;
+        let pde_s_rounds = r.u64()?;
+        let spanner_broadcast_rounds = r.u64()?;
+        let tree_label_rounds = r.u64()?;
+        let mut total = Metrics::new(n);
+        total.rounds = r.u64()?;
+        total.messages = r.u64()?;
+        let sample_attempts = r.u32()?;
+        let h = r.u64()?;
+
+        let skel_index: HashMap<NodeId, usize> =
+            skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let metrics = RtcBuildMetrics {
+            total_rounds,
+            pde_a_rounds,
+            pde_s_rounds,
+            spanner_broadcast_rounds,
+            tree_label_rounds,
+            total,
+            skeleton_size: m,
+            spanner_edge_count: spanner_edges.len(),
+            sample_attempts,
+            h,
+        };
+        Ok(RtcScheme {
+            topo,
+            labels,
+            short,
+            short_lists,
+            skel_routes,
+            skeleton,
+            skel_ids,
+            spanner_edges,
+            trees,
+            metrics,
+            skel_index,
+            span_dist,
+            span_next,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::RoutingScheme;
+    use crate::scheme::{build_rtc, RtcParams};
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snapshot_round_trip_is_query_identical() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+        let scheme = build_rtc(&g, &RtcParams::new(2));
+        let mut buf = Vec::new();
+        scheme.write_into(&mut buf).unwrap();
+        let back = super::RtcScheme::read_from(&mut &buf[..]).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(scheme.estimate(u, v), back.estimate(u, v), "({u},{v})");
+                assert_eq!(scheme.next_hop(u, v), back.next_hop(u, v), "({u},{v})");
+            }
+            assert_eq!(scheme.label_bits(u), back.label_bits(u));
+            assert_eq!(scheme.table_entries(u), back.table_entries(u));
+        }
+        // Re-serialization is byte-identical (sorted-order encoding).
+        let mut buf2 = Vec::new();
+        back.write_into(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+}

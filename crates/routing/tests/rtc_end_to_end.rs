@@ -4,6 +4,7 @@
 
 use graphs::algo::apsp;
 use graphs::gen::{self, Weights};
+use graphs::Seed;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use routing::{build_rtc, evaluate, PairSelection, RoutingScheme, RtcParams};
@@ -17,7 +18,7 @@ fn ceiling(k: u32, eps: f64) -> f64 {
 
 fn check(g: &graphs::WGraph, k: u32, seed: u64) {
     let mut params = RtcParams::new(k);
-    params.seed = seed;
+    params.seed = Seed(seed);
     let scheme = build_rtc(g, &params);
     let exact = apsp(g);
     let report = evaluate(g, &scheme, &exact, PairSelection::All);

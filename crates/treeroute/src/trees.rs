@@ -161,6 +161,61 @@ impl TreeSet {
         }
     }
 
+    /// Serializes the set (snapshot wire format): per tree, the root and
+    /// its parent pointers sorted by child id. Children lists, depths and
+    /// DFS intervals are *not* written — [`TreeSet::read_from`] recomputes
+    /// them with [`TreeSet::build`], which is a deterministic function of
+    /// the parent structure, so reloaded labels are identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let mut w = congest::wire::WireWriter::new(sink);
+        w.len(self.trees.len())?;
+        for (&root, tree) in &self.trees {
+            w.u32(root.0)?;
+            let mut parents: Vec<(NodeId, NodeId)> =
+                tree.parent.iter().map(|(&c, &p)| (c, p)).collect();
+            parents.sort_unstable();
+            w.len(parents.len())?;
+            for (c, p) in parents {
+                w.u32(c.0)?;
+                w.u32(p.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a set written by [`TreeSet::write_into`] and rebuilds
+    /// children/depth/interval tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`TreeSet::build`]) if the decoded parent pointers
+    /// contain a cycle — possible only for corrupted snapshots.
+    pub fn read_from(source: &mut dyn std::io::Read) -> std::io::Result<Self> {
+        let mut r = congest::wire::WireReader::new(source);
+        let num_trees = r.len(1 << 32)?;
+        let mut set = TreeSet::new();
+        for _ in 0..num_trees {
+            let root = NodeId(r.u32()?);
+            let tree = set.trees.entry(root).or_default();
+            let edges = r.len(1 << 32)?;
+            for _ in 0..edges {
+                let c = NodeId(r.u32()?);
+                let p = NodeId(r.u32()?);
+                tree.parent.insert(c, p);
+            }
+        }
+        set.build();
+        Ok(set)
+    }
+
     /// Trees containing `v`, as `(root, depth_of_v)` pairs.
     pub fn memberships(&self, v: NodeId) -> Vec<(NodeId, u32)> {
         self.trees
@@ -243,6 +298,32 @@ mod tests {
         let mut ts = TreeSet::new();
         ts.add_chain(&[v(2), v(1), v(0)]);
         ts.add_chain(&[v(2), v(3), v(0)]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_labels() {
+        let mut ts = TreeSet::new();
+        ts.add_chain(&[v(3), v(1), v(0)]);
+        ts.add_chain(&[v(4), v(1), v(0)]);
+        ts.add_chain(&[v(2), v(0)]);
+        ts.add_chain(&[v(2), v(5)]); // second tree
+        ts.add_chain(&[v(6)]); // singleton tree
+        ts.build();
+        let mut buf = Vec::new();
+        ts.write_into(&mut buf).unwrap();
+        let back = TreeSet::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(back.trees.len(), ts.trees.len());
+        for (root, tree) in &ts.trees {
+            let other = &back.trees[root];
+            assert_eq!(tree.parent, other.parent, "tree {root}");
+            assert_eq!(tree.interval, other.interval, "tree {root}");
+            assert_eq!(tree.depth, other.depth, "tree {root}");
+            assert_eq!(tree.children, other.children, "tree {root}");
+        }
+        // Re-serializing the reloaded set gives identical bytes.
+        let mut buf2 = Vec::new();
+        back.write_into(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use pde_repro::compact::{build_driver, build_hierarchy, CompactParams};
 use pde_repro::graphs::algo::{apsp, hop_diameter};
 use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::graphs::Seed;
 use pde_repro::routing::{evaluate, PairSelection};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -28,7 +29,7 @@ fn main() {
     for k in [1u32, 2, 3, 4] {
         let mut params = CompactParams::new(k);
         params.c = 1.5;
-        params.seed = 7 ^ u64::from(k);
+        params.seed = Seed(7 ^ u64::from(k));
         let scheme = build_hierarchy(&g, &params);
         let report = evaluate(&g, &scheme, &exact, PairSelection::All);
         assert!(report.failures.is_empty(), "k={k}: {:?}", report.failures);
@@ -43,7 +44,7 @@ fn main() {
 
     // Corollary 4.14: let the driver pick l0 and the upper-level mode.
     let mut params = CompactParams::new(3);
-    params.seed = 9;
+    params.seed = Seed(9);
     let (scheme, choice) = build_driver(&g, &params, d);
     let report = evaluate(&g, &scheme, &exact, PairSelection::All);
     assert!(report.failures.is_empty(), "{:?}", report.failures);

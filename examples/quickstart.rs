@@ -1,4 +1,5 @@
-// Quickstart: approximate APSP and a distance query on a tiny network.
+// Quickstart: build a distance oracle once, query it many times, and
+// serve it from a snapshot — the unified `DistanceOracle` API.
 //
 // Run with: `cargo run --release --example quickstart`
 //
@@ -6,9 +7,8 @@
 // `tests/quickstart_smoke.rs` can `include!` this file verbatim and keep
 // the public umbrella API exercised by `cargo test`.)
 
-use pde_repro::graphs::algo;
 use pde_repro::graphs::{NodeId, WGraph};
-use pde_repro::pde_core::{approx_apsp, run_pde, PdeParams};
+use pde_repro::oracle::{Backend, DistanceOracle, Oracle, OracleBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     demo()
@@ -30,51 +30,66 @@ pub fn demo() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
 
-    // 1. Deterministic (1+ε)-approximate APSP (Theorem 4.1).
-    let eps = 0.25;
-    let apsp = approx_apsp(&g, eps);
-    let exact = algo::apsp(&g);
+    // 1. One builder for every backend. Here: deterministic (1+ε)-
+    //    approximate APSP (Theorem 4.1), built once, queried many times.
+    let apsp = OracleBuilder::new(Backend::ApproxApsp).eps(0.25).build(&g);
     println!(
-        "(1+{eps})-approximate APSP in {} CONGEST rounds:",
-        apsp.rounds()
+        "approx-APSP oracle: {} CONGEST rounds to build, {} KiB artifact, stretch <= {:.2}",
+        apsp.build_metrics().rounds,
+        apsp.size_bits() / 8 / 1024,
+        apsp.stretch_bound(),
     );
     for u in g.nodes() {
         for v in g.nodes() {
             if u < v {
-                println!(
-                    "  wd'({u}, {v}) = {:>3}   (exact {:>3})",
-                    apsp.dist(u, v),
-                    exact.dist(u, v)
-                );
+                println!("  wd'({u}, {v}) = {:>3}", apsp.estimate(u, v));
             }
         }
     }
+
+    // 2. Batch queries answer straight out of flat tables — the serving
+    //    path for heavy query traffic.
+    let pairs: Vec<(NodeId, NodeId)> = vec![
+        (NodeId(2), NodeId(0)),
+        (NodeId(2), NodeId(5)),
+        (NodeId(1), NodeId(4)),
+    ];
+    let mut answers = Vec::new();
+    apsp.estimate_many(&pairs, &mut answers);
+    println!("\nbatch answers: {answers:?}");
+
+    // 3. Route tracing lives on the trait — no Topology plumbing. A PDE
+    //    oracle towards a server set S = {0, 3} (Corollary 3.5).
+    let servers = vec![true, false, false, true, false, false];
+    let pde = OracleBuilder::new(Backend::Pde)
+        .sources(servers)
+        .horizon(3)
+        .sigma(2)
+        .build(&g);
+    let route = pde
+        .route(NodeId(2), NodeId(0))
+        .ok_or("routing failed: no route 2 -> 0")?;
+    let hops: Vec<String> = route.nodes.iter().map(ToString::to_string).collect();
     println!(
-        "max stretch: {:.4} (bound {:.2})",
-        apsp.max_stretch(&exact),
-        1.0 + eps
+        "route 2 -> 0: {} (weight {}, {} hops)",
+        hops.join(" -> "),
+        route.weight,
+        route.hops()
     );
 
-    // 2. Partial distance estimation towards a source set (Corollary 3.5):
-    //    every node finds its two nearest "servers" within 3 hops.
-    let servers = vec![true, false, false, true, false, false]; // S = {0, 3}
-    let out = run_pde(&g, &servers, &[false; 6], &PdeParams::new(3, 2, eps));
-    println!("\nnearest servers per node (σ=2, h=3):");
-    for v in g.nodes() {
-        let entries: Vec<String> = out.lists[v.index()]
-            .iter()
-            .map(|e| format!("{}@{}", e.src, e.est))
-            .collect();
-        println!("  {v}: {}", entries.join(", "));
-    }
-
-    // 3. Follow the computed next hops from node 2 to server 0. Route
-    //    tracing works over a prebuilt topology (build once, query often).
-    let topo = g.to_topology();
-    let (path, weight) = out
-        .trace_route(&topo, NodeId(2), NodeId(0))
-        .map_err(|e| format!("routing failed: {e}"))?;
-    let hops: Vec<String> = path.iter().map(ToString::to_string).collect();
-    println!("\nroute 2 → 0: {} (weight {weight})", hops.join(" → "));
+    // 4. Build once, serve from disk: the snapshot round-trips with
+    //    bit-identical answers.
+    let mut bytes = Vec::new();
+    apsp.save(&mut bytes)?;
+    let served = Oracle::load(&mut &bytes[..])?;
+    assert_eq!(
+        served.estimate(NodeId(2), NodeId(0)),
+        apsp.estimate(NodeId(2), NodeId(0)),
+    );
+    println!(
+        "\nsnapshot: {} bytes, backend {}, answers identical after reload",
+        bytes.len(),
+        served.backend(),
+    );
     Ok(())
 }

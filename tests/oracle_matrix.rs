@@ -1,0 +1,204 @@
+//! Backend matrix: every [`Backend`] built through [`OracleBuilder`] on
+//! seeded random graphs (a) answers `estimate`/`estimate_many` through the
+//! `DistanceOracle` trait, (b) satisfies its advertised `stretch_bound()`
+//! against `graphs::algo::apsp` ground truth, and (c) round-trips through
+//! `save`/`load` with bit-identical answers on 1k random queries.
+
+use pde_repro::graphs::algo::apsp;
+use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::graphs::{NodeId, Seed, WGraph};
+use pde_repro::oracle::{evaluate, Backend, DistanceOracle, Oracle, OracleBuilder, PairSelection};
+
+fn graph(seed: u64) -> WGraph {
+    let mut rng = Seed(seed).rng();
+    gen::gnp_connected(26, 0.18, Weights::Uniform { lo: 1, hi: 30 }, &mut rng)
+}
+
+fn build(backend: Backend, g: &WGraph, seed: u64) -> Oracle {
+    OracleBuilder::new(backend).seed(seed).k(2).build(g)
+}
+
+#[test]
+fn every_backend_meets_its_advertised_stretch_bound() {
+    for graph_seed in [1u64, 2] {
+        let g = graph(graph_seed);
+        let exact = apsp(&g);
+        for backend in Backend::ALL {
+            let oracle = build(backend, &g, 7 + graph_seed);
+            assert_eq!(oracle.len(), g.len());
+            assert_eq!(oracle.backend(), backend);
+            let report = evaluate(&oracle, &g, &exact, PairSelection::All);
+            assert!(
+                report.failures.is_empty(),
+                "{backend} (graph {graph_seed}): {:?}",
+                &report.failures[..report.failures.len().min(5)]
+            );
+            let bound = oracle.stretch_bound();
+            assert!(
+                report.max_estimate_stretch <= bound + 1e-9,
+                "{backend}: estimate stretch {} exceeds advertised {bound}",
+                report.max_estimate_stretch
+            );
+            if report.routed > 0 {
+                assert_eq!(report.routed, report.pairs, "{backend}: partial routing");
+                assert!(
+                    report.max_route_stretch <= bound + 1e-9,
+                    "{backend}: route stretch {} exceeds advertised {bound}",
+                    report.max_route_stretch
+                );
+            }
+            assert!(report.size_bits > 0, "{backend}: empty artifact");
+            assert!(report.p50_stretch >= 1.0 - 1e-12 && report.p50_stretch <= bound + 1e-9);
+            assert!(report.p99_stretch <= bound + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn batch_queries_agree_with_point_queries() {
+    let g = graph(3);
+    let pairs: Vec<(NodeId, NodeId)> = (0..g.len() as u32)
+        .flat_map(|u| (0..g.len() as u32).map(move |v| (NodeId(u), NodeId(v))))
+        .collect();
+    for backend in Backend::ALL {
+        let oracle = build(backend, &g, 11);
+        let mut batch = Vec::new();
+        oracle.estimate_many(&pairs, &mut batch);
+        assert_eq!(batch.len(), pairs.len(), "{backend}");
+        for (&(u, v), &b) in pairs.iter().zip(&batch) {
+            assert_eq!(b, oracle.estimate(u, v), "{backend} ({u},{v})");
+            if u == v {
+                assert_eq!(b, 0, "{backend}: nonzero diagonal");
+            }
+        }
+    }
+}
+
+#[test]
+fn save_load_round_trips_bit_identically_on_1k_random_queries() {
+    let g = graph(4);
+    use rand::Rng;
+    let mut rng = Seed(0xDEC0DE).rng();
+    let n = g.len() as u32;
+    let queries: Vec<(NodeId, NodeId)> = (0..1000)
+        .map(|_| {
+            (
+                NodeId(rng.random_range(0..n)),
+                NodeId(rng.random_range(0..n)),
+            )
+        })
+        .collect();
+    for backend in Backend::ALL {
+        let oracle = build(backend, &g, 13);
+        let mut bytes = Vec::new();
+        oracle.save(&mut bytes).expect("save succeeds");
+        assert_eq!(
+            oracle.size_bits(),
+            8 * bytes.len() as u64,
+            "{backend}: size_bits must equal the serialized artifact size"
+        );
+        let loaded = Oracle::load(&mut &bytes[..]).expect("load succeeds");
+        assert_eq!(loaded.backend(), backend);
+        assert_eq!(loaded.len(), oracle.len());
+
+        // Bit-identical point, batch and routing answers.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        oracle.estimate_many(&queries, &mut a);
+        loaded.estimate_many(&queries, &mut b);
+        assert_eq!(a, b, "{backend}: batch answers diverge after reload");
+        for &(u, v) in &queries {
+            assert_eq!(
+                oracle.estimate(u, v),
+                loaded.estimate(u, v),
+                "{backend} ({u},{v})"
+            );
+            assert_eq!(
+                oracle.next_hop(u, v),
+                loaded.next_hop(u, v),
+                "{backend} ({u},{v})"
+            );
+            assert_eq!(
+                oracle.route(u, v),
+                loaded.route(u, v),
+                "{backend} ({u},{v})"
+            );
+        }
+
+        // Metrics and bounds survive the round trip.
+        assert_eq!(
+            oracle.build_metrics().rounds,
+            loaded.build_metrics().rounds,
+            "{backend}"
+        );
+        assert_eq!(oracle.stretch_bound(), loaded.stretch_bound(), "{backend}");
+
+        // Re-saving the loaded oracle reproduces the byte stream.
+        let mut bytes2 = Vec::new();
+        loaded.save(&mut bytes2).expect("re-save succeeds");
+        assert_eq!(bytes, bytes2, "{backend}: snapshot is not canonical");
+    }
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected() {
+    let g = graph(5);
+    let oracle = build(Backend::ApproxApsp, &g, 1);
+    let mut bytes = Vec::new();
+    oracle.save(&mut bytes).unwrap();
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(Oracle::load(&mut &bad[..]).is_err());
+    // Bad version.
+    let mut bad = bytes.clone();
+    bad[4] = 0xFF;
+    assert!(Oracle::load(&mut &bad[..]).is_err());
+    // Truncated payload.
+    let half = &bytes[..bytes.len() / 2];
+    assert!(Oracle::load(&mut &half[..]).is_err());
+    // Tampered node count: a snapshot claiming an absurd n must come back
+    // as InvalidData, not abort on a huge allocation. The BellmanFord
+    // payload starts with its u64 node count right after the 39-byte
+    // header.
+    let bf = build(Backend::BellmanFord, &g, 1);
+    let mut bytes = Vec::new();
+    bf.save(&mut bytes).unwrap();
+    bytes[39..47].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(Oracle::load(&mut &bytes[..]).is_err());
+}
+
+#[test]
+fn pde_backend_supports_partial_source_sets() {
+    let g = graph(6);
+    let n = g.len();
+    let sources: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let oracle = OracleBuilder::new(Backend::Pde)
+        .sources(sources.clone())
+        .horizon(n as u64)
+        .build(&g);
+    let exact = apsp(&g);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            let est = oracle.estimate(u, v);
+            if u == v {
+                assert_eq!(est, 0);
+            } else if sources[v.index()] {
+                assert!(est >= exact.dist(u, v), "({u},{v}) underestimates");
+                assert!(
+                    est as f64 <= oracle.stretch_bound() * exact.dist(u, v) as f64 + 1e-9,
+                    "({u},{v}): est {est} vs wd {}",
+                    exact.dist(u, v)
+                );
+                // Route tracing straight from the trait — no Topology
+                // plumbing on the caller side.
+                let route = oracle.route(u, v).expect("covered pair routes");
+                assert_eq!(*route.nodes.last().unwrap(), v);
+                assert_eq!(route.hops(), route.nodes.len() - 1);
+                assert!(route.weight <= est, "route heavier than estimate");
+            } else {
+                assert_eq!(est, pde_repro::graphs::INF, "non-source {v} covered?");
+            }
+        }
+    }
+}

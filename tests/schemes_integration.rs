@@ -5,6 +5,8 @@ use pde_repro::baselines::{bellman_ford_apsp, flooding_apsp, ExactTz};
 use pde_repro::compact::{build_hierarchy, build_truncated, CompactParams, UpperMode};
 use pde_repro::graphs::algo::apsp;
 use pde_repro::graphs::gen::{self, Weights};
+use pde_repro::graphs::Seed;
+use pde_repro::oracle::{Backend, DistanceOracle, OracleBuilder};
 use pde_repro::pde_core::approx_apsp;
 use pde_repro::routing::{build_rtc, evaluate, PairSelection, RoutingScheme, RtcParams};
 use rand::rngs::SmallRng;
@@ -104,6 +106,44 @@ fn compact_tables_beat_full_tables() {
         "compact table {max_table} not smaller than LSDB {}",
         fl.lsdb_edges
     );
+}
+
+#[test]
+fn unified_oracle_api_agrees_with_per_crate_builders() {
+    // The OracleBuilder wrappers are thin: with the same seed and knobs
+    // they must produce the exact same scheme as the per-crate builders.
+    let g = graph(7);
+    let seed = 0xAB;
+
+    let direct_rtc = build_rtc(
+        &g,
+        &RtcParams {
+            seed: Seed(seed),
+            ..RtcParams::new(2)
+        },
+    );
+    let via_oracle = OracleBuilder::new(Backend::Rtc).seed(seed).k(2).build(&g);
+    let mut cp = CompactParams::new(2);
+    cp.seed = Seed(seed);
+    let direct_hier = build_hierarchy(&g, &cp);
+    let via_compact = OracleBuilder::new(Backend::Compact)
+        .seed(seed)
+        .k(2)
+        .build(&g);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(
+                RoutingScheme::estimate(&direct_rtc, u, v),
+                via_oracle.estimate(u, v),
+                "rtc wrapper diverges at ({u},{v})"
+            );
+            assert_eq!(
+                RoutingScheme::estimate(&direct_hier, u, v),
+                via_compact.estimate(u, v),
+                "compact wrapper diverges at ({u},{v})"
+            );
+        }
+    }
 }
 
 #[test]
