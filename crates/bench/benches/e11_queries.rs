@@ -1,0 +1,32 @@
+//! Criterion wrapper for experiment E11 (oracle query throughput).
+
+use bench::{e11_build, e11_pairs, E11_SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use oracle::{Backend, DistanceOracle};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_queries");
+    group.sample_size(10);
+    let n = 256usize;
+    let pairs = e11_pairs(n, 20_000, E11_SEED);
+    for backend in [
+        Backend::Pde,
+        Backend::Rtc,
+        Backend::Compact,
+        Backend::Truncated,
+    ] {
+        let (o, _) = e11_build(backend, n, E11_SEED);
+        let mut out = Vec::new();
+        group.bench_function(format!("{}_batch_n{n}", backend.name()), |b| {
+            b.iter(|| {
+                o.estimate_many_with(&pairs, &mut out, 1);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,6 +9,8 @@
 //! cargo run --release -p bench --bin experiments -- --smoke         # CI bench smoke
 //! cargo run --release -p bench --bin experiments -- oracles         # DistanceOracle table
 //! cargo run --release -p bench --bin experiments -- oracles --smoke # CI oracle smoke
+//! cargo run --release -p bench --bin experiments -- queries         # E11 throughput table
+//! cargo run --release -p bench --bin experiments -- queries --smoke # CI query smoke
 //! ```
 
 use bench::*;
@@ -22,6 +24,13 @@ fn main() {
     if smoke && args.iter().any(|a| a == "oracles") {
         println!("{}", oracles_roundtrip_check(24, 0x5EED));
         println!("smoke ok: all backends round-trip through save/load");
+        return;
+    }
+    // Query smoke for CI: every backend's batch path must agree with its
+    // scalar `estimate` and be identical across thread counts.
+    if smoke && args.iter().any(|a| a == "queries") {
+        println!("{}", e11_smoke(24, E11_SEED));
+        println!("smoke ok: batch answers match scalar estimates across thread counts");
         return;
     }
     // Bench smoke for CI: run the E10 throughput table at tiny sizes so
@@ -104,5 +113,17 @@ fn main() {
     }
     if want("oracles") {
         println!("{}", oracles(if quick { 24 } else { 48 }, seed));
+    }
+    if want("queries") {
+        // Headline rows at n = 4096 (BENCH_oracle.json workload) only in
+        // the full run: the distributed builds take minutes. `queries
+        // headline` runs just those rows (the tracked regression check).
+        if args.iter().any(|a| a == "headline") {
+            println!("{}", e11_queries(&[], true, E11_SEED));
+        } else if quick {
+            println!("{}", e11_queries(&[64], false, E11_SEED));
+        } else {
+            println!("{}", e11_queries(&[256, 1024], true, E11_SEED));
+        }
     }
 }

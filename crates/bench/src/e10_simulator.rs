@@ -56,26 +56,22 @@ pub fn e10_run(n: usize, threads: usize, seed: u64) -> SimRun {
 
     // FNV-1a digest over lists and routes (sorted), so runs can assert
     // output identity across thread counts and code versions.
-    let mut digest: u64 = 0xcbf29ce484222325;
-    let mut mix = |x: u64| {
-        digest ^= x;
-        digest = digest.wrapping_mul(0x100000001b3);
-    };
+    let mut digest = crate::table::Fnv1a::new();
     for l in &out.lists {
         for e in l {
-            mix(e.est);
-            mix(u64::from(e.src.0));
-            mix(u64::from(e.tag));
+            digest.mix(e.est);
+            digest.mix(u64::from(e.src.0));
+            digest.mix(u64::from(e.tag));
         }
     }
     for r in &out.routes {
         let mut entries: Vec<_> = r.iter().collect();
         entries.sort_by_key(|(s, _)| **s);
         for (s, info) in entries {
-            mix(u64::from(s.0));
-            mix(info.est);
-            mix(u64::from(info.port));
-            mix(u64::from(info.level));
+            digest.mix(u64::from(s.0));
+            digest.mix(info.est);
+            digest.mix(u64::from(info.port));
+            digest.mix(u64::from(info.level));
         }
     }
     SimRun {
@@ -83,7 +79,7 @@ pub fn e10_run(n: usize, threads: usize, seed: u64) -> SimRun {
         wall_ms,
         rounds: out.metrics.total.rounds,
         messages: out.metrics.total.messages,
-        digest,
+        digest: digest.finish(),
     }
 }
 

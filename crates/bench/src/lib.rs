@@ -13,6 +13,7 @@ pub mod table;
 pub mod workloads;
 
 mod e10_simulator;
+mod e11_queries;
 mod e1_apsp;
 mod e2_figure1;
 mod e3_pde;
@@ -25,6 +26,10 @@ mod e9_comparison;
 mod oracles;
 
 pub use e10_simulator::{e10_run, e10_simulator, SimRun, E10_SEED};
+pub use e11_queries::{
+    e11_build, e11_graph, e11_measure, e11_pairs, e11_queries, e11_run, e11_smoke, QueryRun,
+    E11_BATCH, E11_SEED,
+};
 pub use e1_apsp::e1_apsp;
 pub use e2_figure1::e2_figure1;
 pub use e3_pde::e3_pde;

@@ -15,6 +15,16 @@ pub fn gnp(n: usize, seed: u64) -> WGraph {
     gen::gnp_connected(n, p, W, &mut rng)
 }
 
+/// Connected *unit-weight* G(n, p) with average degree ≈ 6 — the E11
+/// query-throughput workload (one PDE ladder rung, so the distributed
+/// builds stay tractable at n = 4096 while the query-side structures are
+/// the same shape as the weighted case).
+pub fn gnp_unit(n: usize, seed: u64) -> WGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = (6.0 / n as f64).min(0.9);
+    gen::gnp_connected(n, p, Weights::Unit, &mut rng)
+}
+
 /// Dumbbell with long path (large hop diameter).
 pub fn dumbbell(n: usize, seed: u64) -> WGraph {
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -2,7 +2,7 @@
 
 use congest::{label_record_bits, Metrics, NodeId, Topology};
 use graphs::{Seed, WGraph};
-use pde_core::{run_pde, PdeParams, RouteTable};
+use pde_core::{run_pde, FlatTables, PdeParams, RouteTable};
 use treeroute::{label_forest, TreeSet};
 
 use crate::levels::{level_flags, sample_levels};
@@ -100,9 +100,10 @@ pub struct CompactScheme {
     pub k: u32,
     /// Per-node sampled level.
     pub levels: Vec<u32>,
-    /// `routes[l][v]`: the level-`l` PDE routing archive of `v`
-    /// (sources `S_l`).
-    pub routes: Vec<Vec<RouteTable>>,
+    /// `routes[l]`: the level-`l` PDE routing archive (sources `S_l`),
+    /// flattened into source-sorted per-node rows — queries binary-search
+    /// a contiguous row instead of probing a hash map.
+    pub routes: Vec<FlatTables>,
     /// `bunch_sizes[v]`: Σ_l |S'_l(v)| — the paper-sized table entries.
     pub bunch_sizes: Vec<usize>,
     /// Detection-tree sets, one per pivot level `l ∈ {1, …, k−1}`
@@ -289,7 +290,7 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
         topo,
         k,
         levels,
-        routes,
+        routes: pde_core::tables::flatten_runs(&routes),
         bunch_sizes,
         trees,
         labels,

@@ -30,17 +30,17 @@ impl CompactScheme {
     /// `(estimate, next hop)`.
     fn option(&self, x: NodeId, dest: NodeId, l: u32) -> Option<(u64, NodeId)> {
         if l == 0 {
-            return self.routes[0][x.index()]
-                .get(&dest)
-                .map(|r| (r.est, self.topo.neighbor(x, r.port)));
+            return self.routes[0]
+                .get(x, dest)
+                .map(|e| (e.est, self.topo.neighbor(x, e.port)));
         }
         let (pivot, d_w, _) = self.labels[dest.index()].pivots[(l - 1) as usize];
         if x == pivot {
             return None; // already there; tree mode handles descent
         }
-        self.routes[l as usize][x.index()]
-            .get(&pivot)
-            .map(|r| (r.est.saturating_add(d_w), self.topo.neighbor(x, r.port)))
+        self.routes[l as usize]
+            .get(x, pivot)
+            .map(|e| (e.est.saturating_add(d_w), self.topo.neighbor(x, e.port)))
     }
 }
 
@@ -87,19 +87,20 @@ impl RoutingScheme for CompactScheme {
         if x == dest {
             return 0;
         }
-        let mut best = INF;
-        for l in 0..self.k {
-            if let Some((est, _)) = self.option(x, dest, l) {
-                best = best.min(est);
-            }
+        // Estimate-only reduction: same level options as `option`, but
+        // without resolving next hops — the minimum is independent of the
+        // hop tie-break, so no per-level `Topology` loads.
+        let mut best = self.routes[0].get(x, dest).map_or(INF, |e| e.est);
+        for l in 1..self.k {
+            let (pivot, d_w, _) = self.labels[dest.index()].pivots[(l - 1) as usize];
             // If x *is* the level-l pivot of dest, the estimate is the
             // label distance itself.
-            if l >= 1 {
-                let (pivot, d_w, _) = self.labels[dest.index()].pivots[(l - 1) as usize];
-                if x == pivot {
-                    best = best.min(d_w);
-                }
-            }
+            let here = if x == pivot {
+                0
+            } else {
+                self.routes[l as usize].get(x, pivot).map_or(INF, |e| e.est)
+            };
+            best = best.min(here.saturating_add(d_w));
         }
         best
     }

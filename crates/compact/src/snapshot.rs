@@ -2,36 +2,43 @@
 //! 4.13), using the handwritten little-endian framing of
 //! [`congest::wire`].
 //!
-//! As with the `routing` scheme codec: all hash tables are written in
-//! sorted key order, so reload → re-save is byte-identical and reloaded
-//! schemes answer queries bit-identically to the originals. Build metrics
-//! are persisted in summary form (round/message totals and per-stage
-//! breakdowns); bounded per-round histories are not.
+//! **Record version 2** (the flat-table layout): route archives are
+//! serialized as [`FlatTables`] CSR rows and the truncated upper-level
+//! maps as [`PairTable`]s — both written *as stored* (rows are sorted by
+//! construction), so reload → re-save is byte-identical and reloaded
+//! schemes answer queries bit-identically to the originals. Version-1
+//! streams (PR 3's hash-table layout, which carried no version tag) are
+//! rejected with `InvalidData`; rebuild the scheme and re-save. Build
+//! metrics are persisted in summary form (round/message totals and
+//! per-stage breakdowns); bounded per-round histories are not.
 
 use crate::hierarchy::{CompactBuildMetrics, CompactLabel, CompactScheme};
 use crate::truncated::{TruncLabel, TruncatedMetrics, TruncatedScheme, UpperPivot};
-use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
+use congest::wire::{check_record_version, clamped_capacity, invalid_data, WireReader, WireWriter};
 use congest::{Metrics, NodeId, Topology};
-use graphs::WGraph;
-use pde_core::snapshot::{read_route_tables, validate_route_tables, write_route_tables};
-use pde_core::RouteTable;
-use std::collections::HashMap;
+use graphs::{DenseIndex, WGraph};
+use pde_core::{FlatTables, PairTable};
 use std::io::{self, Read, Write};
 use treeroute::TreeSet;
 
-fn write_route_table_runs(sink: &mut dyn Write, runs: &[Vec<RouteTable>]) -> io::Result<()> {
+/// Version of the scheme records this codec writes (see module docs).
+pub const COMPACT_RECORD_VERSION: u16 = 2;
+
+fn write_flat_runs(sink: &mut dyn Write, runs: &[FlatTables]) -> io::Result<()> {
     WireWriter::new(sink).len(runs.len())?;
     for run in runs {
-        write_route_tables(sink, run)?;
+        run.write_into(sink)?;
     }
     Ok(())
 }
 
-fn read_route_table_runs(source: &mut dyn Read) -> io::Result<Vec<Vec<RouteTable>>> {
+fn read_flat_runs(source: &mut dyn Read, topo: &Topology) -> io::Result<Vec<FlatTables>> {
     let count = WireReader::new(source).len(1 << 32)?;
     let mut runs = Vec::with_capacity(clamped_capacity(count));
     for _ in 0..count {
-        runs.push(read_route_tables(source)?);
+        let run = FlatTables::read_from(source)?;
+        run.validate(topo)?;
+        runs.push(run);
     }
     Ok(runs)
 }
@@ -70,38 +77,14 @@ fn read_u64_seq(r: &mut WireReader<'_>) -> io::Result<Vec<u64>> {
     Ok(xs)
 }
 
-/// `(node index, source index) → value` maps of the truncated upper
-/// levels, written in sorted key order.
-fn write_pair_map(w: &mut WireWriter<'_>, map: &HashMap<(usize, usize), u64>) -> io::Result<()> {
-    let mut entries: Vec<((usize, usize), u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
-    entries.sort_unstable();
-    w.len(entries.len())?;
-    for ((a, b), v) in entries {
-        w.usize(a)?;
-        w.usize(b)?;
-        w.u64(v)?;
-    }
-    Ok(())
-}
-
-fn read_pair_map(r: &mut WireReader<'_>) -> io::Result<HashMap<(usize, usize), u64>> {
-    let n = r.len(1 << 32)?;
-    let mut map = HashMap::with_capacity(clamped_capacity(n));
-    for _ in 0..n {
-        let a = r.usize()?;
-        let b = r.usize()?;
-        map.insert((a, b), r.u64()?);
-    }
-    Ok(map)
-}
-
 impl CompactScheme {
-    /// Serializes the hierarchy's full query state.
+    /// Serializes the hierarchy's full query state (record version 2).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the sink.
     pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        WireWriter::new(sink).u16(COMPACT_RECORD_VERSION)?;
         self.topo.write_into(sink)?;
         let mut w = WireWriter::new(sink);
         w.u32(self.k)?;
@@ -123,7 +106,7 @@ impl CompactScheme {
                 w.u64(f)?;
             }
         }
-        write_route_table_runs(sink, &self.routes)?;
+        write_flat_runs(sink, &self.routes)?;
         write_tree_sets(sink, &self.trees)?;
         let mut w = WireWriter::new(sink);
         let mt = &self.metrics;
@@ -146,8 +129,10 @@ impl CompactScheme {
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on malformed bytes.
+    /// Returns `InvalidData` on malformed bytes or an unsupported record
+    /// version.
     pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        check_record_version(source, COMPACT_RECORD_VERSION, "compact scheme")?;
         let topo = Topology::read_from(source)?;
         let n = topo.len();
         let mut r = WireReader::new(source);
@@ -155,7 +140,7 @@ impl CompactScheme {
         if k == 0 {
             return Err(invalid_data("compact snapshot with k = 0"));
         }
-        // Shape checks: queries index levels[v], routes[l][v],
+        // Shape checks: queries index levels[v], routes[l] row v,
         // labels[v].pivots[l-1] and trees[l-1], so all per-node tables
         // must cover every node and all per-level tables every level —
         // a short table must fail here, not at query time.
@@ -195,12 +180,9 @@ impl CompactScheme {
             }
             labels.push(CompactLabel { id, pivots });
         }
-        let routes = read_route_table_runs(source)?;
+        let routes = read_flat_runs(source, &topo)?;
         if routes.len() != k as usize {
             return Err(invalid_data("compact route run shape mismatch"));
-        }
-        for run in &routes {
-            validate_route_tables(run, &topo)?;
         }
         let trees = read_tree_sets(source)?;
         if trees.len() != (k - 1) as usize {
@@ -244,12 +226,14 @@ impl CompactScheme {
 }
 
 impl TruncatedScheme {
-    /// Serializes the truncated scheme's full query state.
+    /// Serializes the truncated scheme's full query state (record
+    /// version 2).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the sink.
     pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        WireWriter::new(sink).u16(COMPACT_RECORD_VERSION)?;
         self.topo.write_into(sink)?;
         let mut w = WireWriter::new(sink);
         w.u32(self.l0)?;
@@ -257,19 +241,18 @@ impl TruncatedScheme {
         for &s in &self.skel_ids {
             w.u32(s.0)?;
         }
-        write_route_table_runs(sink, &self.lower_routes)?;
-        write_route_tables(sink, &self.base_routes)?;
+        write_flat_runs(sink, &self.lower_routes)?;
+        self.base_routes.write_into(sink)?;
         self.gt_graph.write_into(sink)?;
         let mut w = WireWriter::new(sink);
         w.len(self.upper_est.len())?;
-        for map in &self.upper_est {
-            write_pair_map(&mut w, map)?;
+        for table in &self.upper_est {
+            table.write_into(sink)?;
         }
+        let mut w = WireWriter::new(sink);
         w.len(self.upper_next.len())?;
-        for map in &self.upper_next {
-            let as_u64: HashMap<(usize, usize), u64> =
-                map.iter().map(|(&k, &v)| (k, v as u64)).collect();
-            write_pair_map(&mut w, &as_u64)?;
+        for table in &self.upper_next {
+            table.write_into(sink)?;
         }
         write_tree_sets(sink, &self.lower_trees)?;
         self.base_trees.write_into(sink)?;
@@ -313,8 +296,10 @@ impl TruncatedScheme {
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on malformed bytes.
+    /// Returns `InvalidData` on malformed bytes or an unsupported record
+    /// version.
     pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        check_record_version(source, COMPACT_RECORD_VERSION, "truncated scheme")?;
         let topo = Topology::read_from(source)?;
         let n = topo.len();
         let mut r = WireReader::new(source);
@@ -324,48 +309,62 @@ impl TruncatedScheme {
         }
         let m = r.len(n)?;
         let mut skel_ids = Vec::with_capacity(clamped_capacity(m));
+        let mut seen = vec![false; n];
         for _ in 0..m {
-            skel_ids.push(NodeId(r.u32()?));
+            let id = NodeId(r.u32()?);
+            if id.index() >= n {
+                return Err(invalid_data("skeleton id out of range"));
+            }
+            // Duplicates would panic in DenseIndex::new below; corrupted
+            // bytes must come back as InvalidData, never an abort.
+            if std::mem::replace(&mut seen[id.index()], true) {
+                return Err(invalid_data("duplicate skeleton id"));
+            }
+            skel_ids.push(id);
         }
-        // Shape checks mirror the query paths: lower_routes[l][v] for
-        // l < l0, base_routes[v], labels[v] with l0−1 lower and
+        let skel_index = DenseIndex::new(n, &skel_ids);
+        // Shape checks mirror the query paths: lower_routes[l] for
+        // l < l0, base_routes rows, labels[v] with l0−1 lower and
         // |upper_est| upper records — short tables fail here, not at
         // query time.
-        let lower_routes = read_route_table_runs(source)?;
+        let lower_routes = read_flat_runs(source, &topo)?;
         if lower_routes.len() != l0 as usize {
             return Err(invalid_data("truncated lower route shape mismatch"));
         }
-        for run in &lower_routes {
-            validate_route_tables(run, &topo)?;
-        }
-        let base_routes = read_route_tables(source)?;
-        validate_route_tables(&base_routes, &topo)?;
+        let base_routes = FlatTables::read_from(source)?;
+        base_routes.validate(&topo)?;
         let gt_graph = WGraph::read_from(source)?;
         if gt_graph.len() != m.max(1) {
             return Err(invalid_data("truncated skeleton graph size mismatch"));
         }
-        let mut r = WireReader::new(source);
-        let ne = r.len(1 << 32)?;
-        let mut upper_est = Vec::with_capacity(clamped_capacity(ne));
-        for _ in 0..ne {
-            upper_est.push(read_pair_map(&mut r)?);
-        }
-        let nn = r.len(1 << 32)?;
-        if nn != ne {
+        let read_pair_tables =
+            |source: &mut dyn Read, check_next: bool| -> io::Result<Vec<PairTable>> {
+                let count = WireReader::new(source).len(1 << 32)?;
+                let mut tables = Vec::with_capacity(clamped_capacity(count));
+                for _ in 0..count {
+                    let t = PairTable::read_from(source)?;
+                    if t.k() != m.max(1) {
+                        return Err(invalid_data("pair table side length mismatch"));
+                    }
+                    if check_next {
+                        // Next-hop values are skeleton indices; an out-of-range
+                        // one would panic at query time, not load time.
+                        for (_, _, v) in t.iter() {
+                            if v >= m.max(1) as u64 {
+                                return Err(invalid_data("upper_next index out of range"));
+                            }
+                        }
+                    }
+                    tables.push(t);
+                }
+                Ok(tables)
+            };
+        let upper_est = read_pair_tables(source, false)?;
+        let upper_next = read_pair_tables(source, true)?;
+        if upper_next.len() != upper_est.len() {
             return Err(invalid_data("truncated upper map count mismatch"));
         }
-        let mut upper_next = Vec::with_capacity(clamped_capacity(nn));
-        for _ in 0..nn {
-            let raw = read_pair_map(&mut r)?;
-            let mut map = HashMap::with_capacity(clamped_capacity(raw.len()));
-            for (k, v) in raw {
-                map.insert(
-                    k,
-                    usize::try_from(v).map_err(|_| invalid_data("upper_next overflow"))?,
-                );
-            }
-            upper_next.push(map);
-        }
+        let ne = upper_est.len();
         let lower_trees = read_tree_sets(source)?;
         if lower_trees.len() != (l0 - 1) as usize {
             return Err(invalid_data("truncated lower tree count mismatch"));
@@ -396,13 +395,24 @@ impl TruncatedScheme {
             }
             let mut upper = Vec::with_capacity(clamped_capacity(hi));
             for _ in 0..hi {
-                upper.push(UpperPivot {
+                let up = UpperPivot {
                     pivot: NodeId(r.u32()?),
                     est: r.u64()?,
                     t_star: NodeId(r.u32()?),
                     est_base: r.u64()?,
                     base_dfs: r.u64()?,
-                });
+                };
+                // Queries resolve both through skel_index and expect
+                // membership; a non-skeleton pivot must fail here, not
+                // panic at query time.
+                if up.pivot.index() >= n
+                    || up.t_star.index() >= n
+                    || !skel_index.contains(up.pivot)
+                    || !skel_index.contains(up.t_star)
+                {
+                    return Err(invalid_data("label upper pivot not in skeleton"));
+                }
+                upper.push(up);
             }
             labels.push(TruncLabel { id, lower, upper });
         }
@@ -424,13 +434,13 @@ impl TruncatedScheme {
         total.messages = r.u64()?;
         let skeleton_size = r.usize()?;
         let gt_edges = r.usize()?;
-        let skel_index: HashMap<NodeId, usize> =
-            skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let base_row_idx = pde_core::resolve_entry_indices(&base_routes, &skel_index);
         Ok(TruncatedScheme {
             topo,
             l0,
             lower_routes,
             base_routes,
+            base_row_idx,
             skel_ids,
             skel_index,
             gt_graph,
@@ -503,5 +513,19 @@ mod tests {
             back.write_into(&mut buf2).unwrap();
             assert_eq!(buf, buf2, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn record_version_gate_rejects_other_versions() {
+        let mut rng = SmallRng::seed_from_u64(46);
+        let g = gen::gnp_connected(16, 0.25, Weights::Unit, &mut rng);
+        let scheme = build_hierarchy(&g, &CompactParams::new(2));
+        let mut buf = Vec::new();
+        scheme.write_into(&mut buf).unwrap();
+        assert_eq!(u16::from_le_bytes([buf[0], buf[1]]), COMPACT_RECORD_VERSION);
+        buf[0] = 1;
+        buf[1] = 0;
+        let err = CompactScheme::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("record version"), "{err}");
     }
 }

@@ -22,8 +22,8 @@
 use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
 use congest::{bits_for, label_record_bits, Message, Metrics, NodeId, Topology};
-use graphs::{WGraph, INF};
-use pde_core::{run_pde, PdeParams, RouteTable};
+use graphs::{DenseIndex, WGraph, INF};
+use pde_core::{resolve_entry_indices, run_pde, FlatTables, PairTable, PdeParams};
 use routing::RoutingScheme;
 use std::collections::HashMap;
 use treeroute::{label_forest, TreeSet};
@@ -124,22 +124,31 @@ pub struct TruncatedMetrics {
 }
 
 /// The truncated compact scheme (Theorem 4.13 / Corollary 4.14).
+///
+/// Query-side state is flat: route archives are source-sorted CSR rows
+/// ([`FlatTables`]), the skeleton index is a dense per-node array, and the
+/// upper-level `(node, source)` maps are [`PairTable`]s (dense `k × k` or
+/// row-sorted CSR) — no query ever probes a hash map.
 #[derive(Debug)]
 pub struct TruncatedScheme {
     pub(crate) topo: Topology,
     pub(crate) l0: u32,
-    /// Lower-level PDE route archives, `runs[l]` for `l < l0`.
-    pub(crate) lower_routes: Vec<Vec<RouteTable>>,
-    /// `(S_{l0}, h_{l0}, |S_{l0}|)` route archive.
-    pub(crate) base_routes: Vec<RouteTable>,
+    /// Lower-level PDE route archives, `runs[l]` for `l < l0`, flattened.
+    pub(crate) lower_routes: Vec<FlatTables>,
+    /// `(S_{l0}, h_{l0}, |S_{l0}|)` route archive, flattened.
+    pub(crate) base_routes: FlatTables,
+    /// Pre-resolved skeleton index of each `base_routes` arena entry's
+    /// source (derived, not serialized): the upper-level query loops walk
+    /// this side table instead of doing a per-entry `skel_index` load.
+    pub(crate) base_row_idx: Vec<u32>,
     pub(crate) skel_ids: Vec<NodeId>,
-    pub(crate) skel_index: HashMap<NodeId, usize>,
+    pub(crate) skel_index: DenseIndex,
     /// `G̃(l0)` in skeleton-index space.
     pub(crate) gt_graph: WGraph,
     /// Per upper level `j = l − l0`: `(node index, source index) → est`.
-    pub(crate) upper_est: Vec<HashMap<(usize, usize), u64>>,
+    pub(crate) upper_est: Vec<PairTable>,
     /// Per upper level: `(from index, source index) → next index` chains.
-    pub(crate) upper_next: Vec<HashMap<(usize, usize), usize>>,
+    pub(crate) upper_next: Vec<PairTable>,
     /// Lower pivot trees (levels `1..l0`).
     pub(crate) lower_trees: Vec<TreeSet>,
     /// Base trees `T^base_t` (descent of the last segment).
@@ -198,8 +207,7 @@ pub fn build_truncated(
     // ---- Base estimation: (S_{l0}, h_{l0}, |S_{l0}|). ----
     let skel_flags = level_flags(&levels, l0);
     let skel_ids: Vec<NodeId> = g.nodes().filter(|v| skel_flags[v.index()]).collect();
-    let skel_index: HashMap<NodeId, usize> =
-        skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let skel_index = DenseIndex::new(n, &skel_ids);
     let h_base = ((params.c * (n as f64).powf(f64::from(l0) / f64::from(k)) * ln_n).ceil() as u64)
         .clamp(1, 2 * n as u64);
     let base = run_pde(
@@ -216,7 +224,7 @@ pub fn build_truncated(
     let mut gt_edges: Vec<(u32, u32, u64)> = Vec::new();
     for (i, &s) in skel_ids.iter().enumerate() {
         for (&t, r) in &base.routes[s.index()] {
-            if let Some(&j) = skel_index.get(&t) {
+            if let Some(j) = skel_index.get(t) {
                 if j > i {
                     if let Some(back) = base.routes[t.index()].get(&s) {
                         gt_edges.push((i as u32, j as u32, r.est.max(back.est)));
@@ -232,13 +240,24 @@ pub fn build_truncated(
     );
 
     // ---- Upper levels on G̃. ----
+    // The per-level maps are merged through hash tables (the natural shape
+    // while estimates trickle in) and flattened into `PairTable`s for the
+    // query side as each level finishes.
     let (bfs, bfs_metrics) = build_bfs(&topo, NodeId(0));
     total.absorb(&bfs_metrics);
     let d_hat = 2 * bfs.height + 1;
-    let mut upper_est: Vec<HashMap<(usize, usize), u64>> = Vec::new();
-    let mut upper_next: Vec<HashMap<(usize, usize), usize>> = Vec::new();
+    let mut upper_est: Vec<PairTable> = Vec::new();
+    let mut upper_next: Vec<PairTable> = Vec::new();
     let mut upper_rounds = 0u64;
     let gt_topo = gt_graph.to_topology();
+    let flatten_pairs = |map: &HashMap<(usize, usize), u64>| -> PairTable {
+        let mut entries: Vec<(u32, u32, u64)> = map
+            .iter()
+            .map(|(&(a, b), &v)| (a as u32, b as u32, v))
+            .collect();
+        entries.sort_unstable();
+        PairTable::auto(m.max(1), &entries)
+    };
 
     match mode {
         UpperMode::Simulated => {
@@ -270,7 +289,7 @@ pub fn build_truncated(
                 total.charge_rounds(cost);
 
                 let mut est_map = HashMap::new();
-                let mut next_map = HashMap::new();
+                let mut next_map: HashMap<(usize, usize), u64> = HashMap::new();
                 #[allow(clippy::needless_range_loop)] // i indexes flags and maps
                 for i in 0..m {
                     if src_flags[i] {
@@ -279,11 +298,11 @@ pub fn build_truncated(
                     for (&src, r) in &run.routes[i] {
                         est_map.insert((i, src.index()), r.est);
                         let nb = gt_topo.neighbor(NodeId(i as u32), r.port);
-                        next_map.insert((i, src.index()), nb.index());
+                        next_map.insert((i, src.index()), nb.index() as u64);
                     }
                 }
-                upper_est.push(est_map);
-                upper_next.push(next_map);
+                upper_est.push(flatten_pairs(&est_map));
+                upper_next.push(flatten_pairs(&next_map));
             }
         }
         UpperMode::Local => {
@@ -299,7 +318,7 @@ pub fn build_truncated(
                 let src_flags: Vec<bool> =
                     skel_ids.iter().map(|&s| levels[s.index()] >= l).collect();
                 let mut est_map = HashMap::new();
-                let mut next_map = HashMap::new();
+                let mut next_map: HashMap<(usize, usize), u64> = HashMap::new();
                 for i in 0..m {
                     let spi = graphs::algo::dijkstra(&gt_graph, NodeId(i as u32));
                     #[allow(clippy::needless_range_loop)] // j indexes flags and dists
@@ -316,12 +335,12 @@ pub fn build_truncated(
                                 }
                                 cur = p;
                             }
-                            next_map.insert((i, j), cur.index());
+                            next_map.insert((i, j), cur.index() as u64);
                         }
                     }
                 }
-                upper_est.push(est_map);
-                upper_next.push(next_map);
+                upper_est.push(flatten_pairs(&est_map));
+                upper_next.push(flatten_pairs(&next_map));
             }
         }
     }
@@ -332,9 +351,9 @@ pub fn build_truncated(
         .map(|v| {
             let mut c: Vec<(usize, u64)> = base.routes[v.index()]
                 .iter()
-                .filter_map(|(&t, r)| skel_index.get(&t).map(|&i| (i, r.est)))
+                .filter_map(|(&t, r)| skel_index.get(t).map(|i| (i, r.est)))
                 .collect();
-            if let Some(&i) = skel_index.get(&v) {
+            if let Some(i) = skel_index.get(v) {
                 c.push((i, 0));
             }
             c.sort_unstable();
@@ -383,7 +402,7 @@ pub fn build_truncated(
                     if !f {
                         continue;
                     }
-                    if let Some(&eg) = upper_est[j].get(&(t, i)) {
+                    if let Some(eg) = upper_est[j].get(t, i) {
                         let tot = eb.saturating_add(eg);
                         if best.is_none_or(|(b, bs, _, _)| (tot, i) < (b, bs)) {
                             best = Some((tot, i, t, eb));
@@ -464,11 +483,14 @@ pub fn build_truncated(
         gt_edges: gt_graph.num_edges(),
     };
 
+    let base_flat = FlatTables::from_tables(&base.routes);
+    let base_row_idx = resolve_entry_indices(&base_flat, &skel_index);
     TruncatedScheme {
         topo,
         l0,
-        lower_routes,
-        base_routes: base.routes,
+        lower_routes: pde_core::tables::flatten_runs(&lower_routes),
+        base_routes: base_flat,
+        base_row_idx,
         skel_ids,
         skel_index,
         gt_graph,
@@ -500,7 +522,7 @@ impl TruncatedScheme {
         let mut path = vec![t_star];
         let mut cur = t_star;
         while cur != s {
-            let &nxt = self.upper_next[j].get(&(cur, s))?;
+            let nxt = self.upper_next[j].get(cur, s)? as usize;
             path.push(nxt);
             cur = nxt;
             if path.len() > self.skel_ids.len() + 1 {
@@ -532,50 +554,57 @@ impl TruncatedScheme {
             }
         };
 
-        if let Some(r) = self.lower_routes[0][x.index()].get(&dest) {
-            consider(r.est, self.topo.neighbor(x, r.port), &mut best);
+        if let Some(e) = self.lower_routes[0].get(x, dest) {
+            consider(e.est, self.topo.neighbor(x, e.port), &mut best);
         }
         for (i, &(pivot, d_w, _)) in label.lower.iter().enumerate() {
             let l = i + 1;
             if x == pivot {
                 continue;
             }
-            if let Some(r) = self.lower_routes[l][x.index()].get(&pivot) {
+            if let Some(e) = self.lower_routes[l].get(x, pivot) {
                 consider(
-                    r.est.saturating_add(d_w),
-                    self.topo.neighbor(x, r.port),
+                    e.est.saturating_add(d_w),
+                    self.topo.neighbor(x, e.port),
                     &mut best,
                 );
             }
         }
         for (j, up) in label.upper.iter().enumerate() {
-            let s_idx = self.skel_index[&up.pivot];
-            let t_idx = self.skel_index[&up.t_star];
+            let s_idx = self.skel_index.get(up.pivot).expect("pivot in skeleton");
+            let t_idx = self
+                .skel_index
+                .get(up.t_star)
+                .expect("connector in skeleton");
             let Some((path, suffix)) = self.waypoints(j, t_idx, s_idx) else {
                 continue;
             };
             let descent_budget = up.est_base;
             let budget_a = suffix[0].saturating_add(descent_budget);
-            // Phase A: reach the pivot via any connector.
-            for (&t, r) in &self.base_routes[x.index()] {
-                if let Some(&ti) = self.skel_index.get(&t) {
-                    if let Some(&eg) = self.upper_est[j].get(&(ti, s_idx)) {
-                        consider(
-                            r.est.saturating_add(eg).saturating_add(budget_a),
-                            self.topo.neighbor(x, r.port),
-                            &mut best,
-                        );
-                    }
+            // Phase A: reach the pivot via any connector — one contiguous
+            // row with its pre-resolved skeleton indices alongside.
+            let range = self.base_routes.row_range(x);
+            let row = &self.base_routes.entries()[range.clone()];
+            for (e, &ti) in row.iter().zip(&self.base_row_idx[range]) {
+                if ti == DenseIndex::NONE {
+                    continue;
+                }
+                if let Some(eg) = self.upper_est[j].get(ti as usize, s_idx) {
+                    consider(
+                        e.est.saturating_add(eg).saturating_add(budget_a),
+                        self.topo.neighbor(x, e.port),
+                        &mut best,
+                    );
                 }
             }
-            if let Some(&xi) = self.skel_index.get(&x) {
+            if let Some(xi) = self.skel_index.get(x) {
                 if xi != s_idx {
-                    if let Some(&eg) = self.upper_est[j].get(&(xi, s_idx)) {
-                        if let Some(&z) = self.upper_next[j].get(&(xi, s_idx)) {
-                            if let Some(r) = self.base_routes[x.index()].get(&self.skel_ids[z]) {
+                    if let Some(eg) = self.upper_est[j].get(xi, s_idx) {
+                        if let Some(z) = self.upper_next[j].get(xi, s_idx) {
+                            if let Some(e) = self.base_routes.get(x, self.skel_ids[z as usize]) {
                                 consider(
                                     eg.saturating_add(budget_a),
-                                    self.topo.neighbor(x, r.port),
+                                    self.topo.neighbor(x, e.port),
                                     &mut best,
                                 );
                             }
@@ -590,10 +619,10 @@ impl TruncatedScheme {
                 if x == y_next {
                     continue;
                 }
-                if let Some(r) = self.base_routes[x.index()].get(&y_next) {
+                if let Some(e) = self.base_routes.get(x, y_next) {
                     consider(
-                        r.est.saturating_add(rem),
-                        self.topo.neighbor(x, r.port),
+                        e.est.saturating_add(rem),
+                        self.topo.neighbor(x, e.port),
                         &mut best,
                     );
                 }
@@ -640,32 +669,33 @@ impl RoutingScheme for TruncatedScheme {
         }
         let label = &self.labels[dest.index()];
         let mut best = INF;
-        if let Some(r) = self.lower_routes[0][x.index()].get(&dest) {
-            best = best.min(r.est);
+        if let Some(e) = self.lower_routes[0].get(x, dest) {
+            best = best.min(e.est);
         }
         for (i, &(pivot, d_w, _)) in label.lower.iter().enumerate() {
             let l = i + 1;
             let here = if x == pivot {
                 0
             } else {
-                self.lower_routes[l][x.index()]
-                    .get(&pivot)
-                    .map_or(INF, |r| r.est)
+                self.lower_routes[l].get(x, pivot).map_or(INF, |e| e.est)
             };
             best = best.min(here.saturating_add(d_w));
         }
         for (j, up) in label.upper.iter().enumerate() {
-            let s_idx = self.skel_index[&up.pivot];
+            let s_idx = self.skel_index.get(up.pivot).expect("pivot in skeleton");
             let mut to_pivot = INF;
-            for (&t, r) in &self.base_routes[x.index()] {
-                if let Some(&ti) = self.skel_index.get(&t) {
-                    if let Some(&eg) = self.upper_est[j].get(&(ti, s_idx)) {
-                        to_pivot = to_pivot.min(r.est.saturating_add(eg));
-                    }
+            let range = self.base_routes.row_range(x);
+            let row = &self.base_routes.entries()[range.clone()];
+            for (e, &ti) in row.iter().zip(&self.base_row_idx[range]) {
+                if ti == DenseIndex::NONE {
+                    continue;
+                }
+                if let Some(eg) = self.upper_est[j].get(ti as usize, s_idx) {
+                    to_pivot = to_pivot.min(e.est.saturating_add(eg));
                 }
             }
-            if let Some(&xi) = self.skel_index.get(&x) {
-                if let Some(&eg) = self.upper_est[j].get(&(xi, s_idx)) {
+            if let Some(xi) = self.skel_index.get(x) {
+                if let Some(eg) = self.upper_est[j].get(xi, s_idx) {
                     to_pivot = to_pivot.min(eg);
                 }
             }

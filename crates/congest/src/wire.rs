@@ -11,6 +11,25 @@
 
 use std::io::{self, Read, Write};
 
+/// Reads and checks a scheme-record version tag (little-endian `u16` at
+/// the head of a scheme snapshot stream).
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the tag differs from `expected` — notably
+/// for version-1 hash-table-layout streams, which predate the tag and
+/// must be rebuilt rather than migrated.
+pub fn check_record_version(source: &mut dyn Read, expected: u16, what: &str) -> io::Result<()> {
+    let got = WireReader::new(source).u16()?;
+    if got != expected {
+        return Err(invalid_data(format!(
+            "{what} record version {got} unsupported (expected {expected}; \
+             version-1 hash-table snapshots must be rebuilt)"
+        )));
+    }
+    Ok(())
+}
+
 /// Builds the `InvalidData` error used for malformed snapshot bytes.
 pub fn invalid_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())

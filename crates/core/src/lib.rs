@@ -50,6 +50,8 @@ pub mod apsp;
 pub mod pde;
 pub mod rounding;
 pub mod snapshot;
+pub mod tables;
 
 pub use apsp::{approx_apsp, approx_apsp_with, ApspApprox};
 pub use pde::{run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo, RouteTable};
+pub use tables::{resolve_entry_indices, FlatEntry, FlatTables, PairTable};

@@ -1,0 +1,788 @@
+//! Flat structure-of-arrays query tables.
+//!
+//! The PDE builders produce hash-keyed state ([`RouteTable`] per node,
+//! `(row, col)`-keyed pair maps for skeleton-graph levels) because hashing
+//! is the right shape *during* a merge. Serving millions of queries is a
+//! different regime: every probe should be a short, predictable chain of
+//! loads from dense, contiguous memory — no hashing, no per-query
+//! allocation. This module holds the two shared layouts every scheme's
+//! query side now uses:
+//!
+//! * [`FlatTables`] — per-node route rows in one CSR arena, each row
+//!   sorted by source id. Point lookups are an interpolation search over
+//!   the near-uniform node-id keys (see [`FlatTables::get`]); "iterate
+//!   everything `v` knows" is a contiguous slice walk.
+//! * [`PairTable`] — a `k × k` partial map in either dense
+//!   (`row * k + col` indexed, [`ABSENT`] sentinel) or row-sorted CSR
+//!   form; [`PairTable::auto`] picks dense unless the table is large and
+//!   sparse. Lookups agree exactly with the `HashMap` model they replace
+//!   (pinned by proptests in `tests/flat_tables.rs`).
+//!
+//! Both layouts serialize *directly* (their snapshot bytes are the
+//! in-memory layout, already canonical because rows are sorted), so
+//! reload → re-save stays byte-identical without any sort-on-write step.
+
+use crate::pde::{RouteInfo, RouteTable};
+use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
+use congest::{NodeId, Port, Topology};
+use std::io::{self, Read, Write};
+
+/// Sentinel for "no entry" in dense [`PairTable`] storage (never a valid
+/// stored value: estimates in pair maps are finite and next-hop indices
+/// fit `u32`).
+pub const ABSENT: u64 = u64::MAX;
+
+/// One flattened routing entry: the destination source, the estimate and
+/// the out-port — the fields query loops actually read, packed into 16
+/// bytes. The [`RouteInfo::level`] payload is kept in a parallel cold
+/// array ([`FlatTables::levels`]): no query path touches it, so it would
+/// only inflate the hot arena's cache traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlatEntry {
+    /// Source node id (the row's sort key).
+    pub src: u32,
+    /// Port towards the neighbor that announced the estimate.
+    pub port: Port,
+    /// Distance estimate for this source.
+    pub est: u64,
+}
+
+/// Per-node routing tables flattened into one source-sorted entry arena
+/// with CSR row offsets — the cache-friendly replacement for
+/// `Vec<RouteTable>` on every query path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlatTables {
+    /// `starts[v]..starts[v + 1]` delimits node `v`'s row (`n + 1` offsets).
+    starts: Vec<u32>,
+    /// All rows back to back, each sorted by `src`.
+    entries: Vec<FlatEntry>,
+    /// Ladder level of each entry, arena-aligned (cold: codec-only).
+    levels: Vec<u32>,
+    /// Concatenated per-row bucket offset tables (derived, not
+    /// serialized): row `v` owns `bucket_starts[v]..bucket_starts[v+1]`
+    /// slots, one per high-bits bucket plus a terminator, each holding
+    /// the row-relative index of the bucket's first entry.
+    buckets: Vec<u32>,
+    /// `bucket_starts[v]..bucket_starts[v+1]` delimits `v`'s slice of
+    /// [`FlatTables::buckets`] (`n + 1` offsets).
+    bucket_starts: Vec<u32>,
+    /// Per-row right-shift mapping a source id to its bucket.
+    shifts: Vec<u8>,
+}
+
+impl FlatTables {
+    /// Flattens per-node hash tables into sorted CSR rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total entry count exceeds `u32::MAX` (no realistic
+    /// scheme gets close; offsets stay 4 bytes on purpose).
+    pub fn from_tables(tables: &[RouteTable]) -> Self {
+        let mut starts = Vec::with_capacity(tables.len() + 1);
+        starts.push(0u32);
+        let total = tables.iter().map(|t| t.len()).sum();
+        let mut entries: Vec<FlatEntry> = Vec::with_capacity(total);
+        let mut levels: Vec<u32> = Vec::with_capacity(total);
+        let mut scratch: Vec<(FlatEntry, u32)> = Vec::new();
+        for table in tables {
+            scratch.clear();
+            scratch.extend(table.iter().map(|(&s, r)| {
+                (
+                    FlatEntry {
+                        src: s.0,
+                        port: r.port,
+                        est: r.est,
+                    },
+                    r.level,
+                )
+            }));
+            scratch.sort_unstable_by_key(|(e, _)| e.src);
+            entries.extend(scratch.iter().map(|&(e, _)| e));
+            levels.extend(scratch.iter().map(|&(_, l)| l));
+            starts.push(u32::try_from(entries.len()).expect("flat table fits u32 offsets"));
+        }
+        FlatTables::from_parts(starts, entries, levels)
+    }
+
+    /// Assembles a table from validated offsets + sorted rows, computing
+    /// the derived per-row bucket index (see [`FlatTables::get`]).
+    fn from_parts(starts: Vec<u32>, entries: Vec<FlatEntry>, levels: Vec<u32>) -> Self {
+        let n = starts.len().saturating_sub(1);
+        let mut buckets: Vec<u32> = Vec::with_capacity(2 * entries.len() + n + 1);
+        let mut bucket_starts = Vec::with_capacity(n + 1);
+        let mut shifts = Vec::with_capacity(n);
+        bucket_starts.push(0u32);
+        for w in starts.windows(2) {
+            let row = &entries[w[0] as usize..w[1] as usize];
+            // One bucket per entry (rounded up to a power of two): with
+            // near-uniform node-id keys the expected occupancy is ≤ 1.
+            let count = row.len().next_power_of_two().max(1);
+            let max_src = row.iter().map(|e| e.src).max().unwrap_or(0);
+            let key_bits = 32 - max_src.leading_zeros();
+            let shift = key_bits.saturating_sub(count.trailing_zeros()) as u8;
+            shifts.push(shift);
+            let base = buckets.len();
+            buckets.resize(base + count + 1, 0);
+            let mut cur = 0usize;
+            for (i, e) in row.iter().enumerate() {
+                let b = (e.src >> shift) as usize;
+                while cur <= b {
+                    buckets[base + cur] = i as u32;
+                    cur += 1;
+                }
+            }
+            while cur <= count {
+                buckets[base + cur] = row.len() as u32;
+                cur += 1;
+            }
+            bucket_starts
+                .push(u32::try_from(buckets.len()).expect("bucket index fits u32 offsets"));
+        }
+        FlatTables {
+            starts,
+            entries,
+            levels,
+            buckets,
+            bucket_starts,
+            shifts,
+        }
+    }
+
+    /// Number of nodes covered (rows).
+    #[inline]
+    pub fn len_nodes(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Total entries across all rows.
+    #[inline]
+    pub fn len_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Node `v`'s row: every `(src, est, port, level)` it knows, sorted by
+    /// source id.
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[FlatEntry] {
+        &self.entries[self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize]
+    }
+
+    /// Point lookup: `v`'s entry for source `s`, if present.
+    ///
+    /// One bucket probe, not a bisection: each row carries a counting
+    /// index over the high bits of its (near-uniform node-id) keys, so a
+    /// lookup is two dependent loads — the bucket's offset pair and the
+    /// one-or-two candidate entries — where a binary search would walk
+    /// `log₂(row)` dependent cache misses and measure *slower* than the
+    /// hash maps these tables replaced. Exact and deterministic: the
+    /// bucket is scanned for the precise key; skewed keys only make the
+    /// scan longer, never wrong.
+    #[inline]
+    pub fn get(&self, v: NodeId, s: NodeId) -> Option<&FlatEntry> {
+        let key = s.0;
+        let base = self.bucket_starts[v.index()] as usize;
+        let slots = self.bucket_starts[v.index() + 1] as usize - base;
+        let b = (key >> self.shifts[v.index()]) as usize;
+        if b + 1 >= slots {
+            return None; // key above every bucket (covers empty rows)
+        }
+        let lo = self.buckets[base + b] as usize;
+        let hi = self.buckets[base + b + 1] as usize;
+        self.row(v)[lo..hi].iter().find(|e| e.src == key)
+    }
+
+    /// The index range of node `v`'s row within [`FlatTables::entries`]
+    /// (for callers that keep per-entry side tables aligned with the
+    /// arena, e.g. pre-resolved skeleton indices).
+    #[inline]
+    pub fn row_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize
+    }
+
+    /// The whole entry arena (rows back to back; see
+    /// [`FlatTables::row_range`]).
+    #[inline]
+    pub fn entries(&self) -> &[FlatEntry] {
+        &self.entries
+    }
+
+    /// Ladder level of each arena entry (cold data, kept out of the hot
+    /// entry structs; aligned with [`FlatTables::entries`]).
+    #[inline]
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// Serializes rows + offsets (already canonical: rows are sorted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        let mut w = WireWriter::new(sink);
+        w.len(self.len_nodes())?;
+        for window in self.starts.windows(2) {
+            w.len((window[1] - window[0]) as usize)?;
+        }
+        for (e, &level) in self.entries.iter().zip(&self.levels) {
+            w.u32(e.src)?;
+            w.u64(e.est)?;
+            w.u32(e.port)?;
+            w.u32(level)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes what [`FlatTables::write_into`] wrote, validating the
+    /// CSR shape and per-row sort order (strictly increasing sources —
+    /// anything else would corrupt binary search and canonical re-save).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        let mut r = WireReader::new(source);
+        let n = r.len(1 << 32)?;
+        let mut starts = Vec::with_capacity(clamped_capacity(n + 1));
+        starts.push(0u32);
+        for _ in 0..n {
+            let row_len = r.len(1 << 32)? as u64;
+            let prev = u64::from(*starts.last().expect("starts is never empty"));
+            let next = prev + row_len;
+            starts.push(
+                u32::try_from(next).map_err(|_| invalid_data("flat table offsets overflow"))?,
+            );
+        }
+        let total = *starts.last().expect("starts is never empty") as usize;
+        let mut entries = Vec::with_capacity(clamped_capacity(total));
+        let mut levels = Vec::with_capacity(clamped_capacity(total));
+        for _ in 0..total {
+            let src = r.u32()?;
+            let est = r.u64()?;
+            let port = r.u32()?;
+            levels.push(r.u32()?);
+            entries.push(FlatEntry { src, port, est });
+        }
+        // Sortedness must hold before the bucket index is derived from
+        // the rows (and binary invariants like canonical re-save rely on
+        // it), so check it on the raw data first.
+        for w in starts.windows(2) {
+            let row = &entries[w[0] as usize..w[1] as usize];
+            if row.windows(2).any(|p| p[0].src >= p[1].src) {
+                return Err(invalid_data("flat table row not sorted by source"));
+            }
+        }
+        Ok(FlatTables::from_parts(starts, entries, levels))
+    }
+
+    /// Validates rows against the topology they will be queried on: one
+    /// row per node, sources in range, ports within each node's degree
+    /// ([`Topology::neighbor`] only debug-asserts its port, so a corrupted
+    /// port would silently resolve to a wrong neighbor in release builds).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on any out-of-range source or port.
+    pub fn validate(&self, topo: &Topology) -> io::Result<()> {
+        if self.len_nodes() != topo.len() {
+            return Err(invalid_data("flat table row count mismatch"));
+        }
+        for v in topo.nodes() {
+            let deg = topo.degree(v) as u32;
+            for e in self.row(v) {
+                if e.src as usize >= topo.len() {
+                    return Err(invalid_data(format!(
+                        "flat route source {} out of range",
+                        e.src
+                    )));
+                }
+                if e.port >= deg {
+                    return Err(invalid_data(format!(
+                        "flat route port {} out of range at {v} (degree {deg})",
+                        e.port
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: flatten each run of a multi-level route archive.
+pub fn flatten_runs(runs: &[Vec<RouteTable>]) -> Vec<FlatTables> {
+    runs.iter()
+        .map(|run| FlatTables::from_tables(run))
+        .collect()
+}
+
+/// Pre-resolves each arena entry's source through a
+/// [`graphs::DenseIndex`] (sentinel [`graphs::DenseIndex::NONE`] for
+/// non-members) so query loops read an arena-aligned side table instead
+/// of probing the index per entry.
+pub fn resolve_entry_indices(tables: &FlatTables, index: &graphs::DenseIndex) -> Vec<u32> {
+    tables
+        .entries()
+        .iter()
+        .map(|e| {
+            index
+                .get(NodeId(e.src))
+                .map_or(graphs::DenseIndex::NONE, |i| i as u32)
+        })
+        .collect()
+}
+
+/// Rebuilds the hash-table form of one flat row set (used by builders
+/// that still merge through [`RouteTable`], and by tests).
+pub fn unflatten(ft: &FlatTables) -> Vec<RouteTable> {
+    (0..ft.len_nodes())
+        .map(|v| {
+            let v = NodeId::from_index(v);
+            let mut t = RouteTable::default();
+            let range = ft.row_range(v);
+            for (e, &level) in ft.entries()[range.clone()].iter().zip(&ft.levels()[range]) {
+                t.insert(
+                    NodeId(e.src),
+                    RouteInfo {
+                        est: e.est,
+                        port: e.port,
+                        level,
+                    },
+                );
+            }
+            t
+        })
+        .collect()
+}
+
+/// A partial `k × k` map keyed by `(row, col)` pairs — the flat
+/// replacement for `HashMap<(usize, usize), u64>` in the truncated
+/// hierarchy's upper levels.
+///
+/// Dense form is one `k²` value array with [`ABSENT`] sentinels (a lookup
+/// is a single indexed load); CSR form stores row-sorted `(col, value)`
+/// pairs (a lookup is a binary search within the row). Representation is
+/// part of the value: snapshots record it, so reload → re-save is
+/// byte-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PairTable {
+    /// `values[row * k + col]`, [`ABSENT`] where no entry exists.
+    Dense {
+        /// Side length `k`.
+        k: usize,
+        /// `k²` values.
+        values: Vec<u64>,
+    },
+    /// Row-sorted compressed sparse rows.
+    Csr {
+        /// Side length `k`.
+        k: usize,
+        /// `k + 1` row offsets.
+        starts: Vec<u32>,
+        /// Column ids, sorted within each row.
+        cols: Vec<u32>,
+        /// Values, parallel to `cols`.
+        vals: Vec<u64>,
+    },
+}
+
+/// Above this many cells, [`PairTable::auto`] considers CSR.
+const DENSE_CELL_FLOOR: usize = 1 << 12;
+/// `auto` stays dense while entries fill at least 1/8 of the cells.
+const DENSE_FILL_SHIFT: u32 = 3;
+
+impl PairTable {
+    /// Builds the representation [`PairTable::auto`] deems best: dense for
+    /// small or well-filled tables, CSR for large sparse ones. The rule is
+    /// deterministic (a pure function of `k` and the entry count), so
+    /// identical builds pick identical layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range keys, duplicate keys, or [`ABSENT`] values
+    /// (builder bugs, not data).
+    pub fn auto(k: usize, entries: &[(u32, u32, u64)]) -> Self {
+        let cells = k.saturating_mul(k);
+        if cells <= DENSE_CELL_FLOOR || entries.len() >= cells >> DENSE_FILL_SHIFT {
+            Self::dense(k, entries)
+        } else {
+            Self::csr(k, entries)
+        }
+    }
+
+    /// Builds the dense representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range keys, duplicates, or [`ABSENT`] values.
+    pub fn dense(k: usize, entries: &[(u32, u32, u64)]) -> Self {
+        let mut values = vec![ABSENT; k * k];
+        for &(r, c, v) in entries {
+            assert!(
+                (r as usize) < k && (c as usize) < k,
+                "pair key out of range"
+            );
+            assert_ne!(v, ABSENT, "ABSENT is reserved");
+            let cell = &mut values[r as usize * k + c as usize];
+            assert_eq!(*cell, ABSENT, "duplicate pair key ({r}, {c})");
+            *cell = v;
+        }
+        PairTable::Dense { k, values }
+    }
+
+    /// Builds the CSR representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range keys, duplicates, or [`ABSENT`] values.
+    pub fn csr(k: usize, entries: &[(u32, u32, u64)]) -> Self {
+        let mut sorted: Vec<(u32, u32, u64)> = entries.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut starts = Vec::with_capacity(k + 1);
+        let mut cols = Vec::with_capacity(sorted.len());
+        let mut vals = Vec::with_capacity(sorted.len());
+        starts.push(0u32);
+        let mut row = 0u32;
+        for (i, &(r, c, v)) in sorted.iter().enumerate() {
+            assert!(
+                (r as usize) < k && (c as usize) < k,
+                "pair key out of range"
+            );
+            assert_ne!(v, ABSENT, "ABSENT is reserved");
+            if i > 0 {
+                assert_ne!(
+                    (r, c),
+                    (sorted[i - 1].0, sorted[i - 1].1),
+                    "duplicate pair key"
+                );
+            }
+            while row < r {
+                starts.push(cols.len() as u32);
+                row += 1;
+            }
+            cols.push(c);
+            vals.push(v);
+        }
+        while starts.len() < k + 1 {
+            starts.push(cols.len() as u32);
+        }
+        PairTable::Csr {
+            k,
+            starts,
+            cols,
+            vals,
+        }
+    }
+
+    /// Side length `k`.
+    pub fn k(&self) -> usize {
+        match self {
+            PairTable::Dense { k, .. } | PairTable::Csr { k, .. } => *k,
+        }
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        match self {
+            PairTable::Dense { values, .. } => values.iter().filter(|&&v| v != ABSENT).count(),
+            PairTable::Csr { cols, .. } => cols.len(),
+        }
+    }
+
+    /// `true` if no entries are present.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            PairTable::Dense { values, .. } => values.iter().all(|&v| v == ABSENT),
+            PairTable::Csr { cols, .. } => cols.is_empty(),
+        }
+    }
+
+    /// The value at `(row, col)`, if present. Out-of-range keys are
+    /// misses, matching the `HashMap` model.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<u64> {
+        match self {
+            PairTable::Dense { k, values } => {
+                if row >= *k || col >= *k {
+                    return None;
+                }
+                let v = values[row * k + col];
+                (v != ABSENT).then_some(v)
+            }
+            PairTable::Csr {
+                k,
+                starts,
+                cols,
+                vals,
+            } => {
+                if row >= *k || col >= *k {
+                    return None;
+                }
+                let lo = starts[row] as usize;
+                let hi = starts[row + 1] as usize;
+                cols[lo..hi]
+                    .binary_search(&(col as u32))
+                    .ok()
+                    .map(|i| vals[lo + i])
+            }
+        }
+    }
+
+    /// Iterates present entries as `(row, col, value)`, row-major and
+    /// column-sorted within each row.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (u32, u32, u64)> + '_> {
+        match self {
+            PairTable::Dense { k, values } => {
+                let k = *k;
+                Box::new(
+                    values
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &v)| v != ABSENT)
+                        .map(move |(i, &v)| ((i / k) as u32, (i % k) as u32, v)),
+                )
+            }
+            PairTable::Csr {
+                starts, cols, vals, ..
+            } => Box::new((0..starts.len().saturating_sub(1)).flat_map(move |row| {
+                (starts[row] as usize..starts[row + 1] as usize)
+                    .map(move |i| (row as u32, cols[i], vals[i]))
+            })),
+        }
+    }
+
+    /// Serializes the table, representation tag included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        let mut w = WireWriter::new(sink);
+        match self {
+            PairTable::Dense { k, values } => {
+                w.u8(0)?;
+                w.usize(*k)?;
+                for &v in values {
+                    w.u64(v)?;
+                }
+            }
+            PairTable::Csr {
+                k,
+                starts,
+                cols,
+                vals,
+            } => {
+                w.u8(1)?;
+                w.usize(*k)?;
+                w.len(cols.len())?;
+                for &s in &starts[1..] {
+                    w.u32(s)?;
+                }
+                for (&c, &v) in cols.iter().zip(vals) {
+                    w.u32(c)?;
+                    w.u64(v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes what [`PairTable::write_into`] wrote, validating
+    /// shape (offsets monotone and bounded, columns sorted and in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        let mut r = WireReader::new(source);
+        let tag = r.u8()?;
+        let k = r.usize()?;
+        if k > congest::wire::MAX_SNAPSHOT_NODES {
+            return Err(invalid_data(format!("pair table claims k = {k}")));
+        }
+        match tag {
+            0 => {
+                let cells = k
+                    .checked_mul(k)
+                    .ok_or_else(|| invalid_data("pair table size overflow"))?;
+                let mut values = Vec::with_capacity(clamped_capacity(cells));
+                for _ in 0..cells {
+                    values.push(r.u64()?);
+                }
+                Ok(PairTable::Dense { k, values })
+            }
+            1 => {
+                let m = r.len(k.saturating_mul(k))?;
+                let mut starts = Vec::with_capacity(clamped_capacity(k + 1));
+                starts.push(0u32);
+                for _ in 0..k {
+                    let s = r.u32()?;
+                    if (s as usize) > m || s < *starts.last().expect("nonempty") {
+                        return Err(invalid_data("pair table offsets inconsistent"));
+                    }
+                    starts.push(s);
+                }
+                if *starts.last().expect("nonempty") as usize != m {
+                    return Err(invalid_data("pair table offsets inconsistent"));
+                }
+                let mut cols = Vec::with_capacity(clamped_capacity(m));
+                let mut vals = Vec::with_capacity(clamped_capacity(m));
+                for _ in 0..m {
+                    let c = r.u32()?;
+                    if c as usize >= k {
+                        return Err(invalid_data("pair table column out of range"));
+                    }
+                    cols.push(c);
+                    vals.push(r.u64()?);
+                }
+                for row in 0..k {
+                    let lo = starts[row] as usize;
+                    let hi = starts[row + 1] as usize;
+                    if cols[lo..hi].windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(invalid_data("pair table row not sorted"));
+                    }
+                }
+                Ok(PairTable::Csr {
+                    k,
+                    starts,
+                    cols,
+                    vals,
+                })
+            }
+            t => Err(invalid_data(format!("unknown pair table tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tables() -> Vec<RouteTable> {
+        let mut t0 = RouteTable::default();
+        t0.insert(
+            NodeId(3),
+            RouteInfo {
+                est: 10,
+                port: 1,
+                level: 0,
+            },
+        );
+        t0.insert(
+            NodeId(1),
+            RouteInfo {
+                est: 7,
+                port: 0,
+                level: 2,
+            },
+        );
+        vec![t0, RouteTable::default()]
+    }
+
+    #[test]
+    fn flat_tables_sort_rows_and_look_up() {
+        let ft = FlatTables::from_tables(&sample_tables());
+        assert_eq!(ft.len_nodes(), 2);
+        assert_eq!(ft.len_entries(), 2);
+        let row = ft.row(NodeId(0));
+        assert_eq!(row[0].src, 1);
+        assert_eq!(row[1].src, 3);
+        assert_eq!(ft.get(NodeId(0), NodeId(3)).unwrap().est, 10);
+        assert!(ft.get(NodeId(0), NodeId(2)).is_none());
+        assert!(ft.row(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn flat_tables_round_trip_byte_identically() {
+        let ft = FlatTables::from_tables(&sample_tables());
+        let mut buf = Vec::new();
+        ft.write_into(&mut buf).unwrap();
+        let back = FlatTables::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(ft, back);
+        let mut buf2 = Vec::new();
+        back.write_into(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+        assert_eq!(unflatten(&back), sample_tables());
+    }
+
+    #[test]
+    fn flat_tables_reject_unsorted_rows() {
+        let ft = FlatTables::from_tables(&sample_tables());
+        let mut buf = Vec::new();
+        ft.write_into(&mut buf).unwrap();
+        // The first entry's src (u32 after the two row-length u64s... locate
+        // by rewriting: swap the two entries' src fields directly.
+        let mut tampered = FlatTables::from_parts(
+            vec![0, 2, 2],
+            vec![
+                FlatEntry {
+                    src: 3,
+                    port: 1,
+                    est: 10,
+                },
+                FlatEntry {
+                    src: 1,
+                    port: 0,
+                    est: 7,
+                },
+            ],
+            vec![0, 2],
+        );
+        let mut bad = Vec::new();
+        tampered.write_into(&mut bad).unwrap();
+        assert!(FlatTables::read_from(&mut &bad[..]).is_err());
+        tampered.entries.swap(0, 1);
+        let mut good = Vec::new();
+        tampered.write_into(&mut good).unwrap();
+        assert!(FlatTables::read_from(&mut &good[..]).is_ok());
+    }
+
+    #[test]
+    fn pair_table_reps_agree() {
+        let entries = &[(0u32, 2u32, 5u64), (1, 0, 9), (1, 3, 2), (3, 3, 7)];
+        let d = PairTable::dense(4, entries);
+        let c = PairTable::csr(4, entries);
+        for row in 0..5 {
+            for col in 0..5 {
+                assert_eq!(d.get(row, col), c.get(row, col), "({row}, {col})");
+            }
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(c.len(), 4);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn pair_table_round_trips_both_reps() {
+        let entries = &[(0u32, 2u32, 5u64), (1, 0, 9), (1, 3, 2), (3, 3, 7)];
+        for t in [PairTable::dense(4, entries), PairTable::csr(4, entries)] {
+            let mut buf = Vec::new();
+            t.write_into(&mut buf).unwrap();
+            let back = PairTable::read_from(&mut &buf[..]).unwrap();
+            assert_eq!(t, back);
+            let mut buf2 = Vec::new();
+            back.write_into(&mut buf2).unwrap();
+            assert_eq!(buf, buf2);
+        }
+    }
+
+    #[test]
+    fn auto_picks_dense_for_small_and_csr_for_large_sparse() {
+        assert!(matches!(
+            PairTable::auto(4, &[(0, 0, 1)]),
+            PairTable::Dense { .. }
+        ));
+        // 100×100 = 10_000 cells > floor, 1 entry ≪ 1/8 fill.
+        assert!(matches!(
+            PairTable::auto(100, &[(0, 0, 1)]),
+            PairTable::Csr { .. }
+        ));
+        // Same size, well filled → dense.
+        let filled: Vec<(u32, u32, u64)> = (0..100u32)
+            .flat_map(|r| (0..20u32).map(move |c| (r, c, 1u64)))
+            .collect();
+        assert!(matches!(
+            PairTable::auto(100, &filled),
+            PairTable::Dense { .. }
+        ));
+    }
+}

@@ -1,9 +1,32 @@
 //! Dijkstra with minimum-hop tie-breaking.
+//!
+//! Two interchangeable priority queues back the search:
+//!
+//! * a **bucket queue** (Dial's algorithm) specialized for the bounded
+//!   integer weights the generators produce — `w_max + 1` circular
+//!   buckets indexed by tentative distance, each drained in sorted
+//!   `(hops, id)` order, so settling order (and therefore every
+//!   `dist`/`hops`/`parent` entry) is *identical* to the binary-heap
+//!   search;
+//! * the classic [`BinaryHeap`] fallback, used when the largest edge
+//!   weight exceeds [`DIAL_WEIGHT_LIMIT`] (huge weights would make the
+//!   empty-bucket scan between occupied distances the dominant cost).
+//!
+//! The equivalence is pinned by in-module tests at weight bounds 1, 32
+//! and both sides of the threshold.
 
 use crate::graph::{WGraph, INF};
 use congest::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Largest edge weight for which [`dijkstra`] uses the bucket queue; any
+/// graph with `max_weight()` above this falls back to the binary heap.
+///
+/// The bucket queue walks every tentative distance between occupied
+/// buckets, so its overhead is `O(WD)` per source — bounded weights keep
+/// that linear in the graph, unbounded ones would not.
+pub const DIAL_WEIGHT_LIMIT: u64 = 512;
 
 /// Single-source shortest-path result.
 ///
@@ -25,7 +48,22 @@ pub struct Sssp {
 }
 
 /// Runs Dijkstra from `source`, minimizing `(weight, hops)` lexicographically.
+///
+/// Picks the bucket queue for graphs whose largest weight is at most
+/// [`DIAL_WEIGHT_LIMIT`] and the binary heap otherwise; both produce
+/// bit-identical results.
 pub fn dijkstra(g: &WGraph, source: NodeId) -> Sssp {
+    let w_max = g.max_weight();
+    if w_max <= DIAL_WEIGHT_LIMIT {
+        dijkstra_buckets(g, source, w_max)
+    } else {
+        dijkstra_heap(g, source)
+    }
+}
+
+/// The binary-heap search (reference implementation and large-weight
+/// fallback).
+fn dijkstra_heap(g: &WGraph, source: NodeId) -> Sssp {
     let n = g.len();
     let mut dist = vec![INF; n];
     let mut hops = vec![u32::MAX; n];
@@ -66,9 +104,76 @@ pub fn dijkstra(g: &WGraph, source: NodeId) -> Sssp {
     }
 }
 
+/// Dial's algorithm: `w_max + 1` circular buckets keyed by tentative
+/// distance. Weights are ≥ 1, so relaxing a node settled at distance `d`
+/// never feeds bucket `d` again, and every pending entry lies within
+/// `d..=d + w_max` — one bucket per distance, no collisions. Each bucket
+/// is drained in sorted `(hops, id)` order, reproducing the heap's global
+/// `(dist, hops, id)` settling order exactly.
+fn dijkstra_buckets(g: &WGraph, source: NodeId, w_max: u64) -> Sssp {
+    let n = g.len();
+    let mut dist = vec![INF; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut parent = vec![None; n];
+    let mut done = vec![false; n];
+    let num = w_max.max(1) as usize + 1;
+    let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num];
+    let mut drain: Vec<(u32, u32)> = Vec::new();
+
+    dist[source.index()] = 0;
+    hops[source.index()] = 0;
+    buckets[0].push((0, source.0));
+    let mut pending = 1usize;
+    let mut d = 0u64;
+
+    while pending > 0 {
+        let slot = (d % num as u64) as usize;
+        if buckets[slot].is_empty() {
+            d += 1;
+            continue;
+        }
+        drain.clear();
+        drain.append(&mut buckets[slot]);
+        pending -= drain.len();
+        drain.sort_unstable();
+        for &(h, v) in &drain {
+            let v = NodeId(v);
+            if done[v.index()] {
+                continue; // superseded by a better entry (lazy deletion)
+            }
+            done[v.index()] = true;
+            debug_assert_eq!((d, h), (dist[v.index()], hops[v.index()]));
+            for (u, w) in g.neighbors(v) {
+                if done[u.index()] {
+                    continue;
+                }
+                let nd = d + w;
+                let nh = h + 1;
+                if (nd, nh) < (dist[u.index()], hops[u.index()]) {
+                    dist[u.index()] = nd;
+                    hops[u.index()] = nh;
+                    parent[u.index()] = Some(v);
+                    buckets[(nd % num as u64) as usize].push((nh, u.0));
+                    pending += 1;
+                }
+            }
+        }
+        d += 1;
+    }
+    Sssp {
+        source,
+        dist,
+        hops,
+        parent,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     #[test]
     fn shortest_distances_on_small_graph() {
@@ -112,5 +217,65 @@ mod tests {
         }
         assert_eq!(v, NodeId(0));
         assert_eq!(steps, s.hops[3]);
+    }
+
+    /// The buckets and the heap must agree field-for-field — including
+    /// `parent`, whose value depends on the settling *order*, not just the
+    /// final distances.
+    fn assert_equivalent(g: &WGraph, what: &str) {
+        let w_max = g.max_weight();
+        for v in g.nodes() {
+            let a = dijkstra_heap(g, v);
+            let b = dijkstra_buckets(g, v, w_max);
+            assert_eq!(a.dist, b.dist, "{what}: dist from {v}");
+            assert_eq!(a.hops, b.hops, "{what}: hops from {v}");
+            assert_eq!(a.parent, b.parent, "{what}: parent from {v}");
+        }
+    }
+
+    #[test]
+    fn buckets_match_heap_at_weight_bound_one() {
+        for seed in 0..3u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::gnp_connected(40, 0.12, Weights::Unit, &mut rng);
+            assert_equivalent(&g, &format!("unit weights, seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn buckets_match_heap_at_weight_bound_32() {
+        for seed in 0..3u64 {
+            let mut rng = SmallRng::seed_from_u64(10 + seed);
+            let g = gen::gnp_connected(40, 0.12, Weights::Uniform { lo: 1, hi: 32 }, &mut rng);
+            assert_equivalent(&g, &format!("weights 1..=32, seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn buckets_match_heap_at_the_threshold_boundary() {
+        // Exactly at the limit the dispatcher picks buckets; one past it,
+        // the heap. Both must agree with the reference at both bounds.
+        for hi in [DIAL_WEIGHT_LIMIT, DIAL_WEIGHT_LIMIT + 1] {
+            let mut rng = SmallRng::seed_from_u64(99);
+            let g = gen::gnp_connected(32, 0.15, Weights::Uniform { lo: 1, hi }, &mut rng);
+            assert_equivalent(&g, &format!("weights 1..={hi}"));
+            // And the public entry point agrees with the reference heap.
+            for v in g.nodes() {
+                let a = dijkstra(&g, v);
+                let b = dijkstra_heap(&g, v);
+                assert_eq!(a.dist, b.dist);
+                assert_eq!(a.hops, b.hops);
+                assert_eq!(a.parent, b.parent);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_handle_disconnected_and_power_of_two_weights() {
+        let g = WGraph::from_edges(5, &[(0, 1, 4), (1, 2, 8)]).unwrap();
+        assert_equivalent(&g, "disconnected");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gen::gnp_connected(30, 0.15, Weights::PowerOfTwo { max_exp: 8 }, &mut rng);
+        assert_equivalent(&g, "power-of-two weights");
     }
 }

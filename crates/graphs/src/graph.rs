@@ -55,6 +55,7 @@ pub struct WGraph {
     offsets: Vec<u32>,
     targets: Vec<NodeId>,
     weights: Vec<u64>,
+    w_max: u64,
 }
 
 impl WGraph {
@@ -85,6 +86,7 @@ impl WGraph {
         }
         Ok(WGraph {
             n,
+            w_max: canonical.iter().map(|&(_, _, w)| w).max().unwrap_or(0),
             edges: canonical,
             offsets,
             targets: arcs.iter().map(|&(_, v, _)| NodeId(v)).collect(),
@@ -155,8 +157,12 @@ impl WGraph {
     }
 
     /// Largest edge weight (`w_max` in the paper); 0 for edgeless graphs.
+    /// Computed once at construction — callers that dispatch on it per
+    /// query or per Dijkstra run (e.g. the bucket-queue threshold) pay a
+    /// field read, not an edge scan.
+    #[inline]
     pub fn max_weight(&self) -> u64 {
-        self.edges.iter().map(|&(_, _, w)| w).max().unwrap_or(0)
+        self.w_max
     }
 
     /// `true` if the graph is connected.

@@ -1,0 +1,85 @@
+//! Dense node-id → small-index maps.
+
+use congest::NodeId;
+
+/// A dense map from [`NodeId`] to a compact index (e.g. a node's position
+/// in the sorted skeleton list): one `u32` slot per graph node, sentinel
+/// for non-members.
+///
+/// This replaces `HashMap<NodeId, usize>` on query hot paths — membership
+/// tests and index lookups become a single array load. Built once per
+/// scheme; `O(n)` space is already dwarfed by the tables it indexes into.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseIndex {
+    slots: Vec<u32>,
+}
+
+impl DenseIndex {
+    /// Sentinel marking "not a member".
+    pub const NONE: u32 = u32::MAX;
+
+    /// Builds the index over `n` nodes: `ids[i]` maps to `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range, ids repeat, or there are
+    /// `u32::MAX` or more members (builder bugs, not data).
+    pub fn new(n: usize, ids: &[NodeId]) -> Self {
+        assert!((ids.len() as u64) < u64::from(u32::MAX), "too many members");
+        let mut slots = vec![Self::NONE; n];
+        for (i, &id) in ids.iter().enumerate() {
+            let slot = &mut slots[id.index()];
+            assert_eq!(*slot, Self::NONE, "duplicate member {id}");
+            *slot = i as u32;
+        }
+        DenseIndex { slots }
+    }
+
+    /// The member index of `v`, if `v` is a member.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> Option<usize> {
+        let raw = self.slots[v.index()];
+        (raw != Self::NONE).then_some(raw as usize)
+    }
+
+    /// `true` if `v` is a member.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.slots[v.index()] != Self::NONE
+    }
+
+    /// Number of slots (graph nodes, not members).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the index covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_members_and_rejects_non_members() {
+        let idx = DenseIndex::new(6, &[NodeId(4), NodeId(1), NodeId(5)]);
+        assert_eq!(idx.get(NodeId(4)), Some(0));
+        assert_eq!(idx.get(NodeId(1)), Some(1));
+        assert_eq!(idx.get(NodeId(5)), Some(2));
+        assert_eq!(idx.get(NodeId(0)), None);
+        assert!(idx.contains(NodeId(5)));
+        assert!(!idx.contains(NodeId(3)));
+        assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member")]
+    fn duplicate_members_panic() {
+        let _ = DenseIndex::new(4, &[NodeId(2), NodeId(2)]);
+    }
+}

@@ -31,8 +31,10 @@
 pub mod algo;
 pub mod gen;
 mod graph;
+mod index;
 mod seed;
 
 pub use congest::NodeId;
 pub use graph::{GraphError, WGraph, INF};
+pub use index::DenseIndex;
 pub use seed::Seed;

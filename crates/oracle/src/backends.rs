@@ -4,106 +4,57 @@
 //! distributed schemes expose the topology they were built on (borrowed,
 //! not copied), and the flat/centralized backends keep the graph
 //! themselves. The PDE-family wrappers flatten their routing archives
-//! into per-node source-sorted arrays ([`FlatRoutes`]): point queries
-//! are a binary search and batch queries stream through dense memory
-//! with no per-query hashing.
+//! into per-node source-sorted rows ([`pde_core::FlatTables`]): point
+//! queries are a binary search and batch queries stream through dense
+//! memory with no per-query hashing or allocation.
 
 use crate::{Backend, DistanceOracle, OracleBuildMetrics, OracleBuilder, TracedRoute};
 use baselines::{bellman_ford_apsp, flooding_apsp, ExactTz};
 use compact::{build_hierarchy, build_truncated, CompactParams, CompactScheme, HorizonMode};
 use compact::{TruncatedScheme, UpperMode};
-use congest::{NodeId, Port, Topology};
+use congest::{NodeId, Topology};
 use graphs::{WGraph, INF};
-use pde_core::{approx_apsp_with, run_pde, PdeParams, RouteTable};
+use pde_core::{approx_apsp_with, run_pde, FlatTables, PdeParams};
 use routing::{build_rtc, RoutingScheme, RtcParams, RtcScheme};
 
-/// One flattened routing entry: destination source, estimate, out-port.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct FlatEntry {
-    pub(crate) src: u32,
-    pub(crate) est: u64,
-    pub(crate) port: Port,
-}
-
-/// Per-node routing tables flattened into one source-sorted array with
-/// CSR offsets — the cache-friendly backing store for batch queries.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct FlatRoutes {
-    pub(crate) starts: Vec<u32>,
-    pub(crate) entries: Vec<FlatEntry>,
-}
-
-impl FlatRoutes {
-    pub(crate) fn from_tables(tables: &[RouteTable]) -> Self {
-        let mut starts = Vec::with_capacity(tables.len() + 1);
-        let mut entries = Vec::new();
-        starts.push(0u32);
-        let mut scratch: Vec<FlatEntry> = Vec::new();
-        for table in tables {
-            scratch.clear();
-            scratch.extend(table.iter().map(|(&s, r)| FlatEntry {
-                src: s.0,
-                est: r.est,
-                port: r.port,
-            }));
-            scratch.sort_unstable_by_key(|e| e.src);
-            entries.extend_from_slice(&scratch);
-            starts.push(u32::try_from(entries.len()).expect("flat table fits u32"));
-        }
-        FlatRoutes { starts, entries }
-    }
-
-    #[inline]
-    pub(crate) fn node_entries(&self, v: NodeId) -> &[FlatEntry] {
-        &self.entries[self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize]
-    }
-
-    #[inline]
-    pub(crate) fn lookup(&self, v: NodeId, s: NodeId) -> Option<FlatEntry> {
-        let slice = self.node_entries(v);
-        slice
-            .binary_search_by_key(&s.0, |e| e.src)
-            .ok()
-            .map(|i| slice[i])
-    }
-
-    pub(crate) fn len_nodes(&self) -> usize {
-        self.starts.len().saturating_sub(1)
-    }
-}
-
-/// Traces a route by repeatedly applying `next`, validating that every
-/// hop is a real edge; `None` on a stuck walk or when the hop cap is hit.
-pub(crate) fn trace_next_hops<F>(
+/// Traces a route by repeatedly applying `next` into the caller's buffer,
+/// validating that every hop is a real edge; `false` (with `out` cleared)
+/// on a stuck walk or when the hop cap is hit. The buffer's allocations
+/// are reused across calls.
+pub(crate) fn trace_next_hops_into<F>(
     topo: &Topology,
     u: NodeId,
     v: NodeId,
     next: F,
-) -> Option<TracedRoute>
+    out: &mut TracedRoute,
+) -> bool
 where
     F: Fn(NodeId, NodeId) -> Option<NodeId>,
 {
-    let mut nodes = vec![u];
-    let mut ports = Vec::new();
-    let mut weight = 0u64;
+    out.nodes.clear();
+    out.ports.clear();
+    out.weight = 0;
+    out.nodes.push(u);
     let mut cur = u;
     let cap = 20 * topo.len() + 50;
     while cur != v {
-        if ports.len() >= cap {
-            return None;
-        }
-        let hop = next(cur, v)?;
-        let port = topo.port_to(cur, hop)?;
-        weight += topo.weight(cur, port);
-        ports.push(port);
-        nodes.push(hop);
+        let hop = if out.ports.len() >= cap {
+            None
+        } else {
+            next(cur, v).and_then(|hop| topo.port_to(cur, hop).map(|port| (hop, port)))
+        };
+        let Some((hop, port)) = hop else {
+            out.nodes.clear();
+            out.ports.clear();
+            out.weight = 0;
+            return false;
+        };
+        out.weight += topo.weight(cur, port);
+        out.ports.push(port);
+        out.nodes.push(hop);
         cur = hop;
     }
-    Some(TracedRoute {
-        nodes,
-        ports,
-        weight,
-    })
+    true
 }
 
 /// The finite-ε stretch ceiling of the Theorem 4.5 scheme
@@ -132,7 +83,7 @@ fn truncated_ceiling(k: u32, eps: f64) -> f64 {
 pub struct PdeOracle {
     pub(crate) g: WGraph,
     pub(crate) topo: Topology,
-    pub(crate) routes: FlatRoutes,
+    pub(crate) routes: FlatTables,
     pub(crate) eps: f64,
     pub(crate) h: u64,
     pub(crate) sigma: usize,
@@ -148,37 +99,21 @@ impl DistanceOracle for PdeOracle {
         if u == v {
             return 0;
         }
-        self.routes.lookup(u, v).map_or(INF, |e| e.est)
-    }
-
-    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
-        out.clear();
-        out.reserve(pairs.len());
-        // Straight off the flat arrays: a binary search per pair, zero
-        // hashing, zero allocation beyond the output.
-        out.extend(pairs.iter().map(|&(u, v)| {
-            if u == v {
-                0
-            } else {
-                self.routes.lookup(u, v).map_or(INF, |e| e.est)
-            }
-        }));
+        self.routes.get(u, v).map_or(INF, |e| e.est)
     }
 
     fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
         if u == v {
             return None;
         }
-        self.routes
-            .lookup(u, v)
-            .map(|e| self.topo.neighbor(u, e.port))
+        self.routes.get(u, v).map(|e| self.topo.neighbor(u, e.port))
     }
 
-    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+    fn route_into(&self, u: NodeId, v: NodeId, out: &mut TracedRoute) -> bool {
         // Greedy forwarding: estimates strictly decrease along the chain,
         // so the cap in the generic tracer is never the limiting factor
         // for intact tables.
-        trace_next_hops(&self.topo, u, v, |x, dest| self.next_hop(x, dest))
+        trace_next_hops_into(&self.topo, u, v, |x, dest| self.next_hop(x, dest), out)
     }
 
     fn stretch_bound(&self) -> f64 {
@@ -202,7 +137,7 @@ pub struct ApsOracle {
     pub(crate) g: WGraph,
     pub(crate) topo: Topology,
     pub(crate) dist: Vec<u64>,
-    pub(crate) routes: FlatRoutes,
+    pub(crate) routes: FlatTables,
     pub(crate) eps: f64,
     pub(crate) metrics: OracleBuildMetrics,
 }
@@ -227,30 +162,26 @@ impl DistanceOracle for ApsOracle {
         }
     }
 
-    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
-        out.clear();
-        out.reserve(pairs.len());
+    fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
         let n = self.g.len();
-        out.extend(pairs.iter().map(|&(u, v)| {
-            if u == v {
+        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+            *slot = if u == v {
                 0
             } else {
                 self.dist[u.index() * n + v.index()]
-            }
-        }));
+            };
+        }
     }
 
     fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
         if u == v {
             return None;
         }
-        self.routes
-            .lookup(u, v)
-            .map(|e| self.topo.neighbor(u, e.port))
+        self.routes.get(u, v).map(|e| self.topo.neighbor(u, e.port))
     }
 
-    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
-        trace_next_hops(&self.topo, u, v, |x, dest| self.next_hop(x, dest))
+    fn route_into(&self, u: NodeId, v: NodeId, out: &mut TracedRoute) -> bool {
+        trace_next_hops_into(&self.topo, u, v, |x, dest| self.next_hop(x, dest), out)
     }
 
     fn stretch_bound(&self) -> f64 {
@@ -294,10 +225,14 @@ macro_rules! scheme_oracle {
                 RoutingScheme::next_hop(&self.scheme, u, v)
             }
 
-            fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
-                trace_next_hops(self.scheme.topology(), u, v, |x, dest| {
-                    RoutingScheme::next_hop(&self.scheme, x, dest)
-                })
+            fn route_into(&self, u: NodeId, v: NodeId, out: &mut TracedRoute) -> bool {
+                trace_next_hops_into(
+                    self.scheme.topology(),
+                    u,
+                    v,
+                    |x, dest| RoutingScheme::next_hop(&self.scheme, x, dest),
+                    out,
+                )
             }
 
             fn stretch_bound(&self) -> f64 {
@@ -360,10 +295,14 @@ impl DistanceOracle for TzOracle {
         RoutingScheme::next_hop(&self.scheme, u, v)
     }
 
-    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
-        trace_next_hops(&self.topo, u, v, |x, dest| {
-            RoutingScheme::next_hop(&self.scheme, x, dest)
-        })
+    fn route_into(&self, u: NodeId, v: NodeId, out: &mut TracedRoute) -> bool {
+        trace_next_hops_into(
+            &self.topo,
+            u,
+            v,
+            |x, dest| RoutingScheme::next_hop(&self.scheme, x, dest),
+            out,
+        )
     }
 
     fn stretch_bound(&self) -> f64 {
@@ -398,22 +337,21 @@ impl DistanceOracle for BfOracle {
         self.dist[u.index() * self.n + v.index()]
     }
 
-    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
-        out.clear();
-        out.reserve(pairs.len());
-        out.extend(
-            pairs
-                .iter()
-                .map(|&(u, v)| self.dist[u.index() * self.n + v.index()]),
-        );
+    fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
+        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+            *slot = self.dist[u.index() * self.n + v.index()];
+        }
     }
 
     fn next_hop(&self, _u: NodeId, _v: NodeId) -> Option<NodeId> {
         None
     }
 
-    fn route(&self, _u: NodeId, _v: NodeId) -> Option<TracedRoute> {
-        None
+    fn route_into(&self, _u: NodeId, _v: NodeId, out: &mut TracedRoute) -> bool {
+        out.nodes.clear();
+        out.ports.clear();
+        out.weight = 0;
+        false
     }
 
     fn stretch_bound(&self) -> f64 {
@@ -453,15 +391,11 @@ impl DistanceOracle for FloodOracle {
         self.dist[u.index() * self.g.len() + v.index()]
     }
 
-    fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
-        out.clear();
-        out.reserve(pairs.len());
+    fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
         let n = self.g.len();
-        out.extend(
-            pairs
-                .iter()
-                .map(|&(u, v)| self.dist[u.index() * n + v.index()]),
-        );
+        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+            *slot = self.dist[u.index() * n + v.index()];
+        }
     }
 
     fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
@@ -469,8 +403,8 @@ impl DistanceOracle for FloodOracle {
         (raw != u32::MAX).then_some(NodeId(raw))
     }
 
-    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
-        trace_next_hops(&self.topo, u, v, |x, dest| self.next_hop(x, dest))
+    fn route_into(&self, u: NodeId, v: NodeId, out: &mut TracedRoute) -> bool {
+        trace_next_hops_into(&self.topo, u, v, |x, dest| self.next_hop(x, dest), out)
     }
 
     fn stretch_bound(&self) -> f64 {
@@ -563,7 +497,7 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
             Inner::Pde(PdeOracle {
                 g: g.clone(),
                 topo: g.to_topology(),
-                routes: FlatRoutes::from_tables(&out.routes),
+                routes: FlatTables::from_tables(&out.routes),
                 eps: b.knob_eps(),
                 h,
                 sigma,
@@ -588,7 +522,7 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
                 g: g.clone(),
                 topo: g.to_topology(),
                 dist,
-                routes: FlatRoutes::from_tables(&a.pde.routes),
+                routes: FlatTables::from_tables(&a.pde.routes),
                 eps: b.knob_eps(),
                 metrics: m,
             })

@@ -75,29 +75,44 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Evaluates `oracle` on the selected pairs against exact ground truth.
-///
-/// Estimates are validated for soundness (never below `wd`) and coverage;
-/// routes — when the backend routes at all — are traced through
-/// [`DistanceOracle::route`] and validated for termination and weight
-/// soundness. Batch throughput is measured by timing repeated
-/// [`DistanceOracle::estimate_many`] sweeps over the pair list.
+/// Evaluates `oracle` on the selected pairs against exact ground truth,
+/// sequentially (`threads = 1`); see [`evaluate_with`].
 pub fn evaluate(
     oracle: &dyn DistanceOracle,
     g: &WGraph,
     exact: &Apsp,
     pairs: PairSelection,
 ) -> EvalReport {
+    evaluate_with(oracle, g, exact, pairs, 1)
+}
+
+/// Evaluates `oracle` on the selected pairs against exact ground truth.
+///
+/// Estimates are validated for soundness (never below `wd`) and coverage;
+/// routes — when the backend routes at all — are traced through
+/// [`DistanceOracle::route_into`] (one reused buffer, no per-pair
+/// allocation) and validated for termination and weight soundness. Batch
+/// throughput is measured by timing repeated
+/// [`DistanceOracle::estimate_many_with`] sweeps over the pair list with
+/// the given `threads` knob (`0` = auto, `1` = sequential); answers are
+/// identical for every knob value, only the measured q/s changes.
+pub fn evaluate_with(
+    oracle: &dyn DistanceOracle,
+    g: &WGraph,
+    exact: &Apsp,
+    pairs: PairSelection,
+    threads: usize,
+) -> EvalReport {
     let list = pair_list(g.len(), pairs);
     let mut failures = Vec::new();
 
     // --- Batch estimates (also the throughput measurement). ---
     let mut out = Vec::new();
-    oracle.estimate_many(&list, &mut out);
+    oracle.estimate_many_with(&list, &mut out, threads);
     let reps = (100_000 / list.len().max(1)).clamp(1, 200);
     let t0 = Instant::now();
     for _ in 0..reps {
-        oracle.estimate_many(&list, &mut out);
+        oracle.estimate_many_with(&list, &mut out, threads);
     }
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
     let queries_per_sec = (reps * list.len()) as f64 / secs;
@@ -126,32 +141,31 @@ pub fn evaluate(
     let mut sum_route_stretch = 0.0f64;
     let mut max_route_hops = 0usize;
     if supports_routing {
+        // One buffer for the whole sweep: route-heavy evaluation loops
+        // must not allocate per query.
+        let mut route = TracedRoute::default();
         for &(u, v) in &list {
             let wd = exact.dist(u, v);
-            match oracle.route(u, v) {
-                None => failures.push(format!("route failed for ({u}, {v})")),
-                Some(TracedRoute {
-                    nodes,
-                    ports,
-                    weight,
-                }) => {
-                    if nodes.last() != Some(&v) || ports.len() + 1 != nodes.len() {
-                        failures.push(format!("malformed route for ({u}, {v})"));
-                        continue;
-                    }
-                    if weight < wd {
-                        failures.push(format!(
-                            "route weight {weight} below wd {wd} for ({u}, {v})"
-                        ));
-                        continue;
-                    }
-                    let s = weight as f64 / wd as f64;
-                    max_route_stretch = max_route_stretch.max(s);
-                    sum_route_stretch += s;
-                    max_route_hops = max_route_hops.max(ports.len());
-                    routed += 1;
-                }
+            if !oracle.route_into(u, v, &mut route) {
+                failures.push(format!("route failed for ({u}, {v})"));
+                continue;
             }
+            if route.nodes.last() != Some(&v) || route.ports.len() + 1 != route.nodes.len() {
+                failures.push(format!("malformed route for ({u}, {v})"));
+                continue;
+            }
+            if route.weight < wd {
+                failures.push(format!(
+                    "route weight {} below wd {wd} for ({u}, {v})",
+                    route.weight
+                ));
+                continue;
+            }
+            let s = route.weight as f64 / wd as f64;
+            max_route_stretch = max_route_stretch.max(s);
+            sum_route_stretch += s;
+            max_route_hops = max_route_hops.max(route.ports.len());
+            routed += 1;
         }
     }
 

@@ -8,12 +8,18 @@
 //! answer queries" contract a production system wants. This crate makes
 //! that contract first-class:
 //!
-//! * [`DistanceOracle`] — the unified query surface: `estimate`,
-//!   batch [`DistanceOracle::estimate_many`] (overridable with
-//!   cache-friendly flat-table implementations), `next_hop`, full
-//!   [`DistanceOracle::route`] tracing (no manual `Topology` plumbing),
-//!   the advertised [`DistanceOracle::stretch_bound`], the serialized
-//!   artifact size, and build metrics.
+//! * [`DistanceOracle`] — the unified query surface: `estimate`, batch
+//!   [`DistanceOracle::estimate_many`] and its threaded sibling
+//!   [`DistanceOracle::estimate_many_with`] (`threads` knob: `0` = auto,
+//!   `1` = sequential; answers are byte-identical for every thread count
+//!   — see the trait docs for the determinism contract), `next_hop`,
+//!   full [`DistanceOracle::route`] tracing (no manual `Topology`
+//!   plumbing) with an allocation-free [`DistanceOracle::route_into`]
+//!   variant, the advertised [`DistanceOracle::stretch_bound`], the
+//!   serialized artifact size, and build metrics. Every backend's query
+//!   state is flat structure-of-arrays (CSR route rows, dense matrices,
+//!   dense skeleton indexes) — the hot path never hashes and never
+//!   allocates.
 //! * [`OracleBuilder`] — one builder over every [`Backend`] with
 //!   consistently named knobs (`seed`, `threads`, `eps`, `k`, `horizon`,
 //!   `sigma`, `c`, `l0`), replacing the per-crate
@@ -62,13 +68,17 @@ pub use backends::{
     ApsOracle, BfOracle, CompactOracle, FloodOracle, PdeOracle, RtcOracle, TruncatedOracle,
     TzOracle,
 };
-pub use eval::{evaluate, EvalReport};
+pub use eval::{evaluate, evaluate_with, EvalReport};
 pub use routing::PairSelection;
 
 /// A fully traced route: the visited nodes (`u` first, destination last),
 /// the output port taken at each intermediate node, and the total edge
 /// weight.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Route-heavy loops should allocate one of these and refill it through
+/// [`DistanceOracle::route_into`] — the node and port buffers are reused,
+/// so tracing costs `O(path)` with zero allocations in steady state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TracedRoute {
     /// Visited nodes, source first and destination last.
     pub nodes: Vec<NodeId>,
@@ -83,6 +93,17 @@ impl TracedRoute {
     pub fn hops(&self) -> usize {
         self.ports.len()
     }
+}
+
+/// Resolves a `threads` knob exactly like `pde_core::run_pde` does
+/// (`0` = [`std::thread::available_parallelism`], otherwise the given
+/// count), additionally capped by the number of work items.
+fn resolve_threads(threads: usize, items: usize) -> usize {
+    let t = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        t => t,
+    };
+    t.min(items.max(1))
 }
 
 /// Build-time metrics common to every backend.
@@ -109,7 +130,25 @@ pub struct OracleBuildMetrics {
 /// the destination and walks real graph edges. `estimate` returns
 /// [`graphs::INF`] when the backend has no answer for the pair (possible
 /// only for partial-coverage PDE oracles).
-pub trait DistanceOracle {
+///
+/// # Batch queries, threads, and determinism
+///
+/// [`DistanceOracle::estimate_into`] is the scalar kernel: it fills an
+/// output slice pair by pair, reading only immutable scheme state (the
+/// `Sync` supertrait makes that shareable). The batch entry points layer
+/// on top:
+///
+/// * [`DistanceOracle::estimate_many`] — sequential batch (threads = 1);
+/// * [`DistanceOracle::estimate_many_with`] — takes a `threads` knob
+///   mirroring `pde_core::run_pde`'s (`0` = auto via
+///   [`std::thread::available_parallelism`], `1` = sequential, else the
+///   given worker count). The pair slice is sharded into contiguous
+///   chunks, one scoped worker per chunk, each writing its own disjoint
+///   region of `out` — answers land at the same index the pair occupies,
+///   so the output is **byte-identical for every thread count** (pinned
+///   by `tests/parallel_determinism.rs` and the `queries --smoke` CI
+///   step). No worker mutates shared state; scheduling is unobservable.
+pub trait DistanceOracle: Sync {
     /// Number of nodes covered.
     fn len(&self) -> usize;
 
@@ -122,15 +161,45 @@ pub trait DistanceOracle {
     /// the pair is outside the oracle's coverage).
     fn estimate(&self, u: NodeId, v: NodeId) -> u64;
 
-    /// Batch estimates: fills `out` with one answer per pair, in order.
+    /// The scalar batch kernel: writes `estimate(u, v)` for each pair into
+    /// the parallel `out` slice (callers guarantee equal lengths).
     ///
-    /// The default implementation loops over [`DistanceOracle::estimate`];
-    /// flat-table backends override it to answer straight out of dense
-    /// arrays with no per-query hashing.
+    /// The default loops over [`DistanceOracle::estimate`]; flat-table
+    /// backends override it to stream straight out of dense arrays.
+    fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
+        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+            *slot = self.estimate(u, v);
+        }
+    }
+
+    /// Batch estimates: fills `out` with one answer per pair, in order
+    /// (sequential; see [`DistanceOracle::estimate_many_with`] for the
+    /// threaded variant).
     fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
+        self.estimate_many_with(pairs, out, 1);
+    }
+
+    /// Batch estimates with a `threads` knob (`0` = auto, `1` =
+    /// sequential); output is identical for every value — see the trait
+    /// docs for the determinism contract. The worker count is additionally
+    /// capped at one per ~1k pairs, so tiny batches run sequentially
+    /// instead of paying thread-spawn overhead that dwarfs the queries.
+    fn estimate_many_with(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>, threads: usize) {
+        /// Minimum shard size worth a scoped worker.
+        const MIN_PAIRS_PER_WORKER: usize = 1024;
         out.clear();
-        out.reserve(pairs.len());
-        out.extend(pairs.iter().map(|&(u, v)| self.estimate(u, v)));
+        out.resize(pairs.len(), 0);
+        let workers = resolve_threads(threads, pairs.len() / MIN_PAIRS_PER_WORKER);
+        if workers <= 1 {
+            self.estimate_into(pairs, out);
+            return;
+        }
+        let chunk = pairs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (ps, os) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || self.estimate_into(ps, os));
+            }
+        });
     }
 
     /// The next hop from `u` towards `v`, when the backend routes
@@ -138,10 +207,20 @@ pub trait DistanceOracle {
     /// backends such as [`Backend::BellmanFord`]).
     fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId>;
 
+    /// Traces the route `u → v` into a caller-provided buffer, reusing
+    /// its allocations; returns `false` (with `out` cleared) when the
+    /// backend cannot route the pair.
+    fn route_into(&self, u: NodeId, v: NodeId, out: &mut TracedRoute) -> bool;
+
     /// Traces the full route `u → v` — no caller-side `Topology` needed.
     ///
-    /// `None` when the backend cannot route the pair.
-    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute>;
+    /// `None` when the backend cannot route the pair. Allocates a fresh
+    /// [`TracedRoute`]; hot loops should prefer
+    /// [`DistanceOracle::route_into`].
+    fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
+        let mut route = TracedRoute::default();
+        self.route_into(u, v, &mut route).then_some(route)
+    }
 
     /// The advertised worst-case multiplicative stretch of estimates and
     /// routes (at the finite-ε ceilings validated by the test suite).
@@ -432,11 +511,20 @@ impl DistanceOracle for Oracle {
     fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
         self.as_dyn().estimate(u, v)
     }
+    fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
+        self.as_dyn().estimate_into(pairs, out);
+    }
     fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
         self.as_dyn().estimate_many(pairs, out);
     }
+    fn estimate_many_with(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>, threads: usize) {
+        self.as_dyn().estimate_many_with(pairs, out, threads);
+    }
     fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
         self.as_dyn().next_hop(u, v)
+    }
+    fn route_into(&self, u: NodeId, v: NodeId, out: &mut TracedRoute) -> bool {
+        self.as_dyn().route_into(u, v, out)
     }
     fn route(&self, u: NodeId, v: NodeId) -> Option<TracedRoute> {
         self.as_dyn().route(u, v)

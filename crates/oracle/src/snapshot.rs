@@ -19,8 +19,8 @@
 //! (`tests/oracle_matrix.rs` pins both properties).
 
 use crate::backends::{
-    ApsOracle, BfOracle, CompactOracle, FlatEntry, FlatRoutes, FloodOracle, Inner, PdeOracle,
-    RtcOracle, TruncatedOracle, TzOracle,
+    ApsOracle, BfOracle, CompactOracle, FloodOracle, Inner, PdeOracle, RtcOracle, TruncatedOracle,
+    TzOracle,
 };
 use crate::{Backend, Oracle, OracleBuildMetrics};
 use baselines::ExactTz;
@@ -29,11 +29,16 @@ use congest::wire::{
     clamped_capacity, invalid_data, CountingWriter, WireReader, WireWriter, MAX_SNAPSHOT_NODES,
 };
 use graphs::WGraph;
+use pde_core::FlatTables;
 use routing::RtcScheme;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"PDOR";
-const VERSION: u16 = 1;
+/// Snapshot version 2: the flat-table layout (scheme payloads carry their
+/// own record-version tags too). Version-1 artifacts are rejected with a
+/// pointer to rebuild — snapshots are caches of a deterministic build,
+/// not primary data, so there is no in-place migration.
+const VERSION: u16 = 2;
 /// Fixed header size: magic + version + backend + 4 × u64 metrics.
 const HEADER_BYTES: u64 = 4 + 2 + 1 + 4 * 8;
 
@@ -82,7 +87,8 @@ pub(crate) fn load(source: &mut dyn Read) -> io::Result<Oracle> {
     let version = r.u16()?;
     if version != VERSION {
         return Err(invalid_data(format!(
-            "unsupported snapshot version {version} (expected {VERSION})"
+            "unsupported snapshot version {version} (expected {VERSION}; \
+             version-1 hash-table snapshots must be rebuilt with this binary)"
         )));
     }
     let tag = r.u8()?;
@@ -113,74 +119,6 @@ pub(crate) fn load(source: &mut dyn Read) -> io::Result<Oracle> {
 }
 
 // ------------------------------------------------------------ helpers --
-
-fn write_flat_routes(sink: &mut dyn Write, fr: &FlatRoutes) -> io::Result<()> {
-    let mut w = WireWriter::new(sink);
-    w.len(fr.starts.len())?;
-    for &s in &fr.starts {
-        w.u32(s)?;
-    }
-    w.len(fr.entries.len())?;
-    for e in &fr.entries {
-        w.u32(e.src)?;
-        w.u64(e.est)?;
-        w.u32(e.port)?;
-    }
-    Ok(())
-}
-
-fn read_flat_routes(source: &mut dyn Read) -> io::Result<FlatRoutes> {
-    let mut r = WireReader::new(source);
-    let ns = r.len(1 << 32)?;
-    let mut starts = Vec::with_capacity(clamped_capacity(ns));
-    for _ in 0..ns {
-        starts.push(r.u32()?);
-    }
-    let ne = r.len(1 << 32)?;
-    let mut entries = Vec::with_capacity(clamped_capacity(ne));
-    for _ in 0..ne {
-        let src = r.u32()?;
-        let est = r.u64()?;
-        let port = r.u32()?;
-        entries.push(FlatEntry { src, est, port });
-    }
-    let fr = FlatRoutes { starts, entries };
-    // Full CSR validation: first offset 0, monotonically non-decreasing,
-    // last offset equal to the entry count — anything else would defer a
-    // slice-index panic from load time into the serving path.
-    if fr.starts.first() != Some(&0)
-        || fr.starts.last().map(|&s| s as usize) != Some(fr.entries.len())
-        || fr.starts.windows(2).any(|w| w[0] > w[1])
-    {
-        return Err(invalid_data("flat route offsets inconsistent"));
-    }
-    Ok(fr)
-}
-
-/// Validates flat tables against the graph they will be queried on: one
-/// CSR row per node, sources in range, ports within each node's degree
-/// (`Topology::neighbor` only debug-asserts its port, so a corrupted
-/// port would silently resolve to a wrong neighbor in release builds).
-fn validate_flat_routes(fr: &FlatRoutes, g: &WGraph) -> io::Result<()> {
-    if fr.len_nodes() != g.len() {
-        return Err(invalid_data("route table count mismatch"));
-    }
-    for v in g.nodes() {
-        let deg = g.degree(v) as u32;
-        for e in fr.node_entries(v) {
-            if e.src as usize >= g.len() {
-                return Err(invalid_data(format!("route source {} out of range", e.src)));
-            }
-            if e.port >= deg {
-                return Err(invalid_data(format!(
-                    "route port {} out of range at {v} (degree {deg})",
-                    e.port
-                )));
-            }
-        }
-    }
-    Ok(())
-}
 
 fn write_dense_u64(sink: &mut dyn Write, xs: &[u64]) -> io::Result<()> {
     let mut w = WireWriter::new(sink);
@@ -213,7 +151,7 @@ impl Payload for PdeOracle {
         w.u64(self.h)?;
         w.usize(self.sigma)?;
         self.g.write_into(sink)?;
-        write_flat_routes(sink, &self.routes)
+        self.routes.write_into(sink)
     }
 }
 
@@ -224,9 +162,9 @@ impl PdeOracle {
         let h = r.u64()?;
         let sigma = r.usize()?;
         let g = WGraph::read_from(source)?;
-        let routes = read_flat_routes(source)?;
-        validate_flat_routes(&routes, &g)?;
+        let routes = FlatTables::read_from(source)?;
         let topo = g.to_topology();
+        routes.validate(&topo)?;
         Ok(PdeOracle {
             g,
             topo,
@@ -244,7 +182,7 @@ impl Payload for ApsOracle {
         WireWriter::new(sink).f64(self.eps)?;
         self.g.write_into(sink)?;
         write_dense_u64(sink, &self.dist)?;
-        write_flat_routes(sink, &self.routes)
+        self.routes.write_into(sink)
     }
 }
 
@@ -257,9 +195,9 @@ impl ApsOracle {
             .checked_mul(g.len())
             .ok_or_else(|| invalid_data("distance matrix size overflow"))?;
         let dist = read_dense_u64(source, cells)?;
-        let routes = read_flat_routes(source)?;
-        validate_flat_routes(&routes, &g)?;
+        let routes = FlatTables::read_from(source)?;
         let topo = g.to_topology();
+        routes.validate(&topo)?;
         Ok(ApsOracle {
             g,
             topo,

@@ -27,55 +27,24 @@ impl RtcScheme {
         &self.labels[v.index()]
     }
 
-    /// Spanner distance between two skeleton nodes (`INF` if either is
-    /// unknown — cannot happen for valid skeleton ids).
-    fn spanner_dist(&self, s: NodeId, t: NodeId) -> u64 {
-        let m = self.skel_ids.len();
-        match (self.skel_index.get(&s), self.skel_index.get(&t)) {
-            (Some(&i), Some(&j)) => self.span_dist[i * m + j],
-            _ => INF,
-        }
-    }
-
     /// The long-range option at `x` for destination label `label`:
     /// `(total_estimate, next_hop)` via the best skeleton entry point.
     ///
-    /// Ties in the total estimate are broken by the smaller next-hop id,
-    /// so the answer is independent of routing-table iteration order —
-    /// which keeps queries bit-identical across snapshot save/load.
+    /// One load from the precomputed `n × |S|` reduction (see
+    /// `scheme::build_long_range`) plus the label's `dist_home` — the
+    /// per-entry loop ran at build time, with ties broken on the smaller
+    /// next-hop id, so answers are bit-identical to recomputing it here
+    /// (and independent of routing-table iteration order, which keeps
+    /// queries bit-identical across snapshot save/load).
     fn skeleton_option(&self, x: NodeId, label: &RtcLabel) -> Option<(u64, NodeId)> {
-        let mut best: Option<(u64, NodeId)> = None;
-        let consider = |total: u64, hop: NodeId, best: &mut Option<(u64, NodeId)>| {
-            if best.is_none_or(|b| (total, hop) < b) {
-                *best = Some((total, hop));
-            }
-        };
-        // Entry points x knows a route to.
-        for (&t, r) in &self.skel_routes[x.index()] {
-            let sd = self.spanner_dist(t, label.home);
-            if sd == INF {
-                continue;
-            }
-            let total = r.est.saturating_add(sd).saturating_add(label.dist_home);
-            consider(total, self.topo.neighbor(x, r.port), &mut best);
+        let m = self.skel_ids.len();
+        let home = self.skel_index.get(label.home)?;
+        let d = self.long_dist[x.index() * m + home];
+        if d == INF {
+            return None;
         }
-        // If x is itself a skeleton node, it can enter at itself: the next
-        // hop is the first hop of its chain towards the next spanner node.
-        if self.skeleton[x.index()] {
-            let m = self.skel_ids.len();
-            let i = self.skel_index[&x];
-            let j = self.skel_index[&label.home];
-            let sd = self.span_dist[i * m + j];
-            if sd != INF && i != j {
-                let total = sd.saturating_add(label.dist_home);
-                let z = self.skel_ids[self.span_next[i * m + j]];
-                let r = self.skel_routes[x.index()]
-                    .get(&z)
-                    .expect("spanner edge endpoints route to each other");
-                consider(total, self.topo.neighbor(x, r.port), &mut best);
-            }
-        }
-        best
+        let hop = NodeId(self.long_hop[x.index() * m + home]);
+        Some((d.saturating_add(label.dist_home), hop))
     }
 }
 
@@ -96,9 +65,10 @@ impl RoutingScheme for RtcScheme {
             }
         }
         // Short range beats long range when available; pick min potential.
-        let direct = self.short[x.index()]
-            .get(&dest)
-            .map(|r| (r.est, self.topo.neighbor(x, r.port)));
+        let direct = self
+            .short
+            .get(x, dest)
+            .map(|e| (e.est, self.topo.neighbor(x, e.port)));
         let long = self.skeleton_option(x, label);
         match (direct, long) {
             (Some((de, dh)), Some((le, lh))) => Some(if de <= le { dh } else { lh }),
@@ -113,7 +83,7 @@ impl RoutingScheme for RtcScheme {
             return 0;
         }
         let label = &self.labels[dest.index()];
-        let direct = self.short[x.index()].get(&dest).map_or(INF, |r| r.est);
+        let direct = self.short.get(x, dest).map_or(INF, |e| e.est);
         let long = self.skeleton_option(x, label).map_or(INF, |(e, _)| e);
         direct.min(long)
     }
@@ -131,7 +101,7 @@ impl RoutingScheme for RtcScheme {
             .values()
             .filter_map(|t| t.children.get(&v).map(|ch| 1 + ch.len()))
             .sum();
-        self.short_lists[v.index()].len() + self.skel_routes[v.index()].len() + tree_rows
+        self.short_lists[v.index()].len() + self.skel_routes.row(v).len() + tree_rows
     }
 }
 

@@ -3,11 +3,9 @@
 use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
 use congest::{bits_for, label_record_bits, Message, Metrics, NodeId, Topology};
-use graphs::algo::apsp;
-use graphs::{Seed, WGraph, INF};
-use pde_core::{run_pde, PdeEntry, PdeParams, RouteTable};
+use graphs::{DenseIndex, Seed, WGraph, INF};
+use pde_core::{run_pde, FlatTables, PdeEntry, PdeParams, RouteTable};
 use spanner::baswana_sen;
-use std::collections::HashMap;
 use treeroute::{label_forest, TreeSet};
 
 use crate::skeleton::{sample_skeleton, theorem45_probability};
@@ -109,17 +107,23 @@ impl Message for BsItem {
 }
 
 /// The constructed scheme: everything queries and experiments need.
+///
+/// All query-side state is flat structure-of-arrays: routing archives are
+/// source-sorted CSR rows ([`FlatTables`]), the skeleton index is a dense
+/// per-node array ([`DenseIndex`]), and spanner distances/next-hops are
+/// `|S| × |S|` matrices — a query never hashes.
 #[derive(Debug)]
 pub struct RtcScheme {
     pub(crate) topo: Topology,
     /// Per-node labels.
     pub labels: Vec<RtcLabel>,
-    /// Short-range routing state from the `(V, h, σ)` pass (archive).
-    pub short: Vec<RouteTable>,
+    /// Short-range routing state from the `(V, h, σ)` pass (archive),
+    /// flattened into source-sorted rows.
+    pub short: FlatTables,
     /// Paper-sized short-range tables (the top-σ lists), for size metrics.
     pub short_lists: Vec<Vec<PdeEntry>>,
     /// Skeleton-distance routing state from the `(S, h, |S|)` pass.
-    pub skel_routes: Vec<RouteTable>,
+    pub skel_routes: FlatTables,
     /// Skeleton membership.
     pub skeleton: Vec<bool>,
     /// Sorted skeleton node ids.
@@ -130,12 +134,90 @@ pub struct RtcScheme {
     pub trees: TreeSet,
     /// Build metrics.
     pub metrics: RtcBuildMetrics,
-    pub(crate) skel_index: HashMap<NodeId, usize>,
+    pub(crate) skel_index: DenseIndex,
     /// `|S| × |S|` spanner distance matrix.
     pub(crate) span_dist: Vec<u64>,
     /// `span_next[i·|S|+j]`: skeleton index of the first hop from `i`
     /// towards `j` in the spanner.
     pub(crate) span_next: Vec<usize>,
+    /// `long_dist[x·|S|+j]`: the precomputed long-range reduction
+    /// `min_t (wd'_S(x, t) + d_spanner(t, s_j))` — everything of the
+    /// skeleton option except the destination's `dist_home`, which is a
+    /// per-destination constant and therefore cannot change the argmin.
+    /// Derived (not serialized); [`graphs::INF`] when no entry point
+    /// reaches `s_j`.
+    pub(crate) long_dist: Vec<u64>,
+    /// `long_hop[x·|S|+j]`: the next-hop node realizing `long_dist`,
+    /// under the same `(total, hop)` tie-break the per-query loop used
+    /// (`u32::MAX` when `long_dist` is [`graphs::INF`]).
+    pub(crate) long_hop: Vec<u32>,
+}
+
+/// Derives the dense long-range tables: for every node `x` and skeleton
+/// index `j`, the minimum of `wd'_S(x, t_i) + span_dist[i][j]` over `x`'s
+/// skeleton routing row — plus, when `x` is itself a skeleton node, the
+/// direct `span_dist[x][j]` option whose hop is the first hop towards the
+/// next spanner waypoint. Ties break on the smaller hop id, exactly as
+/// the former per-query loop did, so queries answered from these tables
+/// are bit-identical to recomputing the reduction per query.
+pub(crate) fn build_long_range(
+    topo: &Topology,
+    skel_routes: &FlatTables,
+    skel_index: &DenseIndex,
+    skel_ids: &[NodeId],
+    span_dist: &[u64],
+    span_next: &[usize],
+) -> (Vec<u64>, Vec<u32>) {
+    let n = topo.len();
+    let m = skel_ids.len();
+    let row_idx = pde_core::resolve_entry_indices(skel_routes, skel_index);
+    let mut long_dist = vec![INF; n * m];
+    let mut long_hop = vec![u32::MAX; n * m];
+    for x in topo.nodes() {
+        let range = skel_routes.row_range(x);
+        let row = &skel_routes.entries()[range.clone()];
+        let idx = &row_idx[range];
+        let own = skel_index.get(x);
+        for j in 0..m {
+            let mut best: Option<(u64, NodeId)> = None;
+            let mut consider = |total: u64, hop: NodeId| {
+                if best.is_none_or(|b| (total, hop) < b) {
+                    best = Some((total, hop));
+                }
+            };
+            for (e, &i) in row.iter().zip(idx) {
+                if i == DenseIndex::NONE {
+                    continue;
+                }
+                let sd = span_dist[i as usize * m + j];
+                if sd == INF {
+                    continue;
+                }
+                consider(e.est.saturating_add(sd), topo.neighbor(x, e.port));
+            }
+            if let Some(i) = own {
+                let sd = span_dist[i * m + j];
+                if sd != INF && i != j {
+                    // Valid schemes always have a waypoint here and its
+                    // endpoints always route to each other; tolerate a
+                    // missing waypoint (the span_next sentinel) or route
+                    // entry so corrupted-but-shape-valid snapshots degrade
+                    // instead of panicking at load time.
+                    let z_idx = span_next[i * m + j];
+                    if let Some(&z) = skel_ids.get(z_idx) {
+                        if let Some(e) = skel_routes.get(x, z) {
+                            consider(sd, topo.neighbor(x, e.port));
+                        }
+                    }
+                }
+            }
+            if let Some((d, hop)) = best {
+                long_dist[x.index() * m + j] = d;
+                long_hop[x.index() * m + j] = hop.0;
+            }
+        }
+    }
+    (long_dist, long_hop)
 }
 
 impl RtcScheme {
@@ -244,12 +326,11 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
     // Virtual skeleton graph: edge {s,t} iff both endpoints estimated each
     // other; weight = max of the two estimates (both are routable upper
     // bounds; see DESIGN.md).
-    let skel_index: HashMap<NodeId, usize> =
-        skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let skel_index = DenseIndex::new(n, &skel_ids);
     let mut sedges: Vec<(u32, u32, u64)> = Vec::new();
     for (i, &s) in skel_ids.iter().enumerate() {
         for (&t, r) in &pde_s.routes[s.index()] {
-            if let Some(&j) = skel_index.get(&t) {
+            if let Some(j) = skel_index.get(t) {
                 if j > i {
                     if let Some(back) = pde_s.routes[t.index()].get(&s) {
                         sedges.push((i as u32, j as u32, r.est.max(back.est)));
@@ -285,14 +366,14 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
     total.absorb(&bc_metrics);
 
     // Spanner APSP + next-hop matrix (computable locally by every node
-    // since the spanner is globally known).
-    let span = apsp(&skel_graph_from(&skel_ids, &sp.edges));
+    // since the spanner is globally known). One Dijkstra per skeleton node
+    // on a graph built once.
+    let span_graph = skel_graph_from(&skel_ids, &sp.edges);
     let m = skel_ids.len();
     let mut span_dist = vec![INF; m * m];
     let mut span_next = vec![usize::MAX; m * m];
     for i in 0..m {
-        let sp_row =
-            graphs::algo::dijkstra(&skel_graph_from(&skel_ids, &sp.edges), NodeId(i as u32));
+        let sp_row = graphs::algo::dijkstra(&span_graph, NodeId(i as u32));
         for j in 0..m {
             span_dist[i * m + j] = sp_row.dist[j];
             if i != j && sp_row.dist[j] != INF {
@@ -308,7 +389,6 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
             }
         }
     }
-    drop(span);
 
     // Stage 5: detection trees T_s from pivot chains + distributed labels.
     let mut trees = TreeSet::new();
@@ -357,12 +437,21 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
         h,
     };
 
+    let skel_routes = FlatTables::from_tables(&pde_s.routes);
+    let (long_dist, long_hop) = build_long_range(
+        &topo,
+        &skel_routes,
+        &skel_index,
+        &skel_ids,
+        &span_dist,
+        &span_next,
+    );
     RtcScheme {
         topo,
         labels,
-        short: pde_a.routes,
+        short: FlatTables::from_tables(&pde_a.routes),
         short_lists: pde_a.lists,
-        skel_routes: pde_s.routes,
+        skel_routes,
         skeleton,
         skel_ids,
         spanner_edges,
@@ -371,6 +460,8 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
         skel_index,
         span_dist,
         span_next,
+        long_dist,
+        long_hop,
     }
 }
 

@@ -5,30 +5,40 @@
 //! handwritten little-endian framing of [`congest::wire`], so an oracle
 //! can be constructed once (the expensive distributed build) and then
 //! served from disk. Query answers of a reloaded scheme are bit-identical
-//! to the original: all hash tables are written in sorted key order and
-//! rebuilt with identical insertion sequences, and tie-breaking in the
-//! query paths is key-ordered rather than iteration-ordered.
+//! to the original, and reload → re-save reproduces the byte stream: the
+//! flat tables are serialized *as stored* (their rows are sorted by
+//! construction), so no canonicalization pass is needed on either side.
+//!
+//! **Record version 2** (the flat-table layout): routing archives are
+//! written as [`FlatTables`] CSR rows instead of per-node hash maps.
+//! Version 1 streams (PR 3's hash-table layout, which carried no version
+//! tag) are rejected with `InvalidData` — rebuild the scheme and re-save;
+//! there is no in-place migration path, by design (snapshots are caches
+//! of a deterministic build, not primary data).
 //!
 //! Build *metrics* are persisted in summary form (round/message totals and
 //! the per-stage breakdown); the bounded per-round histories are not.
 
 use crate::scheme::{RtcBuildMetrics, RtcLabel, RtcScheme};
-use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
+use congest::wire::{check_record_version, clamped_capacity, invalid_data, WireReader, WireWriter};
 use congest::{Metrics, NodeId, Topology};
-use pde_core::snapshot::{
-    read_lists, read_route_tables, validate_route_tables, write_lists, write_route_tables,
-};
-use std::collections::HashMap;
+use graphs::DenseIndex;
+use pde_core::snapshot::{read_lists, write_lists};
+use pde_core::FlatTables;
 use std::io::{self, Read, Write};
 use treeroute::TreeSet;
 
+/// Version of the scheme record this codec writes (see module docs).
+pub const RTC_RECORD_VERSION: u16 = 2;
+
 impl RtcScheme {
-    /// Serializes the scheme's full query state.
+    /// Serializes the scheme's full query state (record version 2).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the sink.
     pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        WireWriter::new(sink).u16(RTC_RECORD_VERSION)?;
         self.topo.write_into(sink)?;
         let mut w = WireWriter::new(sink);
         for l in &self.labels {
@@ -40,9 +50,9 @@ impl RtcScheme {
         for &f in &self.skeleton {
             w.bool(f)?;
         }
-        write_route_tables(sink, &self.short)?;
+        self.short.write_into(sink)?;
         write_lists(sink, &self.short_lists)?;
-        write_route_tables(sink, &self.skel_routes)?;
+        self.skel_routes.write_into(sink)?;
         let mut w = WireWriter::new(sink);
         w.len(self.spanner_edges.len())?;
         for &(a, b, wt) in &self.spanner_edges {
@@ -81,8 +91,10 @@ impl RtcScheme {
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on malformed bytes.
+    /// Returns `InvalidData` on malformed bytes or an unsupported record
+    /// version.
     pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        check_record_version(source, RTC_RECORD_VERSION, "rtc scheme")?;
         let topo = Topology::read_from(source)?;
         let n = topo.len();
         let mut r = WireReader::new(source);
@@ -99,14 +111,14 @@ impl RtcScheme {
         for _ in 0..n {
             skeleton.push(r.bool()?);
         }
-        let short = read_route_tables(source)?;
+        let short = FlatTables::read_from(source)?;
         let short_lists = read_lists(source)?;
-        let skel_routes = read_route_tables(source)?;
+        let skel_routes = FlatTables::read_from(source)?;
         if short_lists.len() != n {
             return Err(invalid_data("table count mismatch"));
         }
-        validate_route_tables(&short, &topo)?;
-        validate_route_tables(&skel_routes, &topo)?;
+        short.validate(&topo)?;
+        skel_routes.validate(&topo)?;
         let mut r = WireReader::new(source);
         let num_sedges = r.len(n.saturating_mul(n))?;
         let mut spanner_edges = Vec::with_capacity(clamped_capacity(num_sedges));
@@ -134,7 +146,11 @@ impl RtcScheme {
             span_next.push(if x == u64::MAX {
                 usize::MAX
             } else {
-                usize::try_from(x).map_err(|_| invalid_data("span_next overflow"))?
+                let nx = usize::try_from(x).map_err(|_| invalid_data("span_next overflow"))?;
+                if nx >= m {
+                    return Err(invalid_data("span_next index out of range"));
+                }
+                nx
             });
         }
         let trees = TreeSet::read_from(source)?;
@@ -150,8 +166,15 @@ impl RtcScheme {
         let sample_attempts = r.u32()?;
         let h = r.u64()?;
 
-        let skel_index: HashMap<NodeId, usize> =
-            skel_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let skel_index = DenseIndex::new(n, &skel_ids);
+        let (long_dist, long_hop) = crate::scheme::build_long_range(
+            &topo,
+            &skel_routes,
+            &skel_index,
+            &skel_ids,
+            &span_dist,
+            &span_next,
+        );
         let metrics = RtcBuildMetrics {
             total_rounds,
             pde_a_rounds,
@@ -178,6 +201,8 @@ impl RtcScheme {
             skel_index,
             span_dist,
             span_next,
+            long_dist,
+            long_hop,
         })
     }
 }
@@ -206,9 +231,26 @@ mod tests {
             assert_eq!(scheme.label_bits(u), back.label_bits(u));
             assert_eq!(scheme.table_entries(u), back.table_entries(u));
         }
-        // Re-serialization is byte-identical (sorted-order encoding).
+        // Re-serialization is byte-identical (rows stored sorted).
         let mut buf2 = Vec::new();
         back.write_into(&mut buf2).unwrap();
         assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn record_version_gate_rejects_other_versions() {
+        let mut rng = SmallRng::seed_from_u64(34);
+        let g = gen::gnp_connected(16, 0.25, Weights::Unit, &mut rng);
+        let scheme = build_rtc(&g, &RtcParams::new(2));
+        let mut buf = Vec::new();
+        scheme.write_into(&mut buf).unwrap();
+        assert_eq!(
+            u16::from_le_bytes([buf[0], buf[1]]),
+            super::RTC_RECORD_VERSION
+        );
+        buf[0] = 1; // masquerade as the v1 hash-table layout
+        buf[1] = 0;
+        let err = super::RtcScheme::read_from(&mut &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("record version"), "{err}");
     }
 }

@@ -75,6 +75,58 @@ fn batch_queries_agree_with_point_queries() {
 }
 
 #[test]
+fn batch_answers_are_identical_for_every_thread_count() {
+    // The estimate_many_with determinism contract: the pair slice is
+    // sharded into contiguous chunks with order-preserving writes, so
+    // threads ∈ {1, 4, auto} must produce byte-identical outputs for
+    // every backend (and agree with the sequential estimate_many).
+    let g = graph(7);
+    let square: Vec<(NodeId, NodeId)> = (0..g.len() as u32)
+        .flat_map(|u| (0..g.len() as u32).map(move |v| (NodeId(u), NodeId(v))))
+        .collect();
+    // Tile past the per-worker shard floor (~1k pairs each) so the scoped
+    // workers actually spawn.
+    let pairs: Vec<(NodeId, NodeId)> = square
+        .iter()
+        .cycle()
+        .take(8 * square.len())
+        .copied()
+        .collect();
+    for backend in Backend::ALL {
+        let oracle = build(backend, &g, 17);
+        let mut seq = Vec::new();
+        oracle.estimate_many(&pairs, &mut seq);
+        for threads in [1usize, 4, 0] {
+            let mut par = Vec::new();
+            oracle.estimate_many_with(&pairs, &mut par, threads);
+            assert_eq!(seq, par, "{backend}: threads={threads} changed answers");
+        }
+    }
+}
+
+#[test]
+fn route_into_reuses_buffers_and_matches_route() {
+    let g = graph(8);
+    let mut buf = pde_repro::oracle::TracedRoute::default();
+    for backend in Backend::ALL {
+        let oracle = build(backend, &g, 19);
+        for u in g.nodes().take(8) {
+            for v in g.nodes().take(8) {
+                let fresh = oracle.route(u, v);
+                let ok = oracle.route_into(u, v, &mut buf);
+                match fresh {
+                    Some(r) => {
+                        assert!(ok, "{backend} ({u},{v}): route_into disagrees with route");
+                        assert_eq!(r, buf, "{backend} ({u},{v})");
+                    }
+                    None => assert!(!ok, "{backend} ({u},{v}): route_into found a phantom route"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn save_load_round_trips_bit_identically_on_1k_random_queries() {
     let g = graph(4);
     use rand::Rng;

@@ -95,3 +95,47 @@ fn auto_threads_matches_sequential() {
     let seq = run(&g, &sources, 1);
     assert_identical(&auto, &seq, "auto vs sequential");
 }
+
+#[test]
+fn oracle_batch_queries_are_thread_count_invariant() {
+    // The serving-side analogue of the ladder determinism: the
+    // estimate_many_with pair shards write into disjoint, order-preserving
+    // output regions, so every thread count (and repeated runs at the same
+    // count) must produce identical answer vectors on every backend.
+    use pde_repro::graphs::NodeId;
+    use pde_repro::oracle::{Backend, DistanceOracle, OracleBuilder};
+    use rand::Rng;
+
+    let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+    let g = gen::gnp_connected(48, 0.12, Weights::Uniform { lo: 1, hi: 24 }, &mut rng);
+    let n = g.len() as u32;
+    // Big enough that the per-worker shard floor (~1k pairs) still yields
+    // several workers — the parallel path must actually run here.
+    let pairs: Vec<(NodeId, NodeId)> = (0..8192)
+        .map(|_| {
+            (
+                NodeId(rng.random_range(0..n)),
+                NodeId(rng.random_range(0..n)),
+            )
+        })
+        .collect();
+    for backend in [
+        Backend::Pde,
+        Backend::ApproxApsp,
+        Backend::Rtc,
+        Backend::Truncated,
+        Backend::Flooding,
+    ] {
+        let oracle = OracleBuilder::new(backend).seed(5u64).k(2).build(&g);
+        let mut seq = Vec::new();
+        oracle.estimate_many_with(&pairs, &mut seq, 1);
+        for threads in [2usize, 4, 9, 0] {
+            let mut par = Vec::new();
+            oracle.estimate_many_with(&pairs, &mut par, threads);
+            assert_eq!(seq, par, "{backend}: threads={threads} changed answers");
+        }
+        let mut again = Vec::new();
+        oracle.estimate_many_with(&pairs, &mut again, 4);
+        assert_eq!(seq, again, "{backend}: repeat at threads=4 diverged");
+    }
+}
