@@ -1,0 +1,32 @@
+//! Criterion wrapper for experiment E12 (build engine: simulated vs
+//! native oracle builds).
+
+use bench::{workloads, E12_SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use oracle::{Backend, BuildMode, DistanceOracle, OracleBuilder};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_builds");
+    group.sample_size(10);
+    let n = 192usize;
+    let g = workloads::gnp_unit(n, E12_SEED);
+    for backend in [Backend::Rtc, Backend::Compact, Backend::Truncated] {
+        for mode in [BuildMode::Simulated, BuildMode::Native] {
+            group.bench_function(format!("{}_{}_n{n}", backend.name(), mode.name()), |b| {
+                b.iter(|| {
+                    let o = OracleBuilder::new(backend)
+                        .seed(E12_SEED)
+                        .k(2)
+                        .build_mode(mode)
+                        .build(&g);
+                    black_box(o.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

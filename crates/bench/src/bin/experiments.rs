@@ -11,6 +11,9 @@
 //! cargo run --release -p bench --bin experiments -- oracles --smoke # CI oracle smoke
 //! cargo run --release -p bench --bin experiments -- queries         # E11 throughput table
 //! cargo run --release -p bench --bin experiments -- queries --smoke # CI query smoke
+//! cargo run --release -p bench --bin experiments -- builds          # E12 build-engine table
+//! cargo run --release -p bench --bin experiments -- builds headline # BENCH_builds.json rows (n=4096)
+//! cargo run --release -p bench --bin experiments -- builds --smoke  # CI build-parity smoke
 //! ```
 
 use bench::*;
@@ -31,6 +34,14 @@ fn main() {
     if smoke && args.iter().any(|a| a == "queries") {
         println!("{}", e11_smoke(24, E11_SEED));
         println!("smoke ok: batch answers match scalar estimates across thread counts");
+        return;
+    }
+    // Build smoke for CI: native and simulated builds of every backend
+    // must produce byte-identical canonical artifacts and answers, at
+    // threads 1 and 4.
+    if smoke && args.iter().any(|a| a == "builds") {
+        println!("{}", e12_smoke(24, E12_SEED));
+        println!("smoke ok: native builds byte-identical to simulated across thread counts");
         return;
     }
     // Bench smoke for CI: run the E10 throughput table at tiny sizes so
@@ -124,6 +135,18 @@ fn main() {
             println!("{}", e11_queries(&[64], false, E11_SEED));
         } else {
             println!("{}", e11_queries(&[256, 1024], true, E11_SEED));
+        }
+    }
+    if want("builds") {
+        // Headline rows at n = 4096 (BENCH_builds.json workload) only on
+        // request: three simulated builds per scheme take minutes.
+        // `builds headline` runs just those rows.
+        if args.iter().any(|a| a == "headline") {
+            println!("{}", e12_builds(&[], true, E12_SEED));
+        } else if quick {
+            println!("{}", e12_builds(&[64], false, E12_SEED));
+        } else {
+            println!("{}", e12_builds(&[256, 1024], false, E12_SEED));
         }
     }
 }

@@ -14,6 +14,7 @@ pub mod workloads;
 
 mod e10_simulator;
 mod e11_queries;
+mod e12_builds;
 mod e1_apsp;
 mod e2_figure1;
 mod e3_pde;
@@ -30,6 +31,7 @@ pub use e11_queries::{
     e11_build, e11_graph, e11_measure, e11_pairs, e11_queries, e11_run, e11_smoke, QueryRun,
     E11_BATCH, E11_SEED,
 };
+pub use e12_builds::{e12_builds, e12_run, e12_smoke, BuildRun, E12_RUNS, E12_SEED};
 pub use e1_apsp::e1_apsp;
 pub use e2_figure1::e2_figure1;
 pub use e3_pde::e3_pde;
@@ -39,5 +41,5 @@ pub use e6_truncated::e6_truncated;
 pub use e7_trees::e7_trees;
 pub use e8_spanner::e8_spanner;
 pub use e9_comparison::e9_comparison;
-pub use oracles::{oracles, oracles_roundtrip_check};
+pub use oracles::{oracles, oracles_roundtrip_check, BUILD_RUNS};
 pub use table::Table;

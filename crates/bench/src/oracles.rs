@@ -5,16 +5,22 @@
 use crate::table::{f, Table};
 use crate::workloads;
 use graphs::algo::apsp;
-use oracle::{evaluate, Backend, DistanceOracle, Oracle, OracleBuilder, PairSelection};
+use oracle::{evaluate, Backend, BuildMode, DistanceOracle, Oracle, OracleBuilder, PairSelection};
 use std::time::Instant;
 
 /// Builds every backend on G(n, p) and reports the unified-API metrics:
-/// wall-clock build time, CONGEST rounds charged, `save` artifact size,
-/// estimate-stretch percentiles from the oracle-generic evaluator, routed
-/// coverage, and measured `estimate_many` throughput.
+/// wall-clock build time (median of [`BUILD_RUNS`] builds, so warmup
+/// noise stays out of the recorded numbers), CONGEST rounds charged,
+/// `save` artifact size, estimate-stretch percentiles from the
+/// oracle-generic evaluator, routed coverage, and measured
+/// `estimate_many` throughput.
 pub fn oracles(n: usize, seed: u64) -> Table {
     oracles_table(n, seed, false)
 }
+
+/// Builds per backend for the reported `build_ms` median (the smoke
+/// variant builds once — CI wants cheap, not denoised).
+pub const BUILD_RUNS: usize = 3;
 
 /// CI smoke: the [`oracles`] table plus, for each freshly built backend,
 /// a `save`/`load` round trip asserting identical batch answers —
@@ -64,9 +70,28 @@ fn oracles_table(n: usize, seed: u64, roundtrip: bool) -> Table {
         }
     };
     for backend in Backend::ALL {
-        let t0 = Instant::now();
-        let o = OracleBuilder::new(backend).seed(seed).k(2).build(&g);
-        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Median-of-3 build time (like E11/E12 do): a single cold run
+        // recorded warmup noise into the BENCH files.
+        let runs = if roundtrip { 1 } else { BUILD_RUNS };
+        let mut times = Vec::with_capacity(runs);
+        let mut built = None;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            // This table is the paper-faithful measurement view, so it
+            // pins `Simulated` mode (rounds stay meaningful); the E12
+            // `builds` table compares it against the native engine.
+            built = Some(
+                OracleBuilder::new(backend)
+                    .seed(seed)
+                    .k(2)
+                    .build_mode(BuildMode::Simulated)
+                    .build(&g),
+            );
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let o = built.expect("at least one build");
+        times.sort_unstable_by(f64::total_cmp);
+        let build_ms = times[times.len() / 2];
         if roundtrip {
             let mut bytes = Vec::new();
             o.save(&mut bytes).expect("save");

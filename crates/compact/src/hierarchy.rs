@@ -1,9 +1,16 @@
 //! The per-level hierarchy construction (Lemma 4.7 / Theorem 4.8).
+//!
+//! [`build_hierarchy`] is a declarative stage list over the shared build
+//! pipeline: level sampling → one PDE ladder per level → pivots → trees.
+//! Both [`BuildMode`]s produce byte-identical schemes; the simulated
+//! build charges the Lemma 4.7 rounds (recorded per stage in
+//! [`CompactBuildMetrics::stages`]).
 
 use congest::{label_record_bits, Metrics, NodeId, Topology};
 use graphs::{Seed, WGraph};
-use pde_core::{run_pde, FlatTables, PdeParams, RouteTable};
-use treeroute::{label_forest, TreeSet};
+use pde_core::pipeline::{self, with_resample, BuildError, StageLog};
+use pde_core::{run_pde, BuildMode, FlatTables, PdeParams};
+use treeroute::TreeSet;
 
 use crate::levels::{level_flags, sample_levels};
 
@@ -30,10 +37,17 @@ pub struct CompactParams {
     pub seed: Seed,
     /// Horizon selection (Lemma 4.7 vs Theorem 4.8).
     pub horizon: HorizonMode,
+    /// Build engine (see [`BuildMode`]); artifacts are identical across
+    /// modes.
+    pub mode: BuildMode,
+    /// Worker threads for ladder rungs and native stages (`0` = auto,
+    /// `1` = sequential); outputs are identical for every value.
+    pub threads: usize,
 }
 
 impl CompactParams {
-    /// Defaults for a given `k` (Lemma 4.7 horizons).
+    /// Defaults for a given `k` (Lemma 4.7 horizons, simulated build,
+    /// auto threads).
     pub fn new(k: u32) -> Self {
         CompactParams {
             k,
@@ -41,7 +55,23 @@ impl CompactParams {
             c: 2.0,
             seed: Seed(0xBEEF),
             horizon: HorizonMode::Lemma47,
+            mode: BuildMode::Simulated,
+            threads: 0,
         }
+    }
+
+    /// Sets the build engine.
+    #[must_use]
+    pub fn with_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -90,6 +120,9 @@ pub struct CompactBuildMetrics {
     pub horizons: Vec<u64>,
     /// The list size σ used.
     pub sigma: usize,
+    /// The declarative stage list this build executed (measurement
+    /// metadata; not serialized).
+    pub stages: StageLog,
 }
 
 /// The constructed compact scheme.
@@ -123,46 +156,61 @@ impl CompactScheme {
     }
 }
 
-/// Traces the chain `from → to` through a route map (panics loudly on a
-/// broken invariant, as in the `routing` crate).
-pub(crate) fn trace_chain(
-    routes: &[RouteTable],
-    topo: &Topology,
-    from: NodeId,
-    to: NodeId,
-) -> Vec<NodeId> {
-    let mut path = vec![from];
-    let mut cur = from;
-    let mut est = u64::MAX;
-    while cur != to {
-        let r = routes[cur.index()]
-            .get(&to)
-            .unwrap_or_else(|| panic!("broken chain: {cur} has no entry for {to}"));
-        assert!(r.est < est, "chain stalled at {cur}");
-        est = r.est;
-        cur = topo.neighbor(cur, r.port);
-        path.push(cur);
-        assert!(path.len() <= topo.len() * 4, "chain exceeded hop cap");
-    }
-    path
-}
+// Next-hop chain tracing is shared pipeline machinery now; keep the
+// crate-local name the query/tree code uses.
+pub(crate) use pde_core::pipeline::trace_chain;
 
-/// Builds the Lemma 4.7 / Theorem 4.8 hierarchy on `g`.
+/// Builds the Lemma 4.7 / Theorem 4.8 hierarchy on `g`, panicking on
+/// unrecoverable sampling failures (see [`try_build_hierarchy`]).
 ///
 /// # Panics
 ///
 /// Panics on disconnected inputs and — with advice to raise `c` — when a
-/// w.h.p. event fails at small scale (a node missing a pivot at some
-/// level).
+/// w.h.p. event (a node missing a pivot at some level) fails on both the
+/// primary sample and the one derived resample.
 pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
+    try_build_hierarchy(g, params).unwrap_or_else(|e| {
+        panic!("hierarchy build failed after one resample: {e} (CompactParams::c)")
+    })
+}
+
+/// Builds the hierarchy, retrying once on a [`Seed::derive`]d resample
+/// when a w.h.p. event fails.
+///
+/// # Errors
+///
+/// Returns the second attempt's [`BuildError`] when both samples fail.
+///
+/// # Panics
+///
+/// Panics on structurally invalid inputs (fewer than two nodes, `k == 0`,
+/// a disconnected graph).
+pub fn try_build_hierarchy(
+    g: &WGraph,
+    params: &CompactParams,
+) -> Result<CompactScheme, BuildError> {
+    assert!(g.len() >= 2, "need at least two nodes");
+    assert!(params.k >= 1, "k must be ≥ 1");
+    with_resample(params.seed, |seed, _attempt| {
+        let p = CompactParams {
+            seed,
+            ..params.clone()
+        };
+        build_attempt(g, &p)
+    })
+}
+
+/// One build attempt at a fixed seed: the declarative stage list.
+fn build_attempt(g: &WGraph, params: &CompactParams) -> Result<CompactScheme, BuildError> {
     let n = g.len();
-    assert!(n >= 2, "need at least two nodes");
     let k = params.k;
-    assert!(k >= 1, "k must be ≥ 1");
+    let mode = params.mode;
     let topo = g.to_topology();
     let mut total = Metrics::new(n);
+    let mut stages = StageLog::default();
 
     let (levels, sample_attempts) = sample_levels(n, k, params.seed);
+    stages.push("level-sample", 0);
     let level_sizes: Vec<usize> = (0..k)
         .map(|l| levels.iter().filter(|&&lv| lv >= l).count())
         .collect();
@@ -196,11 +244,21 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
             sigma_base
         };
         horizons.push(h);
-        let pde = run_pde(g, &sources, &tags, &PdeParams::new(h, sigma, params.eps));
+        let pde = run_pde(
+            g,
+            &sources,
+            &tags,
+            &PdeParams::new(h, sigma, params.eps)
+                .with_threads(params.threads)
+                .with_mode(mode),
+        );
         per_level_rounds.push(pde.metrics.total.rounds);
         total.absorb(&pde.metrics.total);
         routes.push(pde.routes);
         lists.push(pde.lists);
+    }
+    for &r in &per_level_rounds {
+        stages.push("pde-level", r);
     }
 
     // Pivots s'_l(v) for l in 1..=k-1: the first entry of v's level-l list
@@ -208,19 +266,16 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
     let mut pivots: Vec<Vec<(NodeId, u64)>> = Vec::with_capacity(k as usize - 1);
     for l in 1..k {
         let run = &lists[l as usize];
-        let pv: Vec<(NodeId, u64)> = g
-            .nodes()
-            .map(|v| {
-                run[v.index()]
-                    .first()
-                    .map(|e| (e.src, e.est))
-                    .unwrap_or_else(|| {
-                        panic!("node {v} has no level-{l} pivot; raise CompactParams::c")
-                    })
-            })
-            .collect();
+        let mut pv: Vec<(NodeId, u64)> = Vec::with_capacity(n);
+        for v in g.nodes() {
+            match run[v.index()].first() {
+                Some(e) => pv.push((e.src, e.est)),
+                None => return Err(BuildError::NoPivot { node: v, level: l }),
+            }
+        }
         pivots.push(pv);
     }
+    stages.push("pivot-selection", 0);
 
     // Bunches: entries of the level-l list strictly below the level-(l+1)
     // pivot (by (est, src) order); the full list at the top level.
@@ -242,7 +297,9 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
         }
     }
 
-    // Detection trees per pivot level + distributed labels.
+    // Detection trees per pivot level; labels are the central DFS labels
+    // of each TreeSet, validated by (and charged as) the distributed
+    // labeling protocol in simulated builds.
     let mut trees = Vec::with_capacity(k as usize - 1);
     let mut tree_label_rounds = 0u64;
     for l in 1..k {
@@ -253,11 +310,12 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
             set.add_chain(&chain);
         }
         set.build();
-        let labeling = label_forest(&topo, &set);
-        tree_label_rounds += labeling.metrics.rounds;
-        total.absorb(&labeling.metrics);
+        let labeling = pipeline::label_trees(&topo, &set, mode);
+        tree_label_rounds += labeling.rounds;
+        total.absorb(&labeling);
         trees.push(set);
     }
+    stages.push("tree-labels", tree_label_rounds);
 
     let labels: Vec<CompactLabel> = g
         .nodes()
@@ -284,9 +342,10 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
         sample_attempts,
         horizons,
         sigma: sigma_base,
+        stages,
     };
 
-    CompactScheme {
+    Ok(CompactScheme {
         topo,
         k,
         levels,
@@ -295,5 +354,5 @@ pub fn build_hierarchy(g: &WGraph, params: &CompactParams) -> CompactScheme {
         trees,
         labels,
         metrics,
-    }
+    })
 }

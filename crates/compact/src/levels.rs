@@ -1,74 +1,15 @@
 //! Geometric level sampling for the Thorup–Zwick hierarchy.
+//!
+//! The samplers live in the shared build pipeline
+//! ([`pde_core::pipeline`]) so every scheme draws its levels the same
+//! way; this module re-exports them under their historical paths.
 
-use congest::NodeId;
-use graphs::Seed;
-use rand::Rng;
-
-/// Samples a level for every node: `Pr[level(v) ≥ l] = n^{−l/k}` for
-/// `l ∈ {0, …, k−1}` (Section 4.3, step 1), retrying with fresh coins
-/// until the top set `S_{k−1}` is nonempty (the paper conditions on this
-/// w.h.p. event). The coins come from `seed`'s own stream, so the levels
-/// are a pure function of `(n, k, seed)`.
-///
-/// Returns `(levels, attempts)`.
-///
-/// # Panics
-///
-/// Panics if `k == 0` or after 1000 failed attempts.
-pub fn sample_levels(n: usize, k: u32, seed: Seed) -> (Vec<u32>, u32) {
-    assert!(k >= 1, "k must be ≥ 1");
-    let mut rng = seed.rng();
-    let p = (n as f64).powf(-1.0 / f64::from(k));
-    for attempt in 1..=1000 {
-        let levels: Vec<u32> = (0..n)
-            .map(|_| {
-                let mut l = 0;
-                while l < k - 1 && rng.random_bool(p) {
-                    l += 1;
-                }
-                l
-            })
-            .collect();
-        if k == 1 || levels.iter().any(|&l| l == k - 1) {
-            return (levels, attempt);
-        }
-    }
-    panic!("level sampling failed 1000 times (n={n}, k={k})");
-}
-
-/// The member list of `S_l` given per-node levels.
-pub fn level_set(levels: &[u32], l: u32) -> Vec<NodeId> {
-    levels
-        .iter()
-        .enumerate()
-        .filter(|&(_, &lv)| lv >= l)
-        .map(|(i, _)| NodeId::from_index(i))
-        .collect()
-}
-
-/// Membership flags for `S_l`.
-pub fn level_flags(levels: &[u32], l: u32) -> Vec<bool> {
-    levels.iter().map(|&lv| lv >= l).collect()
-}
+pub use pde_core::pipeline::{level_flags, level_set, sample_levels};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn levels_are_nested() {
-        let (levels, _) = sample_levels(200, 4, Seed(3));
-        for l in 1..4 {
-            let upper = level_set(&levels, l);
-            let lower = level_set(&levels, l - 1);
-            assert!(
-                upper.iter().all(|v| lower.contains(v)),
-                "S_{l} ⊄ S_{}",
-                l - 1
-            );
-        }
-        assert_eq!(level_set(&levels, 0).len(), 200);
-    }
+    use graphs::Seed;
 
     #[test]
     fn top_level_nonempty() {
@@ -76,13 +17,6 @@ mod tests {
             let (levels, _) = sample_levels(50, 3, Seed(4).derive(s));
             assert!(!level_set(&levels, 2).is_empty());
         }
-    }
-
-    #[test]
-    fn sampling_is_deterministic_per_seed() {
-        let (a, _) = sample_levels(100, 3, Seed(11));
-        let (b, _) = sample_levels(100, 3, Seed(11));
-        assert_eq!(a, b);
     }
 
     #[test]
@@ -98,5 +32,6 @@ mod tests {
         let (levels, attempts) = sample_levels(10, 1, Seed(6));
         assert!(levels.iter().all(|&l| l == 0));
         assert_eq!(attempts, 1);
+        assert_eq!(level_flags(&levels, 0), vec![true; 10]);
     }
 }

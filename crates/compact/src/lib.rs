@@ -34,8 +34,12 @@ pub mod truncated;
 
 pub use driver::{build_driver, DriverChoice};
 pub use hierarchy::{
-    build_hierarchy, CompactBuildMetrics, CompactLabel, CompactParams, CompactScheme, HorizonMode,
+    build_hierarchy, try_build_hierarchy, CompactBuildMetrics, CompactLabel, CompactParams,
+    CompactScheme, HorizonMode,
 };
+pub use pde_core::pipeline::BuildError;
+pub use pde_core::BuildMode;
 pub use truncated::{
-    build_truncated, TruncLabel, TruncatedMetrics, TruncatedScheme, UpperMode, UpperPivot,
+    build_truncated, try_build_truncated, TruncLabel, TruncatedMetrics, TruncatedScheme, UpperMode,
+    UpperPivot,
 };

@@ -84,6 +84,24 @@ impl CompactScheme {
     ///
     /// Propagates I/O errors from the sink.
     pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.write_into_opts(sink, false)
+    }
+
+    /// [`CompactScheme::write_into`] with the volatile measurement fields
+    /// (round/message totals) written as zeros — the canonical artifact
+    /// form shared by simulated and native builds (deterministic fields
+    /// such as level sizes, horizons, σ and sampling attempts are kept;
+    /// they are identical across modes). Stays loadable by
+    /// [`CompactScheme::read_from`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_canonical_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.write_into_opts(sink, true)
+    }
+
+    fn write_into_opts(&self, sink: &mut dyn Write, canonical: bool) -> io::Result<()> {
         WireWriter::new(sink).u16(COMPACT_RECORD_VERSION)?;
         self.topo.write_into(sink)?;
         let mut w = WireWriter::new(sink);
@@ -110,11 +128,16 @@ impl CompactScheme {
         write_tree_sets(sink, &self.trees)?;
         let mut w = WireWriter::new(sink);
         let mt = &self.metrics;
-        w.u64(mt.total_rounds)?;
-        write_u64_seq(&mut w, &mt.per_level_rounds)?;
-        w.u64(mt.tree_label_rounds)?;
-        w.u64(mt.total.rounds)?;
-        w.u64(mt.total.messages)?;
+        let zero = |x: u64| if canonical { 0 } else { x };
+        w.u64(zero(mt.total_rounds))?;
+        if canonical {
+            write_u64_seq(&mut w, &vec![0u64; mt.per_level_rounds.len()])?;
+        } else {
+            write_u64_seq(&mut w, &mt.per_level_rounds)?;
+        }
+        w.u64(zero(mt.tree_label_rounds))?;
+        w.u64(zero(mt.total.rounds))?;
+        w.u64(zero(mt.total.messages))?;
         w.len(mt.level_sizes.len())?;
         for &s in &mt.level_sizes {
             w.usize(s)?;
@@ -220,6 +243,7 @@ impl CompactScheme {
                 sample_attempts,
                 horizons,
                 sigma,
+                stages: Default::default(),
             },
         })
     }
@@ -233,6 +257,22 @@ impl TruncatedScheme {
     ///
     /// Propagates I/O errors from the sink.
     pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.write_into_opts(sink, false)
+    }
+
+    /// [`TruncatedScheme::write_into`] with the volatile measurement
+    /// fields (round/message totals) written as zeros — the canonical
+    /// artifact form shared by simulated and native builds. Stays
+    /// loadable by [`TruncatedScheme::read_from`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_canonical_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.write_into_opts(sink, true)
+    }
+
+    fn write_into_opts(&self, sink: &mut dyn Write, canonical: bool) -> io::Result<()> {
         WireWriter::new(sink).u16(COMPACT_RECORD_VERSION)?;
         self.topo.write_into(sink)?;
         let mut w = WireWriter::new(sink);
@@ -280,13 +320,14 @@ impl TruncatedScheme {
             w.usize(b)?;
         }
         let mt = &self.metrics;
-        w.u64(mt.total_rounds)?;
-        w.u64(mt.lower_rounds)?;
-        w.u64(mt.base_rounds)?;
-        w.u64(mt.upper_rounds)?;
-        w.u64(mt.tree_label_rounds)?;
-        w.u64(mt.total.rounds)?;
-        w.u64(mt.total.messages)?;
+        let zero = |x: u64| if canonical { 0 } else { x };
+        w.u64(zero(mt.total_rounds))?;
+        w.u64(zero(mt.lower_rounds))?;
+        w.u64(zero(mt.base_rounds))?;
+        w.u64(zero(mt.upper_rounds))?;
+        w.u64(zero(mt.tree_label_rounds))?;
+        w.u64(zero(mt.total.rounds))?;
+        w.u64(zero(mt.total.messages))?;
         w.usize(mt.skeleton_size)?;
         w.usize(mt.gt_edges)?;
         Ok(())
@@ -459,6 +500,7 @@ impl TruncatedScheme {
                 total,
                 skeleton_size,
                 gt_edges,
+                stages: Default::default(),
             },
         })
     }

@@ -23,10 +23,13 @@ use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
 use congest::{bits_for, label_record_bits, Message, Metrics, NodeId, Topology};
 use graphs::{DenseIndex, WGraph, INF};
-use pde_core::{resolve_entry_indices, run_pde, FlatTables, PairTable, PdeParams};
+use pde_core::pipeline::{
+    self, mutual_edges, parallel_map, virtual_graph, with_resample, BuildError, StageLog,
+};
+use pde_core::{resolve_entry_indices, run_pde, BuildMode, FlatTables, PairTable, PdeParams};
 use routing::RoutingScheme;
 use std::collections::HashMap;
-use treeroute::{label_forest, TreeSet};
+use treeroute::TreeSet;
 
 use crate::hierarchy::{trace_chain, CompactParams};
 use crate::levels::{level_flags, sample_levels};
@@ -121,6 +124,9 @@ pub struct TruncatedMetrics {
     pub skeleton_size: usize,
     /// Edges of `G̃(l0)`.
     pub gt_edges: usize,
+    /// The declarative stage list this build executed (measurement
+    /// metadata; not serialized).
+    pub stages: StageLog,
 }
 
 /// The truncated compact scheme (Theorem 4.13 / Corollary 4.14).
@@ -160,29 +166,71 @@ pub struct TruncatedScheme {
     pub metrics: TruncatedMetrics,
 }
 
-/// Builds the truncated hierarchy.
+/// Builds the truncated hierarchy, panicking on unrecoverable sampling
+/// failures (see [`try_build_truncated`]).
 ///
 /// `l0` must satisfy `1 ≤ l0 ≤ k−1` (Theorem 4.13 uses
 /// `k/2+1 ≤ l0 ≤ k−1`; smaller values are allowed for experimentation).
 ///
 /// # Panics
 ///
-/// Panics on invalid `l0`, disconnected inputs, or failed w.h.p. events
-/// (disconnected `G̃`, missing pivots) — with advice to raise `c`.
+/// Panics on invalid `l0` or disconnected inputs, and — with advice to
+/// raise `c` — when a w.h.p. event (disconnected `G̃`, missing pivots)
+/// fails on both the primary sample and the one derived resample.
 pub fn build_truncated(
     g: &WGraph,
     params: &CompactParams,
     l0: u32,
     mode: UpperMode,
 ) -> TruncatedScheme {
+    try_build_truncated(g, params, l0, mode).unwrap_or_else(|e| {
+        panic!("truncated build failed after one resample: {e} (CompactParams::c)")
+    })
+}
+
+/// Builds the truncated hierarchy, retrying once on a
+/// [`graphs::Seed::derive`]d resample when a w.h.p. event fails.
+///
+/// # Errors
+///
+/// Returns the second attempt's [`BuildError`] when both samples fail.
+///
+/// # Panics
+///
+/// Panics on invalid `l0`/`k` or disconnected inputs.
+pub fn try_build_truncated(
+    g: &WGraph,
+    params: &CompactParams,
+    l0: u32,
+    upper: UpperMode,
+) -> Result<TruncatedScheme, BuildError> {
+    assert!(params.k >= 2, "truncation needs k ≥ 2");
+    assert!((1..params.k).contains(&l0), "l0 must be in 1..k");
+    with_resample(params.seed, |seed, _attempt| {
+        let p = CompactParams {
+            seed,
+            ..params.clone()
+        };
+        build_attempt(g, &p, l0, upper)
+    })
+}
+
+/// One build attempt at a fixed seed: the declarative stage list.
+fn build_attempt(
+    g: &WGraph,
+    params: &CompactParams,
+    l0: u32,
+    mode: UpperMode,
+) -> Result<TruncatedScheme, BuildError> {
     let n = g.len();
     let k = params.k;
-    assert!(k >= 2, "truncation needs k ≥ 2");
-    assert!((1..k).contains(&l0), "l0 must be in 1..k");
+    let build_mode = params.mode;
     let topo = g.to_topology();
     let mut total = Metrics::new(n);
+    let mut stages = StageLog::default();
 
     let (levels, _) = sample_levels(n, k, params.seed);
+    stages.push("level-sample", 0);
     let ln_n = (n as f64).ln().max(1.0);
     let sigma =
         ((params.c * (n as f64).powf(1.0 / f64::from(k)) * ln_n).ceil() as usize).clamp(1, n);
@@ -197,12 +245,20 @@ pub fn build_truncated(
         let h = ((params.c * (n as f64).powf(f64::from(l + 1) / f64::from(k)) * ln_n).ceil()
             as u64)
             .clamp(1, 2 * n as u64);
-        let pde = run_pde(g, &sources, &tags, &PdeParams::new(h, sigma, params.eps));
+        let pde = run_pde(
+            g,
+            &sources,
+            &tags,
+            &PdeParams::new(h, sigma, params.eps)
+                .with_threads(params.threads)
+                .with_mode(build_mode),
+        );
         lower_rounds += pde.metrics.total.rounds;
         total.absorb(&pde.metrics.total);
         lower_routes.push(pde.routes);
         lower_lists.push(pde.lists);
     }
+    stages.push("pde-lower-levels", lower_rounds);
 
     // ---- Base estimation: (S_{l0}, h_{l0}, |S_{l0}|). ----
     let skel_flags = level_flags(&levels, l0);
@@ -214,38 +270,34 @@ pub fn build_truncated(
         g,
         &skel_flags,
         &vec![false; n],
-        &PdeParams::new(h_base, skel_ids.len().max(1), params.eps),
+        &PdeParams::new(h_base, skel_ids.len().max(1), params.eps)
+            .with_threads(params.threads)
+            .with_mode(build_mode),
     );
     let base_rounds = base.metrics.total.rounds;
     total.absorb(&base.metrics.total);
+    stages.push("pde-base", base_rounds);
 
     // ---- G̃(l0): mutual estimates, weight = max of the two. ----
     let m = skel_ids.len();
-    let mut gt_edges: Vec<(u32, u32, u64)> = Vec::new();
-    for (i, &s) in skel_ids.iter().enumerate() {
-        for (&t, r) in &base.routes[s.index()] {
-            if let Some(j) = skel_index.get(t) {
-                if j > i {
-                    if let Some(back) = base.routes[t.index()].get(&s) {
-                        gt_edges.push((i as u32, j as u32, r.est.max(back.est)));
-                    }
-                }
-            }
-        }
-    }
-    let gt_graph = WGraph::from_edges(m.max(1), &gt_edges).expect("skeleton graph edges are valid");
-    assert!(
-        m <= 1 || gt_graph.is_connected(),
-        "G̃(l0) disconnected (|S_l0|={m}); raise CompactParams::c"
-    );
+    let gt_edges = mutual_edges(&base.routes, &skel_ids, &skel_index);
+    let gt_graph = virtual_graph(m, &gt_edges, "G̃(l0)")?;
+    stages.push("virtual-graph", 0);
 
     // ---- Upper levels on G̃. ----
     // The per-level maps are merged through hash tables (the natural shape
     // while estimates trickle in) and flattened into `PairTable`s for the
-    // query side as each level finishes.
-    let (bfs, bfs_metrics) = build_bfs(&topo, NodeId(0));
-    total.absorb(&bfs_metrics);
-    let d_hat = 2 * bfs.height + 1;
+    // query side as each level finishes. The BFS tree only carries
+    // simulated pipelining/broadcast costs, so native builds skip it.
+    let (bfs, d_hat) = match build_mode {
+        BuildMode::Simulated => {
+            let (bfs, bfs_metrics) = build_bfs(&topo, NodeId(0));
+            total.absorb(&bfs_metrics);
+            let d_hat = 2 * bfs.height + 1;
+            (Some(bfs), d_hat)
+        }
+        BuildMode::Native => (None, 0),
+    };
     let mut upper_est: Vec<PairTable> = Vec::new();
     let mut upper_next: Vec<PairTable> = Vec::new();
     let mut upper_rounds = 0u64;
@@ -280,7 +332,9 @@ pub fn build_truncated(
                     &gt_graph,
                     &src_flags,
                     &tag_flags,
-                    &PdeParams::new(h, sig.max(1), params.eps),
+                    &PdeParams::new(h, sig.max(1), params.eps)
+                        .with_threads(params.threads)
+                        .with_mode(build_mode),
                 );
                 // Lemma 4.12 cost: every simulated round's messages are
                 // pipelined over the BFS tree of G.
@@ -306,21 +360,28 @@ pub fn build_truncated(
             }
         }
         UpperMode::Local => {
-            // Broadcast G̃'s edges for real, then solve locally & exactly.
-            let mut items: Vec<Vec<GtEdge>> = vec![Vec::new(); n];
-            for &(a, b, w) in gt_graph.edges() {
-                items[skel_ids[a as usize].index()].push(GtEdge(a, b, w));
+            // Broadcast G̃'s edges for real (simulated builds only — the
+            // native engine already has them globally), then solve
+            // locally & exactly, one Dijkstra per skeleton node sharded
+            // over the worker threads.
+            if let Some(bfs) = &bfs {
+                let mut items: Vec<Vec<GtEdge>> = vec![Vec::new(); n];
+                for &(a, b, w) in gt_graph.edges() {
+                    items[skel_ids[a as usize].index()].push(GtEdge(a, b, w));
+                }
+                let (_, bc) = broadcast_all(&topo, bfs, items);
+                upper_rounds = bc.rounds;
+                total.absorb(&bc);
             }
-            let (_, bc) = broadcast_all(&topo, &bfs, items);
-            upper_rounds = bc.rounds;
-            total.absorb(&bc);
+            let sp_rows = parallel_map(params.threads, m, |i| {
+                graphs::algo::dijkstra(&gt_graph, NodeId(i as u32))
+            });
             for l in l0..k {
                 let src_flags: Vec<bool> =
                     skel_ids.iter().map(|&s| levels[s.index()] >= l).collect();
                 let mut est_map = HashMap::new();
                 let mut next_map: HashMap<(usize, usize), u64> = HashMap::new();
-                for i in 0..m {
-                    let spi = graphs::algo::dijkstra(&gt_graph, NodeId(i as u32));
+                for (i, spi) in sp_rows.iter().enumerate() {
                     #[allow(clippy::needless_range_loop)] // j indexes flags and dists
                     for j in 0..m {
                         if !src_flags[j] || spi.dist[j] == INF {
@@ -344,6 +405,7 @@ pub fn build_truncated(
             }
         }
     }
+    stages.push("upper-levels", upper_rounds);
 
     // ---- Connectors: per node, its known (skeleton index, est) pairs. ----
     let conn: Vec<Vec<(usize, u64)>> = g
@@ -367,24 +429,22 @@ pub fn build_truncated(
     let mut lower_pivots: Vec<Vec<(NodeId, u64)>> = Vec::new();
     for l in 1..l0 {
         let run = &lower_lists[l as usize];
-        let pv: Vec<(NodeId, u64)> = g
-            .nodes()
-            .map(|v| {
-                run[v.index()]
-                    .first()
-                    .map(|e| (e.src, e.est))
-                    .unwrap_or_else(|| panic!("node {v} lacks level-{l} pivot; raise c"))
-            })
-            .collect();
+        let mut pv: Vec<(NodeId, u64)> = Vec::with_capacity(n);
+        for v in g.nodes() {
+            match run[v.index()].first() {
+                Some(e) => pv.push((e.src, e.est)),
+                None => return Err(BuildError::NoPivot { node: v, level: l }),
+            }
+        }
         let mut set = TreeSet::new();
         for v in g.nodes() {
             let chain = trace_chain(&lower_routes[l as usize], &topo, v, pv[v.index()].0);
             set.add_chain(&chain);
         }
         set.build();
-        let lab = label_forest(&topo, &set);
-        tree_label_rounds += lab.metrics.rounds;
-        total.absorb(&lab.metrics);
+        let lab = pipeline::label_trees(&topo, &set, build_mode);
+        tree_label_rounds += lab.rounds;
+        total.absorb(&lab);
         lower_trees.push(set);
         lower_pivots.push(pv);
     }
@@ -410,17 +470,18 @@ pub fn build_truncated(
                     }
                 }
             }
-            let (est, s_idx, t_idx, eb) =
-                best.unwrap_or_else(|| panic!("node {v} lacks upper level-{l} pivot; raise c"));
+            let Some((est, s_idx, t_idx, eb)) = best else {
+                return Err(BuildError::NoPivot { node: v, level: l });
+            };
             upper_info[v.index()].push((s_idx, t_idx, est, eb));
             let chain = trace_chain(&base.routes, &topo, v, skel_ids[t_idx]);
             base_trees.add_chain(&chain);
         }
     }
     base_trees.build();
-    let lab = label_forest(&topo, &base_trees);
-    tree_label_rounds += lab.metrics.rounds;
-    total.absorb(&lab.metrics);
+    let lab = pipeline::label_trees(&topo, &base_trees, build_mode);
+    tree_label_rounds += lab.rounds;
+    total.absorb(&lab);
 
     // ---- Labels. ----
     let labels: Vec<TruncLabel> = g
@@ -472,6 +533,7 @@ pub fn build_truncated(
         bunch_sizes[v.index()] += conn[v.index()].len().min(sigma);
     }
 
+    stages.push("tree-labels", tree_label_rounds);
     let metrics = TruncatedMetrics {
         total_rounds: total.rounds,
         lower_rounds,
@@ -481,11 +543,12 @@ pub fn build_truncated(
         total,
         skeleton_size: m,
         gt_edges: gt_graph.num_edges(),
+        stages,
     };
 
     let base_flat = FlatTables::from_tables(&base.routes);
     let base_row_idx = resolve_entry_indices(&base_flat, &skel_index);
-    TruncatedScheme {
+    Ok(TruncatedScheme {
         topo,
         l0,
         lower_routes: pde_core::tables::flatten_runs(&lower_routes),
@@ -501,7 +564,7 @@ pub fn build_truncated(
         labels,
         bunch_sizes,
         metrics,
-    }
+    })
 }
 
 impl TruncatedScheme {

@@ -87,8 +87,26 @@ pub fn approx_apsp(g: &WGraph, eps: f64) -> ApspApprox {
 ///
 /// As [`approx_apsp`].
 pub fn approx_apsp_with(g: &WGraph, eps: f64, threads: usize) -> ApspApprox {
+    approx_apsp_opts(g, eps, threads, crate::BuildMode::Simulated)
+}
+
+/// [`approx_apsp_with`] with an explicit build engine (see
+/// [`crate::BuildMode`]); distances and routing tables are identical
+/// across modes, only the charged rounds differ.
+///
+/// # Panics
+///
+/// As [`approx_apsp`].
+pub fn approx_apsp_opts(
+    g: &WGraph,
+    eps: f64,
+    threads: usize,
+    mode: crate::BuildMode,
+) -> ApspApprox {
     let n = g.len();
-    let params = PdeParams::new(n as u64, n, eps).with_threads(threads);
+    let params = PdeParams::new(n as u64, n, eps)
+        .with_threads(threads)
+        .with_mode(mode);
     let sources = vec![true; n];
     let tags = vec![false; n];
     let pde = run_pde(g, &sources, &tags, &params);

@@ -1,11 +1,12 @@
 //! `(1+ε)`-approximate `(S, h, σ)`-estimation (Theorem 3.3 / Corollary 3.5).
 
-use crate::rounding::{horizon, level_ladder, subdivision_len};
+use crate::ladder::{run_rung, BuildMode, LadderSpec};
+use crate::rounding::{horizon, level_ladder};
 use congest::aggregate::global_max;
 use congest::bfs::build_bfs;
 use congest::{FxHashMap, Metrics, NodeId, Port, Topology};
 use graphs::WGraph;
-use sourcedetect::{run_detection, DetectParams, DetectionOutput, SourceSpace};
+use sourcedetect::{DetectionOutput, SourceSpace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -29,6 +30,12 @@ pub struct PdeParams {
     /// are byte-identical for every thread count: rungs are merged in
     /// ladder order regardless of completion order.
     pub threads: usize,
+    /// Execution engine (see [`BuildMode`]): `Simulated` charges
+    /// paper-faithful rounds through the CONGEST runtime, `Native` runs
+    /// the centralized kernel. Artifacts (`lists`, `routes`, `levels`,
+    /// `horizon`) are byte-identical across modes; only the metrics
+    /// differ.
+    pub mode: BuildMode,
 }
 
 impl PdeParams {
@@ -42,12 +49,19 @@ impl PdeParams {
             msg_cap: None,
             exact_rounds: false,
             threads: 0,
+            mode: BuildMode::Simulated,
         }
     }
 
     /// Sets the worker-thread count (see [`PdeParams::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the execution engine (see [`PdeParams::mode`]).
+    pub fn with_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
         self
     }
 }
@@ -193,14 +207,17 @@ impl PdeOutput {
 /// `sources[v]` marks membership in `S`; `tags[v]` is an auxiliary bit
 /// carried with `v`'s announcements.
 ///
-/// The run consists of: a BFS + aggregate phase that determines `w_max`
-/// (`O(D)` rounds), then one delay-simulated unweighted detection instance
-/// per ladder rung (`O((h+σ)/ε)` rounds each, `O(log_{1+ε} w_max)` rungs).
-/// The rungs are independent simulations, so they execute on
+/// The run consists of: a coordination phase that determines `w_max`
+/// (simulated as BFS tree + aggregate, `O(D)` rounds; computed locally in
+/// [`BuildMode::Native`]), then one unweighted detection instance per
+/// ladder rung (`O((h+σ)/ε)` rounds each, `O(log_{1+ε} w_max)` rungs),
+/// executed by the engine `params.mode` selects (see [`crate::ladder`]).
+/// The rungs are independent instances, so they execute on
 /// [`PdeParams::threads`] worker threads; their outputs are merged in rung
 /// order, which makes the result byte-identical to the sequential
-/// execution of Theorem 3.3 (the round *accounting* still charges the sum
-/// over rungs, as the theorem does).
+/// execution of Theorem 3.3 — and byte-identical across build modes (the
+/// round *accounting* still charges the sum over rungs in `Simulated`
+/// mode, as the theorem does).
 ///
 /// # Panics
 ///
@@ -212,41 +229,42 @@ pub fn run_pde(g: &WGraph, sources: &[bool], tags: &[bool], params: &PdeParams) 
     let topo = g.to_topology();
     assert!(topo.is_connected(), "PDE requires a connected graph");
 
-    // O(D) coordination: build a BFS tree, learn w_max.
-    let (tree, bfs_metrics) = build_bfs(&topo, NodeId(0));
-    let local_max: Vec<u64> = topo
-        .nodes()
-        .map(|v| topo.arcs(v).map(|(_, _, w, _)| w).max().unwrap_or(1))
-        .collect();
-    let (w_max, agg_metrics) = global_max(&topo, &tree, &local_max);
+    // Coordination: learn w_max. Simulated mode pays the O(D) BFS +
+    // aggregate; native mode reads the same value off the graph (the
+    // aggregate of per-node maxima is exactly the global maximum).
     let mut total = Metrics::new(g.len());
-    total.absorb(&bfs_metrics);
-    total.absorb(&agg_metrics);
+    let w_max = match params.mode {
+        BuildMode::Simulated => {
+            let (tree, bfs_metrics) = build_bfs(&topo, NodeId(0));
+            let local_max: Vec<u64> = topo
+                .nodes()
+                .map(|v| topo.arcs(v).map(|(_, _, w, _)| w).max().unwrap_or(1))
+                .collect();
+            let (w_max, agg_metrics) = global_max(&topo, &tree, &local_max);
+            total.absorb(&bfs_metrics);
+            total.absorb(&agg_metrics);
+            w_max
+        }
+        BuildMode::Native => topo.max_weight().max(1),
+    };
     let coordination_rounds = total.rounds;
 
-    let levels = level_ladder(params.eps, w_max);
-    let h_prime = horizon(params.h, params.eps);
-
-    let detect_params = DetectParams {
-        h: h_prime,
+    let spec = LadderSpec {
+        levels: level_ladder(params.eps, w_max),
+        horizon: horizon(params.h, params.eps),
         sigma: params.sigma,
         msg_cap: params.msg_cap,
         exact_rounds: params.exact_rounds,
     };
-    let run_rung = |b: u64| {
-        let level_topo = topo.with_delays(|w| subdivision_len(w, b));
-        run_detection(&level_topo, sources, tags, &detect_params)
-    };
+    let levels = spec.levels.clone();
+    let h_prime = spec.horizon;
+    let detect_params = spec.detect_params();
+    let run_rung = |b: u64| run_rung(&topo, b, sources, tags, &detect_params, params.mode);
 
     // Execute the rungs — independent detection instances — on a worker
     // pool. Completion order is irrelevant: results land in per-rung slots
     // and are merged in ladder order below.
-    let threads = match params.threads {
-        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
-        t => t,
-    }
-    .min(levels.len())
-    .max(1);
+    let threads = crate::pipeline::resolve_threads(params.threads, levels.len());
     let space = SourceSpace::new(sources, tags);
     let mut merger = RungMerger::new(space, g.len(), levels.len());
     if threads == 1 {
@@ -641,6 +659,40 @@ mod tests {
             dense.take_node(v, s, &mut a);
             sparse.take_node(v, s, &mut b);
             assert_eq!(a, b, "node {v}");
+        }
+    }
+
+    #[test]
+    fn native_mode_matches_simulated_artifacts() {
+        for seed in [2u64, 13] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = gen::gnp_connected(26, 0.15, Weights::Uniform { lo: 1, hi: 40 }, &mut rng);
+            let sources: Vec<bool> = (0..26).map(|i| i % 3 != 1).collect();
+            let tags: Vec<bool> = (0..26).map(|i| i % 5 == 0).collect();
+            let base = PdeParams::new(9, 4, 0.25);
+            let sim = run_pde(&g, &sources, &tags, &base.clone());
+            let nat = run_pde(
+                &g,
+                &sources,
+                &tags,
+                &base.clone().with_mode(BuildMode::Native),
+            );
+            assert_eq!(sim.lists, nat.lists, "seed {seed}");
+            assert_eq!(sim.routes, nat.routes, "seed {seed}");
+            assert_eq!(sim.levels, nat.levels, "seed {seed}");
+            assert_eq!(sim.horizon, nat.horizon, "seed {seed}");
+            assert!(sim.metrics.total.rounds > 0);
+            assert_eq!(nat.metrics.total.rounds, 0, "native charges no rounds");
+            assert_eq!(nat.metrics.coordination_rounds, 0);
+            // Native rung parallelism keeps the same outputs.
+            let nat4 = run_pde(
+                &g,
+                &sources,
+                &tags,
+                &base.with_mode(BuildMode::Native).with_threads(4),
+            );
+            assert_eq!(nat.lists, nat4.lists);
+            assert_eq!(nat.routes, nat4.routes);
         }
     }
 

@@ -1,0 +1,501 @@
+//! The shared staged **build pipeline**: everything the scheme builders
+//! (`routing::build_rtc`, `compact::build_hierarchy`,
+//! `compact::build_truncated`) have in common, in one place.
+//!
+//! Before this module each builder re-implemented the same skeleton:
+//! sample a skeleton / level assignment, run PDE ladders, select pivots,
+//! assemble a virtual skeleton graph from mutual estimates, trace
+//! next-hop chains into detection trees, and label them. Those stages now
+//! live here, so a builder is a *declarative list of stage calls* over
+//! the ladder kernel (`crate::ladder`), recorded in a [`StageLog`] and
+//! executable in either [`BuildMode`]:
+//!
+//! * `Simulated` — distributed phases run on `congest::Runtime` and the
+//!   stage log carries their measured rounds (the paper-faithful path);
+//! * `Native` — the same stages computed centrally (ladders via the
+//!   native kernel, labeling via the already-central DFS of
+//!   [`treeroute::TreeSet::build`], broadcasts skipped), charging zero
+//!   rounds and producing **byte-identical scheme artifacts**.
+//!
+//! Failed w.h.p. events (a node that sees no skeleton node, a
+//! disconnected skeleton graph, a missing pivot) are no longer panics:
+//! stages report them as [`BuildError`]s, and [`with_resample`] retries a
+//! build once on a [`Seed::derive`]d resample before giving up —
+//! surfaced through `oracle::OracleBuilder::try_build`.
+//!
+//! Because every stage is a pure function of the canonical ladder
+//! artifacts and the seed, the *entire build* — including retry behavior,
+//! sampling attempts, and every tie-break — is identical across modes and
+//! thread counts (pinned by `tests/build_parity.rs`).
+
+use crate::ladder::BuildMode;
+use crate::pde::RouteTable;
+use congest::{NodeId, Topology};
+use graphs::{DenseIndex, Seed, WGraph};
+use rand::Rng;
+use std::fmt;
+use treeroute::{label_forest, TreeSet};
+
+/// A recoverable build failure: a with-high-probability event that did
+/// not hold for this sample at this scale. Retrying on a fresh sample
+/// (see [`with_resample`]) usually succeeds; persistently failing builds
+/// need a larger sampling constant `c`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A node's routing archive contains no skeleton node (the RTC home
+    /// selection of Theorem 4.5 needs one within the detection horizon).
+    NoSkeletonSeen {
+        /// The uncovered node.
+        node: NodeId,
+        /// The horizon/list size `h = σ` that was used.
+        h: u64,
+    },
+    /// A node has no pivot at some hierarchy level (Lemma 4.7 / 4.10).
+    NoPivot {
+        /// The uncovered node.
+        node: NodeId,
+        /// The hierarchy level missing a pivot.
+        level: u32,
+    },
+    /// The virtual skeleton graph built from mutual estimates is
+    /// disconnected.
+    SkeletonDisconnected {
+        /// Which virtual graph (e.g. `"skeleton graph"`, `"G̃(l0)"`).
+        what: &'static str,
+        /// Its node count `|S|`.
+        size: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoSkeletonSeen { node, h } => {
+                write!(f, "node {node} saw no skeleton node within h={h}; raise c")
+            }
+            BuildError::NoPivot { node, level } => {
+                write!(f, "node {node} has no level-{level} pivot; raise c")
+            }
+            BuildError::SkeletonDisconnected { what, size } => {
+                write!(f, "{what} disconnected (|S|={size}); raise c")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// One executed stage of a build pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name (stable, lowercase, dash-separated).
+    pub name: &'static str,
+    /// CONGEST rounds charged by the stage (0 for node-local stages and
+    /// for every stage of a [`BuildMode::Native`] build).
+    pub rounds: u64,
+}
+
+/// The ordered list of stages a build executed — the declarative record
+/// of the pipeline. Not serialized (it is measurement metadata, like
+/// rounds); reloaded schemes carry an empty log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageLog {
+    /// Stage reports in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl StageLog {
+    /// Records a stage.
+    pub fn push(&mut self, name: &'static str, rounds: u64) {
+        self.stages.push(StageReport { name, rounds });
+    }
+
+    /// Sum of recorded per-stage rounds.
+    pub fn total_rounds(&self) -> u64 {
+        self.stages.iter().map(|s| s.rounds).sum()
+    }
+}
+
+/// The derivation stream used for the one retry of [`with_resample`]
+/// (an arbitrary fixed constant; see [`Seed::derive`]).
+pub const RESAMPLE_STREAM: u64 = 0x7E5A_5EED;
+
+/// Runs `build` with `seed`; on a [`BuildError`], retries **once** with
+/// the [`Seed::derive`]d resample stream before returning the error.
+///
+/// The retry is part of the deterministic build contract: whether a
+/// build retries depends only on the canonical artifacts of the first
+/// attempt, so both build modes and all thread counts retry identically.
+///
+/// # Errors
+///
+/// Returns the second attempt's error when both attempts fail.
+pub fn with_resample<T>(
+    seed: Seed,
+    mut build: impl FnMut(Seed, u32) -> Result<T, BuildError>,
+) -> Result<T, BuildError> {
+    match build(seed, 1) {
+        Ok(t) => Ok(t),
+        Err(_) => build(seed.derive(RESAMPLE_STREAM), 2),
+    }
+}
+
+// ------------------------------------------------------------ sampling --
+
+/// Samples each node into the skeleton independently with probability `p`,
+/// retrying (fresh coins) until the skeleton is nonempty. The coins come
+/// from `seed`'s own stream, so the sample is a pure function of
+/// `(n, p, seed)`.
+///
+/// The paper conditions on `S ≠ ∅` ("for convenience, we assume that
+/// always `S ≠ ∅`, which holds w.h.p."); at simulation scale an empty
+/// sample can actually happen, so we retry and report the attempt count.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]` or after 1000 failed attempts
+/// (p astronomically small for the given n — a caller bug).
+pub fn sample_skeleton(n: usize, p: f64, seed: Seed) -> (Vec<bool>, u32) {
+    assert!(p > 0.0 && p <= 1.0, "sampling probability out of range");
+    let mut rng = seed.rng();
+    for attempt in 1..=1000 {
+        let flags: Vec<bool> = (0..n).map(|_| rng.random_bool(p)).collect();
+        if flags.iter().any(|&f| f) {
+            return (flags, attempt);
+        }
+    }
+    panic!("skeleton sampling failed 1000 times (n={n}, p={p})");
+}
+
+/// Samples a level for every node: `Pr[level(v) ≥ l] = n^{−l/k}` for
+/// `l ∈ {0, …, k−1}` (Section 4.3, step 1), retrying with fresh coins
+/// until the top set `S_{k−1}` is nonempty (the paper conditions on this
+/// w.h.p. event). The coins come from `seed`'s own stream, so the levels
+/// are a pure function of `(n, k, seed)`.
+///
+/// Returns `(levels, attempts)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or after 1000 failed attempts.
+pub fn sample_levels(n: usize, k: u32, seed: Seed) -> (Vec<u32>, u32) {
+    assert!(k >= 1, "k must be ≥ 1");
+    let mut rng = seed.rng();
+    let p = (n as f64).powf(-1.0 / f64::from(k));
+    for attempt in 1..=1000 {
+        let levels: Vec<u32> = (0..n)
+            .map(|_| {
+                let mut l = 0;
+                while l < k - 1 && rng.random_bool(p) {
+                    l += 1;
+                }
+                l
+            })
+            .collect();
+        if k == 1 || levels.iter().any(|&l| l == k - 1) {
+            return (levels, attempt);
+        }
+    }
+    panic!("level sampling failed 1000 times (n={n}, k={k})");
+}
+
+/// The member list of `S_l` given per-node levels.
+pub fn level_set(levels: &[u32], l: u32) -> Vec<NodeId> {
+    levels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &lv)| lv >= l)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+/// Membership flags for `S_l`.
+pub fn level_flags(levels: &[u32], l: u32) -> Vec<bool> {
+    levels.iter().map(|&lv| lv >= l).collect()
+}
+
+// ------------------------------------------------- virtual skeleton graph --
+
+/// The virtual skeleton graph's edge list, in skeleton-index space:
+/// `{i, j}` iff both endpoints hold an estimate of each other, with
+/// weight `max` of the two (both are routable upper bounds). Returned
+/// sorted, so the list — and everything serialized from the graph built
+/// on it — is canonical regardless of route-table iteration order.
+pub fn mutual_edges(
+    routes: &[RouteTable],
+    skel_ids: &[NodeId],
+    index: &DenseIndex,
+) -> Vec<(u32, u32, u64)> {
+    let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+    for (i, &s) in skel_ids.iter().enumerate() {
+        for (&t, r) in &routes[s.index()] {
+            if let Some(j) = index.get(t) {
+                if j > i {
+                    if let Some(back) = routes[t.index()].get(&s) {
+                        edges.push((i as u32, j as u32, r.est.max(back.est)));
+                    }
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+/// Builds the virtual skeleton graph over `m` skeleton nodes and checks
+/// connectivity (the w.h.p. event the constructions condition on).
+///
+/// # Errors
+///
+/// [`BuildError::SkeletonDisconnected`] when `m > 1` and the mutual
+/// estimates do not connect the skeleton.
+///
+/// # Panics
+///
+/// Panics if the edge list is malformed (duplicate or out-of-range
+/// entries) — that is a builder bug, not a sampling failure.
+pub fn virtual_graph(
+    m: usize,
+    edges: &[(u32, u32, u64)],
+    what: &'static str,
+) -> Result<WGraph, BuildError> {
+    let g = WGraph::from_edges(m.max(1), edges).expect("mutual-estimate edges are valid");
+    if m > 1 && !g.is_connected() {
+        return Err(BuildError::SkeletonDisconnected { what, size: m });
+    }
+    Ok(g)
+}
+
+// ------------------------------------------------------------- pivots --
+
+/// The closest tagged source in a routing archive: `min (est, source)`
+/// over entries whose source is flagged in `tagged` — the RTC home
+/// (`s'_v`) selection. Order-independent (keyed min), so identical for
+/// hash and flat table layouts.
+pub fn closest_tagged(routes: &RouteTable, tagged: &[bool]) -> Option<(NodeId, u64)> {
+    routes
+        .iter()
+        .filter(|(s, _)| tagged[s.index()])
+        .map(|(&s, r)| (r.est, s))
+        .min()
+        .map(|(e, s)| (s, e))
+}
+
+// ----------------------------------------------------- chains and trees --
+
+/// Traces the next-hop chain `from → … → to` through per-node route maps
+/// (the Lemma 4.4-style greedy descent all schemes use to grow their
+/// detection trees).
+///
+/// # Panics
+///
+/// Panics if the chain is broken or fails to make strict progress — that
+/// would falsify the greedy-forwarding invariant of the canonical
+/// archive, and tests treat it as a hard failure.
+pub fn trace_chain(
+    routes: &[RouteTable],
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+) -> Vec<NodeId> {
+    let mut path = vec![from];
+    let mut cur = from;
+    let mut est = u64::MAX;
+    while cur != to {
+        let r = routes[cur.index()]
+            .get(&to)
+            .unwrap_or_else(|| panic!("broken chain: {cur} has no entry for {to}"));
+        assert!(
+            r.est < est,
+            "chain stalled at {cur} (est {} -> {})",
+            est,
+            r.est
+        );
+        est = r.est;
+        cur = topo.neighbor(cur, r.port);
+        path.push(cur);
+        assert!(path.len() <= topo.len() * 4, "chain exceeded hop cap");
+    }
+    path
+}
+
+/// Labels a built [`TreeSet`] in the given mode and returns the rounds
+/// charged: `Simulated` runs the distributed forest-labeling protocol
+/// (which asserts its result equals the centrally computed DFS labels the
+/// schemes actually read from the `TreeSet`); `Native` charges nothing —
+/// the labels are already the central DFS labels, so the artifacts are
+/// identical by construction.
+pub fn label_trees(topo: &Topology, set: &TreeSet, mode: BuildMode) -> congest::Metrics {
+    match mode {
+        BuildMode::Simulated => label_forest(topo, set).metrics,
+        BuildMode::Native => congest::Metrics::new(topo.len()),
+    }
+}
+
+// --------------------------------------------------------- parallelism --
+
+/// Resolves a `threads` knob (`0` = [`std::thread::available_parallelism`],
+/// else the given count), capped by the number of work items.
+pub fn resolve_threads(threads: usize, items: usize) -> usize {
+    let t = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        t => t,
+    };
+    t.min(items.max(1)).max(1)
+}
+
+/// Computes `f(0), …, f(count − 1)` on `threads` workers over contiguous
+/// index shards and returns the results **in index order** — scheduling
+/// is unobservable, so outputs are byte-identical for every thread count
+/// (the same contract as `run_pde`'s rung parallelism). Used by the
+/// native engine for embarrassingly parallel stages (e.g. per-skeleton
+/// Dijkstra rows).
+pub fn parallel_map<T: Send>(
+    threads: usize,
+    count: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let workers = resolve_threads(threads, count);
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let chunk = count.div_ceil(workers);
+    let mut shards: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(count);
+                let f = &f;
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("pipeline worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(count);
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skeleton_sample_is_nonempty_and_deterministic() {
+        for s in 0..50u64 {
+            let (flags, _) = sample_skeleton(30, 0.05, Seed(s));
+            assert!(flags.iter().any(|&f| f));
+            assert_eq!(flags.len(), 30);
+            assert_eq!(flags, sample_skeleton(30, 0.05, Seed(s)).0);
+        }
+    }
+
+    #[test]
+    fn skeleton_sample_rate_tracks_p() {
+        let (flags, _) = sample_skeleton(20_000, 0.1, Seed(2));
+        let count = flags.iter().filter(|&&f| f).count();
+        assert!(
+            (1600..=2400).contains(&count),
+            "count {count} far from 2000"
+        );
+    }
+
+    #[test]
+    fn level_sampling_is_nested_and_deterministic() {
+        let (levels, _) = sample_levels(200, 4, Seed(3));
+        for l in 1..4 {
+            let upper = level_set(&levels, l);
+            let lower = level_set(&levels, l - 1);
+            assert!(upper.iter().all(|v| lower.contains(v)));
+        }
+        assert_eq!(level_set(&levels, 0).len(), 200);
+        assert_eq!(levels, sample_levels(200, 4, Seed(3)).0);
+    }
+
+    #[test]
+    fn resample_retries_exactly_once() {
+        let mut seeds = Vec::new();
+        let err = BuildError::NoPivot {
+            node: NodeId(0),
+            level: 1,
+        };
+        let out: Result<(), _> = with_resample(Seed(7), |seed, attempt| {
+            seeds.push((seed, attempt));
+            Err(err.clone())
+        });
+        assert_eq!(out, Err(err));
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0], (Seed(7), 1));
+        assert_eq!(seeds[1], (Seed(7).derive(RESAMPLE_STREAM), 2));
+        let ok: Result<u32, _> = with_resample(Seed(7), |_, attempt| {
+            if attempt == 1 {
+                Err(BuildError::NoSkeletonSeen {
+                    node: NodeId(1),
+                    h: 3,
+                })
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(ok, Ok(42));
+    }
+
+    #[test]
+    fn parallel_map_is_order_preserving_for_every_thread_count() {
+        let f = |i: usize| i * i + 1;
+        let want: Vec<usize> = (0..37).map(f).collect();
+        for threads in [0usize, 1, 2, 4, 9, 64] {
+            assert_eq!(parallel_map(threads, 37, f), want, "threads={threads}");
+        }
+        assert!(parallel_map::<usize>(4, 0, |_| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn mutual_edges_are_sorted_and_symmetric() {
+        use crate::pde::RouteInfo;
+        let mk = |pairs: &[(u32, u64)]| {
+            let mut t = RouteTable::default();
+            for &(s, est) in pairs {
+                t.insert(
+                    NodeId(s),
+                    RouteInfo {
+                        est,
+                        port: 0,
+                        level: 0,
+                    },
+                );
+            }
+            t
+        };
+        // Skeleton {0, 2, 3}; 0↔2 mutual (weight max(4,6)=6), 0→3 one-way.
+        let routes = vec![mk(&[(2, 4), (3, 9)]), mk(&[]), mk(&[(0, 6)]), mk(&[])];
+        let skel_ids = vec![NodeId(0), NodeId(2), NodeId(3)];
+        let index = DenseIndex::new(4, &skel_ids);
+        let edges = mutual_edges(&routes, &skel_ids, &index);
+        assert_eq!(edges, vec![(0, 1, 6)]);
+        let g = virtual_graph(3, &edges, "test skeleton");
+        assert_eq!(
+            g.unwrap_err(),
+            BuildError::SkeletonDisconnected {
+                what: "test skeleton",
+                size: 3
+            }
+        );
+    }
+
+    #[test]
+    fn stage_log_totals() {
+        let mut log = StageLog::default();
+        log.push("sample", 0);
+        log.push("pde-short", 12);
+        log.push("trees", 5);
+        assert_eq!(log.total_rounds(), 17);
+        assert_eq!(log.stages.len(), 3);
+        assert_eq!(log.stages[1].name, "pde-short");
+    }
+}

@@ -1,0 +1,150 @@
+//! Structured scenario families: scale-free, clustered and hypercube
+//! topologies (workloads for the build/serving experiments).
+
+use crate::gen::weights::Weights;
+use crate::graph::WGraph;
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` nodes, then each new node attaches to `attach` distinct
+/// existing nodes chosen proportionally to their current degree (via the
+/// repeated-endpoints trick). Produces the heavy-tailed degree
+/// distribution of internet-like topologies; always connected.
+///
+/// # Panics
+///
+/// Panics unless `attach ≥ 1` and `n > attach + 1`.
+pub fn power_law<R: Rng + ?Sized>(n: usize, attach: usize, w: Weights, rng: &mut R) -> WGraph {
+    assert!(attach >= 1, "attach must be ≥ 1");
+    assert!(n > attach + 1, "need n > attach + 1");
+    let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+    // Each edge contributes both endpoints: sampling uniformly from this
+    // list is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::new();
+    let seed_nodes = attach + 1;
+    for i in 0..seed_nodes as u32 {
+        for j in i + 1..seed_nodes as u32 {
+            edges.push((i, j, w.sample(rng)));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in seed_nodes as u32..n as u32 {
+        let mut targets: Vec<u32> = Vec::with_capacity(attach);
+        while targets.len() < attach {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            edges.push((v, t, w.sample(rng)));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    WGraph::connected_from_edges(n, &edges).expect("BA graph is connected by construction")
+}
+
+/// A ring of `cliques` complete graphs of `size` nodes each, consecutive
+/// cliques joined by a single bridge edge — high clustering with a long
+/// cycle of bottlenecks (the classic mixing-time adversary; stresses the
+/// skeleton samplers and the horizon constants).
+///
+/// # Panics
+///
+/// Panics unless `cliques ≥ 3` and `size ≥ 2`.
+pub fn ring_of_cliques<R: Rng + ?Sized>(
+    cliques: usize,
+    size: usize,
+    w: Weights,
+    rng: &mut R,
+) -> WGraph {
+    assert!(cliques >= 3, "need at least 3 cliques");
+    assert!(size >= 2, "cliques need ≥ 2 nodes");
+    let n = cliques * size;
+    let mut edges = Vec::new();
+    for c in 0..cliques {
+        let base = (c * size) as u32;
+        for i in 0..size as u32 {
+            for j in i + 1..size as u32 {
+                edges.push((base + i, base + j, w.sample(rng)));
+            }
+        }
+        // Bridge: last node of clique c to first node of clique c+1.
+        let next_base = (((c + 1) % cliques) * size) as u32;
+        edges.push((base + size as u32 - 1, next_base, w.sample(rng)));
+    }
+    WGraph::connected_from_edges(n, &edges).expect("ring of cliques is connected by construction")
+}
+
+/// The `dim`-dimensional hypercube: `2^dim` nodes, an edge whenever two
+/// ids differ in exactly one bit (diameter `dim`, degree `dim` — the
+/// low-diameter, vertex-transitive extreme).
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ dim ≤ 20`.
+pub fn hypercube<R: Rng + ?Sized>(dim: u32, w: Weights, rng: &mut R) -> WGraph {
+    assert!((1..=20).contains(&dim), "dim must be in 1..=20");
+    let n = 1usize << dim;
+    let mut edges = Vec::with_capacity(n * dim as usize / 2);
+    for v in 0..n as u32 {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if u > v {
+                edges.push((v, u, w.sample(rng)));
+            }
+        }
+    }
+    WGraph::connected_from_edges(n, &edges).expect("hypercube is connected by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_is_connected_sized_and_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = power_law(400, 2, Weights::Unit, &mut rng);
+        assert_eq!(g.len(), 400);
+        assert!(g.is_connected());
+        // m = C(3,2) + 2·(n − 3) seed+attachment edges.
+        assert_eq!(g.num_edges(), 3 + 2 * (400 - 3));
+        // Heavy tail: some hub collects far more than the attach degree.
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg >= 20, "no hub emerged (max degree {max_deg})");
+        // Determinism per seed.
+        let mut rng2 = SmallRng::seed_from_u64(1);
+        let g2 = power_law(400, 2, Weights::Unit, &mut rng2);
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = ring_of_cliques(5, 4, Weights::Uniform { lo: 1, hi: 9 }, &mut rng);
+        assert_eq!(g.len(), 20);
+        assert!(g.is_connected());
+        // 5 cliques of C(4,2) = 6 edges plus 5 bridges.
+        assert_eq!(g.num_edges(), 5 * 6 + 5);
+        // The ring of bottlenecks keeps the hop diameter linear in the
+        // number of cliques.
+        assert!(algo::hop_diameter(&g) >= 5);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = hypercube(5, Weights::Unit, &mut rng);
+        assert_eq!(g.len(), 32);
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 32 * 5 / 2);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+        assert_eq!(algo::hop_diameter(&g), 5);
+    }
+}

@@ -4,12 +4,14 @@
 //! RNG so runs are reproducible from a seed.
 
 mod basic;
+mod families;
 mod figure1;
 mod random;
 mod special;
 mod weights;
 
 pub use basic::{balanced_tree, complete, cycle, grid, path, star, torus};
+pub use families::{hypercube, power_law, ring_of_cliques};
 pub use figure1::{figure1, Figure1};
 pub use random::{gnp_connected, random_tree, watts_strogatz};
 pub use special::{dumbbell, lollipop, weighted_clique_multihop};

@@ -8,14 +8,18 @@
 //! queries are a binary search and batch queries stream through dense
 //! memory with no per-query hashing or allocation.
 
-use crate::{Backend, DistanceOracle, OracleBuildMetrics, OracleBuilder, TracedRoute};
+use crate::{
+    Backend, BuildError, BuildMode, DistanceOracle, OracleBuildMetrics, OracleBuilder, TracedRoute,
+};
 use baselines::{bellman_ford_apsp, flooding_apsp, ExactTz};
-use compact::{build_hierarchy, build_truncated, CompactParams, CompactScheme, HorizonMode};
+use compact::{
+    try_build_hierarchy, try_build_truncated, CompactParams, CompactScheme, HorizonMode,
+};
 use compact::{TruncatedScheme, UpperMode};
 use congest::{NodeId, Topology};
 use graphs::{WGraph, INF};
-use pde_core::{approx_apsp_with, run_pde, FlatTables, PdeParams};
-use routing::{build_rtc, RoutingScheme, RtcParams, RtcScheme};
+use pde_core::{approx_apsp_opts, run_pde, FlatTables, PdeParams};
+use routing::{try_build_rtc, RoutingScheme, RtcParams, RtcScheme};
 
 /// Traces a route by repeatedly applying `next` into the caller's buffer,
 /// validating that every hop is a real edge; `false` (with `out` cleared)
@@ -473,9 +477,9 @@ pub(crate) fn set_build_nanos(inner: &mut Inner, nanos: u64) {
     m.build_nanos = nanos;
 }
 
-pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
+pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Result<Inner, BuildError> {
     let n = g.len();
-    match b.backend() {
+    let inner = match b.backend() {
         Backend::Pde => {
             let sources = match b.knob_sources() {
                 Some(s) => {
@@ -486,7 +490,9 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
             };
             let h = b.knob_horizon().unwrap_or(n as u64);
             let sigma = b.knob_sigma().unwrap_or(n);
-            let params = PdeParams::new(h, sigma, b.knob_eps()).with_threads(b.knob_threads());
+            let params = PdeParams::new(h, sigma, b.knob_eps())
+                .with_threads(b.knob_threads())
+                .with_mode(b.knob_mode());
             let out = run_pde(g, &sources, &vec![false; n], &params);
             let m = metrics(
                 Backend::Pde,
@@ -505,7 +511,7 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
             })
         }
         Backend::ApproxApsp => {
-            let a = approx_apsp_with(g, b.knob_eps(), b.knob_threads());
+            let a = approx_apsp_opts(g, b.knob_eps(), b.knob_threads(), b.knob_mode());
             let mut dist = vec![0u64; n * n];
             for u in g.nodes() {
                 for v in g.nodes() {
@@ -533,8 +539,10 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
                 eps: b.knob_eps(),
                 c: b.knob_c(),
                 seed: b.knob_seed(),
+                mode: b.knob_mode(),
+                threads: b.knob_threads(),
             };
-            let scheme = build_rtc(g, &params);
+            let scheme = try_build_rtc(g, &params)?;
             let m = metrics(
                 Backend::Rtc,
                 n,
@@ -557,8 +565,10 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
                 horizon: b
                     .knob_horizon()
                     .map_or(HorizonMode::Lemma47, HorizonMode::Spd),
+                mode: b.knob_mode(),
+                threads: b.knob_threads(),
             };
-            let scheme = build_hierarchy(g, &params);
+            let scheme = try_build_hierarchy(g, &params)?;
             let m = metrics(
                 Backend::Compact,
                 n,
@@ -586,8 +596,10 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
                 c: b.knob_c(),
                 seed: b.knob_seed(),
                 horizon: HorizonMode::Lemma47,
+                mode: b.knob_mode(),
+                threads: b.knob_threads(),
             };
-            let scheme = build_truncated(g, &params, l0, UpperMode::Local);
+            let scheme = try_build_truncated(g, &params, l0, UpperMode::Local)?;
             let m = metrics(
                 Backend::Truncated,
                 n,
@@ -613,19 +625,39 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
             })
         }
         Backend::BellmanFord => {
-            let bf = bellman_ford_apsp(g);
-            let mut dist = vec![0u64; n * n];
-            for u in g.nodes() {
-                for v in g.nodes() {
-                    dist[u.index() * n + v.index()] = bf.dist(u, v);
+            // Both engines produce the exact distance matrix; the
+            // simulation only adds the Θ(n²)-round measurement, so the
+            // native build computes the identical artifact centrally.
+            let (dist, m) = match b.knob_mode() {
+                BuildMode::Simulated => {
+                    let bf = bellman_ford_apsp(g);
+                    let mut dist = vec![0u64; n * n];
+                    for u in g.nodes() {
+                        for v in g.nodes() {
+                            dist[u.index() * n + v.index()] = bf.dist(u, v);
+                        }
+                    }
+                    (
+                        dist,
+                        metrics(
+                            Backend::BellmanFord,
+                            n,
+                            bf.metrics.rounds,
+                            bf.metrics.messages,
+                        ),
+                    )
                 }
-            }
-            let m = metrics(
-                Backend::BellmanFord,
-                n,
-                bf.metrics.rounds,
-                bf.metrics.messages,
-            );
+                BuildMode::Native => {
+                    let exact = graphs::algo::apsp(g);
+                    let mut dist = vec![0u64; n * n];
+                    for u in g.nodes() {
+                        for v in g.nodes() {
+                            dist[u.index() * n + v.index()] = exact.dist(u, v);
+                        }
+                    }
+                    (dist, metrics(Backend::BellmanFord, n, 0, 0))
+                }
+            };
             Inner::Bf(BfOracle {
                 n,
                 dist,
@@ -633,22 +665,41 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Inner {
             })
         }
         Backend::Flooding => {
-            let fl = flooding_apsp(g);
+            // The flooded artifact (exact distances + first hops + LSDB
+            // size) is already computed centrally after the flood; the
+            // native build skips the flood and keeps the identical
+            // artifact.
+            let (apsp, first_hops, lsdb_edges, m) = match b.knob_mode() {
+                BuildMode::Simulated => {
+                    let fl = flooding_apsp(g);
+                    let m = metrics(Backend::Flooding, n, fl.metrics.rounds, fl.metrics.messages);
+                    (fl.apsp, fl.first_hops, fl.lsdb_edges, m)
+                }
+                BuildMode::Native => {
+                    let (apsp, first_hops) = graphs::algo::apsp_with_first_hops(g);
+                    (
+                        apsp,
+                        first_hops,
+                        g.num_edges(),
+                        metrics(Backend::Flooding, n, 0, 0),
+                    )
+                }
+            };
             let mut dist = vec![0u64; n * n];
             for u in g.nodes() {
                 for v in g.nodes() {
-                    dist[u.index() * n + v.index()] = fl.apsp.dist(u, v);
+                    dist[u.index() * n + v.index()] = apsp.dist(u, v);
                 }
             }
-            let m = metrics(Backend::Flooding, n, fl.metrics.rounds, fl.metrics.messages);
             Inner::Flood(FloodOracle {
                 g: g.clone(),
                 topo: g.to_topology(),
                 dist,
-                next: fl.first_hops,
-                lsdb_edges: fl.lsdb_edges,
+                next: first_hops,
+                lsdb_edges,
                 metrics: m,
             })
         }
-    }
+    };
+    Ok(inner)
 }

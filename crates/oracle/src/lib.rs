@@ -69,6 +69,12 @@ pub use backends::{
     TzOracle,
 };
 pub use eval::{evaluate, evaluate_with, EvalReport};
+/// The shared staged build pipeline (stage logs, sampling, virtual-graph
+/// assembly, recoverable [`BuildError`]s) — re-exported from `pde_core`
+/// so `oracle::pipeline` is the one documented entry point.
+pub use pde_core::pipeline;
+pub use pde_core::pipeline::BuildError;
+pub use pde_core::BuildMode;
 pub use routing::PairSelection;
 
 /// A fully traced route: the visited nodes (`u` first, destination last),
@@ -97,14 +103,9 @@ impl TracedRoute {
 
 /// Resolves a `threads` knob exactly like `pde_core::run_pde` does
 /// (`0` = [`std::thread::available_parallelism`], otherwise the given
-/// count), additionally capped by the number of work items.
-fn resolve_threads(threads: usize, items: usize) -> usize {
-    let t = match threads {
-        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
-        t => t,
-    };
-    t.min(items.max(1))
-}
+/// count), additionally capped by the number of work items — one shared
+/// implementation for every threaded surface in the workspace.
+use pde_core::pipeline::resolve_threads;
 
 /// Build-time metrics common to every backend.
 #[derive(Clone, Copy, Debug)]
@@ -317,6 +318,7 @@ pub struct OracleBuilder {
     backend: Backend,
     seed: Seed,
     threads: usize,
+    mode: BuildMode,
     eps: f64,
     k: u32,
     c: f64,
@@ -328,13 +330,17 @@ pub struct OracleBuilder {
 
 impl OracleBuilder {
     /// A builder for `backend` with default knobs: `seed 0xC0FFEE`,
-    /// automatic `threads`, `eps 0.25`, `k 2`, `c 2.0`, and full-coverage
+    /// automatic `threads`, **native build mode** (the serving default —
+    /// use [`OracleBuilder::build_mode`] with [`BuildMode::Simulated`]
+    /// for round-accurate CONGEST measurements; artifacts are identical
+    /// either way), `eps 0.25`, `k 2`, `c 2.0`, and full-coverage
     /// `horizon`/`sigma`.
     pub fn new(backend: Backend) -> Self {
         OracleBuilder {
             backend,
             seed: Seed(0xC0FFEE),
             threads: 0,
+            mode: BuildMode::Native,
             eps: 0.25,
             k: 2,
             c: 2.0,
@@ -343,6 +349,18 @@ impl OracleBuilder {
             l0: None,
             sources: None,
         }
+    }
+
+    /// Build engine: [`BuildMode::Native`] (default; centralized, fast,
+    /// charges no rounds) or [`BuildMode::Simulated`] (runs the CONGEST
+    /// protocols and reports their rounds/messages in
+    /// [`OracleBuildMetrics`]). Scheme artifacts, snapshots and query
+    /// answers are **byte-identical** across modes — pinned by
+    /// `tests/build_parity.rs` and the `builds --smoke` CI step.
+    #[must_use]
+    pub fn build_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// RNG seed for every random choice of the build.
@@ -417,14 +435,36 @@ impl OracleBuilder {
     /// # Panics
     ///
     /// Panics on invalid knob combinations (e.g. `k < 2` for
-    /// [`Backend::Truncated`]) and on the underlying builders' failure
-    /// modes (disconnected inputs, failed w.h.p. events).
+    /// [`Backend::Truncated`]), on structurally invalid inputs
+    /// (disconnected graphs), and on a [`BuildError`] that survived the
+    /// builders' one-resample retry (see [`OracleBuilder::try_build`]
+    /// for the recoverable form).
     pub fn build(&self, g: &WGraph) -> Oracle {
+        self.try_build(g)
+            .unwrap_or_else(|e| panic!("{} build failed after one resample: {e}", self.backend))
+    }
+
+    /// Builds the oracle, surfacing recoverable sampling failures.
+    ///
+    /// The scheme builders retry each failed w.h.p. event once on a
+    /// [`Seed::derive`]d resample; if the retry also fails, the
+    /// [`BuildError`] is returned here instead of panicking, so callers
+    /// can re-seed or raise `c` programmatically.
+    ///
+    /// # Errors
+    ///
+    /// The [`BuildError`] of the second failed attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid knob combinations and disconnected inputs (those
+    /// are caller bugs, not sampling luck).
+    pub fn try_build(&self, g: &WGraph) -> Result<Oracle, BuildError> {
         let start = Instant::now();
-        let mut inner = backends::build_inner(self, g);
+        let mut inner = backends::build_inner(self, g)?;
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         backends::set_build_nanos(&mut inner, nanos);
-        Oracle { inner }
+        Ok(Oracle { inner })
     }
 
     pub(crate) fn backend(&self) -> Backend {
@@ -435,6 +475,9 @@ impl OracleBuilder {
     }
     pub(crate) fn knob_threads(&self) -> usize {
         self.threads
+    }
+    pub(crate) fn knob_mode(&self) -> BuildMode {
+        self.mode
     }
     pub(crate) fn knob_eps(&self) -> f64 {
         self.eps
@@ -488,6 +531,19 @@ impl Oracle {
     /// malformed payload.
     pub fn load<R: Read>(source: &mut R) -> io::Result<Oracle> {
         snapshot::load(source)
+    }
+
+    /// The **canonical artifact bytes**: the [`Oracle::save`] stream with
+    /// every volatile measurement field (CONGEST rounds, messages, build
+    /// wall-clock) written as zero. This is the build-identity witness:
+    /// for the same graph, seed and knobs, simulated and native builds —
+    /// at any thread count — produce identical canonical bytes (asserted
+    /// by `tests/build_parity.rs` and `experiments -- builds --smoke`).
+    /// The returned stream is itself a loadable snapshot.
+    pub fn artifact_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        snapshot::save_canonical(self, &mut bytes).expect("writing to a Vec cannot fail");
+        bytes
     }
 
     fn as_dyn(&self) -> &dyn DistanceOracle {

@@ -46,6 +46,15 @@ const HEADER_BYTES: u64 = 4 + 2 + 1 + 4 * 8;
 /// serialized size can be measured through a counting sink).
 pub(crate) trait Payload {
     fn write_payload(&self, sink: &mut dyn Write) -> io::Result<()>;
+
+    /// The canonical-artifact form of the payload: identical to
+    /// [`Payload::write_payload`] except that embedded *measurement*
+    /// fields (round/message totals of the distributed schemes) are
+    /// written as zeros. Backends whose payload carries no measurements
+    /// use the default (their payloads are already canonical).
+    fn write_payload_canonical(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.write_payload(sink)
+    }
 }
 
 /// Serialized size of a backend in bits: fixed header plus payload.
@@ -57,24 +66,43 @@ pub(crate) fn size_bits_of<P: Payload>(p: &P) -> u64 {
 }
 
 pub(crate) fn save(oracle: &Oracle, sink: &mut dyn Write) -> io::Result<()> {
+    save_opts(oracle, sink, false)
+}
+
+/// The canonical artifact stream: [`save`] with the volatile measurement
+/// fields (header rounds/messages/nanos and every scheme-embedded round
+/// total) written as zeros — see [`crate::Oracle::artifact_bytes`].
+pub(crate) fn save_canonical(oracle: &Oracle, sink: &mut dyn Write) -> io::Result<()> {
+    save_opts(oracle, sink, true)
+}
+
+fn save_opts(oracle: &Oracle, sink: &mut dyn Write, canonical: bool) -> io::Result<()> {
     let m = *oracle.inner.as_dyn().build_metrics();
     let mut w = WireWriter::new(sink);
     w.bytes(MAGIC)?;
     w.u16(VERSION)?;
     w.u8(m.backend.tag())?;
     w.usize(m.n)?;
-    w.u64(m.rounds)?;
-    w.u64(m.messages)?;
-    w.u64(m.build_nanos)?;
+    let zero = |x: u64| if canonical { 0 } else { x };
+    w.u64(zero(m.rounds))?;
+    w.u64(zero(m.messages))?;
+    w.u64(zero(m.build_nanos))?;
+    let write = |p: &dyn Payload, sink: &mut dyn Write| {
+        if canonical {
+            p.write_payload_canonical(sink)
+        } else {
+            p.write_payload(sink)
+        }
+    };
     match &oracle.inner {
-        Inner::Pde(o) => o.write_payload(sink),
-        Inner::Aps(o) => o.write_payload(sink),
-        Inner::Rtc(o) => o.write_payload(sink),
-        Inner::Compact(o) => o.write_payload(sink),
-        Inner::Truncated(o) => o.write_payload(sink),
-        Inner::Tz(o) => o.write_payload(sink),
-        Inner::Bf(o) => o.write_payload(sink),
-        Inner::Flood(o) => o.write_payload(sink),
+        Inner::Pde(o) => write(o, sink),
+        Inner::Aps(o) => write(o, sink),
+        Inner::Rtc(o) => write(o, sink),
+        Inner::Compact(o) => write(o, sink),
+        Inner::Truncated(o) => write(o, sink),
+        Inner::Tz(o) => write(o, sink),
+        Inner::Bf(o) => write(o, sink),
+        Inner::Flood(o) => write(o, sink),
     }
 }
 
@@ -219,6 +247,13 @@ macro_rules! scheme_payload {
                 w.u32(self.k)?;
                 w.f64(self.eps)?;
                 self.scheme.write_into(sink)
+            }
+
+            fn write_payload_canonical(&self, sink: &mut dyn Write) -> io::Result<()> {
+                let mut w = WireWriter::new(sink);
+                w.u32(self.k)?;
+                w.f64(self.eps)?;
+                self.scheme.write_canonical_into(sink)
             }
         }
 

@@ -37,4 +37,6 @@ pub mod skeleton;
 pub mod snapshot;
 
 pub use eval::{evaluate, EvalReport, PairSelection, RoutingScheme};
-pub use scheme::{build_rtc, RtcBuildMetrics, RtcLabel, RtcParams, RtcScheme};
+pub use pde_core::pipeline::BuildError;
+pub use pde_core::BuildMode;
+pub use scheme::{build_rtc, try_build_rtc, RtcBuildMetrics, RtcLabel, RtcParams, RtcScheme};

@@ -1,12 +1,26 @@
 //! Construction of the Theorem 4.5 routing scheme.
+//!
+//! [`build_rtc`] is a *declarative stage list* over the shared build
+//! pipeline (`pde_core::pipeline`) and the PDE ladder kernel
+//! (`pde_core::ladder`): sample → short-range ladder → homes → skeleton
+//! ladder → virtual graph → spanner (+ broadcast) → spanner APSP → trees.
+//! Every stage is a pure function of the canonical ladder artifacts and
+//! the seed, so [`BuildMode::Simulated`] and [`BuildMode::Native`] builds
+//! produce byte-identical schemes; the simulated build additionally
+//! charges the paper's rounds (recorded per stage in
+//! [`RtcBuildMetrics::stages`]).
 
 use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
 use congest::{bits_for, label_record_bits, Message, Metrics, NodeId, Topology};
 use graphs::{DenseIndex, Seed, WGraph, INF};
-use pde_core::{run_pde, FlatTables, PdeEntry, PdeParams, RouteTable};
+use pde_core::pipeline::{
+    self, closest_tagged, mutual_edges, parallel_map, virtual_graph, with_resample, BuildError,
+    StageLog,
+};
+use pde_core::{run_pde, BuildMode, FlatTables, PdeEntry, PdeParams};
 use spanner::baswana_sen;
-use treeroute::{label_forest, TreeSet};
+use treeroute::TreeSet;
 
 use crate::skeleton::{sample_skeleton, theorem45_probability};
 
@@ -23,17 +37,39 @@ pub struct RtcParams {
     /// RNG seed; skeleton sampling and spanner coins use independent
     /// streams derived from it (see [`graphs::Seed::derive`]).
     pub seed: Seed,
+    /// Build engine (see [`BuildMode`]); artifacts are identical across
+    /// modes.
+    pub mode: BuildMode,
+    /// Worker threads for ladder rungs and native stages (`0` = auto,
+    /// `1` = sequential); outputs are identical for every value.
+    pub threads: usize,
 }
 
 impl RtcParams {
-    /// Sensible defaults for a given `k`.
+    /// Sensible defaults for a given `k` (simulated build, auto threads).
     pub fn new(k: u32) -> Self {
         RtcParams {
             k,
             eps: 0.25,
             c: 2.0,
             seed: Seed(0xC0FFEE),
+            mode: BuildMode::Simulated,
+            threads: 0,
         }
+    }
+
+    /// Sets the build engine.
+    #[must_use]
+    pub fn with_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -63,7 +99,7 @@ impl RtcLabel {
 #[derive(Clone, Debug)]
 pub struct RtcBuildMetrics {
     /// Total rounds across all stages (the quantity Theorem 4.5 bounds by
-    /// `Õ(n^{1/2+1/(4k)} + D)`).
+    /// `Õ(n^{1/2+1/(4k)} + D)`; 0 for native builds).
     pub total_rounds: u64,
     /// Rounds of the `(V, h, σ)`-estimation (short range).
     pub pde_a_rounds: u64,
@@ -83,6 +119,10 @@ pub struct RtcBuildMetrics {
     pub sample_attempts: u32,
     /// The horizon/list size `h = σ` used.
     pub h: u64,
+    /// The declarative stage list this build executed, with per-stage
+    /// rounds (measurement metadata; not serialized — reloaded schemes
+    /// carry an empty log).
+    pub stages: StageLog,
 }
 
 /// Item shipped through the pipelined broadcast: a spanner edge or a
@@ -228,52 +268,52 @@ impl RtcScheme {
     }
 }
 
-/// Traces the next-hop chain `from → … → to` through per-node route maps.
+// Next-hop chain tracing is shared pipeline machinery now; keep the
+// crate-local name the query/tree code uses.
+pub(crate) use pde_core::pipeline::trace_chain;
+
+/// Builds the Theorem 4.5 scheme on `g`, panicking on unrecoverable
+/// sampling failures (see [`try_build_rtc`] for the fallible form).
 ///
 /// # Panics
 ///
-/// Panics if the chain is broken or fails to make strict progress — that
-/// would falsify the greedy-forwarding invariant (Lemma 4.4 analogue).
-pub(crate) fn trace_chain(
-    routes: &[RouteTable],
-    topo: &Topology,
-    from: NodeId,
-    to: NodeId,
-) -> Vec<NodeId> {
-    let mut path = vec![from];
-    let mut cur = from;
-    let mut est = u64::MAX;
-    while cur != to {
-        let r = routes[cur.index()]
-            .get(&to)
-            .unwrap_or_else(|| panic!("broken chain: {cur} has no entry for {to}"));
-        assert!(
-            r.est < est,
-            "chain stalled at {cur} (est {} -> {})",
-            est,
-            r.est
-        );
-        est = r.est;
-        cur = topo.neighbor(cur, r.port);
-        path.push(cur);
-        assert!(path.len() <= topo.len() * 4, "chain exceeded hop cap");
-    }
-    path
+/// Panics on disconnected inputs, and — loudly, with advice — if a
+/// w.h.p. event (a node seeing no skeleton node, a disconnected skeleton
+/// graph) fails on both the primary sample and the one derived resample.
+pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
+    try_build_rtc(g, params)
+        .unwrap_or_else(|e| panic!("RTC build failed after one resample: {e} (RtcParams::c)"))
 }
 
-/// Builds the Theorem 4.5 scheme on `g`.
+/// Builds the Theorem 4.5 scheme, retrying once on a
+/// [`Seed::derive`]d resample when a w.h.p. event fails.
+///
+/// # Errors
+///
+/// Returns the second attempt's [`BuildError`] when both samples fail.
 ///
 /// # Panics
 ///
-/// Panics on disconnected inputs, and — loudly, with advice — if the
-/// sampled skeleton graph is disconnected or some node fails to see a
-/// skeleton node (both are w.h.p. events whose failure at small scale
-/// means the constant `c` must be raised).
-pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
+/// Panics on structurally invalid inputs (fewer than two nodes, a
+/// disconnected graph).
+pub fn try_build_rtc(g: &WGraph, params: &RtcParams) -> Result<RtcScheme, BuildError> {
+    assert!(g.len() >= 2, "need at least two nodes");
+    with_resample(params.seed, |seed, _attempt| {
+        let p = RtcParams {
+            seed,
+            ..params.clone()
+        };
+        build_attempt(g, &p)
+    })
+}
+
+/// One build attempt at a fixed seed: the declarative stage list.
+fn build_attempt(g: &WGraph, params: &RtcParams) -> Result<RtcScheme, BuildError> {
     let n = g.len();
-    assert!(n >= 2, "need at least two nodes");
+    let mode = params.mode;
     let topo = g.to_topology();
     let mut total = Metrics::new(n);
+    let mut stages = StageLog::default();
 
     // Stage 1: skeleton sampling (node-local coins; no rounds). The
     // sample uses the seed's primary stream; the spanner below gets an
@@ -281,6 +321,7 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
     let p = theorem45_probability(n, params.k);
     let (skeleton, sample_attempts) = sample_skeleton(n, p, params.seed);
     let skel_ids: Vec<NodeId> = g.nodes().filter(|v| skeleton[v.index()]).collect();
+    stages.push("skeleton-sample", 0);
 
     // Stage 2: (V, h, σ)-estimation with skeleton tags.
     let h = ((params.c * (n as f64).ln() / p).ceil() as u64).clamp(1, 4 * n as u64);
@@ -289,93 +330,86 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
         g,
         &vec![true; n],
         &skeleton,
-        &PdeParams::new(h, sigma, params.eps),
+        &PdeParams::new(h, sigma, params.eps)
+            .with_threads(params.threads)
+            .with_mode(mode),
     );
     let pde_a_rounds = pde_a.metrics.total.rounds;
     total.absorb(&pde_a.metrics.total);
+    stages.push("pde-short-range", pde_a_rounds);
 
     // Pivots s'_v: closest tagged source (v itself if sampled).
-    let labels_home: Vec<(NodeId, u64)> = g
-        .nodes()
-        .map(|v| {
-            if skeleton[v.index()] {
-                return (v, 0);
-            }
-            pde_a.routes[v.index()]
-                .iter()
-                .filter(|(s, _)| skeleton[s.index()])
-                .map(|(&s, r)| (r.est, s))
-                .min()
-                .map(|(e, s)| (s, e))
-                .unwrap_or_else(|| {
-                    panic!("node {v} saw no skeleton node; raise RtcParams::c (h={h})")
-                })
-        })
-        .collect();
+    let mut labels_home = Vec::with_capacity(n);
+    for v in g.nodes() {
+        if skeleton[v.index()] {
+            labels_home.push((v, 0));
+            continue;
+        }
+        match closest_tagged(&pde_a.routes[v.index()], &skeleton) {
+            Some(home) => labels_home.push(home),
+            None => return Err(BuildError::NoSkeletonSeen { node: v, h }),
+        }
+    }
+    stages.push("home-selection", 0);
 
     // Stage 3: (S, h, |S|)-estimation.
     let pde_s = run_pde(
         g,
         &skeleton,
         &vec![false; n],
-        &PdeParams::new(h, skel_ids.len().max(1), params.eps),
+        &PdeParams::new(h, skel_ids.len().max(1), params.eps)
+            .with_threads(params.threads)
+            .with_mode(mode),
     );
     let pde_s_rounds = pde_s.metrics.total.rounds;
     total.absorb(&pde_s.metrics.total);
+    stages.push("pde-skeleton", pde_s_rounds);
 
     // Virtual skeleton graph: edge {s,t} iff both endpoints estimated each
     // other; weight = max of the two estimates (both are routable upper
     // bounds; see DESIGN.md).
     let skel_index = DenseIndex::new(n, &skel_ids);
-    let mut sedges: Vec<(u32, u32, u64)> = Vec::new();
-    for (i, &s) in skel_ids.iter().enumerate() {
-        for (&t, r) in &pde_s.routes[s.index()] {
-            if let Some(j) = skel_index.get(t) {
-                if j > i {
-                    if let Some(back) = pde_s.routes[t.index()].get(&s) {
-                        sedges.push((i as u32, j as u32, r.est.max(back.est)));
-                    }
-                }
-            }
-        }
-    }
-    let skel_graph =
-        WGraph::from_edges(skel_ids.len().max(1), &sedges).expect("skeleton graph edges are valid");
-    assert!(
-        skel_ids.len() <= 1 || skel_graph.is_connected(),
-        "skeleton graph disconnected (|S|={}); raise RtcParams::c",
-        skel_ids.len()
-    );
+    let sedges = mutual_edges(&pde_s.routes, &skel_ids, &skel_index);
+    let skel_graph = virtual_graph(skel_ids.len(), &sedges, "skeleton graph")?;
+    stages.push("virtual-graph", 0);
 
-    // Stage 4: Baswana–Sen spanner + pipelined dissemination.
+    // Stage 4: Baswana–Sen spanner; in simulated builds its edges and
+    // cluster memberships are disseminated over a BFS tree (the measured
+    // `Õ(|S|^{1+1/k} + D)` term), in native builds the globally known
+    // spanner needs no broadcast.
     let mut spanner_rng = params.seed.derive(1).rng();
     let sp = baswana_sen(&skel_graph, params.k, &mut spanner_rng);
-    let (bfs, bfs_metrics) = build_bfs(&topo, NodeId(0));
-    total.absorb(&bfs_metrics);
-    let mut items: Vec<Vec<BsItem>> = vec![Vec::new(); n];
-    for &(a, b, w) in &sp.edges {
-        let origin = skel_ids[a as usize];
-        items[origin.index()].push(BsItem::Edge(a, b, w));
-    }
-    for &(phase, v, c) in &sp.memberships {
-        let origin = skel_ids[v as usize];
-        items[origin.index()].push(BsItem::Member(phase, v, c));
-    }
-    let (_, bc_metrics) = broadcast_all(&topo, &bfs, items);
-    let spanner_broadcast_rounds = bc_metrics.rounds;
-    total.absorb(&bc_metrics);
+    let spanner_broadcast_rounds = match mode {
+        BuildMode::Simulated => {
+            let (bfs, bfs_metrics) = build_bfs(&topo, NodeId(0));
+            total.absorb(&bfs_metrics);
+            let mut items: Vec<Vec<BsItem>> = vec![Vec::new(); n];
+            for &(a, b, w) in &sp.edges {
+                let origin = skel_ids[a as usize];
+                items[origin.index()].push(BsItem::Edge(a, b, w));
+            }
+            for &(phase, v, c) in &sp.memberships {
+                let origin = skel_ids[v as usize];
+                items[origin.index()].push(BsItem::Member(phase, v, c));
+            }
+            let (_, bc_metrics) = broadcast_all(&topo, &bfs, items);
+            total.absorb(&bc_metrics);
+            bc_metrics.rounds
+        }
+        BuildMode::Native => 0,
+    };
+    stages.push("spanner-broadcast", spanner_broadcast_rounds);
 
     // Spanner APSP + next-hop matrix (computable locally by every node
-    // since the spanner is globally known). One Dijkstra per skeleton node
-    // on a graph built once.
+    // since the spanner is globally known — no rounds in either mode).
+    // One Dijkstra per skeleton node, sharded over the worker threads;
+    // rows land in index order, so outputs are thread-count invariant.
     let span_graph = skel_graph_from(&skel_ids, &sp.edges);
     let m = skel_ids.len();
-    let mut span_dist = vec![INF; m * m];
-    let mut span_next = vec![usize::MAX; m * m];
-    for i in 0..m {
+    let rows = parallel_map(params.threads, m, |i| {
         let sp_row = graphs::algo::dijkstra(&span_graph, NodeId(i as u32));
-        for j in 0..m {
-            span_dist[i * m + j] = sp_row.dist[j];
+        let mut next = vec![usize::MAX; m];
+        for (j, nx) in next.iter_mut().enumerate() {
             if i != j && sp_row.dist[j] != INF {
                 // First hop from i towards j: walk parents back from j.
                 let mut cur = NodeId(j as u32);
@@ -385,12 +419,22 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
                     }
                     cur = par;
                 }
-                span_next[i * m + j] = cur.index();
+                *nx = cur.index();
             }
         }
+        (sp_row.dist, next)
+    });
+    let mut span_dist = Vec::with_capacity(m * m);
+    let mut span_next = Vec::with_capacity(m * m);
+    for (dist_row, next_row) in rows {
+        span_dist.extend(dist_row);
+        span_next.extend(next_row);
     }
+    stages.push("spanner-apsp", 0);
 
-    // Stage 5: detection trees T_s from pivot chains + distributed labels.
+    // Stage 5: detection trees T_s from pivot chains; labels are the
+    // central DFS labels of the TreeSet, validated by (and charged as)
+    // the distributed labeling protocol in simulated builds.
     let mut trees = TreeSet::new();
     for v in g.nodes() {
         let (home, _) = labels_home[v.index()];
@@ -398,9 +442,10 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
         trees.add_chain(&chain);
     }
     trees.build();
-    let labeling = label_forest(&topo, &trees);
-    let tree_label_rounds = labeling.metrics.rounds;
-    total.absorb(&labeling.metrics);
+    let label_metrics = pipeline::label_trees(&topo, &trees, mode);
+    let tree_label_rounds = label_metrics.rounds;
+    total.absorb(&label_metrics);
+    stages.push("tree-labels", tree_label_rounds);
 
     let labels: Vec<RtcLabel> = g
         .nodes()
@@ -435,6 +480,7 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
         spanner_edge_count: spanner_edges.len(),
         sample_attempts,
         h,
+        stages,
     };
 
     let skel_routes = FlatTables::from_tables(&pde_s.routes);
@@ -446,7 +492,7 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
         &span_dist,
         &span_next,
     );
-    RtcScheme {
+    Ok(RtcScheme {
         topo,
         labels,
         short: FlatTables::from_tables(&pde_a.routes),
@@ -462,7 +508,7 @@ pub fn build_rtc(g: &WGraph, params: &RtcParams) -> RtcScheme {
         span_next,
         long_dist,
         long_hop,
-    }
+    })
 }
 
 fn skel_graph_from(skel_ids: &[NodeId], edges: &[(u32, u32, u64)]) -> WGraph {

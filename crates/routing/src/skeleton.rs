@@ -1,32 +1,11 @@
-//! Skeleton sampling.
+//! Skeleton sampling (now shared pipeline machinery).
+//!
+//! The sampler itself lives in the shared build pipeline
+//! ([`pde_core::pipeline::sample_skeleton`]) so every scheme draws its
+//! skeleton the same way; this module keeps the Theorem 4.5 probability
+//! and re-exports the sampler under its historical path.
 
-use graphs::Seed;
-use rand::Rng;
-
-/// Samples each node into the skeleton independently with probability `p`,
-/// retrying (fresh coins) until the skeleton is nonempty. The coins come
-/// from `seed`'s own stream (see [`graphs::Seed`]), so the sample is a
-/// pure function of `(n, p, seed)`.
-///
-/// The paper conditions on `S ≠ ∅` ("for convenience, we assume that
-/// always `S ≠ ∅`, which holds w.h.p."); at simulation scale an empty
-/// sample can actually happen, so we retry and report the attempt count.
-///
-/// # Panics
-///
-/// Panics if `p` is not in `(0, 1]` or after 1000 failed attempts
-/// (p astronomically small for the given n — a caller bug).
-pub fn sample_skeleton(n: usize, p: f64, seed: Seed) -> (Vec<bool>, u32) {
-    assert!(p > 0.0 && p <= 1.0, "sampling probability out of range");
-    let mut rng = seed.rng();
-    for attempt in 1..=1000 {
-        let flags: Vec<bool> = (0..n).map(|_| rng.random_bool(p)).collect();
-        if flags.iter().any(|&f| f) {
-            return (flags, attempt);
-        }
-    }
-    panic!("skeleton sampling failed 1000 times (n={n}, p={p})");
-}
+pub use pde_core::pipeline::sample_skeleton;
 
 /// The sampling probability of Theorem 4.5: `p = n^{−1/2−1/(4k)}`.
 pub fn theorem45_probability(n: usize, k: u32) -> f64 {
@@ -39,30 +18,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sample_is_nonempty_and_deterministic() {
-        for s in 0..50u64 {
-            let (flags, _) = sample_skeleton(30, 0.05, Seed(s));
-            assert!(flags.iter().any(|&f| f));
-            assert_eq!(flags.len(), 30);
-            assert_eq!(flags, sample_skeleton(30, 0.05, Seed(s)).0);
-        }
-    }
-
-    #[test]
     fn probability_shrinks_with_k_and_n() {
         assert!(theorem45_probability(100, 1) < theorem45_probability(100, 3));
         assert!(theorem45_probability(1000, 2) < theorem45_probability(100, 2));
         let p = theorem45_probability(64, 2);
         assert!((p - 64f64.powf(-0.625)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn sample_rate_tracks_p() {
-        let (flags, _) = sample_skeleton(20_000, 0.1, Seed(2));
-        let count = flags.iter().filter(|&&f| f).count();
-        assert!(
-            (1600..=2400).contains(&count),
-            "count {count} far from 2000"
-        );
     }
 }

@@ -38,6 +38,25 @@ impl RtcScheme {
     ///
     /// Propagates I/O errors from the sink.
     pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.write_into_opts(sink, false)
+    }
+
+    /// [`RtcScheme::write_into`] with the volatile *measurement* fields
+    /// (round and message totals) written as zeros. This is the
+    /// **canonical artifact form**: simulated and native builds of the
+    /// same graph and seed serialize to identical bytes through it (the
+    /// query state is identical by the determinism contract; only the
+    /// measured rounds differ, and those are metadata, not artifact).
+    /// The stream stays loadable by [`RtcScheme::read_from`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_canonical_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        self.write_into_opts(sink, true)
+    }
+
+    fn write_into_opts(&self, sink: &mut dyn Write, canonical: bool) -> io::Result<()> {
         WireWriter::new(sink).u16(RTC_RECORD_VERSION)?;
         self.topo.write_into(sink)?;
         let mut w = WireWriter::new(sink);
@@ -75,13 +94,14 @@ impl RtcScheme {
         self.trees.write_into(sink)?;
         let mut w = WireWriter::new(sink);
         let mt = &self.metrics;
-        w.u64(mt.total_rounds)?;
-        w.u64(mt.pde_a_rounds)?;
-        w.u64(mt.pde_s_rounds)?;
-        w.u64(mt.spanner_broadcast_rounds)?;
-        w.u64(mt.tree_label_rounds)?;
-        w.u64(mt.total.rounds)?;
-        w.u64(mt.total.messages)?;
+        let zero = |x: u64| if canonical { 0 } else { x };
+        w.u64(zero(mt.total_rounds))?;
+        w.u64(zero(mt.pde_a_rounds))?;
+        w.u64(zero(mt.pde_s_rounds))?;
+        w.u64(zero(mt.spanner_broadcast_rounds))?;
+        w.u64(zero(mt.tree_label_rounds))?;
+        w.u64(zero(mt.total.rounds))?;
+        w.u64(zero(mt.total.messages))?;
         w.u32(mt.sample_attempts)?;
         w.u64(mt.h)?;
         Ok(())
@@ -186,6 +206,7 @@ impl RtcScheme {
             spanner_edge_count: spanner_edges.len(),
             sample_attempts,
             h,
+            stages: Default::default(),
         };
         Ok(RtcScheme {
             topo,

@@ -43,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod native;
 mod program;
 mod reference;
 mod runner;
 
+pub use native::native_detection;
 pub use program::{SdEntry, SdMsg, SdProgram, SourceSpace};
 pub use reference::delayed_detection_reference;
 pub use runner::{run_detection, DetectParams, DetectionOutput, RouteEntry};

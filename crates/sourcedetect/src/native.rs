@@ -1,0 +1,491 @@
+//! Native (centralized) execution of `(S, h, σ)`-detection.
+//!
+//! [`native_detection`] computes the **canonical fixpoint** of the
+//! pipelined Lenzen–Peleg algorithm — the state every node reaches under
+//! *instant pipelining*, where an announcement of a `(dist, src)` pair is
+//! delivered at "time" `dist` with no queueing delay. Under that schedule
+//! a node announces a pair iff the pair is among the σ smallest of its
+//! **final** list (its rank among smaller pairs is already settled when
+//! the pair's distance is) and `dist < h`, so the result is a pure
+//! function of `(topology, sources, h, σ)` — no round scheduling, no
+//! arrival order.
+//!
+//! This is the artifact contract shared by the simulated and native build
+//! engines (see `pde_core::ladder`):
+//!
+//! * **Lists** are identical to the CONGEST execution's: both equal the
+//!   exact top-σ `(delay-distance, source)` pairs within horizon `h`
+//!   (the simulated lists by the Lenzen–Peleg theorem, pinned against
+//!   [`crate::delayed_detection_reference`] by the `runner` tests; the
+//!   canonical lists because every exact top-σ pair is relayed by its
+//!   shortest-path predecessor, whose own copy ranks within the top σ
+//!   with `dist < h` — the standard prefix argument).
+//! * **Routes** (the archive of best *received* `(dist, port)` per
+//!   source) are the canonical ones: best over announcements of the
+//!   idealized schedule, ties broken towards the smaller arrival port.
+//!   The round-by-round execution additionally receives announcements of
+//!   transient entries (pairs announced before better ones crowded them
+//!   out of the top σ) whose exact set depends on queueing order, so the
+//!   schemes assemble their artifacts from the canonical archive in both
+//!   build modes and the CONGEST run remains the round/message
+//!   *measurement*.
+//!
+//! The canonical archive keeps the invariants the schemes rely on: it
+//! contains every list entry (minus the node itself), and following a
+//! route entry's port strictly decreases the recorded distance by at
+//! least the arc's delay, so greedy forwarding is total and terminates.
+//!
+//! Algorithmically this is a bounded multi-source Dijkstra over the
+//! delayed arcs with a per-node announcement budget of σ, processed in
+//! globally increasing `(dist, source)` order via a bucket queue (delays
+//! are small integers), and per-`(node, source)` state in a dense matrix
+//! when `n·|S|` is small enough, else per-node hash rows. `O(Σ arrivals ·
+//! log)`-free: bucket draining plus one sort per bucket.
+
+use crate::program::{SdEntry, SourceSpace};
+use crate::runner::{DetectParams, DetectionOutput};
+use congest::{FxHashMap, Metrics, NodeId, Port, Topology};
+
+/// Sentinel for "no distance recorded" (mirrors the program's packing).
+const NONE32: u32 = u32::MAX;
+
+/// Cap on `n · |S|` for the dense per-(node, source) state matrix;
+/// above it the kernel falls back to per-node hash rows so memory tracks
+/// reached pairs. The switch is invisible in the output.
+const DENSE_STATE_LIMIT: usize = 1 << 24;
+
+/// Picks the state representation: dense only when the full matrix is
+/// both affordable *and* not grossly larger than the number of pairs the
+/// run can actually touch. Every node announces at most σ pairs per
+/// rung (the rank budget), so at most `2·m·σ + n` distinct
+/// `(node, source)` pairs are ever written; when the matrix dwarfs that
+/// (σ ≪ |S|, e.g. the σ = 4 simulator benchmarks), zeroing `n·|S|`
+/// entries per rung would dominate the whole run, and hash rows win.
+fn choose_dense(n: usize, s: usize, m_edges: usize, sigma: usize) -> bool {
+    let cells = n.saturating_mul(s);
+    let touched = m_edges
+        .saturating_mul(2)
+        .saturating_mul(sigma)
+        .saturating_add(n);
+    cells <= DENSE_STATE_LIMIT && cells <= touched.saturating_mul(8)
+}
+
+/// Per-`(node, source)` state: tentative/final best known distance plus
+/// the best *received* `(dist, port)` for the routing archive.
+#[derive(Clone, Copy, Debug)]
+struct NState {
+    dist: u32,
+    route_dist: u32,
+    route_port: Port,
+}
+
+const EMPTY: NState = NState {
+    dist: NONE32,
+    route_dist: NONE32,
+    route_port: 0,
+};
+
+/// Dense or sparse `(node, source) → NState` storage.
+enum StateTables {
+    Dense(Vec<NState>),
+    Sparse(Vec<FxHashMap<u32, NState>>),
+}
+
+impl StateTables {
+    fn new(n: usize, s: usize, dense: bool) -> Self {
+        if dense {
+            StateTables::Dense(vec![EMPTY; n * s])
+        } else {
+            StateTables::Sparse(std::iter::repeat_with(FxHashMap::default).take(n).collect())
+        }
+    }
+
+    #[inline]
+    fn get(&self, s: usize, v: usize, si: u32) -> NState {
+        match self {
+            StateTables::Dense(t) => t[v * s + si as usize],
+            StateTables::Sparse(rows) => rows[v].get(&si).copied().unwrap_or(EMPTY),
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, s: usize, v: usize, si: u32) -> &mut NState {
+        match self {
+            StateTables::Dense(t) => &mut t[v * s + si as usize],
+            StateTables::Sparse(rows) => rows[v].entry(si).or_insert(EMPTY),
+        }
+    }
+}
+
+/// Packs `(si, v)` into one sortable key: within a distance bucket, pairs
+/// are processed in `(source index, node)` order, which realizes the
+/// global `(dist, source)` processing order the canonical semantics needs
+/// (the node component is arbitrary but fixed — pairs of different nodes
+/// at the same `(dist, source)` never interact).
+#[inline]
+fn pack(si: u32, v: u32) -> u64 {
+    (u64::from(si) << 32) | u64::from(v)
+}
+
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Runs canonical `(S, h, σ)`-detection on `topo` (whose arc *delays*
+/// define the hop metric, exactly as in [`crate::run_detection`]).
+///
+/// Output shape matches [`crate::run_detection`]: per-node top-σ lists,
+/// per-node routing archives sorted by source id, per-node announcement
+/// counts (the idealized-schedule analogue of the broadcast counts), and
+/// zeroed simulator metrics (a native run charges no rounds).
+///
+/// # Panics
+///
+/// Panics if the flag slices are mis-sized or `h ≥ u32::MAX` (as the
+/// program does).
+pub fn native_detection(
+    topo: &Topology,
+    sources: &[bool],
+    tags: &[bool],
+    params: &DetectParams,
+) -> DetectionOutput {
+    let n = topo.len();
+    let s = sources.iter().filter(|&&f| f).count();
+    let dense = choose_dense(n, s, topo.num_edges(), params.sigma);
+    native_detection_impl(topo, sources, tags, params, dense)
+}
+
+/// [`native_detection`] with the state representation pinned (the choice
+/// is output-invisible; tests pin that directly).
+fn native_detection_impl(
+    topo: &Topology,
+    sources: &[bool],
+    tags: &[bool],
+    params: &DetectParams,
+    dense: bool,
+) -> DetectionOutput {
+    let n = topo.len();
+    assert_eq!(sources.len(), n, "one source flag per node");
+    assert_eq!(tags.len(), n, "one tag flag per node");
+    assert!(
+        params.h < u64::from(u32::MAX),
+        "horizon {} too large for the packed distance representation",
+        params.h
+    );
+    let h = params.h;
+    let sigma = params.sigma;
+    let cap = params.msg_cap.unwrap_or(u64::MAX);
+
+    let space = SourceSpace::new(sources, tags);
+    let s = space.len();
+    let mut state = StateTables::new(n, s, dense);
+    // Finalized-pair count per node (the rank of the next finalized pair)
+    // and announcements made (for the optional message cap).
+    let mut rank = vec![0u32; n];
+    let mut announced = vec![0u64; n];
+
+    // Bucket queue over distances 0..=d_max. Relaxations always move to
+    // a strictly larger bucket (delays are ≥ 1), so each bucket is
+    // sorted and drained exactly once. The horizon may far exceed any
+    // realizable delay distance (h' is a worst-case bound), so the array
+    // is additionally capped by the longest possible simple delay path.
+    let reach_cap = topo
+        .max_delay()
+        .saturating_mul(n.saturating_sub(1) as u64)
+        .min(h);
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); reach_cap as usize + 1];
+    for v in topo.nodes() {
+        if sources[v.index()] {
+            let si = space.index_of(v).expect("source is in the source space");
+            state.get_mut(s, v.index(), si).dist = 0;
+            buckets[0].push(pack(si, v.0));
+        }
+    }
+
+    let mut bucket = Vec::new();
+    for d in 0..=reach_cap {
+        std::mem::swap(&mut bucket, &mut buckets[d as usize]);
+        if bucket.is_empty() {
+            continue;
+        }
+        bucket.sort_unstable();
+        for &key in &bucket {
+            let (si, v) = unpack(key);
+            let vi = v as usize;
+            if u64::from(state.get(s, vi, si).dist) != d {
+                continue; // stale entry, improved before finalization
+            }
+            let r = rank[vi];
+            rank[vi] = r + 1;
+            // Announce iff within the final top σ, below the horizon, and
+            // under the message cap — the canonical counterpart of the
+            // program's pending-queue rules.
+            if u64::from(r) >= sigma as u64 || d >= h || announced[vi] >= cap {
+                continue;
+            }
+            announced[vi] += 1;
+            let vn = NodeId(v);
+            for (port, u, _w, delay) in topo.arcs(vn) {
+                debug_assert!(delay >= 1, "detection needs delays >= 1");
+                let nd = d.saturating_add(delay);
+                if nd > h {
+                    continue;
+                }
+                let nd32 = nd as u32;
+                let ap = topo.reverse_port(vn, port);
+                let st = state.get_mut(s, u.index(), si);
+                // Archive: best received (dist, port), smaller port wins
+                // distance ties (arrival-order-free).
+                if (nd32, ap) < (st.route_dist, st.route_port) {
+                    st.route_dist = nd32;
+                    st.route_port = ap;
+                }
+                if nd32 < st.dist {
+                    st.dist = nd32;
+                    // Any improving candidate is realized by a simple
+                    // chain of announcers, so it stays within reach_cap.
+                    debug_assert!(nd <= reach_cap);
+                    buckets[nd as usize].push(pack(si, u.0));
+                }
+            }
+        }
+        bucket.clear();
+    }
+
+    // Assemble outputs in the runner's shapes.
+    let mut lists = Vec::with_capacity(n);
+    let mut routes = Vec::with_capacity(n);
+    let mut known: Vec<(u32, u32)> = Vec::new();
+    for v in 0..n {
+        known.clear();
+        let mut row: Vec<(NodeId, u64, Port)> = Vec::new();
+        match &state {
+            StateTables::Dense(t) => {
+                for (si, st) in t[v * s..(v + 1) * s].iter().enumerate() {
+                    if st.dist != NONE32 {
+                        known.push((st.dist, si as u32));
+                    }
+                    if st.route_dist != NONE32 {
+                        row.push((space.id(si as u32), u64::from(st.route_dist), st.route_port));
+                    }
+                }
+            }
+            StateTables::Sparse(rows) => {
+                let mut by_si: Vec<(u32, NState)> =
+                    rows[v].iter().map(|(&si, &st)| (si, st)).collect();
+                by_si.sort_unstable_by_key(|&(si, _)| si);
+                for (si, st) in by_si {
+                    if st.dist != NONE32 {
+                        known.push((st.dist, si));
+                    }
+                    if st.route_dist != NONE32 {
+                        row.push((space.id(si), u64::from(st.route_dist), st.route_port));
+                    }
+                }
+            }
+        }
+        known.sort_unstable();
+        known.truncate(sigma);
+        lists.push(
+            known
+                .iter()
+                .map(|&(dist, si)| SdEntry {
+                    dist: u64::from(dist),
+                    src: space.id(si),
+                    tag: space.tag(si),
+                })
+                .collect(),
+        );
+        routes.push(row);
+    }
+
+    DetectionOutput {
+        lists,
+        routes,
+        msgs_per_node: announced,
+        metrics: Metrics::new(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::delayed_detection_reference;
+    use crate::runner::run_detection;
+
+    fn params(h: u64, sigma: usize) -> DetectParams {
+        DetectParams {
+            h,
+            sigma,
+            msg_cap: None,
+            exact_rounds: false,
+        }
+    }
+
+    /// Canonical lists equal the exact reference and the simulated lists.
+    fn check_lists(topo: &Topology, sources: &[bool], h: u64, sigma: usize) {
+        let nat = native_detection(topo, sources, &vec![false; topo.len()], &params(h, sigma));
+        let sim = run_detection(topo, sources, &vec![false; topo.len()], &params(h, sigma));
+        let reference = delayed_detection_reference(topo, sources, h, sigma);
+        for v in topo.nodes() {
+            let got: Vec<(u64, NodeId)> = nat.lists[v.index()]
+                .iter()
+                .map(|e| (e.dist, e.src))
+                .collect();
+            assert_eq!(got, reference[v.index()], "node {v} (h={h}, sigma={sigma})");
+            assert_eq!(
+                nat.lists[v.index()],
+                sim.lists[v.index()],
+                "node {v}: native vs simulated lists (h={h}, sigma={sigma})"
+            );
+        }
+    }
+
+    #[test]
+    fn lists_match_reference_on_path() {
+        let topo =
+            Topology::from_edges(6, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)])
+                .unwrap();
+        let sources = [true, false, true, false, false, true];
+        for h in 1..=6 {
+            for sigma in 1..=3 {
+                check_lists(&topo, &sources, h, sigma);
+            }
+        }
+    }
+
+    #[test]
+    fn lists_match_reference_on_delayed_grid() {
+        let mut edges = Vec::new();
+        let id = |r: u32, c: u32| r * 3 + c;
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                if c + 1 < 3 {
+                    edges.push((id(r, c), id(r, c + 1), 1 + u64::from(r)));
+                }
+                if r + 1 < 3 {
+                    edges.push((id(r, c), id(r + 1, c), 2));
+                }
+            }
+        }
+        let topo = Topology::from_edges(9, &edges).unwrap().with_delays(|w| w);
+        let sources = [true, false, false, false, true, false, false, false, true];
+        for h in [2, 4, 8] {
+            for sigma in [1, 2, 3] {
+                check_lists(&topo, &sources, h, sigma);
+            }
+        }
+    }
+
+    #[test]
+    fn archive_contains_lists_and_routes_decrease() {
+        let topo = Topology::from_edges(
+            8,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+                (6, 7, 1),
+                (0, 7, 1),
+            ],
+        )
+        .unwrap();
+        let sources = [true, true, true, true, false, false, false, false];
+        let out = native_detection(&topo, &sources, &[false; 8], &params(5, 2));
+        for v in topo.nodes() {
+            // Archives sorted by source id.
+            let r = &out.routes[v.index()];
+            assert!(r.windows(2).all(|w| w[0].0 < w[1].0), "unsorted at {v}");
+            for e in &out.lists[v.index()] {
+                if e.src == v {
+                    continue;
+                }
+                // Every non-self list entry is archived at the same dist,
+                // and its port leads strictly closer to the source.
+                let &(_, d, port) = r
+                    .iter()
+                    .find(|&&(s, _, _)| s == e.src)
+                    .unwrap_or_else(|| panic!("list entry {} missing from archive at {v}", e.src));
+                assert_eq!(d, e.dist, "archive dist mismatch at {v} for {}", e.src);
+                let u = topo.neighbor(v, port);
+                if u != e.src {
+                    let ru = &out.routes[u.index()];
+                    let &(_, du, _) = ru.iter().find(|&&(s, _, _)| s == e.src).expect("chained");
+                    assert!(du < d, "no strict progress {v}->{u} for {}", e.src);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_prunes_propagation() {
+        // Path 0-1-2-3 with sources {0, 1, 2}: with sigma = 1 node 2's
+        // canonical announcement budget is spent on itself, so node 3
+        // only ever hears of source 2 (plus nothing beyond its top-1).
+        let topo = Topology::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]).unwrap();
+        let sources = [true, true, true, false];
+        let out = native_detection(&topo, &sources, &[false; 4], &params(3, 1));
+        assert_eq!(out.lists[3].len(), 1);
+        assert_eq!(out.lists[3][0].src, NodeId(2));
+        assert_eq!(out.routes[3].len(), 1, "truncated sources must not leak");
+    }
+
+    #[test]
+    fn message_cap_is_canonical_prefix() {
+        let topo = Topology::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]).unwrap();
+        let sources = [true; 5];
+        let capped = native_detection(
+            &topo,
+            &sources,
+            &[false; 5],
+            &DetectParams {
+                h: 5,
+                sigma: 5,
+                msg_cap: Some(2),
+                exact_rounds: false,
+            },
+        );
+        assert!(capped.msgs_per_node.iter().all(|&m| m <= 2));
+    }
+
+    #[test]
+    fn dense_and_sparse_state_agree() {
+        // The representation switch must be output-invisible: run the
+        // same instance through both and compare everything.
+        let mut edges = Vec::new();
+        for i in 0..9u32 {
+            edges.push((i, (i + 1) % 10, 1 + u64::from(i % 3)));
+        }
+        edges.push((0, 5, 2));
+        let topo = Topology::from_edges(10, &edges).unwrap().with_delays(|w| w);
+        let sources: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let tags: Vec<bool> = (0..10).map(|i| i % 4 == 0).collect();
+        for (h, sigma) in [(4, 2), (9, 3), (20, 10)] {
+            let d = native_detection_impl(&topo, &sources, &tags, &params(h, sigma), true);
+            let sp = native_detection_impl(&topo, &sources, &tags, &params(h, sigma), false);
+            assert_eq!(d.lists, sp.lists, "h={h} sigma={sigma}");
+            assert_eq!(d.routes, sp.routes, "h={h} sigma={sigma}");
+            assert_eq!(d.msgs_per_node, sp.msgs_per_node, "h={h} sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn tags_are_carried() {
+        let topo = Topology::from_edges(3, &[(0, 1, 1), (1, 2, 1)]).unwrap();
+        let out = native_detection(
+            &topo,
+            &[true, false, true],
+            &[true, false, false],
+            &params(5, 5),
+        );
+        let l1 = &out.lists[1];
+        assert_eq!(l1.len(), 2);
+        let tag_of = |src: u32| l1.iter().find(|e| e.src == NodeId(src)).unwrap().tag;
+        assert!(tag_of(0));
+        assert!(!tag_of(2));
+    }
+}
