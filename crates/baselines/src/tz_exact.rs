@@ -241,6 +241,130 @@ impl ExactTz {
             next,
         })
     }
+
+    /// Emits the hierarchy into a v3 arena: `[n, k]` meta, the APSP
+    /// matrices and the first-hop matrix as typed sections, pivots as
+    /// flat per-level arrays, trees as an embedded v2 stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the tree stream.
+    pub fn write_arena(&self, a: &mut congest::arena::ArenaWriter) -> std::io::Result<()> {
+        a.u64s(&[self.n as u64, u64::from(self.k)]);
+        self.exact.write_arena(a);
+        let piv_s: Vec<u32> = self
+            .pivots
+            .iter()
+            .flat_map(|level| level.iter().map(|&(s, _)| s.0))
+            .collect();
+        let piv_d: Vec<u64> = self
+            .pivots
+            .iter()
+            .flat_map(|level| level.iter().map(|&(_, d)| d))
+            .collect();
+        a.u32s(&piv_s);
+        a.u64s(&piv_d);
+        a.stream(|sink| {
+            let mut w = congest::wire::WireWriter::new(sink);
+            w.len(self.trees.len())?;
+            for set in &self.trees {
+                set.write_into(sink)?;
+            }
+            Ok(())
+        })?;
+        let bunches: Vec<u64> = self.bunch_sizes.iter().map(|&b| b as u64).collect();
+        a.u64s(&bunches);
+        let next: Vec<u32> = self
+            .next
+            .iter()
+            .map(|nx| nx.map_or(u32::MAX, |v| v.0))
+            .collect();
+        a.u32s(&next);
+        Ok(())
+    }
+
+    /// Reads what [`ExactTz::write_arena`] wrote, with the same shape
+    /// and range checks as [`ExactTz::read_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed sections.
+    pub fn read_arena(c: &mut congest::arena::ArenaCursor<'_>) -> std::io::Result<Self> {
+        use congest::wire::{invalid_data, MAX_SNAPSHOT_NODES};
+        let meta = c.u64s()?;
+        let [n, k] = meta[..] else {
+            return Err(invalid_data("ExactTz meta section misshapen"));
+        };
+        let n = usize::try_from(n).map_err(|_| invalid_data("ExactTz n overflow"))?;
+        if n > MAX_SNAPSHOT_NODES {
+            return Err(invalid_data(format!("ExactTz snapshot claims {n} nodes")));
+        }
+        let k = u32::try_from(k).map_err(|_| invalid_data("ExactTz k overflow"))?;
+        if k == 0 {
+            return Err(invalid_data("ExactTz snapshot with k = 0"));
+        }
+        let exact = Apsp::read_arena(c)?;
+        if exact.len() != n {
+            return Err(invalid_data("ExactTz APSP size mismatch"));
+        }
+        let piv_s = c.u32s()?;
+        let piv_d = c.u64s()?;
+        let np = (k - 1) as usize;
+        let piv_total = congest::wire::seq_product(n, np, "ExactTz pivots")?;
+        if piv_s.len() != piv_total || piv_d.len() != piv_total {
+            return Err(invalid_data("ExactTz pivot sections disagree on length"));
+        }
+        let pivots: Vec<Vec<(NodeId, u64)>> = (0..np)
+            .map(|l| {
+                (l * n..(l + 1) * n)
+                    .map(|i| (NodeId(piv_s[i]), piv_d[i]))
+                    .collect()
+            })
+            .collect();
+        let mut tree_bytes = c.bytes()?;
+        let nt = congest::wire::WireReader::new(&mut tree_bytes).len(n)?;
+        if nt != np {
+            return Err(invalid_data("ExactTz tree set count mismatch"));
+        }
+        let mut trees = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            trees.push(TreeSet::read_from(&mut tree_bytes)?);
+        }
+        let bunch_sizes: Vec<usize> = c
+            .u64s()?
+            .into_iter()
+            .map(|b| usize::try_from(b).map_err(|_| invalid_data("bunch size overflow")))
+            .collect::<std::io::Result<_>>()?;
+        if bunch_sizes.len() != n {
+            return Err(invalid_data("ExactTz bunch table shorter than n"));
+        }
+        let cells = congest::wire::seq_product(n, n, "ExactTz")?;
+        let raw_next = c.u32s()?;
+        if raw_next.len() != cells {
+            return Err(invalid_data("ExactTz first-hop cell count mismatch"));
+        }
+        let next: Vec<Option<NodeId>> = raw_next
+            .into_iter()
+            .map(|raw| {
+                if raw == u32::MAX {
+                    Ok(None)
+                } else if (raw as usize) < n {
+                    Ok(Some(NodeId(raw)))
+                } else {
+                    Err(invalid_data(format!("first hop {raw} out of range")))
+                }
+            })
+            .collect::<std::io::Result<_>>()?;
+        Ok(ExactTz {
+            n,
+            k,
+            exact,
+            pivots,
+            trees,
+            bunch_sizes,
+            next,
+        })
+    }
 }
 
 impl RoutingScheme for ExactTz {

@@ -14,6 +14,9 @@
 //! cargo run --release -p bench --bin experiments -- builds          # E12 build-engine table
 //! cargo run --release -p bench --bin experiments -- builds headline # BENCH_builds.json rows (n=4096)
 //! cargo run --release -p bench --bin experiments -- builds --smoke  # CI build-parity smoke
+//! cargo run --release -p bench --bin experiments -- serve           # E13 serving table
+//! cargo run --release -p bench --bin experiments -- serve headline  # BENCH_oracle.json cold-start rows (n=4096)
+//! cargo run --release -p bench --bin experiments -- serve --smoke   # CI serve smoke
 //! ```
 
 use bench::*;
@@ -42,6 +45,14 @@ fn main() {
     if smoke && args.iter().any(|a| a == "builds") {
         println!("{}", e12_smoke(24, E12_SEED));
         println!("smoke ok: native builds byte-identical to simulated across thread counts");
+        return;
+    }
+    // Serve smoke for CI: every backend through the full serving
+    // lifecycle (install v2 → query → hot-swap to v3 → query → admission
+    // batch) with bit-identical answers on every path.
+    if smoke && args.iter().any(|a| a == "serve") {
+        println!("{}", e13_smoke(24, E11_SEED));
+        println!("smoke ok: v2/v3/batched answers identical through hot swaps");
         return;
     }
     // Bench smoke for CI: run the E10 throughput table at tiny sizes so
@@ -147,6 +158,19 @@ fn main() {
             println!("{}", e12_builds(&[64], false, E12_SEED));
         } else {
             println!("{}", e12_builds(&[256, 1024], false, E12_SEED));
+        }
+    }
+    if want("serve") {
+        // Headline rows at n = 4096 (the BENCH_oracle.json cold-start
+        // evidence for the v3 arena layout) only on request: the
+        // distributed builds take minutes. `serve headline` runs just
+        // those rows.
+        if args.iter().any(|a| a == "headline") {
+            println!("{}", e13_serve(&[], true, E11_SEED));
+        } else if quick {
+            println!("{}", e13_serve(&[64], false, E11_SEED));
+        } else {
+            println!("{}", e13_serve(&[256, 1024], false, E11_SEED));
         }
     }
 }

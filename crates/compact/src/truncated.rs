@@ -647,8 +647,8 @@ impl TruncatedScheme {
             // Phase A: reach the pivot via any connector — one contiguous
             // row with its pre-resolved skeleton indices alongside.
             let range = self.base_routes.row_range(x);
-            let row = &self.base_routes.entries()[range.clone()];
-            for (e, &ti) in row.iter().zip(&self.base_row_idx[range]) {
+            let idx = &self.base_row_idx[range.clone()];
+            for (e, &ti) in self.base_routes.entries_in(range).zip(idx) {
                 if ti == DenseIndex::NONE {
                     continue;
                 }
@@ -748,8 +748,8 @@ impl RoutingScheme for TruncatedScheme {
             let s_idx = self.skel_index.get(up.pivot).expect("pivot in skeleton");
             let mut to_pivot = INF;
             let range = self.base_routes.row_range(x);
-            let row = &self.base_routes.entries()[range.clone()];
-            for (e, &ti) in row.iter().zip(&self.base_row_idx[range]) {
+            let idx = &self.base_row_idx[range.clone()];
+            for (e, &ti) in self.base_routes.entries_in(range).zip(idx) {
                 if ti == DenseIndex::NONE {
                     continue;
                 }

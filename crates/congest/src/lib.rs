@@ -94,6 +94,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod arena;
 pub mod bfs;
 pub mod fxhash;
 pub mod metrics;

@@ -287,6 +287,53 @@ impl Topology {
             .map_err(|e| crate::wire::invalid_data(format!("bad topology: {e}")))
     }
 
+    /// Emits the topology into a v3 arena: a `[n]` meta section plus the
+    /// canonical undirected edge list split SoA (endpoints, weights).
+    pub fn write_arena(&self, a: &mut crate::arena::ArenaWriter) {
+        a.u64s(&[self.len() as u64]);
+        let edges = self.undirected_edges();
+        let endpoints: Vec<u32> = edges.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+        let weights: Vec<u64> = edges.iter().map(|&(_, _, w)| w).collect();
+        a.u32s(&endpoints);
+        a.u64s(&weights);
+    }
+
+    /// Reads what [`Topology::write_arena`] wrote, re-validating through
+    /// [`Topology::from_edges`] (edge lists are small next to the route
+    /// tables keyed on them; the CSR rebuild is not on the cold-start
+    /// critical path).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed sections or an invalid edge
+    /// list.
+    pub fn read_arena(c: &mut crate::arena::ArenaCursor<'_>) -> std::io::Result<Topology> {
+        let meta = c.u64s()?;
+        let [n] = meta[..] else {
+            return Err(crate::wire::invalid_data("topology meta section misshapen"));
+        };
+        let n = usize::try_from(n).map_err(|_| crate::wire::invalid_data("topology n overflow"))?;
+        if n > crate::wire::MAX_SNAPSHOT_NODES {
+            return Err(crate::wire::invalid_data(format!(
+                "topology snapshot claims {n} nodes"
+            )));
+        }
+        let endpoints = c.u32s()?;
+        let weights = c.u64s()?;
+        if endpoints.len() != weights.len() * 2 {
+            return Err(crate::wire::invalid_data(
+                "topology SoA sections disagree on length",
+            ));
+        }
+        let edges: Vec<(u32, u32, u64)> = endpoints
+            .chunks_exact(2)
+            .zip(&weights)
+            .map(|(ab, &w)| (ab[0], ab[1], w))
+            .collect();
+        Topology::from_edges(n, &edges)
+            .map_err(|e| crate::wire::invalid_data(format!("bad topology: {e}")))
+    }
+
     /// The undirected edge list `(min_endpoint, max_endpoint, weight)`,
     /// sorted — the canonical form snapshots persist, from which
     /// [`Topology::from_edges`] rebuilds an identical topology (delays are

@@ -35,6 +35,82 @@ pub fn invalid_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// Typed cause attached to snapshot decoding errors, so callers can
+/// distinguish *recoverable* snapshot states (rebuild and re-save) from
+/// real I/O failures without string-matching error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The stream ended mid-record: the snapshot file is an incomplete
+    /// write (crashed saver, partial copy), not a disk error. A
+    /// load-or-rebuild path should treat this as "no usable snapshot".
+    Truncated,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => {
+                write!(f, "snapshot truncated: stream ended mid-record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The `InvalidData` error wrapping [`SnapshotError::Truncated`].
+pub fn truncated() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, SnapshotError::Truncated)
+}
+
+/// Maps a premature-EOF (`UnexpectedEof`) surfaced by any inner
+/// `read_exact` to the typed [`SnapshotError::Truncated`] (wrapped in
+/// `InvalidData`); every other error passes through unchanged. Snapshot
+/// load entry points call this once at the boundary so truncation is
+/// typed no matter which record the stream died in.
+pub fn map_truncation(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        truncated()
+    } else {
+        e
+    }
+}
+
+/// `true` if `e` is (or wraps) [`SnapshotError::Truncated`].
+pub fn is_truncated(e: &io::Error) -> bool {
+    let mut src: Option<&(dyn std::error::Error + 'static)> = e.get_ref().map(|b| b as _);
+    while let Some(s) = src {
+        if matches!(s.downcast_ref(), Some(SnapshotError::Truncated)) {
+            return true;
+        }
+        // `io::Error::source()` skips its own custom payload, so descend
+        // into nested io::Errors by hand or a double wrap goes unseen.
+        src = match s.downcast_ref::<io::Error>() {
+            Some(inner) => inner.get_ref().map(|b| b as _),
+            None => s.source(),
+        };
+    }
+    false
+}
+
+/// Upper bound on any length prefix a snapshot reader accepts, as `u64`
+/// so the cap itself cannot overflow `usize` on 32-bit targets (where
+/// `1usize << 32` would wrap to a useless cap of 1... or panic).
+pub const MAX_SEQ_LEN: u64 = 1 << 32;
+
+/// Checked `a · b` for shape products (`n × n` matrices, `m × m`
+/// spanner tables) computed from untrusted length fields.
+///
+/// # Errors
+///
+/// `InvalidData` when the product overflows `usize` — a tampered length
+/// must surface as a decode error, never as wrap-then-panic downstream.
+pub fn seq_product(a: usize, b: usize, what: &str) -> io::Result<usize> {
+    a.checked_mul(b)
+        .ok_or_else(|| invalid_data(format!("{what} size overflow ({a} × {b})")))
+}
+
 /// Upper bound on the node count any snapshot reader accepts.
 ///
 /// Node ids are `u32`, and the CSR/matrix structures behind an oracle
@@ -190,6 +266,18 @@ impl<'a> WireReader<'a> {
         }
         Ok(n)
     }
+
+    /// Reads a sequence length prefix against a `u64` cap (use with
+    /// [`MAX_SEQ_LEN`]): the bound is checked **before** the `u64 →
+    /// usize` conversion, so on 32-bit targets an oversized length is
+    /// rejected as `InvalidData` instead of the cap itself wrapping.
+    pub fn len64(&mut self, max: u64) -> io::Result<usize> {
+        let n = self.u64()?;
+        if n > max {
+            return Err(invalid_data(format!("sequence length {n} exceeds {max}")));
+        }
+        usize::try_from(n).map_err(|_| invalid_data("length exceeds usize"))
+    }
 }
 
 /// A [`Write`] sink that discards bytes but counts them — used to compute
@@ -267,6 +355,51 @@ mod tests {
         WireWriter::new(&mut big_len).u64(1 << 40).unwrap();
         let mut cursor = &big_len[..];
         assert!(WireReader::new(&mut cursor).len(1 << 20).is_err());
+    }
+
+    #[test]
+    fn adversarial_length_fields_are_checked_not_wrapped() {
+        // len64 bounds before the u64 → usize conversion, so a length
+        // field that would overflow a 32-bit usize is InvalidData on
+        // every target instead of wrapping the cap.
+        for adversarial in [u64::MAX, MAX_SEQ_LEN + 1, 1 << 48] {
+            let mut buf = Vec::new();
+            WireWriter::new(&mut buf).u64(adversarial).unwrap();
+            let mut cursor = &buf[..];
+            let err = WireReader::new(&mut cursor).len64(MAX_SEQ_LEN).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{adversarial}");
+        }
+        let mut buf = Vec::new();
+        WireWriter::new(&mut buf).u64(MAX_SEQ_LEN).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            WireReader::new(&mut cursor).len64(MAX_SEQ_LEN).unwrap(),
+            1 << 32
+        );
+
+        // seq_product: matrix shapes from adversarial headers must fail
+        // with InvalidData, not wrap into a small allocation.
+        assert!(seq_product(usize::MAX, 2, "m").is_err());
+        assert!(seq_product(1 << 33, 1 << 33, "m").is_err());
+        assert_eq!(seq_product(3, 4, "m").unwrap(), 12);
+        assert_eq!(seq_product(0, usize::MAX, "m").unwrap(), 0);
+    }
+
+    #[test]
+    fn truncation_errors_are_typed_and_detected_through_wrapping() {
+        let err = truncated();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(is_truncated(&err));
+        // map_truncation rewrites a bare UnexpectedEof …
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "failed to fill whole buffer");
+        assert!(is_truncated(&map_truncation(eof)));
+        // … passes anything else through untouched …
+        let other = map_truncation(invalid_data("bad magic"));
+        assert!(!is_truncated(&other));
+        assert_eq!(other.kind(), io::ErrorKind::InvalidData);
+        // … and detection walks source chains.
+        let wrapped = io::Error::new(io::ErrorKind::InvalidData, truncated());
+        assert!(is_truncated(&wrapped));
     }
 
     #[test]

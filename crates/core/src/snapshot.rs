@@ -5,6 +5,7 @@
 //! this makes reload → re-save byte-identical.
 
 use crate::pde::{PdeEntry, RouteInfo, RouteTable};
+use congest::arena::{SharedBytes, U32View, U64View};
 use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
 use congest::{NodeId, Topology};
 use std::io::{self, Read, Write};
@@ -39,10 +40,10 @@ pub fn write_route_tables(sink: &mut dyn Write, tables: &[RouteTable]) -> io::Re
 /// Returns `InvalidData` on malformed bytes.
 pub fn read_route_tables(source: &mut dyn Read) -> io::Result<Vec<RouteTable>> {
     let mut r = WireReader::new(source);
-    let n = r.len(1 << 32)?;
+    let n = r.len64(congest::wire::MAX_SEQ_LEN)?;
     let mut tables = Vec::with_capacity(clamped_capacity(n));
     for _ in 0..n {
-        let entries = r.len(1 << 32)?;
+        let entries = r.len64(congest::wire::MAX_SEQ_LEN)?;
         let mut table = RouteTable::default();
         table.reserve(clamped_capacity(entries));
         for _ in 0..entries {
@@ -116,10 +117,10 @@ pub fn write_lists(sink: &mut dyn Write, lists: &[Vec<PdeEntry>]) -> io::Result<
 /// Returns `InvalidData` on malformed bytes.
 pub fn read_lists(source: &mut dyn Read) -> io::Result<Vec<Vec<PdeEntry>>> {
     let mut r = WireReader::new(source);
-    let n = r.len(1 << 32)?;
+    let n = r.len64(congest::wire::MAX_SEQ_LEN)?;
     let mut lists = Vec::with_capacity(clamped_capacity(n));
     for _ in 0..n {
-        let len = r.len(1 << 32)?;
+        let len = r.len64(congest::wire::MAX_SEQ_LEN)?;
         let mut list = Vec::with_capacity(clamped_capacity(len));
         for _ in 0..len {
             let est = r.u64()?;
@@ -130,6 +131,230 @@ pub fn read_lists(source: &mut dyn Read) -> io::Result<Vec<Vec<PdeEntry>>> {
         lists.push(list);
     }
     Ok(lists)
+}
+
+/// Emits per-node combined lists into a v3 arena, split SoA: row
+/// offsets, estimates, sources and tags as four typed sections.
+pub fn write_lists_arena(a: &mut congest::arena::ArenaWriter, lists: &[Vec<PdeEntry>]) {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut starts = Vec::with_capacity(lists.len() + 1);
+    let mut ests = Vec::with_capacity(total);
+    let mut srcs = Vec::with_capacity(total);
+    let mut tags = Vec::with_capacity(total);
+    starts.push(0u64);
+    for list in lists {
+        for e in list {
+            ests.push(e.est);
+            srcs.push(e.src.0);
+            tags.push(u8::from(e.tag));
+        }
+        starts.push(ests.len() as u64);
+    }
+    a.u64s(&starts);
+    a.u64s(&ests);
+    a.u32s(&srcs);
+    a.u8s(&tags);
+}
+
+/// Reads what [`write_lists_arena`] wrote.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed sections.
+pub fn read_lists_arena(c: &mut congest::arena::ArenaCursor<'_>) -> io::Result<Vec<Vec<PdeEntry>>> {
+    let starts = c.u64s()?;
+    let ests = c.u64s()?;
+    let srcs = c.u32s()?;
+    let tags = c.bools()?;
+    let n = starts
+        .len()
+        .checked_sub(1)
+        .ok_or_else(|| invalid_data("list starts section empty"))?;
+    let total = ests.len();
+    if srcs.len() != total || tags.len() != total {
+        return Err(invalid_data("list SoA sections disagree on length"));
+    }
+    if starts[0] != 0
+        || starts.windows(2).any(|w| w[0] > w[1])
+        || *starts.last().expect("nonempty") != total as u64
+    {
+        return Err(invalid_data("list offsets inconsistent"));
+    }
+    let mut lists = Vec::with_capacity(clamped_capacity(n));
+    for w in starts.windows(2) {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        lists.push(
+            (lo..hi)
+                .map(|i| PdeEntry {
+                    est: ests[i],
+                    src: NodeId(srcs[i]),
+                    tag: tags[i],
+                })
+                .collect(),
+        );
+    }
+    Ok(lists)
+}
+
+/// Per-node combined lists (`PdeOutput::lists`) flattened behind
+/// zero-copy views — the query-side replacement for `Vec<Vec<PdeEntry>>`
+/// where the lists are hot state of a scheme (RTC's short-range lists).
+/// The four arrays mirror [`write_lists_arena`]'s SoA sections (row
+/// offsets, estimates, sources, tags), so a v3 load is four views and an
+/// O(n) offsets check, and load → re-save is a byte passthrough.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlatLists {
+    /// `starts[v]..starts[v + 1]` delimits node `v`'s list (`n + 1`
+    /// offsets).
+    starts: U64View,
+    /// All estimates back to back.
+    ests: U64View,
+    /// Sources, parallel to `ests`.
+    srcs: U32View,
+    /// Truncation tags (one byte each, 0/1), parallel to `ests`.
+    tags: SharedBytes,
+}
+
+impl FlatLists {
+    /// Flattens owned per-node lists (the build-side constructor).
+    pub fn from_lists(lists: &[Vec<PdeEntry>]) -> Self {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut starts = Vec::with_capacity(lists.len() + 1);
+        let mut ests = Vec::with_capacity(total);
+        let mut srcs = Vec::with_capacity(total);
+        let mut tags = Vec::with_capacity(total);
+        starts.push(0u64);
+        for list in lists {
+            for e in list {
+                ests.push(e.est);
+                srcs.push(e.src.0);
+                tags.push(u8::from(e.tag));
+            }
+            starts.push(ests.len() as u64);
+        }
+        FlatLists {
+            starts: U64View::from_vals(&starts),
+            ests: U64View::from_vals(&ests),
+            srcs: U32View::from_vals(&srcs),
+            tags: SharedBytes::from_vec(tags),
+        }
+    }
+
+    /// Number of nodes covered (rows).
+    pub fn len(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// `true` when no node is covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of node `v`'s list.
+    #[inline]
+    pub fn row_len(&self, v: NodeId) -> usize {
+        (self.starts.get(v.index() + 1) - self.starts.get(v.index())) as usize
+    }
+
+    /// Iterates node `v`'s list in stored order.
+    #[inline]
+    pub fn iter_row(&self, v: NodeId) -> impl Iterator<Item = PdeEntry> + '_ {
+        let lo = self.starts.get(v.index()) as usize;
+        let hi = self.starts.get(v.index() + 1) as usize;
+        let tags = &self.tags.as_slice()[lo..hi];
+        self.ests
+            .iter_range(lo..hi)
+            .zip(self.srcs.iter_range(lo..hi))
+            .zip(tags)
+            .map(|((est, src), &tag)| PdeEntry {
+                est,
+                src: NodeId(src),
+                tag: tag != 0,
+            })
+    }
+
+    /// Decodes back into owned per-node lists (tests and cold paths).
+    pub fn to_lists(&self) -> Vec<Vec<PdeEntry>> {
+        (0..self.len())
+            .map(|v| self.iter_row(NodeId::from_index(v)).collect())
+            .collect()
+    }
+
+    /// Serializes with the exact [`write_lists`] v2 framing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
+        let mut w = WireWriter::new(sink);
+        w.len(self.len())?;
+        for v in 0..self.len() {
+            let v = NodeId::from_index(v);
+            w.len(self.row_len(v))?;
+            for e in self.iter_row(v) {
+                w.u64(e.est)?;
+                w.u32(e.src.0)?;
+                w.bool(e.tag)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes what [`FlatLists::write_into`] (or [`write_lists`])
+    /// wrote.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed bytes.
+    pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
+        Ok(FlatLists::from_lists(&read_lists(source)?))
+    }
+
+    /// Emits the lists into a v3 arena, the views' backing bytes
+    /// verbatim (same four sections as [`write_lists_arena`]).
+    pub fn write_arena(&self, a: &mut congest::arena::ArenaWriter) {
+        a.section(self.starts.as_bytes());
+        a.section(self.ests.as_bytes());
+        a.section(self.srcs.as_bytes());
+        a.section(self.tags.as_slice());
+    }
+
+    /// Reads what [`FlatLists::write_arena`] (or [`write_lists_arena`])
+    /// wrote: four zero-copy views plus O(n) offset checks and a tag
+    /// byte scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed sections.
+    pub fn read_arena(c: &mut congest::arena::ArenaCursor<'_>) -> io::Result<Self> {
+        let starts = c.u64v()?;
+        let ests = c.u64v()?;
+        let srcs = c.u32v()?;
+        let tags = c.shared()?;
+        let n = starts
+            .len()
+            .checked_sub(1)
+            .ok_or_else(|| invalid_data("list starts section empty"))?;
+        let total = ests.len();
+        if srcs.len() != total || tags.len() != total {
+            return Err(invalid_data("list SoA sections disagree on length"));
+        }
+        if starts.get(0) != 0
+            || (0..n).any(|v| starts.get(v) > starts.get(v + 1))
+            || starts.get(n) != total as u64
+        {
+            return Err(invalid_data("list offsets inconsistent"));
+        }
+        if tags.as_slice().iter().any(|&b| b > 1) {
+            return Err(invalid_data("invalid list tag byte"));
+        }
+        Ok(FlatLists {
+            starts,
+            ests,
+            srcs,
+            tags,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +415,61 @@ mod tests {
         write_lists(&mut buf, &lists).unwrap();
         let back = read_lists(&mut &buf[..]).unwrap();
         assert_eq!(back, lists);
+    }
+
+    #[test]
+    fn flat_lists_round_trip_both_codecs() {
+        let lists = vec![
+            vec![
+                PdeEntry {
+                    est: 4,
+                    src: NodeId(2),
+                    tag: true,
+                },
+                PdeEntry {
+                    est: 9,
+                    src: NodeId(5),
+                    tag: false,
+                },
+            ],
+            vec![],
+            vec![PdeEntry {
+                est: 1,
+                src: NodeId(0),
+                tag: false,
+            }],
+        ];
+        let fl = FlatLists::from_lists(&lists);
+        assert_eq!(fl.len(), 3);
+        assert_eq!(fl.row_len(NodeId(0)), 2);
+        assert_eq!(fl.row_len(NodeId(1)), 0);
+        assert_eq!(fl.to_lists(), lists);
+
+        // v2 framing is byte-identical with the free functions.
+        let mut a = Vec::new();
+        write_lists(&mut a, &lists).unwrap();
+        let mut b = Vec::new();
+        fl.write_into(&mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(FlatLists::read_from(&mut &b[..]).unwrap(), fl);
+
+        // v3 arena round trip is a byte passthrough, and the sections are
+        // interchangeable with write_lists_arena's.
+        let mut aw = congest::arena::ArenaWriter::new();
+        fl.write_arena(&mut aw);
+        let mut free = congest::arena::ArenaWriter::new();
+        write_lists_arena(&mut free, &lists);
+        let (mut buf, mut free_buf) = (Vec::new(), Vec::new());
+        aw.finish(&mut buf).unwrap();
+        free.finish(&mut free_buf).unwrap();
+        assert_eq!(buf, free_buf);
+        let r = congest::arena::ArenaReader::parse(SharedBytes::from_vec(buf.clone())).unwrap();
+        let back = FlatLists::read_arena(&mut r.cursor()).unwrap();
+        assert_eq!(back, fl);
+        let mut aw2 = congest::arena::ArenaWriter::new();
+        back.write_arena(&mut aw2);
+        let mut buf2 = Vec::new();
+        aw2.finish(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
     }
 }

@@ -9,9 +9,12 @@
 //! query side now uses:
 //!
 //! * [`FlatTables`] — per-node route rows in one CSR arena, each row
-//!   sorted by source id. Point lookups are an interpolation search over
-//!   the near-uniform node-id keys (see [`FlatTables::get`]); "iterate
-//!   everything `v` knows" is a contiguous slice walk.
+//!   sorted by source id. Point lookups are a bucket probe over the
+//!   near-uniform node-id keys (see [`FlatTables::get`]); "iterate
+//!   everything `v` knows" is a contiguous walk. The arrays live behind
+//!   zero-copy [`congest::arena`] views (entries as packed 16-byte
+//!   little-endian records), so a v3 snapshot load *is* the in-memory
+//!   form: no decode pass, no copy.
 //! * [`PairTable`] — a `k × k` partial map in either dense
 //!   (`row * k + col` indexed, [`ABSENT`] sentinel) or row-sorted CSR
 //!   form; [`PairTable::auto`] picks dense unless the table is large and
@@ -23,6 +26,7 @@
 //! reload → re-save stays byte-identical without any sort-on-write step.
 
 use crate::pde::{RouteInfo, RouteTable};
+use congest::arena::{SharedBytes, U32View};
 use congest::wire::{clamped_capacity, invalid_data, WireReader, WireWriter};
 use congest::{NodeId, Port, Topology};
 use std::io::{self, Read, Write};
@@ -47,27 +51,115 @@ pub struct FlatEntry {
     pub est: u64,
 }
 
+/// Zero-copy view of packed 16-byte [`FlatEntry`] records
+/// (`src: u32 | port: u32 | est: u64`, all little-endian).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EntryView(SharedBytes);
+
+/// Bytes per packed [`FlatEntry`] record.
+const ENTRY_BYTES: usize = 16;
+
+impl EntryView {
+    /// Wraps `bytes` as packed entry records.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the byte length is not a multiple of 16.
+    pub fn new(bytes: SharedBytes) -> io::Result<Self> {
+        if !bytes.len().is_multiple_of(ENTRY_BYTES) {
+            return Err(invalid_data("entry section length not a multiple of 16"));
+        }
+        Ok(EntryView(bytes))
+    }
+
+    /// Encodes `xs` into a fresh owned view (the build-side constructor).
+    pub fn from_entries(xs: &[FlatEntry]) -> Self {
+        let mut buf = Vec::with_capacity(xs.len() * ENTRY_BYTES);
+        for e in xs {
+            buf.extend_from_slice(&e.src.to_le_bytes());
+            buf.extend_from_slice(&e.port.to_le_bytes());
+            buf.extend_from_slice(&e.est.to_le_bytes());
+        }
+        EntryView(SharedBytes::from_vec(buf))
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.0.len() / ENTRY_BYTES
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Decodes record `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds, exactly like slice indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> FlatEntry {
+        let b = &self.0.as_slice()[i * ENTRY_BYTES..(i + 1) * ENTRY_BYTES];
+        FlatEntry {
+            src: u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")),
+            port: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
+            est: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+        }
+    }
+
+    /// Iterates the records of `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds, exactly like slice indexing.
+    pub fn iter_range(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = FlatEntry> + '_ {
+        self.0.as_slice()[range.start * ENTRY_BYTES..range.end * ENTRY_BYTES]
+            .chunks_exact(ENTRY_BYTES)
+            .map(|b| FlatEntry {
+                src: u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")),
+                port: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
+                est: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+            })
+    }
+
+    /// Iterates all records in order.
+    pub fn iter(&self) -> impl Iterator<Item = FlatEntry> + '_ {
+        self.iter_range(0..self.len())
+    }
+
+    /// The backing bytes (for re-serialization).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_slice()
+    }
+}
+
 /// Per-node routing tables flattened into one source-sorted entry arena
 /// with CSR row offsets — the cache-friendly replacement for
-/// `Vec<RouteTable>` on every query path.
+/// `Vec<RouteTable>` on every query path. Every array is a zero-copy
+/// view: a table decoded from a v3 snapshot keeps pointing into the
+/// snapshot buffer.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FlatTables {
     /// `starts[v]..starts[v + 1]` delimits node `v`'s row (`n + 1` offsets).
-    starts: Vec<u32>,
-    /// All rows back to back, each sorted by `src`.
-    entries: Vec<FlatEntry>,
+    starts: U32View,
+    /// All rows back to back, each sorted by `src`, as packed records.
+    entries: EntryView,
     /// Ladder level of each entry, arena-aligned (cold: codec-only).
-    levels: Vec<u32>,
-    /// Concatenated per-row bucket offset tables (derived, not
-    /// serialized): row `v` owns `bucket_starts[v]..bucket_starts[v+1]`
-    /// slots, one per high-bits bucket plus a terminator, each holding
-    /// the row-relative index of the bucket's first entry.
-    buckets: Vec<u32>,
+    levels: U32View,
+    /// Concatenated per-row bucket offset tables: row `v` owns
+    /// `bucket_starts[v]..bucket_starts[v+1]` slots, one per high-bits
+    /// bucket plus a terminator, each holding the row-relative index of
+    /// the bucket's first entry.
+    buckets: U32View,
     /// `bucket_starts[v]..bucket_starts[v+1]` delimits `v`'s slice of
     /// [`FlatTables::buckets`] (`n + 1` offsets).
-    bucket_starts: Vec<u32>,
+    bucket_starts: U32View,
     /// Per-row right-shift mapping a source id to its bucket.
-    shifts: Vec<u8>,
+    shifts: SharedBytes,
 }
 
 impl FlatTables {
@@ -119,13 +211,13 @@ impl FlatTables {
             let count = row.len().next_power_of_two().max(1);
             let max_src = row.iter().map(|e| e.src).max().unwrap_or(0);
             let key_bits = 32 - max_src.leading_zeros();
-            let shift = key_bits.saturating_sub(count.trailing_zeros()) as u8;
-            shifts.push(shift);
+            let shift = key_bits.saturating_sub(count.trailing_zeros());
+            shifts.push(shift as u8);
             let base = buckets.len();
             buckets.resize(base + count + 1, 0);
             let mut cur = 0usize;
             for (i, e) in row.iter().enumerate() {
-                let b = (e.src >> shift) as usize;
+                let b = e.src.checked_shr(shift).unwrap_or(0) as usize;
                 while cur <= b {
                     buckets[base + cur] = i as u32;
                     cur += 1;
@@ -139,12 +231,12 @@ impl FlatTables {
                 .push(u32::try_from(buckets.len()).expect("bucket index fits u32 offsets"));
         }
         FlatTables {
-            starts,
-            entries,
-            levels,
-            buckets,
-            bucket_starts,
-            shifts,
+            starts: U32View::from_vals(&starts),
+            entries: EntryView::from_entries(&entries),
+            levels: U32View::from_vals(&levels),
+            buckets: U32View::from_vals(&buckets),
+            bucket_starts: U32View::from_vals(&bucket_starts),
+            shifts: SharedBytes::from_vec(shifts),
         }
     }
 
@@ -160,11 +252,22 @@ impl FlatTables {
         self.entries.len()
     }
 
-    /// Node `v`'s row: every `(src, est, port, level)` it knows, sorted by
-    /// source id.
+    /// Length of node `v`'s row.
     #[inline]
-    pub fn row(&self, v: NodeId) -> &[FlatEntry] {
-        &self.entries[self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize]
+    pub fn row_len(&self, v: NodeId) -> usize {
+        self.row_range(v).len()
+    }
+
+    /// Iterates node `v`'s row: every `(src, est, port)` it knows, sorted
+    /// by source id.
+    #[inline]
+    pub fn row_iter(&self, v: NodeId) -> impl Iterator<Item = FlatEntry> + '_ {
+        self.entries.iter_range(self.row_range(v))
+    }
+
+    /// Node `v`'s row decoded into a `Vec` (tests and cold paths).
+    pub fn row_vec(&self, v: NodeId) -> Vec<FlatEntry> {
+        self.row_iter(v).collect()
     }
 
     /// Point lookup: `v`'s entry for source `s`, if present.
@@ -176,40 +279,61 @@ impl FlatTables {
     /// `log₂(row)` dependent cache misses and measure *slower* than the
     /// hash maps these tables replaced. Exact and deterministic: the
     /// bucket is scanned for the precise key; skewed keys only make the
-    /// scan longer, never wrong.
+    /// scan longer, never wrong. Probe bounds are re-checked here (not at
+    /// load time): the arena checksum owns integrity, and a bucket that
+    /// still points outside its row is answered with a miss, never a
+    /// panic.
     #[inline]
-    pub fn get(&self, v: NodeId, s: NodeId) -> Option<&FlatEntry> {
+    pub fn get(&self, v: NodeId, s: NodeId) -> Option<FlatEntry> {
         let key = s.0;
-        let base = self.bucket_starts[v.index()] as usize;
-        let slots = self.bucket_starts[v.index() + 1] as usize - base;
-        let b = (key >> self.shifts[v.index()]) as usize;
+        let base = self.bucket_starts.get(v.index()) as usize;
+        let slots = (self.bucket_starts.get(v.index() + 1) as usize).saturating_sub(base);
+        let shift = u32::from(self.shifts.as_slice()[v.index()]);
+        let b = key.checked_shr(shift).unwrap_or(0) as usize;
         if b + 1 >= slots {
             return None; // key above every bucket (covers empty rows)
         }
-        let lo = self.buckets[base + b] as usize;
-        let hi = self.buckets[base + b + 1] as usize;
-        self.row(v)[lo..hi].iter().find(|e| e.src == key)
+        let lo = self.buckets.get(base + b) as usize;
+        let hi = self.buckets.get(base + b + 1) as usize;
+        let range = self.row_range(v);
+        if lo > hi || hi > range.len() {
+            return None;
+        }
+        self.entries
+            .iter_range(range.start + lo..range.start + hi)
+            .find(|e| e.src == key)
     }
 
-    /// The index range of node `v`'s row within [`FlatTables::entries`]
-    /// (for callers that keep per-entry side tables aligned with the
-    /// arena, e.g. pre-resolved skeleton indices).
+    /// The index range of node `v`'s row within the entry arena (for
+    /// callers that keep per-entry side tables aligned with the arena,
+    /// e.g. pre-resolved skeleton indices; see
+    /// [`FlatTables::entries_in`]).
     #[inline]
     pub fn row_range(&self, v: NodeId) -> std::ops::Range<usize> {
-        self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize
+        self.starts.get(v.index()) as usize..self.starts.get(v.index() + 1) as usize
     }
 
-    /// The whole entry arena (rows back to back; see
+    /// Decodes arena entry `i` (rows back to back; see
     /// [`FlatTables::row_range`]).
     #[inline]
-    pub fn entries(&self) -> &[FlatEntry] {
-        &self.entries
+    pub fn entry(&self, i: usize) -> FlatEntry {
+        self.entries.get(i)
+    }
+
+    /// Iterates the arena entries of `range` (see
+    /// [`FlatTables::row_range`]).
+    #[inline]
+    pub fn entries_in(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = FlatEntry> + '_ {
+        self.entries.iter_range(range)
     }
 
     /// Ladder level of each arena entry (cold data, kept out of the hot
-    /// entry structs; aligned with [`FlatTables::entries`]).
+    /// entry records; arena-aligned).
     #[inline]
-    pub fn levels(&self) -> &[u32] {
+    pub fn levels(&self) -> &U32View {
         &self.levels
     }
 
@@ -221,10 +345,10 @@ impl FlatTables {
     pub fn write_into(&self, sink: &mut dyn Write) -> io::Result<()> {
         let mut w = WireWriter::new(sink);
         w.len(self.len_nodes())?;
-        for window in self.starts.windows(2) {
-            w.len((window[1] - window[0]) as usize)?;
+        for v in 0..self.len_nodes() {
+            w.len((self.starts.get(v + 1) - self.starts.get(v)) as usize)?;
         }
-        for (e, &level) in self.entries.iter().zip(&self.levels) {
+        for (e, level) in self.entries.iter().zip(self.levels.iter()) {
             w.u32(e.src)?;
             w.u64(e.est)?;
             w.u32(e.port)?;
@@ -242,11 +366,11 @@ impl FlatTables {
     /// Returns `InvalidData` on malformed bytes.
     pub fn read_from(source: &mut dyn Read) -> io::Result<Self> {
         let mut r = WireReader::new(source);
-        let n = r.len(1 << 32)?;
+        let n = r.len64(congest::wire::MAX_SEQ_LEN)?;
         let mut starts = Vec::with_capacity(clamped_capacity(n + 1));
         starts.push(0u32);
         for _ in 0..n {
-            let row_len = r.len(1 << 32)? as u64;
+            let row_len = r.len64(congest::wire::MAX_SEQ_LEN)? as u64;
             let prev = u64::from(*starts.last().expect("starts is never empty"));
             let next = prev + row_len;
             starts.push(
@@ -275,6 +399,70 @@ impl FlatTables {
         Ok(FlatTables::from_parts(starts, entries, levels))
     }
 
+    /// Emits the table into a v3 arena: one typed section per array,
+    /// entries as packed 16-byte records, **including the derived bucket
+    /// index** — a v3 load rebuilds nothing. The sections are the views'
+    /// backing bytes verbatim, so load → re-save is a passthrough.
+    pub fn write_arena(&self, a: &mut congest::arena::ArenaWriter) {
+        a.section(self.starts.as_bytes());
+        a.section(self.entries.as_bytes());
+        a.section(self.levels.as_bytes());
+        a.section(self.buckets.as_bytes());
+        a.section(self.bucket_starts.as_bytes());
+        a.section(self.shifts.as_slice());
+    }
+
+    /// Reads what [`FlatTables::write_arena`] wrote: six zero-copy views
+    /// over the container plus O(n) shape checks on the offset arrays
+    /// (CSR offsets and bucket offsets monotone and bounded). Per-entry
+    /// sweeps — row sort order, per-bucket bounds — are *not* re-run
+    /// here: the arena checksum owns integrity, and [`FlatTables::get`]
+    /// re-checks its probe bounds so even a hostile bucket index answers
+    /// with a miss rather than a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on any malformed section or inconsistent
+    /// shape.
+    pub fn read_arena(c: &mut congest::arena::ArenaCursor<'_>) -> io::Result<Self> {
+        let starts = c.u32v()?;
+        let entries = EntryView::new(c.shared()?)?;
+        let levels = c.u32v()?;
+        let buckets = c.u32v()?;
+        let bucket_starts = c.u32v()?;
+        let shifts = c.shared()?;
+        if levels.len() != entries.len() {
+            return Err(invalid_data("flat table sections disagree on length"));
+        }
+        let n = starts
+            .len()
+            .checked_sub(1)
+            .ok_or_else(|| invalid_data("flat table starts section empty"))?;
+        if starts.get(0) != 0
+            || (0..n).any(|v| starts.get(v) > starts.get(v + 1))
+            || starts.get(n) as usize != entries.len()
+        {
+            return Err(invalid_data("flat table offsets inconsistent"));
+        }
+        if bucket_starts.len() != n + 1 || shifts.len() != n {
+            return Err(invalid_data("flat table bucket sections misshapen"));
+        }
+        if bucket_starts.get(0) != 0
+            || (0..n).any(|v| bucket_starts.get(v) > bucket_starts.get(v + 1))
+            || bucket_starts.get(n) as usize != buckets.len()
+        {
+            return Err(invalid_data("flat table bucket offsets inconsistent"));
+        }
+        Ok(FlatTables {
+            starts,
+            entries,
+            levels,
+            buckets,
+            bucket_starts,
+            shifts,
+        })
+    }
+
     /// Validates rows against the topology they will be queried on: one
     /// row per node, sources in range, ports within each node's degree
     /// ([`Topology::neighbor`] only debug-asserts its port, so a corrupted
@@ -289,7 +477,7 @@ impl FlatTables {
         }
         for v in topo.nodes() {
             let deg = topo.degree(v) as u32;
-            for e in self.row(v) {
+            for e in self.row_iter(v) {
                 if e.src as usize >= topo.len() {
                     return Err(invalid_data(format!(
                         "flat route source {} out of range",
@@ -321,8 +509,7 @@ pub fn flatten_runs(runs: &[Vec<RouteTable>]) -> Vec<FlatTables> {
 /// of probing the index per entry.
 pub fn resolve_entry_indices(tables: &FlatTables, index: &graphs::DenseIndex) -> Vec<u32> {
     tables
-        .entries()
-        .iter()
+        .entries_in(0..tables.len_entries())
         .map(|e| {
             index
                 .get(NodeId(e.src))
@@ -339,7 +526,10 @@ pub fn unflatten(ft: &FlatTables) -> Vec<RouteTable> {
             let v = NodeId::from_index(v);
             let mut t = RouteTable::default();
             let range = ft.row_range(v);
-            for (e, &level) in ft.entries()[range.clone()].iter().zip(&ft.levels()[range]) {
+            for (e, level) in ft
+                .entries_in(range.clone())
+                .zip(ft.levels().iter_range(range))
+            {
                 t.insert(
                     NodeId(e.src),
                     RouteInfo {
@@ -651,6 +841,85 @@ impl PairTable {
             t => Err(invalid_data(format!("unknown pair table tag {t}"))),
         }
     }
+
+    /// Emits the table into a v3 arena: a `[tag, k]` meta section, then
+    /// the representation's arrays as typed sections.
+    pub fn write_arena(&self, a: &mut congest::arena::ArenaWriter) {
+        match self {
+            PairTable::Dense { k, values } => {
+                a.u64s(&[0, *k as u64]);
+                a.u64s(values);
+            }
+            PairTable::Csr {
+                k,
+                starts,
+                cols,
+                vals,
+            } => {
+                a.u64s(&[1, *k as u64]);
+                a.u32s(starts);
+                a.u32s(cols);
+                a.u64s(vals);
+            }
+        }
+    }
+
+    /// Reads what [`PairTable::write_arena`] wrote, running the same
+    /// shape validation as [`PairTable::read_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed sections.
+    pub fn read_arena(c: &mut congest::arena::ArenaCursor<'_>) -> io::Result<Self> {
+        let meta = c.u64s()?;
+        let [tag, k] = meta[..] else {
+            return Err(invalid_data("pair table meta section misshapen"));
+        };
+        let k = usize::try_from(k).map_err(|_| invalid_data("pair table k overflow"))?;
+        if k > congest::wire::MAX_SNAPSHOT_NODES {
+            return Err(invalid_data(format!("pair table claims k = {k}")));
+        }
+        match tag {
+            0 => {
+                let values = c.u64s()?;
+                let cells = congest::wire::seq_product(k, k, "pair table")?;
+                if values.len() != cells {
+                    return Err(invalid_data("pair table cell count mismatch"));
+                }
+                Ok(PairTable::Dense { k, values })
+            }
+            1 => {
+                let starts = c.u32s()?;
+                let cols = c.u32s()?;
+                let vals = c.u64s()?;
+                if starts.len() != k + 1 || cols.len() != vals.len() {
+                    return Err(invalid_data("pair table sections disagree on length"));
+                }
+                let m = cols.len();
+                if starts[0] != 0
+                    || starts.windows(2).any(|w| w[0] > w[1])
+                    || *starts.last().expect("nonempty") as usize != m
+                {
+                    return Err(invalid_data("pair table offsets inconsistent"));
+                }
+                for row in 0..k {
+                    let lo = starts[row] as usize;
+                    let hi = starts[row + 1] as usize;
+                    let r = &cols[lo..hi];
+                    if r.windows(2).any(|w| w[0] >= w[1]) || r.iter().any(|&cv| cv as usize >= k) {
+                        return Err(invalid_data("pair table row malformed"));
+                    }
+                }
+                Ok(PairTable::Csr {
+                    k,
+                    starts,
+                    cols,
+                    vals,
+                })
+            }
+            t => Err(invalid_data(format!("unknown pair table tag {t}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -683,12 +952,13 @@ mod tests {
         let ft = FlatTables::from_tables(&sample_tables());
         assert_eq!(ft.len_nodes(), 2);
         assert_eq!(ft.len_entries(), 2);
-        let row = ft.row(NodeId(0));
+        let row = ft.row_vec(NodeId(0));
         assert_eq!(row[0].src, 1);
         assert_eq!(row[1].src, 3);
         assert_eq!(ft.get(NodeId(0), NodeId(3)).unwrap().est, 10);
         assert!(ft.get(NodeId(0), NodeId(2)).is_none());
-        assert!(ft.row(NodeId(1)).is_empty());
+        assert_eq!(ft.row_len(NodeId(1)), 0);
+        assert_eq!(ft.entry(0), row[0]);
     }
 
     #[test]
@@ -709,30 +979,23 @@ mod tests {
         let ft = FlatTables::from_tables(&sample_tables());
         let mut buf = Vec::new();
         ft.write_into(&mut buf).unwrap();
-        // The first entry's src (u32 after the two row-length u64s... locate
-        // by rewriting: swap the two entries' src fields directly.
-        let mut tampered = FlatTables::from_parts(
-            vec![0, 2, 2],
-            vec![
-                FlatEntry {
-                    src: 3,
-                    port: 1,
-                    est: 10,
-                },
-                FlatEntry {
-                    src: 1,
-                    port: 0,
-                    est: 7,
-                },
-            ],
-            vec![0, 2],
-        );
+        let e3 = FlatEntry {
+            src: 3,
+            port: 1,
+            est: 10,
+        };
+        let e1 = FlatEntry {
+            src: 1,
+            port: 0,
+            est: 7,
+        };
+        let tampered = FlatTables::from_parts(vec![0, 2, 2], vec![e3, e1], vec![0, 2]);
         let mut bad = Vec::new();
         tampered.write_into(&mut bad).unwrap();
         assert!(FlatTables::read_from(&mut &bad[..]).is_err());
-        tampered.entries.swap(0, 1);
+        let sorted = FlatTables::from_parts(vec![0, 2, 2], vec![e1, e3], vec![2, 0]);
         let mut good = Vec::new();
-        tampered.write_into(&mut good).unwrap();
+        sorted.write_into(&mut good).unwrap();
         assert!(FlatTables::read_from(&mut &good[..]).is_ok());
     }
 

@@ -238,6 +238,52 @@ impl WGraph {
         WGraph::from_edges(n, &edges)
             .map_err(|e| congest::wire::invalid_data(format!("bad graph snapshot: {e}")))
     }
+
+    /// Emits the graph into a v3 arena: a `[n]` meta section plus the
+    /// canonical edge list split SoA (endpoints, weights).
+    pub fn write_arena(&self, a: &mut congest::arena::ArenaWriter) {
+        a.u64s(&[self.n as u64]);
+        let endpoints: Vec<u32> = self.edges.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+        let weights: Vec<u64> = self.edges.iter().map(|&(_, _, w)| w).collect();
+        a.u32s(&endpoints);
+        a.u64s(&weights);
+    }
+
+    /// Reads what [`WGraph::write_arena`] wrote, re-validating through
+    /// [`WGraph::from_edges`] (the edge list is small relative to the
+    /// tables keyed on it, so the `O(m log m)` rebuild stays off the
+    /// cold-start critical path).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed sections or an invalid edge
+    /// list.
+    pub fn read_arena(c: &mut congest::arena::ArenaCursor<'_>) -> std::io::Result<Self> {
+        let meta = c.u64s()?;
+        let [n] = meta[..] else {
+            return Err(congest::wire::invalid_data("graph meta section misshapen"));
+        };
+        let n = usize::try_from(n).map_err(|_| congest::wire::invalid_data("graph n overflow"))?;
+        if n > congest::wire::MAX_SNAPSHOT_NODES {
+            return Err(congest::wire::invalid_data(format!(
+                "graph snapshot claims {n} nodes"
+            )));
+        }
+        let endpoints = c.u32s()?;
+        let weights = c.u64s()?;
+        if endpoints.len() != weights.len() * 2 {
+            return Err(congest::wire::invalid_data(
+                "graph SoA sections disagree on length",
+            ));
+        }
+        let edges: Vec<(u32, u32, u64)> = endpoints
+            .chunks_exact(2)
+            .zip(&weights)
+            .map(|(ab, &w)| (ab[0], ab[1], w))
+            .collect();
+        WGraph::from_edges(n, &edges)
+            .map_err(|e| congest::wire::invalid_data(format!("bad graph snapshot: {e}")))
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,7 @@ impl DistanceOracle for ApsOracle {
     }
 
     fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
+        crate::check_batch_shape(pairs, out);
         let n = self.g.len();
         for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
             *slot = if u == v {
@@ -342,6 +343,7 @@ impl DistanceOracle for BfOracle {
     }
 
     fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
+        crate::check_batch_shape(pairs, out);
         for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
             *slot = self.dist[u.index() * self.n + v.index()];
         }
@@ -396,6 +398,7 @@ impl DistanceOracle for FloodOracle {
     }
 
     fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
+        crate::check_batch_shape(pairs, out);
         let n = self.g.len();
         for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
             *slot = self.dist[u.index() * n + v.index()];

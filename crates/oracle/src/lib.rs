@@ -163,11 +163,18 @@ pub trait DistanceOracle: Sync {
     fn estimate(&self, u: NodeId, v: NodeId) -> u64;
 
     /// The scalar batch kernel: writes `estimate(u, v)` for each pair into
-    /// the parallel `out` slice (callers guarantee equal lengths).
+    /// the parallel `out` slice.
     ///
     /// The default loops over [`DistanceOracle::estimate`]; flat-table
     /// backends override it to stream straight out of dense arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != pairs.len()` — a shape mismatch is a
+    /// caller bug, and silently zipping to the shorter length would leave
+    /// stale answers in the tail (use [`check_batch_shape`] in overrides).
     fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
+        check_batch_shape(pairs, out);
         for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
             *slot = self.estimate(u, v);
         }
@@ -523,14 +530,58 @@ impl Oracle {
         snapshot::save(self, sink)
     }
 
-    /// Loads an oracle from a snapshot written by [`Oracle::save`].
+    /// Writes the **version-3** arena snapshot: one 8-byte-aligned
+    /// section directory plus typed sections and a trailing checksum,
+    /// with derived query state (bucket indexes, RTC long-range tables)
+    /// stored instead of rebuilt on load. Loading a v3 snapshot is an
+    /// order of magnitude faster than v2 (see `oracle::snapshot` module
+    /// docs); [`Oracle::load`] accepts both versions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn save_v3<W: Write>(&self, sink: &mut W) -> io::Result<()> {
+        snapshot::save_v3(self, sink)
+    }
+
+    /// Loads an oracle from a snapshot written by [`Oracle::save`] or
+    /// [`Oracle::save_v3`] (the version is auto-detected; version-1
+    /// snapshots are rejected with a pointer to rebuild).
     ///
     /// # Errors
     ///
     /// Returns `InvalidData` on bad magic/version/backend bytes or any
-    /// malformed payload.
+    /// malformed payload; truncated inputs wrap
+    /// [`congest::wire::SnapshotError::Truncated`] (test with
+    /// [`congest::wire::is_truncated`]).
     pub fn load<R: Read>(source: &mut R) -> io::Result<Oracle> {
         snapshot::load(source)
+    }
+
+    /// Loads an oracle from an in-memory snapshot buffer (any supported
+    /// version). The bytes are copied once into an owned buffer so a v3
+    /// oracle can keep views into them; callers already holding the
+    /// snapshot as a [`congest::arena::SharedBytes`] should prefer
+    /// [`Oracle::load_shared`], which skips that copy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Oracle::load`].
+    pub fn load_bytes(buf: &[u8]) -> io::Result<Oracle> {
+        snapshot::load_bytes(buf)
+    }
+
+    /// Loads an oracle from a shared in-memory snapshot buffer (any
+    /// supported version). For v3 buffers this is the **zero-copy** fast
+    /// path: after one checksum pass, the oracle's large tables are views
+    /// into `bytes` — cloning the handle and loading again shares the
+    /// same underlying allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Oracle::load`].
+    pub fn load_shared(bytes: congest::arena::SharedBytes) -> io::Result<Oracle> {
+        snapshot::load_shared(bytes)
     }
 
     /// The **canonical artifact bytes**: the [`Oracle::save`] stream with
@@ -599,4 +650,23 @@ impl DistanceOracle for Oracle {
 /// Convenience: an estimate is "covered" when it is not [`INF`].
 pub fn is_covered(est: u64) -> bool {
     est != INF
+}
+
+/// Asserts the [`DistanceOracle::estimate_into`] shape contract
+/// (`out.len() == pairs.len()`) with a diagnostic message. Every
+/// `estimate_into` implementation — the trait default and each backend
+/// override — calls this first, in release builds too: a mismatched batch
+/// is a caller bug, and zipping to the shorter slice would silently leave
+/// stale answers in the tail.
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+#[inline]
+pub fn check_batch_shape(pairs: &[(NodeId, NodeId)], out: &[u64]) {
+    assert_eq!(
+        pairs.len(),
+        out.len(),
+        "estimate_into: out slice must have one slot per pair",
+    );
 }

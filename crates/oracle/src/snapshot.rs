@@ -1,22 +1,51 @@
 //! Versioned binary snapshots: `Oracle::save` / `Oracle::load`.
 //!
-//! Layout (all little-endian, via [`congest::wire`]):
+//! # Version matrix
+//!
+//! | version | layout | write | read |
+//! |---|---|---|---|
+//! | 1 | PR-3 hash-table streams | — | rejected (rebuild) |
+//! | 2 | flat-table wire streams | [`Oracle::save`] | copying decode |
+//! | 3 | aligned arena container | [`Oracle::save_v3`] | header-validated bulk decode, derived state stored |
+//!
+//! Common header (all little-endian, via [`congest::wire`]):
 //!
 //! ```text
 //! magic  "PDOR"            4 bytes
-//! version u16              currently 1
+//! version u16              2 or 3
 //! backend u8               Backend::tag
+//! pad     u8               v3 only (zero) — aligns the arena to 8 bytes
 //! n       u64
 //! rounds  u64              build metrics (summary)
 //! msgs    u64
 //! nanos   u64
-//! payload …                backend-specific (see the Payload impls)
+//! payload …                backend-specific
 //! ```
 //!
+//! A **v2** payload is a sequence of length-prefixed wire streams decoded
+//! element by element through `dyn Read`; derived query state (flat-table
+//! bucket indexes, RTC long-range tables) is rebuilt after decoding. A
+//! **v3** payload is one [`congest::arena`] container: a section
+//! directory, 8-byte-aligned typed sections, and a trailing checksum.
+//! Loading a v3 snapshot validates the directory and checksum in a single
+//! pass, then hands out *zero-copy views* ([`congest::arena::SharedBytes`]
+//! slices) over the large typed sections — derived state (bucket indexes,
+//! RTC long-range tables) is stored in those sections rather than
+//! re-derived, which together is where the order of magnitude in
+//! cold-start time comes from (see `README.md`, "Serving").
+//! [`Oracle::load`] auto-detects the version; [`Oracle::load_shared`] is
+//! the copy-free in-memory entry point the `serve` crate uses.
+//!
 //! Every map written anywhere in a payload is in sorted key order, so
-//! `load` → `save` reproduces the byte stream exactly, and a reloaded
-//! oracle answers queries bit-identically to the one that was saved
-//! (`tests/oracle_matrix.rs` pins both properties).
+//! `load` → `save` reproduces the byte stream exactly (within one
+//! version), and a reloaded oracle answers queries bit-identically to the
+//! one that was saved — from either version (`tests/oracle_matrix.rs`
+//! pins both properties, v2↔v3 cross-checked).
+//!
+//! Truncated inputs (a partial download, a torn write) surface as
+//! `InvalidData` wrapping [`congest::wire::SnapshotError::Truncated`] —
+//! test with [`congest::wire::is_truncated`] — rather than a raw
+//! `UnexpectedEof`.
 
 use crate::backends::{
     ApsOracle, BfOracle, CompactOracle, FloodOracle, Inner, PdeOracle, RtcOracle, TruncatedOracle,
@@ -25,6 +54,7 @@ use crate::backends::{
 use crate::{Backend, Oracle, OracleBuildMetrics};
 use baselines::ExactTz;
 use compact::{CompactScheme, TruncatedScheme};
+use congest::arena::{ArenaCursor, ArenaReader, ArenaWriter, SharedBytes};
 use congest::wire::{
     clamped_capacity, invalid_data, CountingWriter, WireReader, WireWriter, MAX_SNAPSHOT_NODES,
 };
@@ -39,7 +69,11 @@ const MAGIC: &[u8; 4] = b"PDOR";
 /// pointer to rebuild — snapshots are caches of a deterministic build,
 /// not primary data, so there is no in-place migration.
 const VERSION: u16 = 2;
-/// Fixed header size: magic + version + backend + 4 × u64 metrics.
+/// Snapshot version 3: the arena container (see the module docs).
+const VERSION_V3: u16 = 3;
+/// Fixed header size: magic + version + backend + 4 × u64 metrics. The
+/// v3 header adds one pad byte after the backend tag, so the arena that
+/// follows starts on an 8-byte boundary.
 const HEADER_BYTES: u64 = 4 + 2 + 1 + 4 * 8;
 
 /// Backend-specific payload codec (object-safe on the write side so the
@@ -106,22 +140,297 @@ fn save_opts(oracle: &Oracle, sink: &mut dyn Write, canonical: bool) -> io::Resu
     }
 }
 
+/// Writes the version-3 arena snapshot (see the module docs).
+pub(crate) fn save_v3(oracle: &Oracle, sink: &mut dyn Write) -> io::Result<()> {
+    let m = *oracle.inner.as_dyn().build_metrics();
+    let mut w = WireWriter::new(sink);
+    w.bytes(MAGIC)?;
+    w.u16(VERSION_V3)?;
+    w.u8(m.backend.tag())?;
+    w.u8(0)?; // pad: the arena starts 8-aligned
+    w.usize(m.n)?;
+    w.u64(m.rounds)?;
+    w.u64(m.messages)?;
+    w.u64(m.build_nanos)?;
+    let mut a = ArenaWriter::new();
+    write_arena_payload(&oracle.inner, &mut a)?;
+    a.finish(sink)
+}
+
+fn write_arena_payload(inner: &Inner, a: &mut ArenaWriter) -> io::Result<()> {
+    match inner {
+        Inner::Pde(o) => {
+            a.u64s(&[o.eps.to_bits(), o.h, o.sigma as u64]);
+            o.g.write_arena(a);
+            o.routes.write_arena(a);
+            Ok(())
+        }
+        Inner::Aps(o) => {
+            a.u64s(&[o.eps.to_bits()]);
+            o.g.write_arena(a);
+            a.u64s(&o.dist);
+            o.routes.write_arena(a);
+            Ok(())
+        }
+        Inner::Rtc(o) => {
+            a.u64s(&[u64::from(o.k), o.eps.to_bits()]);
+            o.scheme.write_arena(a, false)
+        }
+        Inner::Compact(o) => {
+            a.u64s(&[u64::from(o.k), o.eps.to_bits()]);
+            o.scheme.write_arena(a, false)
+        }
+        Inner::Truncated(o) => {
+            a.u64s(&[u64::from(o.k), o.eps.to_bits()]);
+            o.scheme.write_arena(a, false)
+        }
+        Inner::Tz(o) => {
+            a.u64s(&[u64::from(o.k)]);
+            o.g.write_arena(a);
+            o.scheme.write_arena(a)
+        }
+        Inner::Bf(o) => {
+            a.u64s(&[o.n as u64]);
+            a.u64s(&o.dist);
+            Ok(())
+        }
+        Inner::Flood(o) => {
+            a.u64s(&[o.lsdb_edges as u64]);
+            o.g.write_arena(a);
+            a.u64s(&o.dist);
+            a.u32s(&o.next);
+            Ok(())
+        }
+    }
+}
+
+fn read_arena_payload(
+    backend: Backend,
+    metrics: OracleBuildMetrics,
+    c: &mut ArenaCursor<'_>,
+) -> io::Result<Inner> {
+    Ok(match backend {
+        Backend::Pde => {
+            let meta = c.u64s()?;
+            let [eps, h, sigma] = meta[..] else {
+                return Err(invalid_data("PDE meta section misshapen"));
+            };
+            let eps = f64::from_bits(eps);
+            let sigma = usize::try_from(sigma).map_err(|_| invalid_data("PDE sigma overflow"))?;
+            let g = WGraph::read_arena(c)?;
+            let routes = FlatTables::read_arena(c)?;
+            let topo = g.to_topology();
+            routes.validate(&topo)?;
+            Inner::Pde(PdeOracle {
+                g,
+                topo,
+                routes,
+                eps,
+                h,
+                sigma,
+                metrics,
+            })
+        }
+        Backend::ApproxApsp => {
+            let meta = c.u64s()?;
+            let [eps] = meta[..] else {
+                return Err(invalid_data("APSP meta section misshapen"));
+            };
+            let eps = f64::from_bits(eps);
+            let g = WGraph::read_arena(c)?;
+            let cells = congest::wire::seq_product(g.len(), g.len(), "distance matrix")?;
+            let dist = c.u64s()?;
+            if dist.len() != cells {
+                return Err(invalid_data("dense matrix size mismatch"));
+            }
+            let routes = FlatTables::read_arena(c)?;
+            let topo = g.to_topology();
+            routes.validate(&topo)?;
+            Inner::Aps(ApsOracle {
+                g,
+                topo,
+                dist,
+                routes,
+                eps,
+                metrics,
+            })
+        }
+        Backend::Rtc => {
+            let (k, eps) = read_scheme_meta(c)?;
+            let scheme = RtcScheme::read_arena(c)?;
+            Inner::Rtc(RtcOracle {
+                scheme,
+                k,
+                eps,
+                metrics,
+            })
+        }
+        Backend::Compact => {
+            let (k, eps) = read_scheme_meta(c)?;
+            let scheme = CompactScheme::read_arena(c)?;
+            Inner::Compact(CompactOracle {
+                scheme,
+                k,
+                eps,
+                metrics,
+            })
+        }
+        Backend::Truncated => {
+            let (k, eps) = read_scheme_meta(c)?;
+            let scheme = TruncatedScheme::read_arena(c)?;
+            Inner::Truncated(TruncatedOracle {
+                scheme,
+                k,
+                eps,
+                metrics,
+            })
+        }
+        Backend::ExactTz => {
+            let meta = c.u64s()?;
+            let [k] = meta[..] else {
+                return Err(invalid_data("TZ meta section misshapen"));
+            };
+            let k = u32::try_from(k).map_err(|_| invalid_data("TZ k overflow"))?;
+            let g = WGraph::read_arena(c)?;
+            let scheme = ExactTz::read_arena(c)?;
+            let topo = g.to_topology();
+            Inner::Tz(TzOracle {
+                g,
+                topo,
+                scheme,
+                k,
+                metrics,
+            })
+        }
+        Backend::BellmanFord => {
+            let meta = c.u64s()?;
+            let [n] = meta[..] else {
+                return Err(invalid_data("BF meta section misshapen"));
+            };
+            let n = usize::try_from(n).map_err(|_| invalid_data("BF n overflow"))?;
+            if n > MAX_SNAPSHOT_NODES {
+                return Err(invalid_data(format!("snapshot claims {n} nodes")));
+            }
+            let cells = congest::wire::seq_product(n, n, "distance matrix")?;
+            let dist = c.u64s()?;
+            if dist.len() != cells {
+                return Err(invalid_data("dense matrix size mismatch"));
+            }
+            Inner::Bf(BfOracle { n, dist, metrics })
+        }
+        Backend::Flooding => {
+            let meta = c.u64s()?;
+            let [lsdb] = meta[..] else {
+                return Err(invalid_data("flooding meta section misshapen"));
+            };
+            let lsdb_edges =
+                usize::try_from(lsdb).map_err(|_| invalid_data("LSDB size overflow"))?;
+            let g = WGraph::read_arena(c)?;
+            let cells = congest::wire::seq_product(g.len(), g.len(), "distance matrix")?;
+            let dist = c.u64s()?;
+            let next = c.u32s()?;
+            if dist.len() != cells || next.len() != cells {
+                return Err(invalid_data("dense matrix size mismatch"));
+            }
+            for &raw in &next {
+                if raw != u32::MAX && raw as usize >= g.len() {
+                    return Err(invalid_data(format!("first hop {raw} out of range")));
+                }
+            }
+            let topo = g.to_topology();
+            Inner::Flood(FloodOracle {
+                g,
+                topo,
+                dist,
+                next,
+                lsdb_edges,
+                metrics,
+            })
+        }
+    })
+}
+
+fn read_scheme_meta(c: &mut ArenaCursor<'_>) -> io::Result<(u32, f64)> {
+    let meta = c.u64s()?;
+    let [k, eps] = meta[..] else {
+        return Err(invalid_data("scheme meta section misshapen"));
+    };
+    let k = u32::try_from(k).map_err(|_| invalid_data("scheme k overflow"))?;
+    Ok((k, f64::from_bits(eps)))
+}
+
 pub(crate) fn load(source: &mut dyn Read) -> io::Result<Oracle> {
+    load_inner(source).map_err(congest::wire::map_truncation)
+}
+
+/// Loads an oracle from a borrowed in-memory snapshot buffer, any
+/// version. The bytes are copied once into an owned buffer so a v3 load
+/// can keep views into them; callers that already hold the snapshot as a
+/// [`SharedBytes`] should use [`load_shared`] and skip that copy.
+pub(crate) fn load_bytes(buf: &[u8]) -> io::Result<Oracle> {
+    load_shared(SharedBytes::from_vec(buf.to_vec()))
+}
+
+/// Loads an oracle from a shared in-memory snapshot buffer, any version.
+/// For v3 this is the zero-copy path: the header and section directory
+/// are validated, and the oracle's tables are views into `bytes` — no
+/// payload bytes are moved at all.
+pub(crate) fn load_shared(bytes: SharedBytes) -> io::Result<Oracle> {
+    load_shared_inner(bytes).map_err(congest::wire::map_truncation)
+}
+
+fn load_shared_inner(bytes: SharedBytes) -> io::Result<Oracle> {
+    // Reading from a byte slice advances it, so after the header `rest`
+    // is exactly the payload — for v3, the arena body, shared in place.
+    let buf = bytes.as_slice();
+    let mut rest = buf;
+    match read_header(&mut rest)? {
+        Header::V2(metrics) => finish_v2(&mut rest, metrics),
+        Header::V3(metrics) => {
+            let off = buf.len() - rest.len();
+            finish_v3(bytes.slice(off..bytes.len()), metrics)
+        }
+    }
+}
+
+fn load_inner(source: &mut dyn Read) -> io::Result<Oracle> {
+    match read_header(source)? {
+        Header::V2(metrics) => finish_v2(source, metrics),
+        Header::V3(metrics) => {
+            let mut body = Vec::new();
+            source.read_to_end(&mut body)?;
+            finish_v3(SharedBytes::from_vec(body), metrics)
+        }
+    }
+}
+
+enum Header {
+    V2(OracleBuildMetrics),
+    V3(OracleBuildMetrics),
+}
+
+fn read_header(source: &mut dyn Read) -> io::Result<Header> {
     let mut r = WireReader::new(source);
     let magic = r.bytes(4)?;
     if magic != MAGIC {
         return Err(invalid_data("not an oracle snapshot (bad magic)"));
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V3 {
         return Err(invalid_data(format!(
-            "unsupported snapshot version {version} (expected {VERSION}; \
+            "unsupported snapshot version {version} (expected {VERSION} or {VERSION_V3}; \
              version-1 hash-table snapshots must be rebuilt with this binary)"
         )));
     }
     let tag = r.u8()?;
     let backend =
         Backend::from_tag(tag).ok_or_else(|| invalid_data(format!("unknown backend tag {tag}")))?;
+    if version == VERSION_V3 {
+        let pad = r.u8()?;
+        if pad != 0 {
+            return Err(invalid_data("nonzero pad byte in v3 header"));
+        }
+    }
     let n = r.usize()?;
     let rounds = r.u64()?;
     let messages = r.u64()?;
@@ -133,6 +442,15 @@ pub(crate) fn load(source: &mut dyn Read) -> io::Result<Oracle> {
         messages,
         build_nanos,
     };
+    Ok(if version == VERSION_V3 {
+        Header::V3(metrics)
+    } else {
+        Header::V2(metrics)
+    })
+}
+
+fn finish_v2(source: &mut dyn Read, metrics: OracleBuildMetrics) -> io::Result<Oracle> {
+    let backend = metrics.backend;
     let inner = match backend {
         Backend::Pde => Inner::Pde(PdeOracle::read_payload(source, metrics)?),
         Backend::ApproxApsp => Inner::Aps(ApsOracle::read_payload(source, metrics)?),
@@ -143,6 +461,14 @@ pub(crate) fn load(source: &mut dyn Read) -> io::Result<Oracle> {
         Backend::BellmanFord => Inner::Bf(BfOracle::read_payload(source, metrics)?),
         Backend::Flooding => Inner::Flood(FloodOracle::read_payload(source, metrics)?),
     };
+    Ok(Oracle { inner })
+}
+
+fn finish_v3(body: SharedBytes, metrics: OracleBuildMetrics) -> io::Result<Oracle> {
+    let reader = ArenaReader::parse(body)?;
+    let mut c = reader.cursor();
+    let inner = read_arena_payload(metrics.backend, metrics, &mut c)?;
+    c.expect_end()?;
     Ok(Oracle { inner })
 }
 

@@ -39,11 +39,11 @@ impl RtcScheme {
     fn skeleton_option(&self, x: NodeId, label: &RtcLabel) -> Option<(u64, NodeId)> {
         let m = self.skel_ids.len();
         let home = self.skel_index.get(label.home)?;
-        let d = self.long_dist[x.index() * m + home];
+        let d = self.long_dist.get(x.index() * m + home);
         if d == INF {
             return None;
         }
-        let hop = NodeId(self.long_hop[x.index() * m + home]);
+        let hop = NodeId(self.long_hop.get(x.index() * m + home));
         Some((d.saturating_add(label.dist_home), hop))
     }
 }
@@ -101,7 +101,7 @@ impl RoutingScheme for RtcScheme {
             .values()
             .filter_map(|t| t.children.get(&v).map(|ch| 1 + ch.len()))
             .sum();
-        self.short_lists[v.index()].len() + self.skel_routes.row(v).len() + tree_rows
+        self.short_lists.row_len(v) + self.skel_routes.row_len(v) + tree_rows
     }
 }
 

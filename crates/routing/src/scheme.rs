@@ -10,6 +10,7 @@
 //! charges the paper's rounds (recorded per stage in
 //! [`RtcBuildMetrics::stages`]).
 
+use congest::arena::{U32View, U64View};
 use congest::bfs::build_bfs;
 use congest::pipeline::broadcast_all;
 use congest::{bits_for, label_record_bits, Message, Metrics, NodeId, Topology};
@@ -18,7 +19,8 @@ use pde_core::pipeline::{
     self, closest_tagged, mutual_edges, parallel_map, virtual_graph, with_resample, BuildError,
     StageLog,
 };
-use pde_core::{run_pde, BuildMode, FlatTables, PdeEntry, PdeParams};
+use pde_core::snapshot::FlatLists;
+use pde_core::{run_pde, BuildMode, FlatTables, PdeParams};
 use spanner::baswana_sen;
 use treeroute::TreeSet;
 
@@ -161,7 +163,7 @@ pub struct RtcScheme {
     /// flattened into source-sorted rows.
     pub short: FlatTables,
     /// Paper-sized short-range tables (the top-σ lists), for size metrics.
-    pub short_lists: Vec<Vec<PdeEntry>>,
+    pub short_lists: FlatLists,
     /// Skeleton-distance routing state from the `(S, h, |S|)` pass.
     pub skel_routes: FlatTables,
     /// Skeleton membership.
@@ -176,21 +178,21 @@ pub struct RtcScheme {
     pub metrics: RtcBuildMetrics,
     pub(crate) skel_index: DenseIndex,
     /// `|S| × |S|` spanner distance matrix.
-    pub(crate) span_dist: Vec<u64>,
+    pub(crate) span_dist: U64View,
     /// `span_next[i·|S|+j]`: skeleton index of the first hop from `i`
-    /// towards `j` in the spanner.
-    pub(crate) span_next: Vec<usize>,
+    /// towards `j` in the spanner (`u64::MAX` when there is none).
+    pub(crate) span_next: U64View,
     /// `long_dist[x·|S|+j]`: the precomputed long-range reduction
     /// `min_t (wd'_S(x, t) + d_spanner(t, s_j))` — everything of the
     /// skeleton option except the destination's `dist_home`, which is a
     /// per-destination constant and therefore cannot change the argmin.
-    /// Derived (not serialized); [`graphs::INF`] when no entry point
-    /// reaches `s_j`.
-    pub(crate) long_dist: Vec<u64>,
+    /// Stored in v3 snapshots, recomputed on v2 loads; [`graphs::INF`]
+    /// when no entry point reaches `s_j`.
+    pub(crate) long_dist: U64View,
     /// `long_hop[x·|S|+j]`: the next-hop node realizing `long_dist`,
     /// under the same `(total, hop)` tie-break the per-query loop used
     /// (`u32::MAX` when `long_dist` is [`graphs::INF`]).
-    pub(crate) long_hop: Vec<u32>,
+    pub(crate) long_hop: U32View,
 }
 
 /// Derives the dense long-range tables: for every node `x` and skeleton
@@ -205,8 +207,8 @@ pub(crate) fn build_long_range(
     skel_routes: &FlatTables,
     skel_index: &DenseIndex,
     skel_ids: &[NodeId],
-    span_dist: &[u64],
-    span_next: &[usize],
+    span_dist: &U64View,
+    span_next: &U64View,
 ) -> (Vec<u64>, Vec<u32>) {
     let n = topo.len();
     let m = skel_ids.len();
@@ -215,8 +217,7 @@ pub(crate) fn build_long_range(
     let mut long_hop = vec![u32::MAX; n * m];
     for x in topo.nodes() {
         let range = skel_routes.row_range(x);
-        let row = &skel_routes.entries()[range.clone()];
-        let idx = &row_idx[range];
+        let idx = &row_idx[range.clone()];
         let own = skel_index.get(x);
         for j in 0..m {
             let mut best: Option<(u64, NodeId)> = None;
@@ -225,25 +226,25 @@ pub(crate) fn build_long_range(
                     best = Some((total, hop));
                 }
             };
-            for (e, &i) in row.iter().zip(idx) {
+            for (e, &i) in skel_routes.entries_in(range.clone()).zip(idx) {
                 if i == DenseIndex::NONE {
                     continue;
                 }
-                let sd = span_dist[i as usize * m + j];
+                let sd = span_dist.get(i as usize * m + j);
                 if sd == INF {
                     continue;
                 }
                 consider(e.est.saturating_add(sd), topo.neighbor(x, e.port));
             }
             if let Some(i) = own {
-                let sd = span_dist[i * m + j];
+                let sd = span_dist.get(i * m + j);
                 if sd != INF && i != j {
                     // Valid schemes always have a waypoint here and its
                     // endpoints always route to each other; tolerate a
                     // missing waypoint (the span_next sentinel) or route
                     // entry so corrupted-but-shape-valid snapshots degrade
                     // instead of panicking at load time.
-                    let z_idx = span_next[i * m + j];
+                    let z_idx = usize::try_from(span_next.get(i * m + j)).unwrap_or(usize::MAX);
                     if let Some(&z) = skel_ids.get(z_idx) {
                         if let Some(e) = skel_routes.get(x, z) {
                             consider(sd, topo.neighbor(x, e.port));
@@ -484,6 +485,13 @@ fn build_attempt(g: &WGraph, params: &RtcParams) -> Result<RtcScheme, BuildError
     };
 
     let skel_routes = FlatTables::from_tables(&pde_s.routes);
+    let span_dist = U64View::from_vals(&span_dist);
+    let span_next = U64View::from_vals(
+        &span_next
+            .iter()
+            .map(|&x| if x == usize::MAX { u64::MAX } else { x as u64 })
+            .collect::<Vec<u64>>(),
+    );
     let (long_dist, long_hop) = build_long_range(
         &topo,
         &skel_routes,
@@ -492,11 +500,15 @@ fn build_attempt(g: &WGraph, params: &RtcParams) -> Result<RtcScheme, BuildError
         &span_dist,
         &span_next,
     );
+    let (long_dist, long_hop) = (
+        U64View::from_vals(&long_dist),
+        U32View::from_vals(&long_hop),
+    );
     Ok(RtcScheme {
         topo,
         labels,
         short: FlatTables::from_tables(&pde_a.routes),
-        short_lists: pde_a.lists,
+        short_lists: FlatLists::from_lists(&pde_a.lists),
         skel_routes,
         skeleton,
         skel_ids,

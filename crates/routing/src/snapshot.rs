@@ -20,10 +20,11 @@
 //! the per-stage breakdown); the bounded per-round histories are not.
 
 use crate::scheme::{RtcBuildMetrics, RtcLabel, RtcScheme};
+use congest::arena::{U32View, U64View};
 use congest::wire::{check_record_version, clamped_capacity, invalid_data, WireReader, WireWriter};
 use congest::{Metrics, NodeId, Topology};
 use graphs::DenseIndex;
-use pde_core::snapshot::{read_lists, write_lists};
+use pde_core::snapshot::FlatLists;
 use pde_core::FlatTables;
 use std::io::{self, Read, Write};
 use treeroute::TreeSet;
@@ -70,7 +71,7 @@ impl RtcScheme {
             w.bool(f)?;
         }
         self.short.write_into(sink)?;
-        write_lists(sink, &self.short_lists)?;
+        self.short_lists.write_into(sink)?;
         self.skel_routes.write_into(sink)?;
         let mut w = WireWriter::new(sink);
         w.len(self.spanner_edges.len())?;
@@ -81,15 +82,12 @@ impl RtcScheme {
         }
         let m = self.skel_ids.len();
         w.usize(m)?;
-        for &d in &self.span_dist {
+        for d in self.span_dist.iter() {
             w.u64(d)?;
         }
-        for &nx in &self.span_next {
-            w.u64(if nx == usize::MAX {
-                u64::MAX
-            } else {
-                nx as u64
-            })?;
+        // span_next is stored sentinel-encoded (u64::MAX = none) already.
+        for nx in self.span_next.iter() {
+            w.u64(nx)?;
         }
         self.trees.write_into(sink)?;
         let mut w = WireWriter::new(sink);
@@ -132,7 +130,7 @@ impl RtcScheme {
             skeleton.push(r.bool()?);
         }
         let short = FlatTables::read_from(source)?;
-        let short_lists = read_lists(source)?;
+        let short_lists = FlatLists::read_from(source)?;
         let skel_routes = FlatTables::read_from(source)?;
         if short_lists.len() != n {
             return Err(invalid_data("table count mismatch"));
@@ -156,22 +154,19 @@ impl RtcScheme {
         if skel_ids.len() != m {
             return Err(invalid_data("skeleton size mismatch"));
         }
-        let mut span_dist = Vec::with_capacity(clamped_capacity(m * m));
-        for _ in 0..m * m {
+        let cells = congest::wire::seq_product(m, m, "spanner matrix")?;
+        let mut span_dist = Vec::with_capacity(clamped_capacity(cells));
+        for _ in 0..cells {
             span_dist.push(r.u64()?);
         }
-        let mut span_next = Vec::with_capacity(clamped_capacity(m * m));
-        for _ in 0..m * m {
+        // Kept sentinel-encoded (u64::MAX = none), validated up front.
+        let mut span_next = Vec::with_capacity(clamped_capacity(cells));
+        for _ in 0..cells {
             let x = r.u64()?;
-            span_next.push(if x == u64::MAX {
-                usize::MAX
-            } else {
-                let nx = usize::try_from(x).map_err(|_| invalid_data("span_next overflow"))?;
-                if nx >= m {
-                    return Err(invalid_data("span_next index out of range"));
-                }
-                nx
-            });
+            if x != u64::MAX && x >= m as u64 {
+                return Err(invalid_data("span_next index out of range"));
+            }
+            span_next.push(x);
         }
         let trees = TreeSet::read_from(source)?;
         let mut r = WireReader::new(source);
@@ -187,6 +182,8 @@ impl RtcScheme {
         let h = r.u64()?;
 
         let skel_index = DenseIndex::new(n, &skel_ids);
+        let span_dist = U64View::from_vals(&span_dist);
+        let span_next = U64View::from_vals(&span_next);
         let (long_dist, long_hop) = crate::scheme::build_long_range(
             &topo,
             &skel_routes,
@@ -195,6 +192,190 @@ impl RtcScheme {
             &span_dist,
             &span_next,
         );
+        let (long_dist, long_hop) = (
+            U64View::from_vals(&long_dist),
+            U32View::from_vals(&long_hop),
+        );
+        let metrics = RtcBuildMetrics {
+            total_rounds,
+            pde_a_rounds,
+            pde_s_rounds,
+            spanner_broadcast_rounds,
+            tree_label_rounds,
+            total,
+            skeleton_size: m,
+            spanner_edge_count: spanner_edges.len(),
+            sample_attempts,
+            h,
+            stages: Default::default(),
+        };
+        Ok(RtcScheme {
+            topo,
+            labels,
+            short,
+            short_lists,
+            skel_routes,
+            skeleton,
+            skel_ids,
+            spanner_edges,
+            trees,
+            metrics,
+            skel_index,
+            span_dist,
+            span_next,
+            long_dist,
+            long_hop,
+        })
+    }
+
+    /// Emits the scheme into a v3 arena. Every table queries touch is a
+    /// typed section — **including the derived long-range reduction**
+    /// (`long_dist`/`long_hop`), which the v2 path recomputes with
+    /// [`crate::scheme::build_long_range`] on every load; a v3 load only
+    /// bulk-decodes and shape-checks. The detection trees and the small
+    /// metrics block ride along as embedded v2 streams.
+    pub fn write_arena(
+        &self,
+        a: &mut congest::arena::ArenaWriter,
+        canonical: bool,
+    ) -> io::Result<()> {
+        self.topo.write_arena(a);
+        let ids: Vec<u32> = self.labels.iter().map(|l| l.id.0).collect();
+        let homes: Vec<u32> = self.labels.iter().map(|l| l.home.0).collect();
+        let dist_homes: Vec<u64> = self.labels.iter().map(|l| l.dist_home).collect();
+        let tree_dfs: Vec<u64> = self.labels.iter().map(|l| l.tree_dfs).collect();
+        a.u32s(&ids);
+        a.u32s(&homes);
+        a.u64s(&dist_homes);
+        a.u64s(&tree_dfs);
+        let skeleton: Vec<u8> = self.skeleton.iter().map(|&f| u8::from(f)).collect();
+        a.u8s(&skeleton);
+        self.short.write_arena(a);
+        self.short_lists.write_arena(a);
+        self.skel_routes.write_arena(a);
+        let endpoints: Vec<u32> = self
+            .spanner_edges
+            .iter()
+            .flat_map(|&(x, y, _)| [x, y])
+            .collect();
+        let weights: Vec<u64> = self.spanner_edges.iter().map(|&(_, _, w)| w).collect();
+        a.u32s(&endpoints);
+        a.u64s(&weights);
+        // The matrices are stored in their in-memory wire form (span_next
+        // sentinel-encoded as u64::MAX), so emitting them is a passthrough.
+        a.section(self.span_dist.as_bytes());
+        a.section(self.span_next.as_bytes());
+        a.section(self.long_dist.as_bytes());
+        a.section(self.long_hop.as_bytes());
+        a.stream(|sink| self.trees.write_into(sink))?;
+        a.stream(|sink| {
+            let mut w = WireWriter::new(sink);
+            let mt = &self.metrics;
+            let zero = |x: u64| if canonical { 0 } else { x };
+            w.u64(zero(mt.total_rounds))?;
+            w.u64(zero(mt.pde_a_rounds))?;
+            w.u64(zero(mt.pde_s_rounds))?;
+            w.u64(zero(mt.spanner_broadcast_rounds))?;
+            w.u64(zero(mt.tree_label_rounds))?;
+            w.u64(zero(mt.total.rounds))?;
+            w.u64(zero(mt.total.messages))?;
+            w.u32(mt.sample_attempts)?;
+            w.u64(mt.h)
+        })
+    }
+
+    /// Reads what [`RtcScheme::write_arena`] wrote: bulk section decodes
+    /// and linear shape checks; no per-element parsing and no
+    /// long-range recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed sections.
+    pub fn read_arena(c: &mut congest::arena::ArenaCursor<'_>) -> io::Result<Self> {
+        let topo = Topology::read_arena(c)?;
+        let n = topo.len();
+        let ids = c.u32s()?;
+        let homes = c.u32s()?;
+        let dist_homes = c.u64s()?;
+        let tree_dfs = c.u64s()?;
+        if ids.len() != n || homes.len() != n || dist_homes.len() != n || tree_dfs.len() != n {
+            return Err(invalid_data("rtc label sections disagree on length"));
+        }
+        let labels: Vec<RtcLabel> = (0..n)
+            .map(|i| RtcLabel {
+                id: NodeId(ids[i]),
+                home: NodeId(homes[i]),
+                dist_home: dist_homes[i],
+                tree_dfs: tree_dfs[i],
+            })
+            .collect();
+        let skeleton = {
+            let raw = c.bools()?;
+            if raw.len() != n {
+                return Err(invalid_data("rtc skeleton section misshapen"));
+            }
+            raw
+        };
+        let short = FlatTables::read_arena(c)?;
+        let short_lists = FlatLists::read_arena(c)?;
+        let skel_routes = FlatTables::read_arena(c)?;
+        if short_lists.len() != n {
+            return Err(invalid_data("table count mismatch"));
+        }
+        short.validate(&topo)?;
+        skel_routes.validate(&topo)?;
+        let endpoints = c.u32s()?;
+        let weights = c.u64s()?;
+        if endpoints.len() != weights.len() * 2 {
+            return Err(invalid_data("spanner SoA sections disagree on length"));
+        }
+        let spanner_edges: Vec<(u32, u32, u64)> = endpoints
+            .chunks_exact(2)
+            .zip(&weights)
+            .map(|(xy, &w)| (xy[0], xy[1], w))
+            .collect();
+        let skel_ids: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|v| skeleton[v.index()])
+            .collect();
+        let m = skel_ids.len();
+        let span_cells = congest::wire::seq_product(m, m, "spanner matrix")?;
+        let span_dist = c.u64v()?;
+        if span_dist.len() != span_cells {
+            return Err(invalid_data("span_dist cell count mismatch"));
+        }
+        let span_next = c.u64v()?;
+        if span_next.len() != span_cells {
+            return Err(invalid_data("span_next cell count mismatch"));
+        }
+        if span_next.iter().any(|x| x != u64::MAX && x >= m as u64) {
+            return Err(invalid_data("span_next index out of range"));
+        }
+        let long_cells = congest::wire::seq_product(n, m, "long-range matrix")?;
+        let long_dist = c.u64v()?;
+        let long_hop = c.u32v()?;
+        if long_dist.len() != long_cells || long_hop.len() != long_cells {
+            return Err(invalid_data("long-range cell count mismatch"));
+        }
+        // A stored hop must be a node id or the sentinel: the route path
+        // feeds it straight into `NodeId` without further checks.
+        if long_hop.iter().any(|h| h != u32::MAX && h as usize >= n) {
+            return Err(invalid_data("long-range hop out of range"));
+        }
+        let trees = TreeSet::read_from(&mut c.bytes()?)?;
+        let mut meta = c.bytes()?;
+        let mut r = WireReader::new(&mut meta);
+        let total_rounds = r.u64()?;
+        let pde_a_rounds = r.u64()?;
+        let pde_s_rounds = r.u64()?;
+        let spanner_broadcast_rounds = r.u64()?;
+        let tree_label_rounds = r.u64()?;
+        let mut total = Metrics::new(n);
+        total.rounds = r.u64()?;
+        total.messages = r.u64()?;
+        let sample_attempts = r.u32()?;
+        let h = r.u64()?;
+        let skel_index = DenseIndex::new(n, &skel_ids);
         let metrics = RtcBuildMetrics {
             total_rounds,
             pde_a_rounds,
@@ -255,6 +436,35 @@ mod tests {
         // Re-serialization is byte-identical (rows stored sorted).
         let mut buf2 = Vec::new();
         back.write_into(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn arena_round_trip_is_query_and_byte_identical() {
+        let mut rng = SmallRng::seed_from_u64(35);
+        let g = gen::gnp_connected(24, 0.2, Weights::Uniform { lo: 1, hi: 20 }, &mut rng);
+        let scheme = build_rtc(&g, &RtcParams::new(2));
+        let mut a = congest::arena::ArenaWriter::new();
+        scheme.write_arena(&mut a, false).unwrap();
+        let mut buf = Vec::new();
+        a.finish(&mut buf).unwrap();
+        let r =
+            congest::arena::ArenaReader::parse(congest::arena::SharedBytes::from_vec(buf.clone()))
+                .unwrap();
+        let mut c = r.cursor();
+        let back = super::RtcScheme::read_arena(&mut c).unwrap();
+        c.expect_end().unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(scheme.estimate(u, v), back.estimate(u, v), "({u},{v})");
+                assert_eq!(scheme.next_hop(u, v), back.next_hop(u, v), "({u},{v})");
+            }
+        }
+        // Re-emitting the arena is byte-identical (all sections stored).
+        let mut a2 = congest::arena::ArenaWriter::new();
+        back.write_arena(&mut a2, false).unwrap();
+        let mut buf2 = Vec::new();
+        a2.finish(&mut buf2).unwrap();
         assert_eq!(buf, buf2);
     }
 

@@ -94,7 +94,7 @@ fn short_range_pairs_are_near_exact() {
     let scheme = build_rtc(&g, &RtcParams::new(2));
     let exact = apsp(&g);
     for v in g.nodes() {
-        for e in &scheme.short_lists[v.index()] {
+        for e in scheme.short_lists.iter_row(v) {
             if e.src == v {
                 continue;
             }

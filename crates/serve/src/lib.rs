@@ -1,0 +1,551 @@
+//! A long-lived, in-process serving front end over [`oracle::Oracle`].
+//!
+//! A built oracle is a read-only artifact; serving it is a lifecycle
+//! problem: several oracles live side by side (one per graph, or one per
+//! backend under comparison), snapshots are replaced while queries are in
+//! flight, and callers want aggregate throughput without each inventing
+//! its own batching. This crate is that layer, std-only:
+//!
+//! * [`OracleServer`] — a named registry of served oracles. Queries take
+//!   a [`Lease`] (an `Arc` clone) on the current snapshot;
+//!   [`OracleServer::install`] atomically swaps the snapshot under a
+//!   short write lock. An old snapshot is **retired, not dropped**: every
+//!   in-flight lease keeps it alive until its last batch finishes, so a
+//!   hot swap never interrupts a query — readers drain off the old
+//!   generation at their own pace (pinned by the `hot_swap_*` tests).
+//! * [`OracleServer::install_shared`] — the cold-start path: decode a
+//!   snapshot (v2 or v3, auto-detected via [`oracle::Oracle::load_shared`]),
+//!   install it, and answer one probe query, reporting the measured
+//!   bytes-to-first-answer time. A v3 snapshot is served as zero-copy
+//!   views into the handed-over buffer. This is the number the v3 arena
+//!   layout exists to shrink (see `BENCH_oracle.json`).
+//!   [`OracleServer::install_from_bytes`] is the borrowed-slice variant
+//!   (one defensive copy).
+//! * [`Batcher`] — admission batching for one served name: concurrent
+//!   small submissions are admitted into a shared slab for a short
+//!   window, executed as **one** [`DistanceOracle::estimate_many_with`]
+//!   call against a single leased snapshot, and the answer slab is split
+//!   back per submitter. Each admitted group therefore sees one
+//!   generation, and tiny callers inherit batch-path throughput.
+//!
+//! ```
+//! use graphs::WGraph;
+//! use oracle::{Backend, OracleBuilder};
+//! use serve::OracleServer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = WGraph::from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 3, 9)])?;
+//! let server = OracleServer::new();
+//! server.install("demo", OracleBuilder::new(Backend::Flooding).build(&g));
+//! let pairs = vec![(graphs::NodeId(0), graphs::NodeId(2))];
+//! let mut out = Vec::new();
+//! server.query("demo", &pairs, &mut out, 1)?;
+//! assert_eq!(out, vec![5]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use graphs::NodeId;
+use oracle::{Backend, DistanceOracle, Oracle};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// A serving error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// No oracle is installed under the requested name.
+    UnknownOracle(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownOracle(name) => {
+                write!(f, "no oracle installed under {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One installed snapshot: the oracle plus its serving bookkeeping.
+///
+/// Handed out behind an `Arc` by [`OracleServer::lease`]; the snapshot
+/// stays valid (and its counters keep aggregating) for as long as any
+/// lease exists, even after a newer generation is installed.
+pub struct ServedOracle {
+    oracle: Oracle,
+    generation: u64,
+    queries: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl ServedOracle {
+    /// The served oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Monotone install generation (unique per [`OracleServer`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total queries answered through this snapshot.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total batches answered through this snapshot.
+    pub fn batches_served(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Answers one batch on this snapshot, updating its counters.
+    pub fn query(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>, threads: usize) {
+        self.oracle.estimate_many_with(pairs, out, threads);
+        self.queries
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A clone of the `Arc` behind one served name — hold it to pin a
+/// snapshot across several batches (a swap retires the old snapshot only
+/// after the last lease drops).
+pub type Lease = Arc<ServedOracle>;
+
+/// What [`OracleServer::install`] replaced, if anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetiredSnapshot {
+    /// Generation of the replaced snapshot.
+    pub generation: u64,
+    /// Leases still outstanding on it at swap time; it is dropped when
+    /// the last of them finishes (0 = dropped at the swap itself).
+    pub leases_in_flight: usize,
+}
+
+/// Report from [`OracleServer::install_from_bytes`]: identity of the
+/// installed oracle plus the measured cold-start.
+#[derive(Clone, Copy, Debug)]
+pub struct InstallReport {
+    /// Backend of the installed oracle.
+    pub backend: Backend,
+    /// Nodes covered.
+    pub n: usize,
+    /// Install generation.
+    pub generation: u64,
+    /// Bytes-in-memory to first answered query, in nanoseconds
+    /// (decode + install + one probe estimate).
+    pub cold_start_nanos: u64,
+    /// The snapshot this install replaced, if the name was live.
+    pub replaced: Option<RetiredSnapshot>,
+}
+
+/// A named registry of served oracles with hot snapshot swap.
+#[derive(Default)]
+pub struct OracleServer {
+    oracles: RwLock<HashMap<String, Lease>>,
+    next_generation: AtomicU64,
+}
+
+impl OracleServer {
+    /// An empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or hot-swaps) `oracle` under `name`, returning the new
+    /// generation and what was replaced. The swap is a pointer replace
+    /// under a short write lock: queries already running keep their lease
+    /// on the old snapshot and finish undisturbed; queries arriving after
+    /// the swap lease the new one.
+    pub fn install(&self, name: &str, oracle: Oracle) -> (u64, Option<RetiredSnapshot>) {
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(ServedOracle {
+            oracle,
+            generation,
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let old = self
+            .oracles
+            .write()
+            .expect("oracle map lock poisoned")
+            .insert(name.to_string(), snap);
+        let replaced = old.map(|old| RetiredSnapshot {
+            generation: old.generation,
+            // The map held one count; what remains are live leases.
+            leases_in_flight: Arc::strong_count(&old) - 1,
+        });
+        (generation, replaced)
+    }
+
+    /// Decodes a snapshot buffer (v2 or v3, auto-detected), installs it
+    /// under `name`, answers one probe query, and reports the measured
+    /// cold-start-to-first-answer time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error (`InvalidData` for malformed or truncated
+    /// buffers) without touching the currently served snapshot.
+    pub fn install_from_bytes(&self, name: &str, bytes: &[u8]) -> io::Result<InstallReport> {
+        self.install_shared(name, congest::arena::SharedBytes::from_vec(bytes.to_vec()))
+    }
+
+    /// [`OracleServer::install_from_bytes`] without the defensive copy:
+    /// the caller hands over a [`congest::arena::SharedBytes`] handle, and
+    /// a v3 snapshot is served as views straight into that buffer — the
+    /// zero-copy cold-start path the serving benchmark measures.
+    ///
+    /// # Errors
+    ///
+    /// As [`OracleServer::install_from_bytes`].
+    pub fn install_shared(
+        &self,
+        name: &str,
+        bytes: congest::arena::SharedBytes,
+    ) -> io::Result<InstallReport> {
+        let t0 = Instant::now();
+        let oracle = Oracle::load_shared(bytes)?;
+        let backend = oracle.backend();
+        let n = oracle.len();
+        let (generation, replaced) = self.install(name, oracle);
+        let lease = self.lease(name).expect("just installed");
+        let probe = (NodeId(0), NodeId(n.saturating_sub(1) as u32));
+        std::hint::black_box(lease.oracle().estimate(probe.0, probe.1));
+        let cold_start_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Ok(InstallReport {
+            backend,
+            n,
+            generation,
+            cold_start_nanos,
+            replaced,
+        })
+    }
+
+    /// Removes `name`, returning its retirement state.
+    pub fn remove(&self, name: &str) -> Option<RetiredSnapshot> {
+        let old = self
+            .oracles
+            .write()
+            .expect("oracle map lock poisoned")
+            .remove(name)?;
+        Some(RetiredSnapshot {
+            generation: old.generation,
+            leases_in_flight: Arc::strong_count(&old) - 1,
+        })
+    }
+
+    /// Leases the current snapshot of `name` (an `Arc` clone; cheap).
+    pub fn lease(&self, name: &str) -> Option<Lease> {
+        self.oracles
+            .read()
+            .expect("oracle map lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// The served names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .oracles
+            .read()
+            .expect("oracle map lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Answers one batch on the current snapshot of `name` (lease, run,
+    /// release).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownOracle`] when `name` is not being served.
+    pub fn query(
+        &self,
+        name: &str,
+        pairs: &[(NodeId, NodeId)],
+        out: &mut Vec<u64>,
+        threads: usize,
+    ) -> Result<u64, ServeError> {
+        let lease = self
+            .lease(name)
+            .ok_or_else(|| ServeError::UnknownOracle(name.to_string()))?;
+        lease.query(pairs, out, threads);
+        Ok(lease.generation)
+    }
+}
+
+// -------------------------------------------------- admission batching --
+
+struct Pending {
+    pairs: Vec<(NodeId, NodeId)>,
+    slot: Arc<Slot>,
+}
+
+struct Slot {
+    result: Mutex<Option<Result<Vec<u64>, ServeError>>>,
+    ready: Condvar,
+}
+
+/// Admission batching for one served name: concurrent [`Batcher::submit`]
+/// calls are merged into one slab and answered by a single
+/// `estimate_many_with` call on a single leased snapshot.
+///
+/// The first submitter of an admission group becomes its *leader*: it
+/// waits out the admission window (so concurrent submitters can join),
+/// drains the queue, leases the snapshot once, runs the combined batch,
+/// and distributes the answer slab back. Followers block on their slot.
+/// One generation per group — a hot swap lands between groups, never
+/// inside one.
+pub struct Batcher {
+    name: String,
+    window: Duration,
+    threads: usize,
+    queue: Mutex<Vec<Pending>>,
+}
+
+impl Batcher {
+    /// A batcher for the served `name` with the given admission window
+    /// and `threads` knob for the combined batches (`0` = auto).
+    pub fn new(name: &str, window: Duration, threads: usize) -> Self {
+        Batcher {
+            name: name.to_string(),
+            window,
+            threads,
+            queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Submits `pairs` and blocks until the admission group they joined
+    /// has been answered; returns this submission's answers (in pair
+    /// order) and the generation that served them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownOracle`] when the batcher's name is not being
+    /// served at execution time (the whole group gets the error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leader thread panicked mid-group (poisoned locks).
+    pub fn submit(
+        &self,
+        server: &OracleServer,
+        pairs: Vec<(NodeId, NodeId)>,
+    ) -> Result<(Vec<u64>, u64), ServeError> {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let leader = {
+            let mut q = self.queue.lock().expect("batch queue poisoned");
+            let leader = q.is_empty();
+            q.push(Pending {
+                pairs,
+                slot: Arc::clone(&slot),
+            });
+            leader
+        };
+        if leader {
+            // Admit concurrent submitters, then execute the whole group.
+            std::thread::sleep(self.window);
+            let group: Vec<Pending> =
+                std::mem::take(&mut *self.queue.lock().expect("batch queue poisoned"));
+            self.execute(server, group);
+        }
+        let mut result = slot.result.lock().expect("batch slot poisoned");
+        while result.is_none() {
+            result = slot.ready.wait(result).expect("batch slot poisoned");
+        }
+        let answers = result.take().expect("checked above")?;
+        let generation = server
+            .lease(&self.name)
+            .map(|l| l.generation)
+            .unwrap_or_default();
+        Ok((answers, generation))
+    }
+
+    fn execute(&self, server: &OracleServer, group: Vec<Pending>) {
+        let outcome = match server.lease(&self.name) {
+            Some(lease) => {
+                let slab: Vec<(NodeId, NodeId)> =
+                    group.iter().flat_map(|p| p.pairs.iter().copied()).collect();
+                let mut out = Vec::new();
+                lease.query(&slab, &mut out, self.threads);
+                Ok(out)
+            }
+            None => Err(ServeError::UnknownOracle(self.name.clone())),
+        };
+        let mut offset = 0;
+        for pending in group {
+            let answer = match &outcome {
+                Ok(out) => {
+                    let take = pending.pairs.len();
+                    let part = out[offset..offset + take].to_vec();
+                    offset += take;
+                    Ok(part)
+                }
+                Err(e) => Err(e.clone()),
+            };
+            *pending.slot.result.lock().expect("batch slot poisoned") = Some(answer);
+            pending.slot.ready.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::WGraph;
+    use oracle::OracleBuilder;
+
+    fn ring(n: u32, w: u64) -> WGraph {
+        let edges: Vec<(u32, u32, u64)> = (0..n).map(|i| (i, (i + 1) % n, w)).collect();
+        WGraph::from_edges(n as usize, &edges).unwrap()
+    }
+
+    fn build(g: &WGraph) -> Oracle {
+        OracleBuilder::new(Backend::Flooding).build(g)
+    }
+
+    #[test]
+    fn install_query_and_remove() {
+        let server = OracleServer::new();
+        assert!(server.lease("a").is_none());
+        let (g1, replaced) = server.install("a", build(&ring(8, 2)));
+        assert_eq!((g1, replaced), (1, None));
+        server.install("b", build(&ring(6, 1)));
+        assert_eq!(server.names(), ["a", "b"]);
+        let mut out = Vec::new();
+        let generation = server
+            .query(
+                "a",
+                &[(NodeId(0), NodeId(4)), (NodeId(2), NodeId(2))],
+                &mut out,
+                1,
+            )
+            .unwrap();
+        assert_eq!((generation, out.as_slice()), (1, [8u64, 0].as_slice()));
+        let lease = server.lease("a").unwrap();
+        assert_eq!(lease.queries_served(), 2);
+        assert_eq!(lease.batches_served(), 1);
+        drop(lease);
+        let retired = server.remove("a").unwrap();
+        assert_eq!(retired.generation, 1);
+        assert_eq!(retired.leases_in_flight, 0);
+        assert!(matches!(
+            server.query("a", &[], &mut out, 1),
+            Err(ServeError::UnknownOracle(_))
+        ));
+    }
+
+    #[test]
+    fn hot_swap_keeps_old_snapshot_alive_for_leases() {
+        let server = OracleServer::new();
+        server.install("g", build(&ring(8, 1)));
+        let old = server.lease("g").unwrap();
+        let (new_generation, replaced) = server.install("g", build(&ring(8, 5)));
+        assert_eq!(new_generation, 2);
+        let replaced = replaced.unwrap();
+        assert_eq!(replaced.generation, 1);
+        assert_eq!(replaced.leases_in_flight, 1);
+        // The in-flight lease still answers from the old snapshot …
+        assert_eq!(old.oracle().estimate(NodeId(0), NodeId(1)), 1);
+        // … while new queries see the new one.
+        let mut out = Vec::new();
+        server
+            .query("g", &[(NodeId(0), NodeId(1))], &mut out, 1)
+            .unwrap();
+        assert_eq!(out, vec![5]);
+        // Retirement completes when the last lease drops.
+        drop(out);
+        drop(old);
+        let lease = server.lease("g").unwrap();
+        assert_eq!(lease.generation(), 2);
+    }
+
+    #[test]
+    fn install_from_bytes_reports_cold_start_for_both_versions() {
+        let oracle = build(&ring(10, 3));
+        let mut v2 = Vec::new();
+        oracle.save(&mut v2).unwrap();
+        let mut v3 = Vec::new();
+        oracle.save_v3(&mut v3).unwrap();
+        let server = OracleServer::new();
+        for (name, bytes) in [("v2", &v2), ("v3", &v3)] {
+            let report = server.install_from_bytes(name, bytes).unwrap();
+            assert_eq!(report.backend, Backend::Flooding);
+            assert_eq!(report.n, 10);
+            assert!(report.cold_start_nanos > 0);
+            assert!(report.replaced.is_none());
+            let mut out = Vec::new();
+            server
+                .query(name, &[(NodeId(0), NodeId(5))], &mut out, 1)
+                .unwrap();
+            assert_eq!(out, vec![15]);
+        }
+        let err = server
+            .install_from_bytes("bad", &v3[..v3.len() - 3])
+            .unwrap_err();
+        assert!(congest::wire::is_truncated(&err), "{err}");
+        assert!(server.lease("bad").is_none());
+    }
+
+    #[test]
+    fn batcher_merges_concurrent_submissions_into_one_generation() {
+        let server = OracleServer::new();
+        server.install("g", build(&ring(12, 2)));
+        let batcher = Batcher::new("g", Duration::from_millis(20), 1);
+        let expect: Vec<u64> = (1..=4u32)
+            .map(|i| {
+                let lease = server.lease("g").unwrap();
+                lease.oracle().estimate(NodeId(0), NodeId(i))
+            })
+            .collect();
+        let batches_before = server.lease("g").unwrap().batches_served();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..=4u32)
+                .map(|i| {
+                    let (batcher, server) = (&batcher, &server);
+                    scope.spawn(move || batcher.submit(server, vec![(NodeId(0), NodeId(i))]))
+                })
+                .collect();
+            for (i, handle) in handles.into_iter().enumerate() {
+                let (answers, generation) = handle.join().unwrap().unwrap();
+                assert_eq!(answers, vec![expect[i]]);
+                assert_eq!(generation, 1);
+            }
+        });
+        // Admission merged at least some submissions: fewer executed
+        // batches than submissions (the window makes all-in-one likely,
+        // but any grouping proves admission worked).
+        let batches_after = server.lease("g").unwrap().batches_served();
+        assert!(batches_after - batches_before <= 4);
+        assert!(batches_after > batches_before);
+        assert_eq!(server.lease("g").unwrap().queries_served(), 4);
+    }
+
+    #[test]
+    fn batcher_reports_unknown_oracle_to_every_member() {
+        let server = OracleServer::new();
+        let batcher = Batcher::new("missing", Duration::from_millis(1), 1);
+        let err = batcher
+            .submit(&server, vec![(NodeId(0), NodeId(1))])
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownOracle("missing".into()));
+    }
+}

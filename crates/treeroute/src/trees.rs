@@ -111,9 +111,24 @@ impl TreeSet {
     ///
     /// # Panics
     ///
-    /// Panics if some tree contains a cycle (again: indicates broken
-    /// next-hop chains; loud failure wanted).
+    /// Panics if some tree contains a cycle or is disconnected from its
+    /// root (again: indicates broken next-hop chains; loud failure
+    /// wanted). Parent maps decoded from *untrusted* bytes must go
+    /// through [`TreeSet::try_build`] instead.
     pub fn build(&mut self) {
+        if let Err(e) = self.try_build() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`TreeSet::build`] for parent maps decoded
+    /// from untrusted bytes: a cycle or a tree disconnected from its
+    /// root is reported as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed tree.
+    pub fn try_build(&mut self) -> Result<(), String> {
         for (&root, tree) in &mut self.trees {
             tree.children.clear();
             for (&c, &p) in &tree.parent {
@@ -144,21 +159,19 @@ impl TreeSet {
                     let c = ch[ci];
                     top.1 += 1;
                     stack.push((c, 0, d + 1));
-                    assert!(
-                        stack.len() <= member_count + 1,
-                        "cycle detected in tree {root}"
-                    );
+                    if stack.len() > member_count + 1 {
+                        return Err(format!("cycle detected in tree {root}"));
+                    }
                 } else {
                     stack.pop();
                     tree.interval.insert(v, (in_time[&v], counter));
                 }
             }
-            assert_eq!(
-                tree.interval.len(),
-                tree.children.len(),
-                "tree {root} is disconnected from its root"
-            );
+            if tree.interval.len() != tree.children.len() {
+                return Err(format!("tree {root} is disconnected from its root"));
+            }
         }
+        Ok(())
     }
 
     /// Serializes the set (snapshot wire format): per tree, the root and
@@ -192,27 +205,24 @@ impl TreeSet {
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on malformed bytes.
-    ///
-    /// # Panics
-    ///
-    /// Panics (via [`TreeSet::build`]) if the decoded parent pointers
-    /// contain a cycle — possible only for corrupted snapshots.
+    /// Returns `InvalidData` on malformed bytes, including decoded
+    /// parent pointers that form a cycle or disconnect a tree from its
+    /// root — corrupted snapshots must error, never panic.
     pub fn read_from(source: &mut dyn std::io::Read) -> std::io::Result<Self> {
         let mut r = congest::wire::WireReader::new(source);
-        let num_trees = r.len(1 << 32)?;
+        let num_trees = r.len64(congest::wire::MAX_SEQ_LEN)?;
         let mut set = TreeSet::new();
         for _ in 0..num_trees {
             let root = NodeId(r.u32()?);
             let tree = set.trees.entry(root).or_default();
-            let edges = r.len(1 << 32)?;
+            let edges = r.len64(congest::wire::MAX_SEQ_LEN)?;
             for _ in 0..edges {
                 let c = NodeId(r.u32()?);
                 let p = NodeId(r.u32()?);
                 tree.parent.insert(c, p);
             }
         }
-        set.build();
+        set.try_build().map_err(congest::wire::invalid_data)?;
         Ok(set)
     }
 
@@ -324,6 +334,36 @@ mod tests {
         let mut buf2 = Vec::new();
         back.write_into(&mut buf2).unwrap();
         assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn corrupt_parent_maps_error_instead_of_panicking() {
+        // A cycle (1 → 2 → 1 in the tree rooted at 0) and a component
+        // disconnected from its root are both representable on the wire;
+        // decoding must reject them as InvalidData.
+        let mut cyclic = TreeSet::new();
+        cyclic
+            .trees
+            .entry(v(0))
+            .or_default()
+            .parent
+            .extend([(v(1), v(2)), (v(2), v(1))]);
+        let mut buf = Vec::new();
+        cyclic.write_into(&mut buf).unwrap();
+        let err = TreeSet::read_from(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let mut floating = TreeSet::new();
+        floating
+            .trees
+            .entry(v(0))
+            .or_default()
+            .parent
+            .insert(v(5), v(6)); // 5 → 6, neither reaches root 0
+        let mut buf = Vec::new();
+        floating.write_into(&mut buf).unwrap();
+        let err = TreeSet::read_from(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub use graphs;
 pub use oracle;
 pub use pde_core;
 pub use routing;
+pub use serve;
 pub use sourcedetect;
 pub use spanner;
 pub use treeroute;

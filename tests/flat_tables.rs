@@ -122,7 +122,7 @@ proptest! {
         prop_assert_eq!(pde_repro::pde_core::tables::unflatten(&flat), model.clone());
         // Rows enumerate exactly the model's entries, sorted by source.
         for (v, table) in model.iter().enumerate() {
-            let row = flat.row(NodeId(v as u32));
+            let row = flat.row_vec(NodeId(v as u32));
             prop_assert_eq!(row.len(), table.len());
             prop_assert!(row.windows(2).all(|w| w[0].src < w[1].src));
         }

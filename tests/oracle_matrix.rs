@@ -193,6 +193,98 @@ fn save_load_round_trips_bit_identically_on_1k_random_queries() {
 }
 
 #[test]
+fn v3_snapshots_round_trip_and_answer_identically_to_v2() {
+    // The v2 ↔ v3 cross-version matrix: for every backend, the arena
+    // snapshot must (a) load back, (b) re-save byte-identically, and
+    // (c) answer point, batch and routing queries bit-identically to the
+    // oracle loaded from the v2 stream of the same build.
+    let g = graph(4);
+    use rand::Rng;
+    let mut rng = Seed(0xDEC0DE).rng();
+    let n = g.len() as u32;
+    let queries: Vec<(NodeId, NodeId)> = (0..1000)
+        .map(|_| {
+            (
+                NodeId(rng.random_range(0..n)),
+                NodeId(rng.random_range(0..n)),
+            )
+        })
+        .collect();
+    for backend in Backend::ALL {
+        let oracle = build(backend, &g, 13);
+        let mut v2 = Vec::new();
+        oracle.save(&mut v2).expect("v2 save succeeds");
+        let mut v3 = Vec::new();
+        oracle.save_v3(&mut v3).expect("v3 save succeeds");
+        assert_ne!(v2, v3, "{backend}: versions share a byte stream?");
+
+        let from_v2 = Oracle::load(&mut &v2[..]).expect("v2 load succeeds");
+        let from_v3 = Oracle::load(&mut &v3[..]).expect("v3 load succeeds");
+        assert_eq!(from_v3.backend(), backend);
+        assert_eq!(from_v3.len(), oracle.len());
+
+        // Re-saving the v3-loaded oracle reproduces the arena stream.
+        let mut v3_again = Vec::new();
+        from_v3.save_v3(&mut v3_again).expect("re-save succeeds");
+        assert_eq!(v3, v3_again, "{backend}: v3 snapshot is not canonical");
+        // And it can still emit a v2 stream identical to the original.
+        let mut v2_again = Vec::new();
+        from_v3.save(&mut v2_again).expect("v2 re-save succeeds");
+        assert_eq!(v2, v2_again, "{backend}: v3 load lost v2 state");
+
+        // The in-memory fast path agrees with the streaming path.
+        let from_buf = Oracle::load_bytes(&v3).expect("load_bytes succeeds");
+
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        from_v2.estimate_many(&queries, &mut a);
+        from_v3.estimate_many(&queries, &mut b);
+        assert_eq!(a, b, "{backend}: v3 batch answers diverge from v2");
+        from_buf.estimate_many(&queries, &mut b);
+        assert_eq!(a, b, "{backend}: load_bytes answers diverge");
+        for &(u, v) in &queries {
+            assert_eq!(
+                from_v2.estimate(u, v),
+                from_v3.estimate(u, v),
+                "{backend} ({u},{v})"
+            );
+            assert_eq!(
+                from_v2.next_hop(u, v),
+                from_v3.next_hop(u, v),
+                "{backend} ({u},{v})"
+            );
+            assert_eq!(
+                from_v2.route(u, v),
+                from_v3.route(u, v),
+                "{backend} ({u},{v})"
+            );
+        }
+        assert_eq!(
+            from_v2.build_metrics().rounds,
+            from_v3.build_metrics().rounds,
+            "{backend}"
+        );
+        assert_eq!(
+            from_v2.stretch_bound(),
+            from_v3.stretch_bound(),
+            "{backend}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "one slot per pair")]
+fn estimate_into_rejects_mismatched_batch_shapes() {
+    // The batch kernel's shape contract is checked in release builds too:
+    // a short output slice must panic, not silently skip the tail.
+    let g = graph(3);
+    let oracle = build(Backend::Flooding, &g, 11);
+    let pairs = [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))];
+    let mut out = [0u64; 1];
+    oracle.estimate_into(&pairs, &mut out);
+}
+
+#[test]
 fn corrupted_snapshots_are_rejected() {
     let g = graph(5);
     let oracle = build(Backend::ApproxApsp, &g, 1);
