@@ -17,6 +17,9 @@
 //! cargo run --release -p bench --bin experiments -- serve           # E13 serving table
 //! cargo run --release -p bench --bin experiments -- serve headline  # BENCH_oracle.json cold-start rows (n=4096)
 //! cargo run --release -p bench --bin experiments -- serve --smoke   # CI serve smoke
+//! cargo run --release -p bench --bin experiments -- dynamic          # E14 repair/failover table
+//! cargo run --release -p bench --bin experiments -- dynamic headline # BENCH_dynamic.json rows (n=4096)
+//! cargo run --release -p bench --bin experiments -- dynamic --smoke  # CI dynamic smoke
 //! ```
 
 use bench::*;
@@ -53,6 +56,14 @@ fn main() {
     if smoke && args.iter().any(|a| a == "serve") {
         println!("{}", e13_smoke(24, E11_SEED));
         println!("smoke ok: v2/v3/batched answers identical through hot swaps");
+        return;
+    }
+    // Dynamic smoke for CI: every backend × delta kind through repair
+    // (byte-identity vs a from-scratch rebuild asserted) plus a masked
+    // failover detour on the failure rows.
+    if smoke && args.iter().any(|a| a == "dynamic") {
+        println!("{}", e14_smoke(24, E14_SEED));
+        println!("smoke ok: repairs byte-identical to rebuilds, failover detours live");
         return;
     }
     // Bench smoke for CI: run the E10 throughput table at tiny sizes so
@@ -171,6 +182,19 @@ fn main() {
             println!("{}", e13_serve(&[64], false, E11_SEED));
         } else {
             println!("{}", e13_serve(&[256, 1024], false, E11_SEED));
+        }
+    }
+    if want("dynamic") {
+        // Headline rows at n = 4096 (the BENCH_dynamic.json repair-vs-
+        // rebuild evidence) only on request: repeated full rebuilds of
+        // the matrix backends at that size take a while. `dynamic
+        // headline` runs just those rows.
+        if args.iter().any(|a| a == "headline") {
+            println!("{}", e14_dynamic(&[], true, E14_SEED));
+        } else if quick {
+            println!("{}", e14_dynamic(&[64], false, E14_SEED));
+        } else {
+            println!("{}", e14_dynamic(&[128, 512], false, E14_SEED));
         }
     }
 }

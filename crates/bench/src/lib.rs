@@ -16,6 +16,7 @@ mod e10_simulator;
 mod e11_queries;
 mod e12_builds;
 mod e13_serve;
+mod e14_dynamic;
 mod e1_apsp;
 mod e2_figure1;
 mod e3_pde;
@@ -34,6 +35,7 @@ pub use e11_queries::{
 };
 pub use e12_builds::{e12_builds, e12_run, e12_smoke, BuildRun, E12_RUNS, E12_SEED};
 pub use e13_serve::{e13_measure, e13_run, e13_serve, e13_smoke, ServeRun, E13_LOADS};
+pub use e14_dynamic::{e14_delta, e14_dynamic, e14_run, e14_smoke, DynRun, E14_RUNS, E14_SEED};
 pub use e1_apsp::e1_apsp;
 pub use e2_figure1::e2_figure1;
 pub use e3_pde::e3_pde;

@@ -1,6 +1,7 @@
 //! Deterministic `(1+ε)`-approximate APSP (Theorem 4.1).
 
-use crate::pde::{run_pde, PdeOutput, PdeParams};
+use crate::pde::{run_pde, validate_pde_input, PdeOutput, PdeParams};
+use crate::pipeline::BuildError;
 use congest::NodeId;
 use graphs::algo::Apsp;
 use graphs::{WGraph, INF};
@@ -103,6 +104,24 @@ pub fn approx_apsp_opts(
     threads: usize,
     mode: crate::BuildMode,
 ) -> ApspApprox {
+    try_approx_apsp_opts(g, eps, threads, mode).expect("approximate APSP build failed")
+}
+
+/// [`approx_apsp_opts`] with typed input validation: a disconnected
+/// graph or an out-of-range ε comes back as a [`BuildError`] instead of
+/// a panic.
+///
+/// # Errors
+///
+/// [`BuildError::Disconnected`] / [`BuildError::InvalidParam`], as
+/// [`crate::try_run_pde`].
+pub fn try_approx_apsp_opts(
+    g: &WGraph,
+    eps: f64,
+    threads: usize,
+    mode: crate::BuildMode,
+) -> Result<ApspApprox, BuildError> {
+    validate_pde_input(g, eps)?;
     let n = g.len();
     let params = PdeParams::new(n as u64, n, eps)
         .with_threads(threads)
@@ -130,7 +149,7 @@ pub fn approx_apsp_opts(
             dist[v * n + u] = m;
         }
     }
-    ApspApprox { n, dist, pde }
+    Ok(ApspApprox { n, dist, pde })
 }
 
 #[cfg(test)]

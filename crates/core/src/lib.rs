@@ -54,8 +54,10 @@ pub mod rounding;
 pub mod snapshot;
 pub mod tables;
 
-pub use apsp::{approx_apsp, approx_apsp_opts, approx_apsp_with, ApspApprox};
+pub use apsp::{approx_apsp, approx_apsp_opts, approx_apsp_with, try_approx_apsp_opts, ApspApprox};
 pub use ladder::{BuildMode, LadderSpec};
-pub use pde::{run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo, RouteTable};
+pub use pde::{
+    run_pde, try_run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo, RouteTable,
+};
 pub use pipeline::{BuildError, StageLog, StageReport};
 pub use tables::{resolve_entry_indices, FlatEntry, FlatTables, PairTable};

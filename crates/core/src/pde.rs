@@ -1,6 +1,7 @@
 //! `(1+ε)`-approximate `(S, h, σ)`-estimation (Theorem 3.3 / Corollary 3.5).
 
 use crate::ladder::{run_rung, BuildMode, LadderSpec};
+use crate::pipeline::BuildError;
 use crate::rounding::{horizon, level_ladder};
 use congest::aggregate::global_max;
 use congest::bfs::build_bfs;
@@ -201,6 +202,42 @@ impl PdeOutput {
     }
 }
 
+/// [`run_pde`] with typed input validation: a disconnected graph or an
+/// out-of-range ε comes back as a [`BuildError`] instead of a panic, so
+/// builders can surface the condition through `try_build` and callers
+/// don't need `catch_unwind` shims around degenerate knobs.
+///
+/// # Errors
+///
+/// [`BuildError::Disconnected`] for disconnected inputs,
+/// [`BuildError::InvalidParam`] for ε outside `(0, 8]`.
+///
+/// # Panics
+///
+/// Panics if the flag slices are mis-sized (a caller bug).
+pub fn try_run_pde(
+    g: &WGraph,
+    sources: &[bool],
+    tags: &[bool],
+    params: &PdeParams,
+) -> Result<PdeOutput, BuildError> {
+    validate_pde_input(g, params.eps)?;
+    Ok(run_pde(g, sources, tags, params))
+}
+
+/// The shared input checks behind every `try_` build entry point.
+pub(crate) fn validate_pde_input(g: &WGraph, eps: f64) -> Result<(), BuildError> {
+    if !(eps > 0.0 && eps <= 8.0) {
+        return Err(BuildError::InvalidParam {
+            what: "eps must be in (0, 8]",
+        });
+    }
+    if !g.is_connected() {
+        return Err(BuildError::Disconnected { nodes: g.len() });
+    }
+    Ok(())
+}
+
 /// Runs `(1+ε)`-approximate `(S, h, σ)`-estimation on `g`
 /// (Corollary 3.5).
 ///
@@ -222,7 +259,10 @@ impl PdeOutput {
 /// # Panics
 ///
 /// Panics if the graph is disconnected, flag slices are mis-sized, or ε is
-/// out of range.
+/// out of range. Callers that would rather get a typed error for bad
+/// *inputs* (disconnected graph, out-of-range ε) should use
+/// [`try_run_pde`]; mis-sized flag slices stay panics in both (a caller
+/// bug, not an input condition).
 pub fn run_pde(g: &WGraph, sources: &[bool], tags: &[bool], params: &PdeParams) -> PdeOutput {
     assert_eq!(sources.len(), g.len(), "one source flag per node");
     assert_eq!(tags.len(), g.len(), "one tag flag per node");

@@ -65,6 +65,19 @@ pub enum BuildError {
         /// Its node count `|S|`.
         size: usize,
     },
+    /// The **input** graph is not connected. Every scheme in this
+    /// workspace builds on a connected graph, so builders reject the
+    /// input up front instead of panicking mid-pipeline.
+    Disconnected {
+        /// Number of nodes in the rejected input.
+        nodes: usize,
+    },
+    /// A build parameter is outside its valid range (e.g. ε ∉ (0, 8]).
+    /// Unlike the sampling failures above, resampling cannot fix this.
+    InvalidParam {
+        /// What is wrong with the parameter.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -79,6 +92,10 @@ impl fmt::Display for BuildError {
             BuildError::SkeletonDisconnected { what, size } => {
                 write!(f, "{what} disconnected (|S|={size}); raise c")
             }
+            BuildError::Disconnected { nodes } => {
+                write!(f, "input graph is not connected (n={nodes})")
+            }
+            BuildError::InvalidParam { what } => write!(f, "invalid build parameter: {what}"),
         }
     }
 }
@@ -120,8 +137,11 @@ impl StageLog {
 /// (an arbitrary fixed constant; see [`Seed::derive`]).
 pub const RESAMPLE_STREAM: u64 = 0x7E5A_5EED;
 
-/// Runs `build` with `seed`; on a [`BuildError`], retries **once** with
-/// the [`Seed::derive`]d resample stream before returning the error.
+/// Runs `build` with `seed`; on a sampling [`BuildError`], retries
+/// **once** with the [`Seed::derive`]d resample stream before returning
+/// the error. Input errors ([`BuildError::Disconnected`],
+/// [`BuildError::InvalidParam`]) are returned immediately — a fresh
+/// sample cannot connect a disconnected input or fix a knob.
 ///
 /// The retry is part of the deterministic build contract: whether a
 /// build retries depends only on the canonical artifacts of the first
@@ -136,6 +156,7 @@ pub fn with_resample<T>(
 ) -> Result<T, BuildError> {
     match build(seed, 1) {
         Ok(t) => Ok(t),
+        Err(e @ (BuildError::Disconnected { .. } | BuildError::InvalidParam { .. })) => Err(e),
         Err(_) => build(seed.derive(RESAMPLE_STREAM), 2),
     }
 }

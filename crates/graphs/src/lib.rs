@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod delta;
 pub mod gen;
 mod graph;
 mod index;
 mod seed;
 
 pub use congest::NodeId;
+pub use delta::{DeltaError, GraphDelta};
 pub use graph::{GraphError, WGraph, INF};
 pub use index::DenseIndex;
 pub use seed::Seed;

@@ -18,7 +18,8 @@ use compact::{
 use compact::{TruncatedScheme, UpperMode};
 use congest::{NodeId, Topology};
 use graphs::{WGraph, INF};
-use pde_core::{approx_apsp_opts, run_pde, FlatTables, PdeParams};
+use pde_core::{try_approx_apsp_opts, try_run_pde};
+use pde_core::{FlatTables, PdeParams};
 use routing::{try_build_rtc, RoutingScheme, RtcParams, RtcScheme};
 
 /// Traces a route by repeatedly applying `next` into the caller's buffer,
@@ -131,6 +132,10 @@ impl DistanceOracle for PdeOracle {
     fn build_metrics(&self) -> &OracleBuildMetrics {
         &self.metrics
     }
+
+    fn topology(&self) -> Option<&Topology> {
+        Some(&self.topo)
+    }
 }
 
 // --------------------------------------------------------- ApproxApsp --
@@ -200,6 +205,10 @@ impl DistanceOracle for ApsOracle {
     fn build_metrics(&self) -> &OracleBuildMetrics {
         &self.metrics
     }
+
+    fn topology(&self) -> Option<&Topology> {
+        Some(&self.topo)
+    }
 }
 
 // ---------------------------------------------- RoutingScheme wrappers --
@@ -251,6 +260,10 @@ macro_rules! scheme_oracle {
 
             fn build_metrics(&self) -> &OracleBuildMetrics {
                 &self.metrics
+            }
+
+            fn topology(&self) -> Option<&Topology> {
+                Some(self.scheme.topology())
             }
         }
     };
@@ -320,6 +333,10 @@ impl DistanceOracle for TzOracle {
 
     fn build_metrics(&self) -> &OracleBuildMetrics {
         &self.metrics
+    }
+
+    fn topology(&self) -> Option<&Topology> {
+        Some(&self.topo)
     }
 }
 
@@ -425,6 +442,10 @@ impl DistanceOracle for FloodOracle {
     fn build_metrics(&self) -> &OracleBuildMetrics {
         &self.metrics
     }
+
+    fn topology(&self) -> Option<&Topology> {
+        Some(&self.topo)
+    }
 }
 
 // ------------------------------------------------------- construction --
@@ -456,7 +477,12 @@ impl Inner {
     }
 }
 
-fn metrics(backend: Backend, n: usize, rounds: u64, messages: u64) -> OracleBuildMetrics {
+pub(crate) fn metrics(
+    backend: Backend,
+    n: usize,
+    rounds: u64,
+    messages: u64,
+) -> OracleBuildMetrics {
     OracleBuildMetrics {
         backend,
         n,
@@ -482,6 +508,21 @@ pub(crate) fn set_build_nanos(inner: &mut Inner, nanos: u64) {
 
 pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Result<Inner, BuildError> {
     let n = g.len();
+    // Uniform input contract: every scheme in this workspace builds on a
+    // connected graph, so the rejection is typed and happens before any
+    // pipeline stage can panic on it.
+    if !g.is_connected() {
+        return Err(BuildError::Disconnected { nodes: n });
+    }
+    if matches!(
+        b.backend(),
+        Backend::Pde | Backend::ApproxApsp | Backend::Rtc | Backend::Compact | Backend::Truncated
+    ) && !(b.knob_eps() > 0.0 && b.knob_eps() <= 8.0)
+    {
+        return Err(BuildError::InvalidParam {
+            what: "eps must be in (0, 8]",
+        });
+    }
     let inner = match b.backend() {
         Backend::Pde => {
             let sources = match b.knob_sources() {
@@ -496,7 +537,7 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Result<Inner, BuildE
             let params = PdeParams::new(h, sigma, b.knob_eps())
                 .with_threads(b.knob_threads())
                 .with_mode(b.knob_mode());
-            let out = run_pde(g, &sources, &vec![false; n], &params);
+            let out = try_run_pde(g, &sources, &vec![false; n], &params)?;
             let m = metrics(
                 Backend::Pde,
                 n,
@@ -514,7 +555,7 @@ pub(crate) fn build_inner(b: &OracleBuilder, g: &WGraph) -> Result<Inner, BuildE
             })
         }
         Backend::ApproxApsp => {
-            let a = approx_apsp_opts(g, b.knob_eps(), b.knob_threads(), b.knob_mode());
+            let a = try_approx_apsp_opts(g, b.knob_eps(), b.knob_threads(), b.knob_mode())?;
             let mut dist = vec![0u64; n * n];
             for u in g.nodes() {
                 for v in g.nodes() {

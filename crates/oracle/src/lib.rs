@@ -56,6 +56,8 @@
 
 pub mod backends;
 pub mod eval;
+pub mod failover;
+pub mod repair;
 mod snapshot;
 
 use congest::{NodeId, Port};
@@ -69,12 +71,15 @@ pub use backends::{
     TzOracle,
 };
 pub use eval::{evaluate, evaluate_with, EvalReport};
+pub use failover::{route_with_failover, FailoverOutcome, LivenessMask};
+pub use graphs::{DeltaError, GraphDelta};
 /// The shared staged build pipeline (stage logs, sampling, virtual-graph
 /// assembly, recoverable [`BuildError`]s) — re-exported from `pde_core`
 /// so `oracle::pipeline` is the one documented entry point.
 pub use pde_core::pipeline;
 pub use pde_core::pipeline::BuildError;
 pub use pde_core::BuildMode;
+pub use repair::{RepairError, RepairKind, RepairReport, Repaired};
 pub use routing::PairSelection;
 
 /// A fully traced route: the visited nodes (`u` first, destination last),
@@ -240,6 +245,15 @@ pub trait DistanceOracle: Sync {
 
     /// Build metrics.
     fn build_metrics(&self) -> &OracleBuildMetrics;
+
+    /// The topology the oracle was built on, when it keeps one — the
+    /// [failover router](crate::failover) uses it to enumerate live
+    /// neighbors when the primary next hop is dead. `None` for
+    /// estimate-only backends that hold no graph state
+    /// ([`Backend::BellmanFord`]), which therefore cannot detour.
+    fn topology(&self) -> Option<&congest::Topology> {
+        None
+    }
 }
 
 /// Which scheme answers the queries.
@@ -441,31 +455,36 @@ impl OracleBuilder {
     ///
     /// # Panics
     ///
-    /// Panics on invalid knob combinations (e.g. `k < 2` for
-    /// [`Backend::Truncated`]), on structurally invalid inputs
-    /// (disconnected graphs), and on a [`BuildError`] that survived the
-    /// builders' one-resample retry (see [`OracleBuilder::try_build`]
-    /// for the recoverable form).
+    /// Panics on any [`BuildError`]: invalid inputs (disconnected
+    /// graphs, out-of-range ε), sampling failures that survived the
+    /// builders' one-resample retry, and invalid knob combinations
+    /// (e.g. `k < 2` for [`Backend::Truncated`], which stays an assert).
+    /// See [`OracleBuilder::try_build`] for the typed form.
     pub fn build(&self, g: &WGraph) -> Oracle {
         self.try_build(g)
             .unwrap_or_else(|e| panic!("{} build failed after one resample: {e}", self.backend))
     }
 
-    /// Builds the oracle, surfacing recoverable sampling failures.
+    /// Builds the oracle, surfacing every build failure as a typed
+    /// [`BuildError`].
     ///
     /// The scheme builders retry each failed w.h.p. event once on a
     /// [`Seed::derive`]d resample; if the retry also fails, the
     /// [`BuildError`] is returned here instead of panicking, so callers
-    /// can re-seed or raise `c` programmatically.
+    /// can re-seed or raise `c` programmatically. Invalid *inputs* — a
+    /// disconnected graph ([`BuildError::Disconnected`]) or an
+    /// out-of-range ε ([`BuildError::InvalidParam`]) — are rejected up
+    /// front without a resample, for every backend uniformly.
     ///
     /// # Errors
     ///
-    /// The [`BuildError`] of the second failed attempt.
+    /// The input error, or the [`BuildError`] of the second failed
+    /// sampling attempt.
     ///
     /// # Panics
     ///
-    /// Panics on invalid knob combinations and disconnected inputs (those
-    /// are caller bugs, not sampling luck).
+    /// Panics on invalid knob *combinations* (e.g. `l0` outside `1..k`
+    /// for [`Backend::Truncated`]) — those are caller bugs.
     pub fn try_build(&self, g: &WGraph) -> Result<Oracle, BuildError> {
         let start = Instant::now();
         let mut inner = backends::build_inner(self, g)?;
@@ -644,6 +663,9 @@ impl DistanceOracle for Oracle {
     }
     fn build_metrics(&self) -> &OracleBuildMetrics {
         self.as_dyn().build_metrics()
+    }
+    fn topology(&self) -> Option<&congest::Topology> {
+        self.as_dyn().topology()
     }
 }
 

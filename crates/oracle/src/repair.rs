@@ -1,0 +1,777 @@
+//! Incremental repair: rebuild only what a [`GraphDelta`] touched, with
+//! a byte-identity proof obligation.
+//!
+//! [`OracleBuilder::repair`] takes the graph an oracle was built on, the
+//! built oracle, and one delta, and produces an oracle for the mutated
+//! graph whose [`crate::Oracle::artifact_bytes`] are **byte-identical**
+//! to a from-scratch build — for every backend (pinned by
+//! `tests/dynamic_repair.rs` and the `dynamic --smoke` CI step). How
+//! much work that takes depends on how the backend's artifact couples to
+//! the graph:
+//!
+//! * **Matrix backends** ([`Backend::Flooding`],
+//!   [`Backend::BellmanFord`]) store one exact row per source, and a row
+//!   is a pure function of the graph alone. A raised or removed edge
+//!   `{x, y}` is classified per source `s` from the **old** row in
+//!   `O(deg)` (see `classify_row`): non-tight rows are bit-identical
+//!   and kept; a tight row whose far endpoint keeps an *alternative*
+//!   tight predecessor keeps all its distances (every shortest path
+//!   survives by prefix replacement) and at most re-derives its
+//!   first hops from the kept distances
+//!   ([`graphs::algo::first_hops_from_dist`]) — and only when the
+//!   stored row shows the canonical tree actually entered `y` across
+//!   the edge; only rows whose distances truly change rerun the per-row
+//!   Dijkstra kernel ([`graphs::algo::sssp_with_first_hops`]). Identity
+//!   holds by construction (same kernels, pinned derivations), and a
+//!   single-edge repair touches a small fraction of rows instead of the
+//!   ~half a coarse tightness test would — [`RepairKind::Incremental`]
+//!   reports the ratio.
+//! * **Sampling-coupled schemes** (PDE, ApproxApsp, RTC, Compact,
+//!   Truncated, ExactTz) key their skeleton/level samples and ladder
+//!   stages on node ids and the global seed; a delta invalidates rungs
+//!   globally, and per-rung per-source state is exactly what the
+//!   compact artifact does *not* store. Repair for these is an honest
+//!   staged rebuild through the same pipeline
+//!   ([`RepairKind::Rebuilt`] names the reason) — still through one
+//!   entry point, so callers measure instead of guessing.
+//! * **Node failure** renumbers the id space (dense `0..n` ids are
+//!   load-bearing in every artifact), which reshuffles every id-keyed
+//!   sample: node deltas rebuild on all backends.
+//!
+//! The repaired oracle is computed natively (artifacts are mode- and
+//! thread-invariant, so this changes no bytes) and its volatile metrics
+//! are those of a native build, exactly like a fresh
+//! [`OracleBuilder::build`] in the builder's configuration.
+
+use crate::backends::{self, Inner};
+use crate::{Backend, BuildError, DistanceOracle, Oracle, OracleBuilder};
+use graphs::{DeltaError, GraphDelta, NodeId, WGraph};
+use std::fmt;
+use std::time::Instant;
+
+/// How a repair was carried out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairKind {
+    /// Only the affected source rows were recomputed.
+    Incremental {
+        /// Rows actually recomputed.
+        rows_recomputed: usize,
+        /// Total rows in the artifact (`n`).
+        rows_total: usize,
+    },
+    /// The backend's artifact couples globally to the graph; the repair
+    /// ran the full staged rebuild.
+    Rebuilt {
+        /// Why incremental repair does not apply.
+        reason: &'static str,
+    },
+}
+
+impl RepairKind {
+    /// Short tag for tables (`"incremental"` / `"rebuilt"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RepairKind::Incremental { .. } => "incremental",
+            RepairKind::Rebuilt { .. } => "rebuilt",
+        }
+    }
+}
+
+/// What a repair did and what it cost.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairReport {
+    /// The repaired backend.
+    pub backend: Backend,
+    /// The delta that was applied.
+    pub delta: GraphDelta,
+    /// Incremental or rebuilt, with the per-kind detail.
+    pub kind: RepairKind,
+    /// Wall-clock repair time (delta application + recompute).
+    pub repair_nanos: u64,
+}
+
+/// A successful repair: the oracle for the mutated graph, the mutated
+/// graph itself (callers need it for the *next* delta), and the report.
+#[derive(Debug)]
+pub struct Repaired {
+    /// The repaired oracle (byte-identical to a from-scratch build on
+    /// [`Repaired::graph`]).
+    pub oracle: Oracle,
+    /// The mutated graph.
+    pub graph: WGraph,
+    /// What happened.
+    pub report: RepairReport,
+}
+
+/// Why a repair failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// The delta does not apply to the graph (unknown edge/node, zero
+    /// weight, would disconnect).
+    Delta(DeltaError),
+    /// Rebuilding on the mutated graph failed.
+    Build(BuildError),
+    /// The oracle was built by a different backend than this builder
+    /// configures — the repair would silently change schemes.
+    BackendMismatch {
+        /// The builder's backend.
+        expected: Backend,
+        /// The oracle's backend.
+        got: Backend,
+    },
+    /// The oracle covers a different node count than the given graph —
+    /// it cannot have been built on it.
+    GraphMismatch {
+        /// Nodes covered by the oracle.
+        oracle_nodes: usize,
+        /// Nodes in the supplied graph.
+        graph_nodes: usize,
+    },
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Delta(e) => write!(f, "delta rejected: {e}"),
+            RepairError::Build(e) => write!(f, "rebuild on mutated graph failed: {e}"),
+            RepairError::BackendMismatch { expected, got } => {
+                write!(f, "builder configures {expected} but the oracle is {got}")
+            }
+            RepairError::GraphMismatch {
+                oracle_nodes,
+                graph_nodes,
+            } => write!(
+                f,
+                "oracle covers {oracle_nodes} nodes, graph has {graph_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepairError::Delta(e) => Some(e),
+            RepairError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeltaError> for RepairError {
+    fn from(e: DeltaError) -> Self {
+        RepairError::Delta(e)
+    }
+}
+
+impl From<BuildError> for RepairError {
+    fn from(e: BuildError) -> Self {
+        RepairError::Build(e)
+    }
+}
+
+/// How one source row reacts to an edge transition `w_old → w_new` on
+/// `{a, b}` (`w_new = u64::MAX` for a removal).
+enum RowFix {
+    /// Bit-identical: keep the stored row.
+    Keep,
+    /// Distances survive, but the canonical shortest-path tree entered
+    /// `y` across the edge: re-derive the first hops from the kept
+    /// distances (only entries at distance ≥ `wd(s, y)` can move).
+    Rederive {
+        /// The far endpoint of the tight direction.
+        y: NodeId,
+    },
+    /// Distances change. `Some(y)` when the raise/removal left `y`
+    /// without a tight predecessor, so the decremental patch applies;
+    /// `None` (weight decreases) reruns the full per-row kernel.
+    Recompute {
+        /// The far endpoint, when the decremental patch applies.
+        y: Option<NodeId>,
+    },
+}
+
+/// One edge transition `w_old → w_new` on `{a, b}` (`w_new = u64::MAX`
+/// encodes a removal), shared by every row classification of a repair.
+#[derive(Clone, Copy)]
+struct EdgeTransition {
+    a: NodeId,
+    b: NodeId,
+    w_old: u64,
+    w_new: u64,
+}
+
+/// Classifies one source row exactly (up to a sound over-approximation
+/// on the rare branches), from the stored row alone:
+///
+/// * A raised or removed edge matters only if it was *tight* from `s`
+///   (`wd(s,x) + w_old = wd(s,y)`; the edge itself forces
+///   `|da − db| ≤ w_old`, so with weights ≥ 1 at most one direction is
+///   tight). Non-tight rows are bit-identical.
+/// * If `y` keeps **no other tight predecessor**, every shortest
+///   `s → y` path crossed the edge and the distance row changes:
+///   recompute. Conversely, an alternative tight predecessor `v`
+///   certifies that no shortest path *to v* can cross the edge (any
+///   path through `y` is already longer than `wd(s,v) < wd(s,y)`), so
+///   every distance survives by prefix replacement — an `O(deg y)`
+///   scan, exact where the old `da + w ≤ db` test was satisfied by
+///   roughly half the rows of a unit-weight graph.
+/// * With distances unchanged, `hops`/`parent` (and hence the stored
+///   first-hop row) can only move if the canonical tree entered `y`
+///   across the edge, i.e. `parent[y] = x`. On a **unit-weight** graph
+///   that is decidable exactly from the row: `hops ≡ dist`, so every
+///   tight predecessor is a minimum-hop candidate and the canonical
+///   parent is the minimum-id tight predecessor — `parent[y] = x` iff
+///   `x` has the smallest id among `y`'s tight predecessors. With
+///   general weights the candidate hops are unknown and the test falls
+///   back to the necessary condition `next[y] = next[x]` (or
+///   `next[y] = y` when `x = s`), a sound over-approximation. Rows
+///   failing the test are bit-identical; rows passing it re-derive the
+///   first hops from the kept distances. Backends that store no first
+///   hops skip this tier entirely.
+/// * Weight decreases fall back to the coarse tightness test on the new
+///   weight (the benchmark and repair fast paths are raises/removals).
+///
+/// Rows whose distances *do* change are patched decrementally
+/// ([`patch_dist_row`]): only the vertices that lost every shortest path
+/// re-enter a (small) Dijkstra, seeded from their unaffected neighbors.
+fn classify_row(
+    g_old: &WGraph,
+    dist: &[u64],
+    next: Option<&[u32]>,
+    unit_weights: bool,
+    s: u32,
+    edge: EdgeTransition,
+) -> RowFix {
+    let EdgeTransition { a, b, w_old, w_new } = edge;
+    let (da, db) = (dist[a.index()], dist[b.index()]);
+    if w_new < w_old {
+        return if da.saturating_add(w_new) <= db || db.saturating_add(w_new) <= da {
+            RowFix::Recompute { y: None }
+        } else {
+            RowFix::Keep
+        };
+    }
+    let (x, y) = if da.saturating_add(w_old) == db {
+        (a, b)
+    } else if db.saturating_add(w_old) == da {
+        (b, a)
+    } else {
+        return RowFix::Keep;
+    };
+    let dy = dist[y.index()];
+    let mut min_tight_pred = u32::MAX;
+    let mut has_alternative = false;
+    for (v, w) in g_old.neighbors(y) {
+        if dist[v.index()].saturating_add(w) == dy {
+            min_tight_pred = min_tight_pred.min(v.0);
+            has_alternative |= v != x;
+        }
+    }
+    if !has_alternative {
+        return RowFix::Recompute { y: Some(y) };
+    }
+    match next {
+        None => RowFix::Keep,
+        Some(next) => {
+            let tree_entered_via_edge = if unit_weights {
+                min_tight_pred == x.0
+            } else {
+                let expected = if x.0 == s { y.0 } else { next[x.index()] };
+                next[y.index()] == expected
+            };
+            if tree_entered_via_edge {
+                RowFix::Rederive { y }
+            } else {
+                RowFix::Keep
+            }
+        }
+    }
+}
+
+/// The reachable vertices at distance ≥ `dmin`, in nondecreasing
+/// distance order (counting sort over the small ranges bounded weights
+/// produce; comparison sort otherwise).
+fn tail_by_distance(dist: &[u64], dmin: u64) -> Vec<u32> {
+    let mut tail: Vec<u32> = (0..dist.len() as u32)
+        .filter(|&v| {
+            let d = dist[v as usize];
+            d >= dmin && d != graphs::INF
+        })
+        .collect();
+    let span = tail
+        .iter()
+        .map(|&v| dist[v as usize] - dmin)
+        .max()
+        .unwrap_or(0);
+    if span < 4 * dist.len() as u64 {
+        let mut start = vec![0u32; span as usize + 2];
+        for &v in &tail {
+            start[(dist[v as usize] - dmin) as usize + 1] += 1;
+        }
+        for i in 1..start.len() {
+            start[i] += start[i - 1];
+        }
+        let mut out = vec![0u32; tail.len()];
+        for &v in &tail {
+            let slot = &mut start[(dist[v as usize] - dmin) as usize];
+            out[*slot as usize] = v;
+            *slot += 1;
+        }
+        out
+    } else {
+        tail.sort_unstable_by_key(|&v| dist[v as usize]);
+        tail
+    }
+}
+
+/// Exact decremental patch of one distance row, in place, after a raise
+/// or removal of a tight edge `x → y` that left `y` with no alternative
+/// tight predecessor (so `wd(s, y)` strictly grows).
+///
+/// Phase 1 walks the row's tail in old-distance order and marks the
+/// *affected* vertices — those whose every tight predecessor is itself
+/// affected, seeded by `y`; exactly these lose all their shortest paths
+/// to the change (an unaffected tight predecessor certifies a surviving
+/// path by prefix replacement). An affected vertex sits within
+/// `w_max_old` of the last one, so the walk stops early once the
+/// frontier goes quiet. Phase 2 reseeds every affected vertex from its
+/// unaffected neighbors in the *new* graph (which reintroduces a merely
+/// raised edge at its new weight) and runs Dijkstra restricted to the
+/// affected set — unaffected distances are already final.
+fn patch_dist_row(g_new: &WGraph, g_old: &WGraph, dist: &mut [u64], y: NodeId, w_max_old: u64) {
+    let dy = dist[y.index()];
+    let tail = tail_by_distance(dist, dy);
+    let n = dist.len();
+    let mut affected = vec![false; n];
+    affected[y.index()] = true;
+    let mut aff_list = vec![y.0];
+    let mut last_affected = dy;
+    for &vi in &tail {
+        let v = NodeId(vi);
+        if v == y {
+            continue;
+        }
+        let dv = dist[v.index()];
+        if dv > last_affected.saturating_add(w_max_old) {
+            break;
+        }
+        if dv == dy {
+            continue; // tight predecessors sit strictly below dy
+        }
+        let all_affected = g_old
+            .neighbors(v)
+            .filter(|&(p, w)| dist[p.index()].saturating_add(w) == dv)
+            .all(|(p, _)| affected[p.index()]);
+        if all_affected {
+            affected[v.index()] = true;
+            aff_list.push(vi);
+            last_affected = dv;
+        }
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+        std::collections::BinaryHeap::new();
+    for &vi in &aff_list {
+        let v = NodeId(vi);
+        let mut seed = u64::MAX;
+        for (p, w) in g_new.neighbors(v) {
+            if !affected[p.index()] {
+                seed = seed.min(dist[p.index()].saturating_add(w));
+            }
+        }
+        dist[v.index()] = seed;
+        if seed != u64::MAX {
+            heap.push(std::cmp::Reverse((seed, vi)));
+        }
+    }
+    let mut done = vec![false; n];
+    while let Some(std::cmp::Reverse((d, vi))) = heap.pop() {
+        let v = NodeId(vi);
+        if done[v.index()] || d > dist[v.index()] {
+            continue;
+        }
+        done[v.index()] = true;
+        for (u, w) in g_new.neighbors(v) {
+            if affected[u.index()] && !done[u.index()] {
+                let nd = d.saturating_add(w);
+                if nd < dist[u.index()] {
+                    dist[u.index()] = nd;
+                    heap.push(std::cmp::Reverse((nd, u.0)));
+                }
+            }
+        }
+    }
+}
+
+/// Unit-weight tail re-derivation of a first-hop row: with `hops ≡
+/// dist` the canonical parent of every vertex is its minimum-id tight
+/// predecessor, and entries below `dmin` keep their stored value (their
+/// canonical paths never leave the unchanged prefix of the row). The
+/// `dist` row must already be the new one.
+fn patch_next_row_unit(g_new: &WGraph, s: u32, dist: &[u64], next: &mut [u32], dmin: u64) {
+    let tail = tail_by_distance(dist, dmin);
+    for &vi in &tail {
+        if vi == s {
+            continue;
+        }
+        let v = NodeId(vi);
+        let dv = dist[v.index()];
+        let mut parent = u32::MAX;
+        for (p, w) in g_new.neighbors(v) {
+            if dist[p.index()].saturating_add(w) == dv {
+                parent = parent.min(p.0);
+            }
+        }
+        next[v.index()] = if parent == s {
+            vi
+        } else {
+            next[parent as usize]
+        };
+    }
+}
+
+/// The reason tag for sampling-coupled backends.
+const REASON_SAMPLED: &str = "id/seed-keyed sampling couples the artifact globally";
+/// The reason tag for node deltas.
+const REASON_RENUMBER: &str = "node failure renumbers ids; every sample reshuffles";
+
+impl OracleBuilder {
+    /// Repairs `prev` — built by this builder's recipe on `g_old` — into
+    /// an oracle for `g_old` with `delta` applied.
+    ///
+    /// The result's [`crate::Oracle::artifact_bytes`] are byte-identical
+    /// to `self.build(&g_old.apply_delta(delta)?)`; see the
+    /// [module docs](self) for which backends get true incremental
+    /// repair and which fall back to a staged rebuild (the
+    /// [`RepairReport`] says which happened and what it cost).
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::Delta`] when the delta does not apply,
+    /// [`RepairError::Build`] when the rebuild path fails on the mutated
+    /// graph, and the mismatch variants when `prev` was not built by
+    /// this backend on a graph of this size.
+    pub fn repair(
+        &self,
+        g_old: &WGraph,
+        prev: &Oracle,
+        delta: &GraphDelta,
+    ) -> Result<Repaired, RepairError> {
+        if prev.backend() != self.backend() {
+            return Err(RepairError::BackendMismatch {
+                expected: self.backend(),
+                got: prev.backend(),
+            });
+        }
+        if prev.len() != g_old.len() {
+            return Err(RepairError::GraphMismatch {
+                oracle_nodes: prev.len(),
+                graph_nodes: g_old.len(),
+            });
+        }
+        let start = Instant::now();
+        let g_new = g_old.apply_delta(delta)?;
+        let (inner, kind) = match (&prev.inner, delta) {
+            // Node failure renumbers ids: full rebuild on every backend.
+            (_, GraphDelta::FailNode { .. }) => (
+                build_fresh(self, &g_new)?,
+                RepairKind::Rebuilt {
+                    reason: REASON_RENUMBER,
+                },
+            ),
+            (Inner::Flood(prev), _) => {
+                let (repaired, rows) = repair_flood(prev, g_old, &g_new, delta);
+                (
+                    Inner::Flood(repaired),
+                    RepairKind::Incremental {
+                        rows_recomputed: rows,
+                        rows_total: g_new.len(),
+                    },
+                )
+            }
+            (Inner::Bf(prev), _) => {
+                let (repaired, rows) = repair_bf(prev, g_old, &g_new, delta);
+                (
+                    Inner::Bf(repaired),
+                    RepairKind::Incremental {
+                        rows_recomputed: rows,
+                        rows_total: g_new.len(),
+                    },
+                )
+            }
+            _ => (
+                build_fresh(self, &g_new)?,
+                RepairKind::Rebuilt {
+                    reason: REASON_SAMPLED,
+                },
+            ),
+        };
+        let mut inner = inner;
+        let repair_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        backends::set_build_nanos(&mut inner, repair_nanos);
+        Ok(Repaired {
+            oracle: Oracle { inner },
+            graph: g_new,
+            report: RepairReport {
+                backend: self.backend(),
+                delta: *delta,
+                kind,
+                repair_nanos,
+            },
+        })
+    }
+}
+
+/// The rebuild fallback: a fresh native build through the staged
+/// pipeline (artifacts are mode-invariant, so forcing native changes no
+/// bytes — only the volatile round/message metrics, which the canonical
+/// stream zeroes anyway).
+fn build_fresh(b: &OracleBuilder, g_new: &WGraph) -> Result<Inner, BuildError> {
+    backends::build_inner(&b.clone().build_mode(crate::BuildMode::Native), g_new)
+}
+
+/// The changed edge as an [`EdgeTransition`], with `w_new = u64::MAX`
+/// for a removal. Only called for edge deltas.
+fn edge_transition(g_old: &WGraph, delta: &GraphDelta) -> EdgeTransition {
+    match *delta {
+        GraphDelta::SetWeight { u, v, w } => {
+            let w_old = g_old.edge_weight(u, v).expect("validated by apply_delta");
+            EdgeTransition {
+                a: u,
+                b: v,
+                w_old,
+                w_new: w,
+            }
+        }
+        GraphDelta::FailEdge { u, v } => {
+            let w_old = g_old.edge_weight(u, v).expect("validated by apply_delta");
+            EdgeTransition {
+                a: u,
+                b: v,
+                w_old,
+                w_new: u64::MAX,
+            }
+        }
+        GraphDelta::FailNode { .. } => unreachable!("node deltas always rebuild"),
+    }
+}
+
+fn repair_flood(
+    prev: &crate::FloodOracle,
+    g_old: &WGraph,
+    g_new: &WGraph,
+    delta: &GraphDelta,
+) -> (crate::FloodOracle, usize) {
+    let n = g_new.len();
+    let edge = edge_transition(g_old, delta);
+    let unit_old = g_old.max_weight() == 1;
+    let unit_new = g_new.max_weight() == 1;
+    let w_max_old = g_old.max_weight();
+    let mut dist = prev.dist.clone();
+    let mut next = prev.next.clone();
+    let mut rows = 0;
+    for s in 0..n {
+        let row = s * n..(s + 1) * n;
+        let fix = classify_row(
+            g_old,
+            &dist[row.clone()],
+            Some(&next[row.clone()]),
+            unit_old,
+            s as u32,
+            edge,
+        );
+        match fix {
+            RowFix::Keep => {}
+            RowFix::Rederive { y } => {
+                rows += 1;
+                let dmin = dist[row.start + y.index()];
+                if unit_new {
+                    patch_next_row_unit(g_new, s as u32, &dist[row.clone()], &mut next[row], dmin);
+                } else {
+                    let hops = graphs::algo::first_hops_from_dist(
+                        g_new,
+                        NodeId(s as u32),
+                        &dist[row.clone()],
+                    );
+                    next[row].copy_from_slice(&hops);
+                }
+            }
+            RowFix::Recompute { y: Some(y) } => {
+                rows += 1;
+                let dmin = dist[row.start + y.index()];
+                patch_dist_row(g_new, g_old, &mut dist[row.clone()], y, w_max_old);
+                if unit_new {
+                    patch_next_row_unit(g_new, s as u32, &dist[row.clone()], &mut next[row], dmin);
+                } else {
+                    let hops = graphs::algo::first_hops_from_dist(
+                        g_new,
+                        NodeId(s as u32),
+                        &dist[row.clone()],
+                    );
+                    next[row].copy_from_slice(&hops);
+                }
+            }
+            RowFix::Recompute { y: None } => {
+                rows += 1;
+                let (sssp, hop_row) = graphs::algo::sssp_with_first_hops(g_new, NodeId(s as u32));
+                dist[row.clone()].copy_from_slice(&sssp.dist);
+                next[row].copy_from_slice(&hop_row);
+            }
+        }
+    }
+    let repaired = crate::FloodOracle {
+        g: g_new.clone(),
+        topo: g_new.to_topology(),
+        dist,
+        next,
+        lsdb_edges: g_new.num_edges(),
+        metrics: backends::metrics(Backend::Flooding, n, 0, 0),
+    };
+    (repaired, rows)
+}
+
+fn repair_bf(
+    prev: &crate::BfOracle,
+    g_old: &WGraph,
+    g_new: &WGraph,
+    delta: &GraphDelta,
+) -> (crate::BfOracle, usize) {
+    let n = g_new.len();
+    let edge = edge_transition(g_old, delta);
+    let w_max_old = g_old.max_weight();
+    let mut dist = prev.dist.clone();
+    let mut rows = 0;
+    for s in 0..n {
+        let row = s * n..(s + 1) * n;
+        // Distance-only artifact: the `Rederive` tier cannot arise.
+        let fix = classify_row(g_old, &dist[row.clone()], None, false, s as u32, edge);
+        match fix {
+            RowFix::Recompute { y: Some(y) } => {
+                rows += 1;
+                patch_dist_row(g_new, g_old, &mut dist[row], y, w_max_old);
+            }
+            RowFix::Recompute { y: None } => {
+                rows += 1;
+                let sssp = graphs::algo::dijkstra(g_new, NodeId(s as u32));
+                dist[row].copy_from_slice(&sssp.dist);
+            }
+            RowFix::Keep | RowFix::Rederive { .. } => {}
+        }
+    }
+    let repaired = crate::BfOracle {
+        n,
+        dist,
+        metrics: backends::metrics(Backend::BellmanFord, n, 0, 0),
+    };
+    (repaired, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen::{self, Weights};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn test_graph() -> WGraph {
+        let mut rng = SmallRng::seed_from_u64(11);
+        gen::gnp_connected(24, 0.18, Weights::Uniform { lo: 1, hi: 9 }, &mut rng)
+    }
+
+    /// A non-bridge edge of `g` (one whose removal keeps connectivity).
+    fn removable_edge(g: &WGraph) -> (NodeId, NodeId) {
+        for &(u, v, _) in g.edges() {
+            let d = GraphDelta::FailEdge {
+                u: NodeId(u),
+                v: NodeId(v),
+            };
+            if g.apply_delta(&d).is_ok() {
+                return (NodeId(u), NodeId(v));
+            }
+        }
+        panic!("graph has only bridges");
+    }
+
+    fn assert_identity(backend: Backend, delta: GraphDelta) {
+        let g = test_graph();
+        let builder = OracleBuilder::new(backend);
+        let prev = builder.build(&g);
+        let repaired = builder.repair(&g, &prev, &delta).expect("repair");
+        let fresh = builder.build(&g.apply_delta(&delta).unwrap());
+        assert_eq!(
+            repaired.oracle.artifact_bytes(),
+            fresh.artifact_bytes(),
+            "{backend}: repair({delta}) diverged from a from-scratch build"
+        );
+    }
+
+    #[test]
+    fn flooding_set_weight_is_incremental_and_identical() {
+        let g = test_graph();
+        let &(u, v, w) = &g.edges()[0];
+        let delta = GraphDelta::SetWeight {
+            u: NodeId(u),
+            v: NodeId(v),
+            w: w + 3,
+        };
+        let builder = OracleBuilder::new(Backend::Flooding);
+        let prev = builder.build(&g);
+        let repaired = builder.repair(&g, &prev, &delta).unwrap();
+        match repaired.report.kind {
+            RepairKind::Incremental {
+                rows_recomputed,
+                rows_total,
+            } => assert!(rows_recomputed <= rows_total),
+            RepairKind::Rebuilt { .. } => panic!("flooding edge delta must be incremental"),
+        }
+        assert_identity(Backend::Flooding, delta);
+    }
+
+    #[test]
+    fn bellman_ford_fail_edge_is_incremental_and_identical() {
+        let g = test_graph();
+        let (u, v) = removable_edge(&g);
+        let delta = GraphDelta::FailEdge { u, v };
+        assert_identity(Backend::BellmanFord, delta);
+    }
+
+    #[test]
+    fn node_failure_rebuilds_everywhere() {
+        let g = test_graph();
+        // Find a removable node.
+        let v = (0..g.len() as u32)
+            .map(NodeId)
+            .find(|&v| g.apply_delta(&GraphDelta::FailNode { v }).is_ok())
+            .expect("some node is removable");
+        let builder = OracleBuilder::new(Backend::Flooding);
+        let prev = builder.build(&g);
+        let repaired = builder
+            .repair(&g, &prev, &GraphDelta::FailNode { v })
+            .unwrap();
+        assert!(matches!(repaired.report.kind, RepairKind::Rebuilt { .. }));
+        assert_identity(Backend::Flooding, GraphDelta::FailNode { v });
+    }
+
+    #[test]
+    fn mismatches_are_typed() {
+        let g = test_graph();
+        let flood = OracleBuilder::new(Backend::Flooding).build(&g);
+        let err = OracleBuilder::new(Backend::BellmanFord)
+            .repair(&g, &flood, &GraphDelta::FailNode { v: NodeId(0) })
+            .unwrap_err();
+        assert!(matches!(err, RepairError::BackendMismatch { .. }));
+
+        let delta_err = OracleBuilder::new(Backend::Flooding)
+            .repair(
+                &g,
+                &flood,
+                &GraphDelta::SetWeight {
+                    u: NodeId(0),
+                    v: NodeId(0),
+                    w: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(delta_err, RepairError::Delta(_)));
+    }
+}

@@ -26,7 +26,23 @@
 //!   window, executed as **one** [`DistanceOracle::estimate_many_with`]
 //!   call against a single leased snapshot, and the answer slab is split
 //!   back per submitter. Each admitted group therefore sees one
-//!   generation, and tiny callers inherit batch-path throughput.
+//!   generation, and tiny callers inherit batch-path throughput. A
+//!   batcher can carry a *deadline* ([`Batcher::with_deadline`]): a
+//!   submission whose group leader wedges times out with
+//!   [`ServeError::Deadline`] instead of blocking forever, and
+//!   [`Batcher::shutdown`] retires a batcher, failing queued and future
+//!   submissions with [`ServeError::Retired`]. Batchers obtained through
+//!   [`OracleServer::batcher`] are retired automatically when
+//!   [`OracleServer::remove`] drops their name.
+//! * [`DynamicOracle`] — the failure-aware lifecycle over one served
+//!   name: it owns the live graph and a [`oracle::LivenessMask`],
+//!   [`DynamicOracle::route`] detours around masked failures via
+//!   [`oracle::route_with_failover`], and
+//!   [`DynamicOracle::repair_and_swap`] repairs the artifact off the
+//!   live snapshot ([`oracle::OracleBuilder::repair`]), hot-swaps it
+//!   through the generation mechanism, and reports repair latency plus
+//!   the stale-answer window (failure masked → repaired snapshot
+//!   installed).
 //!
 //! ```
 //! use graphs::WGraph;
@@ -48,8 +64,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use graphs::NodeId;
-use oracle::{Backend, DistanceOracle, Oracle};
+use graphs::{NodeId, WGraph};
+use oracle::{
+    route_with_failover, Backend, BuildError, DistanceOracle, FailoverOutcome, GraphDelta,
+    LivenessMask, Oracle, OracleBuilder, RepairError, RepairReport, TracedRoute,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -63,6 +82,13 @@ use std::time::{Duration, Instant};
 pub enum ServeError {
     /// No oracle is installed under the requested name.
     UnknownOracle(String),
+    /// A batched submission waited past the batcher's deadline without
+    /// being answered (its group leader wedged); the submission was
+    /// withdrawn from the queue.
+    Deadline(String),
+    /// The batcher was shut down while (or before) the submission was
+    /// queued.
+    Retired(String),
 }
 
 impl fmt::Display for ServeError {
@@ -70,6 +96,15 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownOracle(name) => {
                 write!(f, "no oracle installed under {name:?}")
+            }
+            ServeError::Deadline(name) => {
+                write!(
+                    f,
+                    "batched submission to {name:?} timed out past its deadline"
+                )
+            }
+            ServeError::Retired(name) => {
+                write!(f, "the batcher for {name:?} has been retired")
             }
         }
     }
@@ -155,6 +190,7 @@ pub struct InstallReport {
 #[derive(Default)]
 pub struct OracleServer {
     oracles: RwLock<HashMap<String, Lease>>,
+    batchers: Mutex<HashMap<String, Vec<Arc<Batcher>>>>,
     next_generation: AtomicU64,
 }
 
@@ -233,17 +269,57 @@ impl OracleServer {
         })
     }
 
-    /// Removes `name`, returning its retirement state.
+    /// Removes `name`, returning its retirement state. Batchers obtained
+    /// through [`OracleServer::batcher`] for this name are shut down:
+    /// queued and future submissions on them fail with
+    /// [`ServeError::Retired`] instead of hanging on a name that will
+    /// never answer again.
     pub fn remove(&self, name: &str) -> Option<RetiredSnapshot> {
         let old = self
             .oracles
             .write()
             .expect("oracle map lock poisoned")
             .remove(name)?;
+        let batchers = self
+            .batchers
+            .lock()
+            .expect("batcher registry poisoned")
+            .remove(name)
+            .unwrap_or_default();
+        for batcher in batchers {
+            batcher.shutdown();
+        }
         Some(RetiredSnapshot {
             generation: old.generation,
             leases_in_flight: Arc::strong_count(&old) - 1,
         })
+    }
+
+    /// A [`Batcher`] for `name`, registered with this server: when
+    /// [`OracleServer::remove`] drops the name, the batcher is retired
+    /// cleanly. The batcher itself works against whatever server is
+    /// passed to [`Batcher::submit`]; registration only ties its
+    /// lifecycle to this one. `deadline` bounds how long a submission
+    /// waits for its group (see [`Batcher::with_deadline`]).
+    pub fn batcher(
+        &self,
+        name: &str,
+        window: Duration,
+        threads: usize,
+        deadline: Option<Duration>,
+    ) -> Arc<Batcher> {
+        let mut batcher = Batcher::new(name, window, threads);
+        if let Some(deadline) = deadline {
+            batcher = batcher.with_deadline(deadline);
+        }
+        let batcher = Arc::new(batcher);
+        self.batchers
+            .lock()
+            .expect("batcher registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .push(Arc::clone(&batcher));
+        batcher
     }
 
     /// Leases the current snapshot of `name` (an `Arc` clone; cheap).
@@ -301,6 +377,11 @@ struct Slot {
     ready: Condvar,
 }
 
+struct BatchState {
+    queue: Vec<Pending>,
+    retired: bool,
+}
+
 /// Admission batching for one served name: concurrent [`Batcher::submit`]
 /// calls are merged into one slab and answered by a single
 /// `estimate_many_with` call on a single leased snapshot.
@@ -311,11 +392,18 @@ struct Slot {
 /// and distributes the answer slab back. Followers block on their slot.
 /// One generation per group — a hot swap lands between groups, never
 /// inside one.
+///
+/// Two escape hatches keep a submission from blocking forever:
+/// [`Batcher::with_deadline`] bounds the wait for a wedged leader with
+/// [`ServeError::Deadline`], and [`Batcher::shutdown`] retires the
+/// batcher, failing queued and future submissions with
+/// [`ServeError::Retired`].
 pub struct Batcher {
     name: String,
     window: Duration,
     threads: usize,
-    queue: Mutex<Vec<Pending>>,
+    deadline: Option<Duration>,
+    state: Mutex<BatchState>,
 }
 
 impl Batcher {
@@ -326,7 +414,40 @@ impl Batcher {
             name: name.to_string(),
             window,
             threads,
-            queue: Mutex::new(Vec::new()),
+            deadline: None,
+            state: Mutex::new(BatchState {
+                queue: Vec::new(),
+                retired: false,
+            }),
+        }
+    }
+
+    /// Bounds how long [`Batcher::submit`] waits for its group's answer
+    /// once queued. If the group leader wedges (never executes), the
+    /// submission withdraws itself from the queue after `deadline` and
+    /// returns [`ServeError::Deadline`] instead of blocking forever. The
+    /// deadline should comfortably exceed the admission window plus the
+    /// expected batch execution time; it exists for liveness, not pacing.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Retires the batcher: every queued submission is failed with
+    /// [`ServeError::Retired`] (waiters wake immediately) and future
+    /// submissions are rejected up front. Idempotent. Called
+    /// automatically by [`OracleServer::remove`] for batchers obtained
+    /// through [`OracleServer::batcher`].
+    pub fn shutdown(&self) {
+        let abandoned = {
+            let mut state = self.state.lock().expect("batch queue poisoned");
+            state.retired = true;
+            std::mem::take(&mut state.queue)
+        };
+        for pending in abandoned {
+            *pending.slot.result.lock().expect("batch slot poisoned") =
+                Some(Err(ServeError::Retired(self.name.clone())));
+            pending.slot.ready.notify_one();
         }
     }
 
@@ -337,7 +458,10 @@ impl Batcher {
     /// # Errors
     ///
     /// [`ServeError::UnknownOracle`] when the batcher's name is not being
-    /// served at execution time (the whole group gets the error).
+    /// served at execution time (the whole group gets the error);
+    /// [`ServeError::Retired`] when the batcher has been shut down;
+    /// [`ServeError::Deadline`] when a deadline is configured and the
+    /// group's answer did not arrive in time.
     ///
     /// # Panics
     ///
@@ -352,9 +476,12 @@ impl Batcher {
             ready: Condvar::new(),
         });
         let leader = {
-            let mut q = self.queue.lock().expect("batch queue poisoned");
-            let leader = q.is_empty();
-            q.push(Pending {
+            let mut state = self.state.lock().expect("batch queue poisoned");
+            if state.retired {
+                return Err(ServeError::Retired(self.name.clone()));
+            }
+            let leader = state.queue.is_empty();
+            state.queue.push(Pending {
                 pairs,
                 slot: Arc::clone(&slot),
             });
@@ -364,12 +491,36 @@ impl Batcher {
             // Admit concurrent submitters, then execute the whole group.
             std::thread::sleep(self.window);
             let group: Vec<Pending> =
-                std::mem::take(&mut *self.queue.lock().expect("batch queue poisoned"));
+                std::mem::take(&mut self.state.lock().expect("batch queue poisoned").queue);
             self.execute(server, group);
         }
         let mut result = slot.result.lock().expect("batch slot poisoned");
-        while result.is_none() {
-            result = slot.ready.wait(result).expect("batch slot poisoned");
+        if let Some(deadline) = self.deadline {
+            let give_up = Instant::now() + deadline;
+            while result.is_none() {
+                let now = Instant::now();
+                if now >= give_up {
+                    // Unanswered past the deadline: withdraw from the
+                    // queue (the slot lock is released first — shutdown
+                    // takes the locks in the opposite order).
+                    drop(result);
+                    self.state
+                        .lock()
+                        .expect("batch queue poisoned")
+                        .queue
+                        .retain(|p| !Arc::ptr_eq(&p.slot, &slot));
+                    return Err(ServeError::Deadline(self.name.clone()));
+                }
+                let (guard, _) = slot
+                    .ready
+                    .wait_timeout(result, give_up - now)
+                    .expect("batch slot poisoned");
+                result = guard;
+            }
+        } else {
+            while result.is_none() {
+                result = slot.ready.wait(result).expect("batch slot poisoned");
+            }
         }
         let answers = result.take().expect("checked above")?;
         let generation = server
@@ -380,6 +531,11 @@ impl Batcher {
     }
 
     fn execute(&self, server: &OracleServer, group: Vec<Pending>) {
+        if group.is_empty() {
+            // A shutdown raced the leader's admission window and already
+            // failed the whole group (including the leader's own slot).
+            return;
+        }
         let outcome = match server.lease(&self.name) {
             Some(lease) => {
                 let slab: Vec<(NodeId, NodeId)> =
@@ -404,6 +560,252 @@ impl Batcher {
             *pending.slot.result.lock().expect("batch slot poisoned") = Some(answer);
             pending.slot.ready.notify_one();
         }
+    }
+}
+
+// ---------------------------------------------------- dynamic serving --
+
+/// Why [`DynamicOracle::repair_and_swap`] failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairSwapError {
+    /// The serving layer rejected the operation (name not served).
+    Serve(ServeError),
+    /// The repair itself failed (bad delta, rebuild error).
+    Repair(RepairError),
+}
+
+impl fmt::Display for RepairSwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairSwapError::Serve(e) => write!(f, "{e}"),
+            RepairSwapError::Repair(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairSwapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepairSwapError::Serve(e) => Some(e),
+            RepairSwapError::Repair(e) => Some(e),
+        }
+    }
+}
+
+impl From<ServeError> for RepairSwapError {
+    fn from(e: ServeError) -> Self {
+        RepairSwapError::Serve(e)
+    }
+}
+
+impl From<RepairError> for RepairSwapError {
+    fn from(e: RepairError) -> Self {
+        RepairSwapError::Repair(e)
+    }
+}
+
+/// What [`DynamicOracle::repair_and_swap`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairSwapReport {
+    /// Generation of the repaired snapshot that is now being served.
+    pub generation: u64,
+    /// The snapshot the swap replaced.
+    pub replaced: Option<RetiredSnapshot>,
+    /// What the repair itself did and cost ([`oracle::RepairKind`],
+    /// repair nanos).
+    pub repair: RepairReport,
+    /// Stale-answer window in nanoseconds: from the moment the failure
+    /// was masked (or the repair started, for a weight change) until the
+    /// repaired snapshot was installed. Estimates served inside this
+    /// window came from the pre-delta artifact; routes were already
+    /// detouring via the mask.
+    pub stale_window_nanos: u64,
+}
+
+struct DynState {
+    graph: WGraph,
+    mask: LivenessMask,
+    masked_at: Option<Instant>,
+}
+
+/// The failure-aware lifecycle over one served name.
+///
+/// A [`DynamicOracle`] owns the graph its snapshot was built on and a
+/// [`LivenessMask`] of failures reported but not yet repaired into the
+/// artifact. The intended cycle:
+///
+/// 1. a failure is reported → [`DynamicOracle::fail_edge`] /
+///    [`DynamicOracle::fail_node`] mask it *immediately* (cheap, no
+///    rebuild). From this instant [`DynamicOracle::route`] detours
+///    around it; estimates still come from the pre-failure artifact —
+///    the *stale-answer window* has opened.
+/// 2. [`DynamicOracle::repair_and_swap`] repairs the artifact off the
+///    live snapshot ([`OracleBuilder::repair`] — incremental where the
+///    backend allows, an honest rebuild where it doesn't), hot-swaps it
+///    under the same name, unmasks what the artifact now reflects, and
+///    reports the measured window.
+///
+/// Installs under the managed name must go through this type (the
+/// constructor and `repair_and_swap`); a bare [`OracleServer::install`]
+/// under the same name would desynchronize graph, mask, and artifact.
+pub struct DynamicOracle {
+    name: String,
+    builder: OracleBuilder,
+    state: Mutex<DynState>,
+}
+
+impl DynamicOracle {
+    /// Builds `builder`'s oracle on `g` (typed errors, no panic on bad
+    /// input), installs it on `server` under `name`, and returns the
+    /// dynamic lifecycle handle with an all-alive mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from [`OracleBuilder::try_build`].
+    pub fn install(
+        server: &OracleServer,
+        name: &str,
+        builder: OracleBuilder,
+        g: &WGraph,
+    ) -> Result<Self, BuildError> {
+        let oracle = builder.try_build(g)?;
+        server.install(name, oracle);
+        Ok(DynamicOracle {
+            name: name.to_string(),
+            builder,
+            state: Mutex::new(DynState {
+                graph: g.clone(),
+                mask: LivenessMask::new(g.len()),
+                masked_at: None,
+            }),
+        })
+    }
+
+    /// The served name this lifecycle manages.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph the currently served snapshot was built on.
+    pub fn graph(&self) -> WGraph {
+        self.state
+            .lock()
+            .expect("dynamic state poisoned")
+            .graph
+            .clone()
+    }
+
+    /// A snapshot of the current liveness mask.
+    pub fn mask(&self) -> LivenessMask {
+        self.state
+            .lock()
+            .expect("dynamic state poisoned")
+            .mask
+            .clone()
+    }
+
+    /// Masks edge `{u, v}` as failed, effective immediately for
+    /// [`DynamicOracle::route`]. Opens the stale-answer window if it is
+    /// not already open. Call [`DynamicOracle::repair_and_swap`] with
+    /// [`GraphDelta::FailEdge`] to fold the failure into the artifact.
+    pub fn fail_edge(&self, u: NodeId, v: NodeId) {
+        let mut state = self.state.lock().expect("dynamic state poisoned");
+        state.mask.fail_edge(u, v);
+        state.masked_at.get_or_insert_with(Instant::now);
+    }
+
+    /// Masks node `v` as failed (and with it every incident edge),
+    /// effective immediately for [`DynamicOracle::route`].
+    pub fn fail_node(&self, v: NodeId) {
+        let mut state = self.state.lock().expect("dynamic state poisoned");
+        state.mask.fail_node(v);
+        state.masked_at.get_or_insert_with(Instant::now);
+    }
+
+    /// Routes `u → v` on the current snapshot, detouring around masked
+    /// failures via [`route_with_failover`]. With a clear mask this is
+    /// the oracle's own route; with failures it degrades to a detour (or
+    /// an honest [`FailoverOutcome::Unroutable`]) instead of returning a
+    /// path through dead links.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownOracle`] when the name is no longer served.
+    pub fn route(
+        &self,
+        server: &OracleServer,
+        u: NodeId,
+        v: NodeId,
+        out: &mut TracedRoute,
+    ) -> Result<FailoverOutcome, ServeError> {
+        let state = self.state.lock().expect("dynamic state poisoned");
+        let lease = server
+            .lease(&self.name)
+            .ok_or_else(|| ServeError::UnknownOracle(self.name.clone()))?;
+        Ok(route_with_failover(lease.oracle(), &state.mask, u, v, out))
+    }
+
+    /// Repairs the served artifact for `delta` off the live snapshot and
+    /// hot-swaps the result in.
+    ///
+    /// Failure deltas are masked first (idempotent if the caller already
+    /// did), so routing detours even while the repair runs. The repair
+    /// itself works on a lease — in-flight queries drain off the old
+    /// generation undisturbed — and the swap goes through
+    /// [`OracleServer::install`]. Afterwards the mask entry the artifact
+    /// now covers is lifted (a node failure resets the mask: the id
+    /// space was renumbered), and the report carries the repair cost
+    /// plus the measured stale-answer window.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairSwapError::Serve`] when the name is not served;
+    /// [`RepairSwapError::Repair`] when the delta does not apply (the
+    /// mask keeps the failure: a delta that would disconnect the graph
+    /// stays masked, routed around, and unrepaired).
+    pub fn repair_and_swap(
+        &self,
+        server: &OracleServer,
+        delta: &GraphDelta,
+    ) -> Result<RepairSwapReport, RepairSwapError> {
+        let t0 = Instant::now();
+        let mut state = self.state.lock().expect("dynamic state poisoned");
+        match *delta {
+            GraphDelta::FailEdge { u, v } => {
+                state.mask.fail_edge(u, v);
+                state.masked_at.get_or_insert(t0);
+            }
+            GraphDelta::FailNode { v } => {
+                state.mask.fail_node(v);
+                state.masked_at.get_or_insert(t0);
+            }
+            GraphDelta::SetWeight { .. } => {}
+        }
+        let lease = server
+            .lease(&self.name)
+            .ok_or_else(|| ServeError::UnknownOracle(self.name.clone()))?;
+        let repaired = self.builder.repair(&state.graph, lease.oracle(), delta)?;
+        drop(lease);
+        let (generation, replaced) = server.install(&self.name, repaired.oracle);
+        let window = state.masked_at.unwrap_or(t0).elapsed();
+        let stale_window_nanos = u64::try_from(window.as_nanos()).unwrap_or(u64::MAX);
+        state.graph = repaired.graph;
+        match *delta {
+            GraphDelta::FailEdge { u, v } => state.mask.revive_edge(u, v),
+            // Node failure renumbered the id space; stale masked ids
+            // would point at the wrong nodes.
+            GraphDelta::FailNode { .. } => state.mask = LivenessMask::new(state.graph.len()),
+            GraphDelta::SetWeight { .. } => {}
+        }
+        if state.mask.is_clear() {
+            state.masked_at = None;
+        }
+        Ok(RepairSwapReport {
+            generation,
+            replaced,
+            repair: repaired.report,
+            stale_window_nanos,
+        })
     }
 }
 
@@ -547,5 +949,210 @@ mod tests {
             .submit(&server, vec![(NodeId(0), NodeId(1))])
             .unwrap_err();
         assert_eq!(err, ServeError::UnknownOracle("missing".into()));
+    }
+
+    /// Plants a fake queued submission, as if its leader were wedged
+    /// mid-window and had never drained the group.
+    fn wedge(batcher: &Batcher) -> Arc<Slot> {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        batcher.state.lock().unwrap().queue.push(Pending {
+            pairs: vec![(NodeId(0), NodeId(1))],
+            slot: Arc::clone(&slot),
+        });
+        slot
+    }
+
+    #[test]
+    fn batcher_deadline_withdraws_submission_from_wedged_group() {
+        let server = OracleServer::new();
+        server.install("g", build(&ring(8, 1)));
+        let batcher =
+            Batcher::new("g", Duration::from_secs(600), 1).with_deadline(Duration::from_millis(20));
+        wedge(&batcher);
+        // The queue is non-empty, so this submission is a follower; the
+        // wedged "leader" never executes, and the deadline fires.
+        let err = batcher
+            .submit(&server, vec![(NodeId(0), NodeId(2))])
+            .unwrap_err();
+        assert_eq!(err, ServeError::Deadline("g".into()));
+        // The timed-out submission withdrew itself; the wedged pending
+        // is still there.
+        assert_eq!(batcher.state.lock().unwrap().queue.len(), 1);
+    }
+
+    #[test]
+    fn batcher_shutdown_fails_queued_and_future_submissions() {
+        let server = OracleServer::new();
+        server.install("g", build(&ring(8, 1)));
+        let batcher = Batcher::new("g", Duration::from_secs(600), 1);
+        let queued = wedge(&batcher);
+        batcher.shutdown();
+        assert_eq!(
+            *queued.result.lock().unwrap(),
+            Some(Err(ServeError::Retired("g".into())))
+        );
+        let err = batcher
+            .submit(&server, vec![(NodeId(0), NodeId(1))])
+            .unwrap_err();
+        assert_eq!(err, ServeError::Retired("g".into()));
+        assert!(batcher.state.lock().unwrap().queue.is_empty());
+    }
+
+    #[test]
+    fn server_remove_retires_registered_batchers() {
+        let server = OracleServer::new();
+        server.install("g", build(&ring(8, 1)));
+        let batcher = server.batcher("g", Duration::from_millis(1), 1, None);
+        let (answers, _) = batcher
+            .submit(&server, vec![(NodeId(0), NodeId(4))])
+            .unwrap();
+        assert_eq!(answers, vec![4]);
+        server.remove("g");
+        let err = batcher
+            .submit(&server, vec![(NodeId(0), NodeId(4))])
+            .unwrap_err();
+        assert_eq!(err, ServeError::Retired("g".into()));
+    }
+
+    #[test]
+    fn dynamic_edge_failure_detours_then_repair_swaps_cleanly() {
+        let g = ring(8, 1);
+        let server = OracleServer::new();
+        let builder = OracleBuilder::new(Backend::Flooding);
+        let dyn_oracle =
+            DynamicOracle::install(&server, "g", OracleBuilder::new(Backend::Flooding), &g)
+                .unwrap();
+        let mut route = TracedRoute::default();
+
+        // Healthy: the oracle's own route, flagged as such.
+        let outcome = dyn_oracle
+            .route(&server, NodeId(0), NodeId(2), &mut route)
+            .unwrap();
+        assert_eq!(outcome, FailoverOutcome::Primary);
+        assert_eq!(route.weight, 2);
+
+        // Failure reported: routes detour immediately, estimates are
+        // still the pre-failure artifact's (the stale window is open).
+        dyn_oracle.fail_edge(NodeId(1), NodeId(2));
+        let outcome = dyn_oracle
+            .route(&server, NodeId(0), NodeId(2), &mut route)
+            .unwrap();
+        assert!(
+            matches!(outcome, FailoverOutcome::Detoured { .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(route.weight, 6);
+        for hop in route.nodes.windows(2) {
+            assert!(
+                !(hop[0].min(hop[1]) == NodeId(1) && hop[0].max(hop[1]) == NodeId(2)),
+                "detour used the failed edge"
+            );
+        }
+        let mut out = Vec::new();
+        server
+            .query("g", &[(NodeId(0), NodeId(2))], &mut out, 1)
+            .unwrap();
+        assert_eq!(out, vec![2], "stale estimate before the swap");
+
+        // Repair + swap: estimates catch up, the mask entry lifts, and
+        // the route is primary again.
+        let delta = GraphDelta::FailEdge {
+            u: NodeId(1),
+            v: NodeId(2),
+        };
+        let report = dyn_oracle.repair_and_swap(&server, &delta).unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.repair.kind.tag(), "incremental");
+        assert!(report.stale_window_nanos > 0);
+        server
+            .query("g", &[(NodeId(0), NodeId(2))], &mut out, 1)
+            .unwrap();
+        assert_eq!(out, vec![6]);
+        assert!(dyn_oracle.mask().is_clear());
+        let outcome = dyn_oracle
+            .route(&server, NodeId(0), NodeId(2), &mut route)
+            .unwrap();
+        assert_eq!(outcome, FailoverOutcome::Primary);
+        assert_eq!(route.weight, 6);
+
+        // The swapped-in artifact is byte-identical to a from-scratch
+        // build on the mutated graph.
+        let fresh = builder.build(&g.apply_delta(&delta).unwrap());
+        let lease = server.lease("g").unwrap();
+        assert_eq!(lease.oracle().artifact_bytes(), fresh.artifact_bytes());
+    }
+
+    #[test]
+    fn dynamic_node_failure_rebuilds_and_resets_the_mask() {
+        let server = OracleServer::new();
+        let dyn_oracle = DynamicOracle::install(
+            &server,
+            "g",
+            OracleBuilder::new(Backend::Flooding),
+            &ring(6, 2),
+        )
+        .unwrap();
+        dyn_oracle.fail_node(NodeId(3));
+        let mut route = TracedRoute::default();
+        let outcome = dyn_oracle
+            .route(&server, NodeId(2), NodeId(4), &mut route)
+            .unwrap();
+        assert!(
+            matches!(outcome, FailoverOutcome::Detoured { .. }),
+            "{outcome:?}"
+        );
+        assert!(route.nodes.iter().all(|&x| x != NodeId(3)));
+
+        let report = dyn_oracle
+            .repair_and_swap(&server, &GraphDelta::FailNode { v: NodeId(3) })
+            .unwrap();
+        assert_eq!(report.repair.kind.tag(), "rebuilt");
+        // The ring lost a node: ids above 3 shifted down, the mask was
+        // reset at the new size, and the path around is served.
+        assert_eq!(dyn_oracle.graph().len(), 5);
+        let mask = dyn_oracle.mask();
+        assert_eq!(mask.len(), 5);
+        assert!(mask.is_clear());
+        let outcome = dyn_oracle
+            .route(&server, NodeId(2), NodeId(3), &mut route)
+            .unwrap();
+        assert_eq!(outcome, FailoverOutcome::Primary);
+        assert_eq!(route.weight, 8, "old 2→4 now 2→3, forced the long way");
+    }
+
+    #[test]
+    fn dynamic_repair_errors_are_typed_and_keep_the_mask() {
+        let path = WGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]).unwrap();
+        let server = OracleServer::new();
+        let dyn_oracle =
+            DynamicOracle::install(&server, "g", OracleBuilder::new(Backend::Flooding), &path)
+                .unwrap();
+        // Cutting the middle edge would disconnect the path: the repair
+        // is refused, but the failure stays masked — routing degrades to
+        // an honest Unroutable rather than a dead path.
+        let delta = GraphDelta::FailEdge {
+            u: NodeId(0),
+            v: NodeId(1),
+        };
+        let err = dyn_oracle.repair_and_swap(&server, &delta).unwrap_err();
+        assert_eq!(
+            err,
+            RepairSwapError::Repair(RepairError::Delta(graphs::DeltaError::Disconnects))
+        );
+        let mut route = TracedRoute::default();
+        let outcome = dyn_oracle
+            .route(&server, NodeId(0), NodeId(2), &mut route)
+            .unwrap();
+        assert_eq!(outcome, FailoverOutcome::Unroutable);
+
+        server.remove("g");
+        let err = dyn_oracle.repair_and_swap(&server, &delta).unwrap_err();
+        assert_eq!(
+            err,
+            RepairSwapError::Serve(ServeError::UnknownOracle("g".into()))
+        );
     }
 }

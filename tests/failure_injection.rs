@@ -1,11 +1,18 @@
-//! Failure-injection and edge-case tests: the model-level guard rails
-//! (bandwidth enforcement, disconnected inputs, degenerate parameters,
-//! message caps) fail loudly or degrade gracefully as documented.
+//! Failure-injection scenarios: the model-level guard rails (bandwidth
+//! enforcement, disconnected inputs, degenerate parameters, message
+//! caps) fail loudly or degrade gracefully as documented, and — the
+//! dynamic-graph suite — edge/node failures injected against a **live**
+//! `OracleServer` never panic, detour around the failure immediately,
+//! and leave no stale next-hop once the repaired snapshot swaps in.
 
 use pde_repro::congest::{Config, Ctx, Message, NodeId, Program, Runtime, Topology};
 use pde_repro::graphs::gen::{self, Weights};
 use pde_repro::graphs::WGraph;
-use pde_repro::pde_core::{run_pde, PdeParams};
+use pde_repro::oracle::{
+    Backend, BuildError, DistanceOracle, FailoverOutcome, GraphDelta, OracleBuilder, TracedRoute,
+};
+use pde_repro::pde_core::{run_pde, try_run_pde, PdeParams};
+use pde_repro::serve::{DynamicOracle, OracleServer};
 use pde_repro::sourcedetect::{run_detection, DetectParams};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -66,10 +73,22 @@ fn detection_messages_fit_congest_bandwidth() {
 }
 
 #[test]
-#[should_panic(expected = "connected")]
-fn pde_rejects_disconnected_graphs() {
+fn pde_rejects_disconnected_graphs_with_typed_error() {
     let g = WGraph::from_edges(4, &[(0, 1, 1), (2, 3, 1)]).unwrap();
-    run_pde(&g, &[true; 4], &[false; 4], &PdeParams::new(2, 2, 0.5));
+    let err = try_run_pde(&g, &[true; 4], &[false; 4], &PdeParams::new(2, 2, 0.5)).unwrap_err();
+    assert!(
+        matches!(err, BuildError::Disconnected { nodes: 4 }),
+        "{err}"
+    );
+    // Every backend rejects the same input the same way, before any
+    // pipeline stage can panic on it.
+    for backend in Backend::ALL {
+        let err = OracleBuilder::new(backend).try_build(&g).unwrap_err();
+        assert!(
+            matches!(err, BuildError::Disconnected { nodes: 4 }),
+            "{backend}: {err}"
+        );
+    }
 }
 
 #[test]
@@ -133,10 +152,185 @@ fn single_edge_graph_works_everywhere() {
 }
 
 #[test]
-fn zero_eps_is_rejected() {
+fn zero_eps_is_rejected_with_typed_error() {
     let g = WGraph::from_edges(2, &[(0, 1, 1)]).unwrap();
-    let res = std::panic::catch_unwind(|| {
-        run_pde(&g, &[true; 2], &[false; 2], &PdeParams::new(1, 1, 0.0))
+    let err = try_run_pde(&g, &[true; 2], &[false; 2], &PdeParams::new(1, 1, 0.0)).unwrap_err();
+    assert!(matches!(err, BuildError::InvalidParam { .. }), "{err}");
+    let err = OracleBuilder::new(Backend::Pde)
+        .eps(0.0)
+        .try_build(&g)
+        .unwrap_err();
+    assert!(matches!(err, BuildError::InvalidParam { .. }), "{err}");
+}
+
+// ------------------------------------------- dynamic-graph scenarios --
+
+/// A ring with a chord: sturdy enough that any single edge or node
+/// failure leaves it connected, small enough for exact cross-checks.
+fn chorded_ring(n: u32) -> WGraph {
+    let mut edges: Vec<(u32, u32, u64)> = (0..n).map(|i| (i, (i + 1) % n, 2)).collect();
+    edges.push((0, n / 2, 3));
+    WGraph::from_edges(n as usize, &edges).unwrap()
+}
+
+fn small_builder(backend: Backend) -> OracleBuilder {
+    OracleBuilder::new(backend).seed(7)
+}
+
+/// No route served off the repaired snapshot may cross the failed edge:
+/// the artifact itself must have forgotten it, not just the mask.
+fn assert_no_stale_next_hop(server: &OracleServer, name: &str, dead: (NodeId, NodeId)) {
+    let lease = server.lease(name).unwrap();
+    let oracle = lease.oracle();
+    let n = oracle.len() as u32;
+    let mut route = TracedRoute::default();
+    for u in 0..n {
+        for v in 0..n {
+            let (u, v) = (NodeId(u), NodeId(v));
+            if u == v || !oracle.route_into(u, v, &mut route) {
+                continue;
+            }
+            for hop in route.nodes.windows(2) {
+                let key = (hop[0].min(hop[1]), hop[0].max(hop[1]));
+                assert!(
+                    key != dead,
+                    "stale next-hop: {u} → {v} still crosses failed edge {dead:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_failure_mid_serving_across_all_backends() {
+    let g = chorded_ring(12);
+    let (a, b) = (NodeId(3), NodeId(4));
+    let delta = GraphDelta::FailEdge { u: a, v: b };
+    let g_after = g.apply_delta(&delta).unwrap();
+    for backend in Backend::ALL {
+        let server = OracleServer::new();
+        let dyn_oracle =
+            DynamicOracle::install(&server, "live", small_builder(backend), &g).unwrap();
+        let mut out = Vec::new();
+        server
+            .query("live", &[(NodeId(0), NodeId(6))], &mut out, 1)
+            .unwrap();
+
+        // Failure lands mid-serving: routes must stop using the edge
+        // *now*, even though the artifact still contains it.
+        dyn_oracle.fail_edge(a, b);
+        let mut route = TracedRoute::default();
+        let outcome = dyn_oracle.route(&server, a, b, &mut route).unwrap();
+        if backend == Backend::BellmanFord {
+            // Estimate-only backend: no topology, honest refusal.
+            assert_eq!(outcome, FailoverOutcome::Unroutable, "{backend}");
+        } else {
+            assert!(
+                matches!(outcome, FailoverOutcome::Detoured { .. }),
+                "{backend}: {outcome:?}"
+            );
+            for hop in route.nodes.windows(2) {
+                assert!(
+                    (hop[0].min(hop[1]), hop[0].max(hop[1])) != (a, b),
+                    "{backend}: detour crossed the failed edge"
+                );
+            }
+        }
+
+        // Repair off the live snapshot and hot-swap.
+        let report = dyn_oracle.repair_and_swap(&server, &delta).unwrap();
+        assert!(report.stale_window_nanos > 0, "{backend}");
+        assert!(dyn_oracle.mask().is_clear(), "{backend}");
+        if backend != Backend::BellmanFord {
+            assert_no_stale_next_hop(&server, "live", (a, b));
+        }
+
+        // The swapped artifact is byte-identical to a fresh build on the
+        // mutated graph (queries now reflect the new topology).
+        let fresh = small_builder(backend).build(&g_after);
+        let lease = server.lease("live").unwrap();
+        assert_eq!(
+            lease.oracle().artifact_bytes(),
+            fresh.artifact_bytes(),
+            "{backend}"
+        );
+    }
+}
+
+#[test]
+fn node_failure_mid_serving_across_all_backends() {
+    let g = chorded_ring(10);
+    let dead = NodeId(7);
+    let delta = GraphDelta::FailNode { v: dead };
+    let g_after = g.apply_delta(&delta).unwrap();
+    for backend in Backend::ALL {
+        let server = OracleServer::new();
+        let dyn_oracle =
+            DynamicOracle::install(&server, "live", small_builder(backend), &g).unwrap();
+        dyn_oracle.fail_node(dead);
+        // Routes around the dead node (6 → 8 must not pass through 7).
+        let mut route = TracedRoute::default();
+        let outcome = dyn_oracle
+            .route(&server, NodeId(6), NodeId(8), &mut route)
+            .unwrap();
+        if backend != Backend::BellmanFord {
+            assert!(outcome.routed(), "{backend}: {outcome:?}");
+            assert!(
+                route.nodes.iter().all(|&x| x != dead),
+                "{backend}: routed through the failed node"
+            );
+        }
+        // Node repair is a rebuild everywhere (ids renumber), and the
+        // mask resets to the new id space.
+        let report = dyn_oracle.repair_and_swap(&server, &delta).unwrap();
+        assert_eq!(report.repair.kind.tag(), "rebuilt", "{backend}");
+        let mask = dyn_oracle.mask();
+        assert!(mask.is_clear() && mask.len() == 9, "{backend}");
+        let fresh = small_builder(backend).build(&g_after);
+        let lease = server.lease("live").unwrap();
+        assert_eq!(
+            lease.oracle().artifact_bytes(),
+            fresh.artifact_bytes(),
+            "{backend}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_queries_survive_failure_and_swap() {
+    // Hammer the server from reader threads while the main thread
+    // injects a failure and swaps in the repaired snapshot: no panic,
+    // every query answered, and the post-swap generation serves the
+    // mutated graph.
+    let g = chorded_ring(16);
+    let delta = GraphDelta::FailEdge {
+        u: NodeId(9),
+        v: NodeId(10),
+    };
+    let server = OracleServer::new();
+    let dyn_oracle =
+        DynamicOracle::install(&server, "live", OracleBuilder::new(Backend::Flooding), &g).unwrap();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        for t in 0..3 {
+            let (server, stop) = (&server, &stop);
+            scope.spawn(move || {
+                let pairs = vec![(NodeId(t), NodeId(15 - t))];
+                let mut out = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    server.query("live", &pairs, &mut out, 1).unwrap();
+                    assert_eq!(out.len(), 1);
+                }
+            });
+        }
+        let report = dyn_oracle.repair_and_swap(&server, &delta).unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        report
     });
-    assert!(res.is_err(), "eps = 0 must be rejected");
+    assert_eq!(report.repair.kind.tag(), "incremental");
+    assert!(report.stale_window_nanos > 0);
+    let fresh = OracleBuilder::new(Backend::Flooding).build(&g.apply_delta(&delta).unwrap());
+    let lease = server.lease("live").unwrap();
+    assert_eq!(lease.generation(), report.generation);
+    assert_eq!(lease.oracle().artifact_bytes(), fresh.artifact_bytes());
 }
