@@ -20,6 +20,9 @@
 //! cargo run --release -p bench --bin experiments -- dynamic          # E14 repair/failover table
 //! cargo run --release -p bench --bin experiments -- dynamic headline # BENCH_dynamic.json rows (n=4096)
 //! cargo run --release -p bench --bin experiments -- dynamic --smoke  # CI dynamic smoke
+//! cargo run --release -p bench --bin experiments -- net              # E15 socket-serving table
+//! cargo run --release -p bench --bin experiments -- net headline     # BENCH_net.json rows (n=4096)
+//! cargo run --release -p bench --bin experiments -- net --smoke      # CI net smoke
 //! ```
 
 use bench::*;
@@ -64,6 +67,15 @@ fn main() {
     if smoke && args.iter().any(|a| a == "dynamic") {
         println!("{}", e14_smoke(24, E14_SEED));
         println!("smoke ok: repairs byte-identical to rebuilds, failover detours live");
+        return;
+    }
+    // Net smoke for CI: every backend served over a loopback socket —
+    // swap, install-from-file, direct/batched queries, routes — with
+    // socket answers asserted byte-identical to in-process, plus one
+    // fail → detour → repair cycle driven entirely over the wire.
+    if smoke && args.iter().any(|a| a == "net") {
+        println!("{}", e15_smoke(24, E11_SEED));
+        println!("smoke ok: socket answers byte-identical to in-process through hot swaps");
         return;
     }
     // Bench smoke for CI: run the E10 throughput table at tiny sizes so
@@ -195,6 +207,19 @@ fn main() {
             println!("{}", e14_dynamic(&[64], false, E14_SEED));
         } else {
             println!("{}", e14_dynamic(&[128, 512], false, E14_SEED));
+        }
+    }
+    if want("net") {
+        // Headline rows at n = 4096 (the BENCH_net.json wire-cost
+        // evidence next to BENCH_oracle.json) only on request: the
+        // distributed builds take minutes. `net headline` runs just
+        // those rows.
+        if args.iter().any(|a| a == "headline") {
+            println!("{}", e15_net(&[], true, E11_SEED));
+        } else if quick {
+            println!("{}", e15_net(&[64], false, E11_SEED));
+        } else {
+            println!("{}", e15_net(&[256, 1024], false, E11_SEED));
         }
     }
 }

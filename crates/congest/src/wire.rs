@@ -132,6 +132,70 @@ pub fn clamped_capacity(len: usize) -> usize {
     len.min(1 << 16)
 }
 
+// ----------------------------------------------------------- framing --
+
+/// Default upper bound on one length-prefixed frame (256 MiB) — large
+/// enough to carry a v3 snapshot in an admin frame, small enough that a
+/// corrupted length prefix cannot request an absurd buffer.
+pub const MAX_FRAME_LEN: usize = 1 << 28;
+
+/// Writes one length-prefixed frame: a little-endian `u32` payload length
+/// followed by the payload bytes. The symmetric reader is [`read_frame`];
+/// the `net` crate stacks its request/response headers inside the payload.
+///
+/// # Errors
+///
+/// `InvalidData` when the payload exceeds `u32::MAX` bytes; otherwise the
+/// sink's I/O errors.
+pub fn write_frame(sink: &mut dyn Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| invalid_data(format!("frame payload {} exceeds u32", payload.len())))?;
+    sink.write_all(&len.to_le_bytes())?;
+    sink.write_all(payload)
+}
+
+/// Reads one frame written by [`write_frame`], enforcing the same
+/// adversarial posture as the snapshot readers: the length prefix is
+/// rejected above `max` **before** any allocation, the payload buffer
+/// grows via a bounded `take` (a lying prefix cannot reserve more than
+/// [`clamped_capacity`] up front), and a stream that dies mid-frame is
+/// the typed [`SnapshotError::Truncated`].
+///
+/// Returns `Ok(None)` on a clean end-of-stream **at a frame boundary**
+/// (the peer closed after a complete frame) so connection loops can
+/// distinguish an orderly close from corruption.
+///
+/// # Errors
+///
+/// `InvalidData` for oversized prefixes, [`truncated`] for mid-frame
+/// EOF; other reader errors pass through.
+pub fn read_frame(source: &mut dyn Read, max: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut head = [0u8; 4];
+    let mut got = 0;
+    while got < head.len() {
+        match source.read(&mut head[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(truncated()),
+            Ok(k) => got += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(head) as usize;
+    if len > max {
+        return Err(invalid_data(format!("frame length {len} exceeds {max}")));
+    }
+    let mut payload = Vec::with_capacity(clamped_capacity(len));
+    source
+        .take(len as u64)
+        .read_to_end(&mut payload)
+        .map_err(map_truncation)?;
+    if payload.len() != len {
+        return Err(truncated());
+    }
+    Ok(Some(payload))
+}
+
 /// Thin writer over any [`Write`] emitting little-endian primitives.
 pub struct WireWriter<'a> {
     sink: &'a mut dyn Write,
@@ -400,6 +464,33 @@ mod tests {
         // … and detection walks source chains.
         let wrapped = io::Error::new(io::ErrorKind::InvalidData, truncated());
         assert!(is_truncated(&wrapped));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_corruption() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, 64).unwrap().unwrap(), b"");
+        // Clean EOF at a frame boundary is None, not an error.
+        assert!(read_frame(&mut cursor, 64).unwrap().is_none());
+        // Mid-frame EOF is the typed truncation (7 bytes: the first
+        // frame needs 9, so its payload is torn) …
+        let mut torn = &buf[..7];
+        let err = read_frame(&mut torn, 64).unwrap_err();
+        assert!(is_truncated(&err), "{err}");
+        // … a torn header too …
+        let mut torn = &buf[..2];
+        assert!(is_truncated(&read_frame(&mut torn, 64).unwrap_err()));
+        // … and an oversized length prefix is rejected before allocation.
+        let mut big = Vec::new();
+        write_frame(&mut big, &[0u8; 100]).unwrap();
+        let mut cursor = &big[..];
+        let err = read_frame(&mut cursor, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!is_truncated(&err));
     }
 
     #[test]

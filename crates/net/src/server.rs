@@ -1,0 +1,589 @@
+//! The threaded TCP front end over [`serve::OracleServer`].
+//!
+//! One accept thread, one handler thread per connection (`std::net` +
+//! `std::thread`; the workspace is std-only by design). Each handler
+//! reads length-framed requests off a `BufReader`, dispatches against
+//! the shared registry, and writes the reply through a `BufWriter` —
+//! flushing only when no further request is already buffered, which is
+//! what makes client-side pipelining effective without ever blocking a
+//! lone request behind an unflushed response.
+//!
+//! Serving semantics are inherited, not reimplemented:
+//!
+//! - answers come from [`serve::OracleServer::query`] /
+//!   [`serve::ServedOracle::query`] — byte-identical to in-process
+//!   `estimate_many` (the determinism contract pinned by the `net`
+//!   smoke);
+//! - batched submissions go through the shared admission
+//!   [`serve::Batcher`], merging with concurrent submissions from every
+//!   connection;
+//! - hot swap retires generations, never interrupts them;
+//! - [`NetServer::shutdown`] drains in-flight work: stop accepting,
+//!   close the read side of every connection (responses already being
+//!   written still complete), join the handlers, then retire the
+//!   batchers so late submissions fail with [`ServeError::Retired`]
+//!   instead of wedging.
+
+use crate::metrics::{LatencyHistogram, NetMetrics};
+use crate::wire::{
+    self, InstallSummary, OracleStats, RepairSummary, Request, Response, RouteOutcome, ServerStats,
+    WireError,
+};
+use congest::wire::{read_frame, write_frame, MAX_FRAME_LEN};
+use oracle::{DistanceOracle, FailoverOutcome, RepairError, TracedRoute};
+use serve::{Batcher, BatcherStats, DynamicOracle, OracleServer, RepairSwapError, ServeError};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`NetServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Admission window for batched `EstimateMany` submissions (how long
+    /// a group leader waits for concurrent submitters to join).
+    pub batch_window: Duration,
+    /// Worker threads per `estimate_many` call (0 = sequential), passed
+    /// straight through to the oracle's batch kernel.
+    pub threads: usize,
+    /// Per-request deadline. Applied as the socket read/write timeout
+    /// (an idle or wedged connection is closed once it expires) and as
+    /// the admission batcher's deadline (`ServeError::Deadline` on the
+    /// wire instead of an unbounded wait). `None` disables both.
+    pub deadline: Option<Duration>,
+    /// Largest accepted frame payload; oversized frames are rejected
+    /// before allocation and the connection is closed.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch_window: Duration::from_micros(250),
+            threads: 0,
+            deadline: Some(Duration::from_secs(30)),
+            max_frame: MAX_FRAME_LEN,
+        }
+    }
+}
+
+struct ServerState {
+    registry: Arc<OracleServer>,
+    dynamics: Mutex<HashMap<String, Arc<DynamicOracle>>>,
+    batchers: Mutex<HashMap<String, Arc<Batcher>>>,
+    cfg: ServerConfig,
+    stopping: AtomicBool,
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+    connections_active: AtomicU64,
+    connections_total: AtomicU64,
+    requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    service: Mutex<LatencyHistogram>,
+}
+
+/// Per-connection counters, folded into `Stats` replies.
+#[derive(Default)]
+struct ConnCounters {
+    requests: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// A running TCP serving front end over one [`OracleServer`] registry.
+///
+/// Dropping the server (or calling [`NetServer::shutdown`]) performs the
+/// graceful drain described in the module docs.
+pub struct NetServer {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`NetServer::local_addr`]) and starts the accept loop over
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<OracleServer>,
+        cfg: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            registry,
+            dynamics: Mutex::new(HashMap::new()),
+            batchers: Mutex::new(HashMap::new()),
+            cfg,
+            stopping: AtomicBool::new(false),
+            conn_streams: Mutex::new(HashMap::new()),
+            conn_handles: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            service: Mutex::new(LatencyHistogram::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("net-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))?;
+        Ok(NetServer {
+            state,
+            addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a [`DynamicOracle`] lifecycle under its served name,
+    /// enabling the `FailEdge` / `FailNode` / `RepairAndSwap` admin ops
+    /// and failover-aware `Route` for that name. Returns the shared
+    /// handle so the host can keep driving the lifecycle in-process too.
+    pub fn register_dynamic(&self, dynamic: DynamicOracle) -> Arc<DynamicOracle> {
+        let dynamic = Arc::new(dynamic);
+        self.state
+            .dynamics
+            .lock()
+            .expect("dynamics registry poisoned")
+            .insert(dynamic.name().to_string(), Arc::clone(&dynamic));
+        dynamic
+    }
+
+    /// A point-in-time snapshot of the aggregate serving counters.
+    pub fn metrics(&self) -> NetMetrics {
+        let service = self
+            .state
+            .service
+            .lock()
+            .expect("service histogram poisoned");
+        NetMetrics {
+            requests: self.state.requests.load(Ordering::Relaxed),
+            bytes_in: self.state.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.state.bytes_out.load(Ordering::Relaxed),
+            connections_active: self.state.connections_active.load(Ordering::Relaxed),
+            connections_total: self.state.connections_total.load(Ordering::Relaxed),
+            p50_service_ns: service.quantile(0.50),
+            p99_service_ns: service.quantile(0.99),
+        }
+    }
+
+    /// Gracefully stops the server (idempotent): stop accepting, close
+    /// the read side of every connection so handlers finish their
+    /// in-flight responses and exit, join them, then retire the
+    /// admission batchers ([`ServeError::Retired`] for anything still
+    /// queued — the PR 7 retirement semantics, not an abort).
+    pub fn shutdown(&self) {
+        if self.state.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop out of `accept()` with a throwaway
+        // connection; it observes `stopping` and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = handle.join();
+        }
+        // EOF every reader. Writes still complete: only the read half
+        // closes, so a response mid-flight reaches its client.
+        for stream in self
+            .state
+            .conn_streams
+            .lock()
+            .expect("connection registry poisoned")
+            .values()
+        {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .state
+                .conn_handles
+                .lock()
+                .expect("handler registry poisoned"),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let batchers =
+            std::mem::take(&mut *self.state.batchers.lock().expect("batcher cache poisoned"));
+        for batcher in batchers.values() {
+            batcher.shutdown();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state
+                .conn_streams
+                .lock()
+                .expect("connection registry poisoned")
+                .insert(conn_id, clone);
+        }
+        state.connections_total.fetch_add(1, Ordering::Relaxed);
+        state.connections_active.fetch_add(1, Ordering::Relaxed);
+        let conn_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name(format!("net-conn-{conn_id}"))
+            .spawn(move || {
+                let _ = handle_connection(&conn_state, stream, conn_id);
+                conn_state
+                    .conn_streams
+                    .lock()
+                    .expect("connection registry poisoned")
+                    .remove(&conn_id);
+                conn_state
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            });
+        match handle {
+            Ok(h) => state
+                .conn_handles
+                .lock()
+                .expect("handler registry poisoned")
+                .push(h),
+            Err(_) => {
+                // Spawn failed: undo the registration and drop the
+                // connection instead of leaking it.
+                state
+                    .conn_streams
+                    .lock()
+                    .expect("connection registry poisoned")
+                    .remove(&conn_id);
+                state.connections_active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream, _conn_id: u64) -> io::Result<()> {
+    // The per-request deadline doubles as the socket timeout: a
+    // connection idle (or wedged mid-frame) past it is closed rather
+    // than parked forever.
+    stream.set_read_timeout(state.cfg.deadline)?;
+    stream.set_write_timeout(state.cfg.deadline)?;
+    // Without this, a response whose tail does not fill a segment sits
+    // in the kernel until the peer's delayed ACK (~4ms) — Nagle is
+    // poison for pipelined request/response traffic.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut conn = ConnCounters::default();
+    let mut reply = Vec::new();
+    loop {
+        let payload = match read_frame(&mut reader, state.cfg.max_frame) {
+            Ok(Some(p)) => p,
+            // Clean EOF: the client closed (or shutdown EOF'd us).
+            Ok(None) => break,
+            // Timeout, torn frame, or an oversized length: the stream
+            // is no longer trustworthy — close it. Oversized gets an
+            // explanatory error frame first (the framing itself is
+            // still intact at that point).
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData && !congest::wire::is_truncated(&e) {
+                    let err = WireError::Oversized {
+                        len: 0,
+                        max: state.cfg.max_frame as u64,
+                    };
+                    let _ = send_error(&mut writer, &mut conn, state, 0, 0, &err);
+                }
+                break;
+            }
+        };
+        let frame_bytes = (4 + payload.len()) as u64;
+        conn.bytes_in += frame_bytes;
+        state.bytes_in.fetch_add(frame_bytes, Ordering::Relaxed);
+        let t0 = Instant::now();
+        match Request::decode(&payload) {
+            Err(e) => {
+                // Protocol-level corruption is fatal for the connection:
+                // framing may be desynchronized. Report, then close.
+                let _ = send_error(&mut writer, &mut conn, state, 0, 0, &e);
+                break;
+            }
+            Ok((req_id, req)) => {
+                let op = req.op();
+                reply.clear();
+                match dispatch(state, &conn, req) {
+                    Ok(resp) => wire::encode_response(req_id, op, &resp, &mut reply),
+                    // Serve-level errors are per-request: reply and keep
+                    // the connection.
+                    Err(e) => wire::encode_error(req_id, op as u8, &e, &mut reply),
+                }
+                write_frame(&mut writer, &reply)?;
+                let frame_bytes = (4 + reply.len()) as u64;
+                conn.bytes_out += frame_bytes;
+                state.bytes_out.fetch_add(frame_bytes, Ordering::Relaxed);
+                conn.requests += 1;
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                state
+                    .service
+                    .lock()
+                    .expect("service histogram poisoned")
+                    .record(nanos);
+            }
+        }
+        // Pipelining: only flush when no further request is already
+        // buffered — about to block on the socket is the one moment a
+        // response may not be withheld.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+    writer.flush()
+}
+
+fn send_error(
+    writer: &mut BufWriter<TcpStream>,
+    conn: &mut ConnCounters,
+    state: &ServerState,
+    req_id: u64,
+    op: u8,
+    err: &WireError,
+) -> io::Result<()> {
+    let mut reply = Vec::new();
+    wire::encode_error(req_id, op, err, &mut reply);
+    write_frame(writer, &reply)?;
+    let frame_bytes = (4 + reply.len()) as u64;
+    conn.bytes_out += frame_bytes;
+    state.bytes_out.fetch_add(frame_bytes, Ordering::Relaxed);
+    writer.flush()
+}
+
+fn install_summary(report: serve::InstallReport) -> InstallSummary {
+    InstallSummary {
+        backend: report.backend,
+        n: report.n as u64,
+        generation: report.generation,
+        cold_start_nanos: report.cold_start_nanos,
+        replaced: report
+            .replaced
+            .map(|r| (r.generation, r.leases_in_flight as u64)),
+    }
+}
+
+fn install_error(e: io::Error) -> WireError {
+    if congest::wire::is_truncated(&e) || e.kind() == io::ErrorKind::UnexpectedEof {
+        WireError::Truncated
+    } else {
+        WireError::Remote(format!("install failed: {e}"))
+    }
+}
+
+fn dynamic_for(state: &ServerState, name: &str) -> Result<Arc<DynamicOracle>, WireError> {
+    state
+        .dynamics
+        .lock()
+        .expect("dynamics registry poisoned")
+        .get(name)
+        .cloned()
+        .ok_or_else(|| WireError::Serve(ServeError::UnknownOracle(name.to_string())))
+}
+
+fn batcher_for(state: &ServerState, name: &str) -> Arc<Batcher> {
+    let mut cache = state.batchers.lock().expect("batcher cache poisoned");
+    Arc::clone(cache.entry(name.to_string()).or_insert_with(|| {
+        state.registry.batcher(
+            name,
+            state.cfg.batch_window,
+            state.cfg.threads,
+            state.cfg.deadline,
+        )
+    }))
+}
+
+fn dispatch(state: &ServerState, conn: &ConnCounters, req: Request) -> Result<Response, WireError> {
+    let registry = &state.registry;
+    match req {
+        Request::Estimate { name, u, v } => {
+            let lease = registry
+                .lease(&name)
+                .ok_or(ServeError::UnknownOracle(name))?;
+            let mut out = Vec::with_capacity(1);
+            lease.query(&[(u, v)], &mut out, 1);
+            Ok(Response::Estimate {
+                generation: lease.generation(),
+                est: out[0],
+            })
+        }
+        Request::EstimateMany {
+            name,
+            batched,
+            pairs,
+        } => {
+            if batched {
+                let batcher = batcher_for(state, &name);
+                let (ests, generation) = batcher.submit(registry, pairs)?;
+                Ok(Response::EstimateMany { generation, ests })
+            } else {
+                let mut ests = Vec::with_capacity(pairs.len());
+                let generation = registry.query(&name, &pairs, &mut ests, state.cfg.threads)?;
+                Ok(Response::EstimateMany { generation, ests })
+            }
+        }
+        Request::NextHop { name, u, v } => {
+            let lease = registry
+                .lease(&name)
+                .ok_or(ServeError::UnknownOracle(name))?;
+            Ok(Response::NextHop {
+                hop: lease.oracle().next_hop(u, v),
+            })
+        }
+        Request::Route { name, u, v } => {
+            let dynamic = state
+                .dynamics
+                .lock()
+                .expect("dynamics registry poisoned")
+                .get(&name)
+                .cloned();
+            let mut route = TracedRoute::default();
+            if let Some(dynamic) = dynamic {
+                // Failover-aware: detours around the live failure mask.
+                let outcome = dynamic.route(registry, u, v, &mut route)?;
+                let (outcome, route) = match outcome {
+                    FailoverOutcome::Primary => (RouteOutcome::Primary, Some(route)),
+                    FailoverOutcome::Detoured { detours } => (
+                        RouteOutcome::Detoured {
+                            detours: detours as u64,
+                        },
+                        Some(route),
+                    ),
+                    FailoverOutcome::Unroutable => (RouteOutcome::Unroutable, None),
+                };
+                Ok(Response::Route { outcome, route })
+            } else {
+                let lease = registry
+                    .lease(&name)
+                    .ok_or(ServeError::UnknownOracle(name))?;
+                if lease.oracle().route_into(u, v, &mut route) {
+                    Ok(Response::Route {
+                        outcome: RouteOutcome::Primary,
+                        route: Some(route),
+                    })
+                } else {
+                    Ok(Response::Route {
+                        outcome: RouteOutcome::Unroutable,
+                        route: None,
+                    })
+                }
+            }
+        }
+        Request::Install { name, path } => registry
+            .install_path(&name, Path::new(&path))
+            .map(|report| Response::Installed(install_summary(report)))
+            .map_err(install_error),
+        Request::Swap { name, snapshot } => registry
+            .install_shared(&name, congest::arena::SharedBytes::from_vec(snapshot))
+            .map(|report| Response::Installed(install_summary(report)))
+            .map_err(install_error),
+        Request::FailEdge { name, u, v } => {
+            dynamic_for(state, &name)?.fail_edge(u, v);
+            Ok(Response::Failed)
+        }
+        Request::FailNode { name, v } => {
+            dynamic_for(state, &name)?.fail_node(v);
+            Ok(Response::Failed)
+        }
+        Request::RepairAndSwap { name, delta } => {
+            let report = dynamic_for(state, &name)?
+                .repair_and_swap(registry, &delta)
+                .map_err(|e| match e {
+                    RepairSwapError::Serve(e) => WireError::Serve(e),
+                    RepairSwapError::Repair(RepairError::Delta(d)) => WireError::Delta(d),
+                    RepairSwapError::Repair(other) => {
+                        WireError::Remote(format!("repair failed: {other}"))
+                    }
+                })?;
+            let (incremental, rows_recomputed, rows_total, reason) = match report.repair.kind {
+                oracle::RepairKind::Incremental {
+                    rows_recomputed,
+                    rows_total,
+                } => (true, rows_recomputed as u64, rows_total as u64, ""),
+                oracle::RepairKind::Rebuilt { reason } => (false, 0, 0, reason),
+            };
+            Ok(Response::Repaired(RepairSummary {
+                generation: report.generation,
+                incremental,
+                rows_recomputed,
+                rows_total,
+                reason: reason.to_string(),
+                repair_nanos: report.repair.repair_nanos,
+                stale_window_nanos: report.stale_window_nanos,
+            }))
+        }
+        Request::Stats => {
+            let batcher_stats: HashMap<String, BatcherStats> = state
+                .batchers
+                .lock()
+                .expect("batcher cache poisoned")
+                .iter()
+                .map(|(name, b)| (name.clone(), b.stats()))
+                .collect();
+            let mut oracles = Vec::new();
+            for name in registry.names() {
+                let Some(lease) = registry.lease(&name) else {
+                    continue;
+                };
+                let Some(stats) = registry.lease_stats(&name) else {
+                    continue;
+                };
+                oracles.push(OracleStats {
+                    backend: lease.oracle().backend(),
+                    generation: stats.generation,
+                    queries_served: stats.queries_served,
+                    batches_served: stats.batches_served,
+                    leases_in_flight: stats.leases_in_flight as u64,
+                    batch: batcher_stats.get(&name).copied().unwrap_or_default(),
+                    name,
+                });
+            }
+            let service = state.service.lock().expect("service histogram poisoned");
+            Ok(Response::Stats(ServerStats {
+                requests: state.requests.load(Ordering::Relaxed),
+                bytes_in: state.bytes_in.load(Ordering::Relaxed),
+                bytes_out: state.bytes_out.load(Ordering::Relaxed),
+                connections_active: state.connections_active.load(Ordering::Relaxed),
+                connections_total: state.connections_total.load(Ordering::Relaxed),
+                p50_service_ns: service.quantile(0.50),
+                p99_service_ns: service.quantile(0.99),
+                conn_requests: conn.requests,
+                conn_bytes_in: conn.bytes_in,
+                conn_bytes_out: conn.bytes_out,
+                oracles,
+            }))
+        }
+    }
+}

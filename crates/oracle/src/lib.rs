@@ -306,6 +306,21 @@ impl Backend {
         }
     }
 
+    /// Stable numeric id of this backend on every wire format — the
+    /// byte written into `PDOR` snapshot headers and into the `net`
+    /// protocol's install/stats frames. The assignment is append-only:
+    /// existing values never change, new backends take the next free
+    /// tag, so artifacts and peers from different builds agree.
+    pub fn wire_tag(self) -> u8 {
+        self.tag()
+    }
+
+    /// The backend for a [`Backend::wire_tag`] byte (`None` for
+    /// unassigned tags — a corrupt or future snapshot/frame).
+    pub fn from_wire_tag(tag: u8) -> Option<Backend> {
+        Backend::from_tag(tag)
+    }
+
     pub(crate) fn tag(self) -> u8 {
         match self {
             Backend::Pde => 0,
@@ -601,6 +616,21 @@ impl Oracle {
     /// As [`Oracle::load`].
     pub fn load_shared(bytes: congest::arena::SharedBytes) -> io::Result<Oracle> {
         snapshot::load_shared(bytes)
+    }
+
+    /// Loads an oracle from a snapshot file: the file is read **once**
+    /// into a [`congest::arena::SharedBytes`] buffer and decoded through
+    /// [`Oracle::load_shared`], so a v3 snapshot is served as zero-copy
+    /// views into that single read — the cold-start path from disk pays
+    /// no second copy (unlike `fs::read` + [`Oracle::load_bytes`], which
+    /// would copy the payload again). `serve::OracleServer::install_path`
+    /// and the `net` protocol's `Install` op go through this.
+    ///
+    /// # Errors
+    ///
+    /// The file-read error, or any decode error as [`Oracle::load`].
+    pub fn load_path(path: &std::path::Path) -> io::Result<Oracle> {
+        Oracle::load_shared(congest::arena::SharedBytes::from_vec(std::fs::read(path)?))
     }
 
     /// The **canonical artifact bytes**: the [`Oracle::save`] stream with

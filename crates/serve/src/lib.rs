@@ -159,6 +159,22 @@ impl ServedOracle {
 /// after the last lease drops).
 pub type Lease = Arc<ServedOracle>;
 
+/// Point-in-time serving counters for one name, as reported by
+/// [`OracleServer::lease_stats`] (and relayed over the wire by the `net`
+/// crate's `Stats` op).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Generation of the currently served snapshot.
+    pub generation: u64,
+    /// Queries answered through the current snapshot.
+    pub queries_served: u64,
+    /// Batches answered through the current snapshot.
+    pub batches_served: u64,
+    /// Leases outstanding on the current snapshot (excluding the
+    /// registry's own).
+    pub leases_in_flight: usize,
+}
+
 /// What [`OracleServer::install`] replaced, if anything.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetiredSnapshot {
@@ -266,6 +282,36 @@ impl OracleServer {
             generation,
             cold_start_nanos,
             replaced,
+        })
+    }
+
+    /// Installs a snapshot **file** under `name`: the file is read once
+    /// into a [`congest::arena::SharedBytes`] buffer and goes through
+    /// [`OracleServer::install_shared`] — the same single-copy cold
+    /// start as [`oracle::Oracle::load_path`], plus the install/probe
+    /// measurement. This is what the `net` protocol's `Install` op runs.
+    ///
+    /// # Errors
+    ///
+    /// The file-read error, or the decode error as
+    /// [`OracleServer::install_from_bytes`]; the currently served
+    /// snapshot is untouched either way.
+    pub fn install_path(&self, name: &str, path: &std::path::Path) -> io::Result<InstallReport> {
+        let bytes = congest::arena::SharedBytes::from_vec(std::fs::read(path)?);
+        self.install_shared(name, bytes)
+    }
+
+    /// The serving counters of `name`'s current snapshot, or `None` when
+    /// the name is not served. A cheap read (one lease clone) — safe to
+    /// poll from a stats endpoint.
+    pub fn lease_stats(&self, name: &str) -> Option<LeaseStats> {
+        let lease = self.lease(name)?;
+        Some(LeaseStats {
+            generation: lease.generation,
+            queries_served: lease.queries_served(),
+            batches_served: lease.batches_served(),
+            // One count for the registry map, one for `lease` itself.
+            leases_in_flight: Arc::strong_count(&lease).saturating_sub(2),
         })
     }
 
@@ -404,6 +450,26 @@ pub struct Batcher {
     threads: usize,
     deadline: Option<Duration>,
     state: Mutex<BatchState>,
+    submissions: AtomicU64,
+    groups: AtomicU64,
+    grouped_pairs: AtomicU64,
+    largest_group: AtomicU64,
+}
+
+/// Admission-occupancy counters for one [`Batcher`] — how well the
+/// window is merging concurrent submissions. `submissions / groups` is
+/// the mean occupancy; the `net` crate's `Stats` op relays these so
+/// batch efficiency is observable on a live server.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Submissions accepted (each [`Batcher::submit`] that queued).
+    pub submissions: u64,
+    /// Admission groups executed (one `estimate_many_with` call each).
+    pub groups: u64,
+    /// Total pairs across all executed groups.
+    pub grouped_pairs: u64,
+    /// Largest group executed, in submissions.
+    pub largest_group: u64,
 }
 
 impl Batcher {
@@ -419,7 +485,26 @@ impl Batcher {
                 queue: Vec::new(),
                 retired: false,
             }),
+            submissions: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            grouped_pairs: AtomicU64::new(0),
+            largest_group: AtomicU64::new(0),
         }
+    }
+
+    /// Point-in-time admission-occupancy counters.
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            submissions: self.submissions.load(Ordering::Relaxed),
+            groups: self.groups.load(Ordering::Relaxed),
+            grouped_pairs: self.grouped_pairs.load(Ordering::Relaxed),
+            largest_group: self.largest_group.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The served name this batcher admits for.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Bounds how long [`Batcher::submit`] waits for its group's answer
@@ -485,6 +570,7 @@ impl Batcher {
                 pairs,
                 slot: Arc::clone(&slot),
             });
+            self.submissions.fetch_add(1, Ordering::Relaxed);
             leader
         };
         if leader {
@@ -536,10 +622,15 @@ impl Batcher {
             // failed the whole group (including the leader's own slot).
             return;
         }
+        self.groups.fetch_add(1, Ordering::Relaxed);
+        self.largest_group
+            .fetch_max(group.len() as u64, Ordering::Relaxed);
         let outcome = match server.lease(&self.name) {
             Some(lease) => {
                 let slab: Vec<(NodeId, NodeId)> =
                     group.iter().flat_map(|p| p.pairs.iter().copied()).collect();
+                self.grouped_pairs
+                    .fetch_add(slab.len() as u64, Ordering::Relaxed);
                 let mut out = Vec::new();
                 lease.query(&slab, &mut out, self.threads);
                 Ok(out)

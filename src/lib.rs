@@ -6,6 +6,7 @@ pub use baselines;
 pub use compact;
 pub use congest;
 pub use graphs;
+pub use net;
 pub use oracle;
 pub use pde_core;
 pub use routing;

@@ -334,3 +334,93 @@ fn concurrent_queries_survive_failure_and_swap() {
     assert_eq!(lease.generation(), report.generation);
     assert_eq!(lease.oracle().artifact_bytes(), fresh.artifact_bytes());
 }
+
+#[test]
+fn socket_clients_survive_live_repair_and_swap() {
+    // The same scenario pushed through real sockets: client threads
+    // hammer estimate_many over TCP while an admin connection injects an
+    // edge failure and swaps in the repaired snapshot. Required: no
+    // panic on either side, no route through the dead edge after the
+    // mask lands, and every socket reply coherent — the answer vector
+    // must match the generation that claims to have served it, never a
+    // mix of pre- and post-repair rows.
+    use pde_repro::net::{Client, NetServer, RouteOutcome, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let g = chorded_ring(16);
+    let (a, b) = (NodeId(9), NodeId(10));
+    let delta = GraphDelta::FailEdge { u: a, v: b };
+    let pairs: Vec<(NodeId, NodeId)> = (0..16u32)
+        .map(|t| (NodeId(t), NodeId((t + 7) % 16)))
+        .collect();
+
+    // The only two coherent answer vectors: pre-repair (generation 1)
+    // and post-repair (generation 2), computed from scratch.
+    let mut pre = Vec::new();
+    OracleBuilder::new(Backend::Flooding)
+        .build(&g)
+        .estimate_many(&pairs, &mut pre);
+    let mut post = Vec::new();
+    OracleBuilder::new(Backend::Flooding)
+        .build(&g.apply_delta(&delta).unwrap())
+        .estimate_many(&pairs, &mut post);
+    assert_ne!(pre, post, "the delta must be visible in the answers");
+
+    let registry = std::sync::Arc::new(OracleServer::new());
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        std::sync::Arc::clone(&registry),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let dynamic =
+        DynamicOracle::install(&registry, "live", OracleBuilder::new(Backend::Flooding), &g)
+            .unwrap();
+    server.register_dynamic(dynamic);
+    let addr = server.local_addr();
+
+    let stop = AtomicBool::new(false);
+    let summary = std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let (stop, pairs, pre, post) = (&stop, &pairs, &pre, &post);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let (ests, generation) = client.estimate_many("live", pairs, false).unwrap();
+                    match generation {
+                        1 => assert_eq!(&ests, pre, "generation 1 served mixed answers"),
+                        2 => assert_eq!(&ests, post, "generation 2 served mixed answers"),
+                        other => panic!("unexpected generation {other}"),
+                    }
+                }
+            });
+        }
+        let mut admin = Client::connect(addr).unwrap();
+        // Mask over the wire: routes must detour immediately, while the
+        // readers keep getting coherent generation-1 estimates.
+        admin.fail_edge("live", a, b).unwrap();
+        let (outcome, route) = admin.route("live", a, b).unwrap();
+        assert!(
+            matches!(outcome, RouteOutcome::Detoured { .. }),
+            "{outcome:?}"
+        );
+        for hop in route.unwrap().nodes.windows(2) {
+            assert!(
+                (hop[0].min(hop[1]), hop[0].max(hop[1])) != (a, b),
+                "socket route crossed the failed edge"
+            );
+        }
+        // Repair over the wire; the hot swap lands between batches.
+        let summary = admin.repair_and_swap("live", &delta).unwrap();
+        // Let the readers observe the new generation before stopping.
+        let (_, generation) = admin.estimate_many("live", &pairs, false).unwrap();
+        assert_eq!(generation, summary.generation);
+        stop.store(true, Ordering::Relaxed);
+        summary
+    });
+    assert_eq!(summary.generation, 2);
+    assert!(summary.incremental, "flooding repairs incrementally");
+    assert!(summary.stale_window_nanos > 0);
+    assert_no_stale_next_hop(&registry, "live", (a, b));
+    server.shutdown();
+}
