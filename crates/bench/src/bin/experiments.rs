@@ -23,6 +23,9 @@
 //! cargo run --release -p bench --bin experiments -- net              # E15 socket-serving table
 //! cargo run --release -p bench --bin experiments -- net headline     # BENCH_net.json rows (n=4096)
 //! cargo run --release -p bench --bin experiments -- net --smoke      # CI net smoke
+//! cargo run --release -p bench --bin experiments -- chaos            # E16 chaos/robustness table
+//! cargo run --release -p bench --bin experiments -- chaos headline   # BENCH_chaos.json rows (n=1024)
+//! cargo run --release -p bench --bin experiments -- chaos --smoke    # CI chaos smoke
 //! ```
 
 use bench::*;
@@ -76,6 +79,16 @@ fn main() {
     if smoke && args.iter().any(|a| a == "net") {
         println!("{}", e15_smoke(24, E11_SEED));
         println!("smoke ok: socket answers byte-identical to in-process through hot swaps");
+        return;
+    }
+    // Chaos smoke for CI: every backend queried through a fault-
+    // injecting proxy with digest-pinned answers and zero panics,
+    // typed overload shedding (door refusal, replica failover, batch
+    // budget), a kill-mid-traffic failover, and checkpoint + WAL
+    // recovery asserted byte-identical for every backend.
+    if smoke && args.iter().any(|a| a == "chaos") {
+        println!("{}", e16_smoke(24, E16_SEED));
+        println!("smoke ok: answers digest-identical under faults, recovery byte-identical");
         return;
     }
     // Bench smoke for CI: run the E10 throughput table at tiny sizes so
@@ -220,6 +233,19 @@ fn main() {
             println!("{}", e15_net(&[64], false, E11_SEED));
         } else {
             println!("{}", e15_net(&[256, 1024], false, E11_SEED));
+        }
+    }
+    if want("chaos") {
+        // Headline rows at n = 1024 (the BENCH_chaos.json recovery/
+        // shedding evidence) only on request: eight backends × chaos +
+        // overload + recovery takes a while at size. `chaos headline`
+        // runs just those rows.
+        if args.iter().any(|a| a == "headline") {
+            println!("{}", e16_chaos(&[], true, E16_SEED));
+        } else if quick {
+            println!("{}", e16_chaos(&[48], false, E16_SEED));
+        } else {
+            println!("{}", e16_chaos(&[128, 512], false, E16_SEED));
         }
     }
 }

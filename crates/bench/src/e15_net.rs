@@ -327,12 +327,11 @@ pub fn e15_smoke(n: usize, seed: u64) -> Table {
         assert_eq!(g2, installed.generation, "{backend}: stale generation");
 
         // Install a v3 file from the server's disk: the load_path cold
-        // start, arriving as a hot swap.
-        let mut v3 = Vec::new();
-        oracle.save_v3(&mut v3).expect("serialize v3");
+        // start, arriving as a hot swap. Written atomically — the
+        // server must never observe a half-written snapshot.
         let path =
             std::env::temp_dir().join(format!("e15-smoke-{}-{}.snap", std::process::id(), name));
-        std::fs::write(&path, &v3).expect("write v3 temp file");
+        oracle.save_path_v3(&path).expect("write v3 temp file");
         let swapped = client
             .install(name, path.to_str().expect("utf-8 temp path"))
             .expect("wire install");

@@ -18,6 +18,7 @@ mod e12_builds;
 mod e13_serve;
 mod e14_dynamic;
 mod e15_net;
+mod e16_chaos;
 mod e1_apsp;
 mod e2_figure1;
 mod e3_pde;
@@ -38,6 +39,7 @@ pub use e12_builds::{e12_builds, e12_run, e12_smoke, BuildRun, E12_RUNS, E12_SEE
 pub use e13_serve::{e13_measure, e13_run, e13_serve, e13_smoke, ServeRun, E13_LOADS};
 pub use e14_dynamic::{e14_delta, e14_dynamic, e14_run, e14_smoke, DynRun, E14_RUNS, E14_SEED};
 pub use e15_net::{e15_net, e15_run, e15_smoke, NetRun, E15_SHARD};
+pub use e16_chaos::{e16_chaos, e16_run, e16_smoke, ChaosRun, E16_SEED};
 pub use e1_apsp::e1_apsp;
 pub use e2_figure1::e2_figure1;
 pub use e3_pde::e3_pde;

@@ -1,0 +1,345 @@
+//! A fault-injecting TCP proxy for chaos testing the serving stack.
+//!
+//! [`ChaosProxy`] sits between a [`crate::Client`] and a
+//! [`crate::NetServer`], forwarding bytes while injecting the transport
+//! faults a lossy network produces: frames torn mid-payload, abrupt
+//! disconnects, and stalled reads. The schedule is **deterministic** —
+//! derived from the plan's seed and the connection index, never from a
+//! clock or OS entropy — so a chaos run that finds a bug replays
+//! exactly.
+//!
+//! The proxy is deliberately one-sided: the client→server direction is
+//! forwarded verbatim while server→client replies are faulted. Cutting
+//! a reply mid-frame poisons the client ([`crate::WireError::Truncated`]
+//! / `Io`), which is precisely the recovery path
+//! [`crate::RetryClient`] automates — and because requests always
+//! arrive whole, the server sees only clean frames followed by EOF,
+//! never a half request it could misparse. (Torn *requests* are covered
+//! separately by the wire-level adversarial tests, which need byte
+//! precision a proxy cannot guarantee.)
+//!
+//! Every `clean_every`-th connection is passed through fault-free, so a
+//! retrying client always makes progress: a bounded retry budget meets a
+//! guaranteed-clean connection before it is spent.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// The deterministic fault schedule for a [`ChaosProxy`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPlan {
+    /// Seed for the per-connection fault draw. Same seed, same faults.
+    pub seed: u64,
+    /// Every `clean_every`-th connection (the 3rd, 6th, ... for 3) is
+    /// forwarded fault-free, guaranteeing retry progress. The clean slot
+    /// is the *last* of each cycle — the very first connection faults,
+    /// so a client that never reconnects cannot dodge the chaos. 0
+    /// means *no* clean connections.
+    pub clean_every: u32,
+    /// Minimum server→client bytes forwarded before a fault fires.
+    pub min_prefix: usize,
+    /// Maximum server→client bytes forwarded before a fault fires.
+    pub max_prefix: usize,
+    /// How long a stall fault holds the reply before cutting the
+    /// connection. Keep it above the client's read timeout to exercise
+    /// the timeout path, or below to exercise pure disconnects.
+    pub stall: Duration,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0xC4A0_5CA0_5CA0_5EED,
+            clean_every: 3,
+            min_prefix: 64,
+            max_prefix: 4096,
+            stall: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What the proxy does to one connection's server→client stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    /// Forward everything untouched.
+    Clean,
+    /// Forward `prefix` bytes, then close both sides abruptly —
+    /// typically mid-frame, which is what poisons the client.
+    CutAfter { prefix: usize },
+    /// Forward `prefix` bytes, hold the rest for the plan's stall
+    /// duration, then close. Exercises read-timeout handling.
+    StallAfter { prefix: usize },
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosPlan {
+    /// The fault for connection `index` (0-based), deterministically.
+    fn fault_for(&self, index: u64) -> Fault {
+        if self.clean_every > 0 && (index + 1).is_multiple_of(u64::from(self.clean_every)) {
+            return Fault::Clean;
+        }
+        let mut state = self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let draw = splitmix64(&mut state);
+        let span = self.max_prefix.saturating_sub(self.min_prefix).max(1) as u64;
+        let prefix = self.min_prefix + (splitmix64(&mut state) % span) as usize;
+        match draw % 3 {
+            0 | 1 => Fault::CutAfter { prefix },
+            _ => Fault::StallAfter { prefix },
+        }
+    }
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct ProxyState {
+    upstream: SocketAddr,
+    plan: ChaosPlan,
+    stopping: AtomicBool,
+    connections: AtomicU64,
+    faults: AtomicU64,
+    /// Clones of every live stream (both sides), so
+    /// [`ChaosProxy::kill_live_connections`] can cut them mid-traffic.
+    live: Mutex<Vec<TcpStream>>,
+}
+
+/// A fault-injecting TCP proxy. See the [module docs](self).
+pub struct ChaosProxy {
+    state: Arc<ProxyState>,
+    addr: SocketAddr,
+    accept_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `127.0.0.1:0` and starts proxying to `upstream` under
+    /// `plan`'s fault schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(upstream: SocketAddr, plan: ChaosPlan) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ProxyState {
+            upstream,
+            plan,
+            stopping: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            live: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_handle = thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))
+            .expect("spawning the chaos accept thread");
+        Ok(ChaosProxy {
+            state,
+            addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.state.connections.load(Ordering::SeqCst)
+    }
+
+    /// Faults injected so far (connections whose reply stream was cut
+    /// or stalled).
+    pub fn faults_injected(&self) -> u64 {
+        self.state.faults.load(Ordering::SeqCst)
+    }
+
+    /// Abruptly cuts every connection currently flowing through the
+    /// proxy — the "server died mid-traffic" event. New connections
+    /// keep being accepted; pair with a downed upstream to simulate a
+    /// full outage.
+    pub fn kill_live_connections(&self) {
+        let mut live = lock_recover(&self.state.live);
+        for stream in live.drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stops accepting and cuts every live connection (idempotent).
+    pub fn shutdown(&self) {
+        if self.state.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection; it
+        // observes `stopping` and exits.
+        let _ = TcpStream::connect(self.addr);
+        self.kill_live_connections();
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ProxyState>) {
+    for incoming in listener.incoming() {
+        if state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let down = match incoming {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let index = state.connections.fetch_add(1, Ordering::SeqCst);
+        let fault = state.plan.fault_for(index);
+        let conn_state = Arc::clone(&state);
+        let _ = thread::Builder::new()
+            .name(format!("chaos-conn-{index}"))
+            .spawn(move || handle_connection(down, fault, conn_state));
+    }
+}
+
+fn track(state: &ProxyState, stream: &TcpStream) {
+    if let Ok(clone) = stream.try_clone() {
+        lock_recover(&state.live).push(clone);
+    }
+}
+
+fn handle_connection(down: TcpStream, fault: Fault, state: Arc<ProxyState>) {
+    let up = match TcpStream::connect(state.upstream) {
+        Ok(s) => s,
+        Err(_) => {
+            // Upstream is down: drop the client immediately, the same
+            // observable outcome as a refused connection.
+            let _ = down.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let _ = down.set_nodelay(true);
+    let _ = up.set_nodelay(true);
+    track(&state, &down);
+    track(&state, &up);
+    if fault != Fault::Clean {
+        state.faults.fetch_add(1, Ordering::SeqCst);
+    }
+
+    // Client → server: forwarded verbatim, so the server only ever sees
+    // whole requests (or EOF).
+    let (c2s_down, c2s_up) = match (down.try_clone(), up.try_clone()) {
+        (Ok(d), Ok(u)) => (d, u),
+        _ => {
+            let _ = down.shutdown(Shutdown::Both);
+            let _ = up.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let uphill = thread::Builder::new()
+        .name("chaos-c2s".into())
+        .spawn(move || forward(c2s_down, c2s_up, Fault::Clean, Duration::ZERO));
+
+    // Server → client: the faulted direction.
+    forward(up, down, fault, state.plan.stall);
+    if let Ok(handle) = uphill {
+        let _ = handle.join();
+    }
+}
+
+/// Pumps bytes `from` → `to` until EOF, an error, or the fault fires.
+/// Both streams are shut down on exit so the peer threads unblock.
+fn forward(mut from: TcpStream, mut to: TcpStream, fault: Fault, stall: Duration) {
+    let budget = match fault {
+        Fault::Clean => usize::MAX,
+        Fault::CutAfter { prefix } | Fault::StallAfter { prefix } => prefix,
+    };
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        let want = buf.len().min(budget - forwarded);
+        if want == 0 {
+            if matches!(fault, Fault::StallAfter { .. }) {
+                thread::sleep(stall);
+            }
+            break;
+        }
+        match from.read(&mut buf[..want]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).and_then(|()| to.flush()).is_err() {
+                    break;
+                }
+                forwarded += n;
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_periodically_clean() {
+        let plan = ChaosPlan::default();
+        for index in 0..64 {
+            assert_eq!(
+                plan.fault_for(index),
+                plan.fault_for(index),
+                "same index must draw the same fault"
+            );
+            if (index + 1) % u64::from(plan.clean_every) == 0 {
+                assert_eq!(plan.fault_for(index), Fault::Clean);
+            } else {
+                assert_ne!(
+                    plan.fault_for(index),
+                    Fault::Clean,
+                    "off-cycle connections must fault (index {index})"
+                );
+            }
+        }
+        // Faulted connections actually exist, and prefixes respect the
+        // configured window.
+        let mut faulted = 0;
+        for index in 0..64 {
+            match plan.fault_for(index) {
+                Fault::Clean => {}
+                Fault::CutAfter { prefix } | Fault::StallAfter { prefix } => {
+                    faulted += 1;
+                    assert!((plan.min_prefix..plan.max_prefix).contains(&prefix));
+                }
+            }
+        }
+        assert!(faulted >= 32, "most non-clean slots must fault");
+    }
+
+    #[test]
+    fn clean_every_zero_never_passes_clean() {
+        let plan = ChaosPlan {
+            clean_every: 0,
+            ..ChaosPlan::default()
+        };
+        for index in 0..32 {
+            assert_ne!(plan.fault_for(index), Fault::Clean);
+        }
+    }
+}

@@ -72,6 +72,14 @@ impl Client {
         Ok(())
     }
 
+    /// Whether the connection has been poisoned by a socket- or
+    /// protocol-level failure. A poisoned client fails every call fast;
+    /// the only recovery is a fresh connection (which is what
+    /// [`crate::RetryClient`] automates).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     fn check_usable(&self) -> Result<(), WireError> {
         if self.poisoned {
             return Err(WireError::Malformed(

@@ -29,6 +29,31 @@
 //! The `net` smoke (`experiments -- net --smoke`) pins this digest
 //! equality for all eight backends.
 //!
+//! # Robustness
+//!
+//! The identity contract has to hold on a network that misbehaves, so
+//! the crate carries its own hardening on both sides of the socket.
+//!
+//! * **Client resilience** — [`RetryClient`] wraps a [`ReplicaSet`]
+//!   (ordered replicas with health tracking and cooldown re-probing)
+//!   and a [`RetryPolicy`] (bounded attempts, exponential backoff with
+//!   deterministic seeded equal jitter). It retries an operation only
+//!   when the underlying [`Client`] *poisoned* — a cut, stall, or
+//!   refused dial, where the request provably produced no durable
+//!   answer — and surfaces server-relayed typed errors untouched.
+//! * **Overload protection** — [`NetServer`] refuses connections past
+//!   [`ServerConfig::max_connections`] at the door and sheds oversized
+//!   batches past [`ServerConfig::max_batch_pairs`], both with a typed
+//!   [`WireError::Overloaded`]; slow-loris drips are bounded by a
+//!   whole-frame deadline, and a handler panic is caught per request —
+//!   the connection (and every lock) survives it.
+//! * **Chaos harness** — [`ChaosProxy`] injects deterministic,
+//!   replayable transport faults (cut or stalled reply streams on a
+//!   seeded per-connection schedule) between a client and server; the
+//!   `chaos` smoke (`experiments -- chaos --smoke`) drives every
+//!   backend through it asserting digest-identical answers and zero
+//!   panics.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -53,13 +78,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
 mod metrics;
+mod resilient;
 mod server;
 mod wire;
 
+pub use chaos::{ChaosPlan, ChaosProxy};
 pub use client::Client;
 pub use metrics::{LatencyHistogram, NetMetrics};
+pub use resilient::{ReplicaSet, RetryClient, RetryPolicy};
 pub use server::{NetServer, ServerConfig};
 pub use wire::{
     InstallSummary, Op, OracleStats, RepairSummary, RouteOutcome, ServerStats, WireError,
@@ -173,9 +202,7 @@ mod tests {
         // Install from a server-side file (the load_path cold start).
         let path =
             std::env::temp_dir().join(format!("net-test-install-{}.snap", std::process::id()));
-        let mut v3 = Vec::new();
-        oracle.save_v3(&mut v3).unwrap();
-        std::fs::write(&path, &v3).unwrap();
+        oracle.save_path_v3(&path).unwrap();
         let summary2 = client.install("ring", path.to_str().unwrap()).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(summary2.generation > summary.generation);

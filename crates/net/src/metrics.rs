@@ -84,6 +84,13 @@ pub struct NetMetrics {
     pub connections_active: u64,
     /// Connections accepted since the server started.
     pub connections_total: u64,
+    /// Connections refused at the door with a typed
+    /// [`crate::WireError::Overloaded`] frame because the connection cap
+    /// was saturated.
+    pub connections_refused: u64,
+    /// Requests shed with [`crate::WireError::Overloaded`] for breaking a
+    /// per-request budget (oversized batch).
+    pub requests_shed: u64,
     /// Median request service time (decode start → response encoded).
     pub p50_service_ns: u64,
     /// 99th-percentile request service time.

@@ -33,13 +33,27 @@ use congest::wire::{read_frame, write_frame, MAX_FRAME_LEN};
 use oracle::{DistanceOracle, FailoverOutcome, RepairError, TracedRoute};
 use serve::{Batcher, BatcherStats, DynamicOracle, OracleServer, RepairSwapError, ServeError};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poison instead of propagating it.
+///
+/// A connection handler that panics while holding one of the server's
+/// locks must degrade to *one* failed request — not cascade panics into
+/// every thread that later touches the same lock (which is what
+/// `.lock().expect("poisoned")` did). Every structure behind these
+/// locks stays internally valid across a panic (plain map
+/// inserts/removes, counter bumps, histogram increments), so the
+/// recovered guard is safe to keep using.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning for a [`NetServer`].
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +72,15 @@ pub struct ServerConfig {
     /// Largest accepted frame payload; oversized frames are rejected
     /// before allocation and the connection is closed.
     pub max_frame: usize,
+    /// Connection cap: a connection arriving while this many handlers
+    /// are already active is refused with a typed
+    /// [`WireError::Overloaded`] error frame and closed — shed at the
+    /// door instead of queued into an unbounded thread backlog.
+    pub max_connections: usize,
+    /// Per-request budget on `EstimateMany` pairs: a batch larger than
+    /// this is refused with [`WireError::Overloaded`] (the connection
+    /// survives) instead of monopolizing the shared batcher.
+    pub max_batch_pairs: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +90,8 @@ impl Default for ServerConfig {
             threads: 0,
             deadline: Some(Duration::from_secs(30)),
             max_frame: MAX_FRAME_LEN,
+            max_connections: 1024,
+            max_batch_pairs: 1 << 22,
         }
     }
 }
@@ -82,6 +107,8 @@ struct ServerState {
     next_conn: AtomicU64,
     connections_active: AtomicU64,
     connections_total: AtomicU64,
+    connections_refused: AtomicU64,
+    requests_shed: AtomicU64,
     requests: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
@@ -132,6 +159,8 @@ impl NetServer {
             next_conn: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
@@ -159,27 +188,21 @@ impl NetServer {
     /// handle so the host can keep driving the lifecycle in-process too.
     pub fn register_dynamic(&self, dynamic: DynamicOracle) -> Arc<DynamicOracle> {
         let dynamic = Arc::new(dynamic);
-        self.state
-            .dynamics
-            .lock()
-            .expect("dynamics registry poisoned")
-            .insert(dynamic.name().to_string(), Arc::clone(&dynamic));
+        lock_recover(&self.state.dynamics).insert(dynamic.name().to_string(), Arc::clone(&dynamic));
         dynamic
     }
 
     /// A point-in-time snapshot of the aggregate serving counters.
     pub fn metrics(&self) -> NetMetrics {
-        let service = self
-            .state
-            .service
-            .lock()
-            .expect("service histogram poisoned");
+        let service = lock_recover(&self.state.service);
         NetMetrics {
             requests: self.state.requests.load(Ordering::Relaxed),
             bytes_in: self.state.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.state.bytes_out.load(Ordering::Relaxed),
             connections_active: self.state.connections_active.load(Ordering::Relaxed),
             connections_total: self.state.connections_total.load(Ordering::Relaxed),
+            connections_refused: self.state.connections_refused.load(Ordering::Relaxed),
+            requests_shed: self.state.requests_shed.load(Ordering::Relaxed),
             p50_service_ns: service.quantile(0.50),
             p99_service_ns: service.quantile(0.99),
         }
@@ -197,32 +220,19 @@ impl NetServer {
         // Wake the accept loop out of `accept()` with a throwaway
         // connection; it observes `stopping` and exits.
         let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+        if let Some(handle) = lock_recover(&self.accept).take() {
             let _ = handle.join();
         }
         // EOF every reader. Writes still complete: only the read half
         // closes, so a response mid-flight reaches its client.
-        for stream in self
-            .state
-            .conn_streams
-            .lock()
-            .expect("connection registry poisoned")
-            .values()
-        {
+        for stream in lock_recover(&self.state.conn_streams).values() {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        let handles = std::mem::take(
-            &mut *self
-                .state
-                .conn_handles
-                .lock()
-                .expect("handler registry poisoned"),
-        );
+        let handles = std::mem::take(&mut *lock_recover(&self.state.conn_handles));
         for handle in handles {
             let _ = handle.join();
         }
-        let batchers =
-            std::mem::take(&mut *self.state.batchers.lock().expect("batcher cache poisoned"));
+        let batchers = std::mem::take(&mut *lock_recover(&self.state.batchers));
         for batcher in batchers.values() {
             batcher.shutdown();
         }
@@ -244,13 +254,21 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
             Ok(s) => s,
             Err(_) => continue,
         };
+        // Overload protection at the door: past the connection cap, the
+        // arrival gets one typed refusal frame and is closed — shed
+        // instead of queued into an unbounded thread backlog. (Checked
+        // here rather than left to the OS accept queue so the refusal
+        // is an explicit, retry-after-backoff signal, not a silent
+        // stall.)
+        let active = state.connections_active.load(Ordering::Relaxed);
+        if active >= state.cfg.max_connections as u64 {
+            state.connections_refused.fetch_add(1, Ordering::Relaxed);
+            refuse_overloaded(stream, active, state.cfg.max_connections as u64);
+            continue;
+        }
         let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            state
-                .conn_streams
-                .lock()
-                .expect("connection registry poisoned")
-                .insert(conn_id, clone);
+            lock_recover(&state.conn_streams).insert(conn_id, clone);
         }
         state.connections_total.fetch_add(1, Ordering::Relaxed);
         state.connections_active.fetch_add(1, Ordering::Relaxed);
@@ -259,33 +277,36 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
             .name(format!("net-conn-{conn_id}"))
             .spawn(move || {
                 let _ = handle_connection(&conn_state, stream, conn_id);
-                conn_state
-                    .conn_streams
-                    .lock()
-                    .expect("connection registry poisoned")
-                    .remove(&conn_id);
+                lock_recover(&conn_state.conn_streams).remove(&conn_id);
                 conn_state
                     .connections_active
                     .fetch_sub(1, Ordering::Relaxed);
             });
         match handle {
-            Ok(h) => state
-                .conn_handles
-                .lock()
-                .expect("handler registry poisoned")
-                .push(h),
+            Ok(h) => lock_recover(&state.conn_handles).push(h),
             Err(_) => {
                 // Spawn failed: undo the registration and drop the
                 // connection instead of leaking it.
-                state
-                    .conn_streams
-                    .lock()
-                    .expect("connection registry poisoned")
-                    .remove(&conn_id);
+                lock_recover(&state.conn_streams).remove(&conn_id);
                 state.connections_active.fetch_sub(1, Ordering::Relaxed);
             }
         }
     }
+}
+
+/// Writes one [`WireError::Overloaded`] error frame to a refused
+/// connection and closes it. Best effort with a short write timeout: a
+/// peer that will not read its refusal is simply dropped — the accept
+/// loop must never block on a victim of its own cap.
+fn refuse_overloaded(stream: TcpStream, active: u64, cap: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let mut reply = Vec::new();
+    wire::encode_error(0, 0, &WireError::Overloaded { active, cap }, &mut reply);
+    let mut stream = stream;
+    let _ = write_frame(&mut stream, &reply);
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 fn handle_connection(state: &ServerState, stream: TcpStream, _conn_id: u64) -> io::Result<()> {
@@ -303,7 +324,16 @@ fn handle_connection(state: &ServerState, stream: TcpStream, _conn_id: u64) -> i
     let mut conn = ConnCounters::default();
     let mut reply = Vec::new();
     loop {
-        let payload = match read_frame(&mut reader, state.cfg.max_frame) {
+        // Slow-loris shedding: the per-request deadline bounds the
+        // *whole* frame, not each read syscall. The socket timeout alone
+        // resets on every byte, so a client dripping one byte per
+        // timeout window could hold a handler thread forever; the frame
+        // deadline closes it once the total budget is spent.
+        let mut guarded = FrameDeadlineReader {
+            inner: &mut reader,
+            deadline: state.cfg.deadline.map(|d| Instant::now() + d),
+        };
+        let payload = match read_frame(&mut guarded, state.cfg.max_frame) {
             Ok(Some(p)) => p,
             // Clean EOF: the client closed (or shutdown EOF'd us).
             Ok(None) => break,
@@ -336,7 +366,20 @@ fn handle_connection(state: &ServerState, stream: TcpStream, _conn_id: u64) -> i
             Ok((req_id, req)) => {
                 let op = req.op();
                 reply.clear();
-                match dispatch(state, &conn, req) {
+                // Panic isolation: a handler that panics (a bug, or a
+                // hostile request reaching an unguarded index) costs
+                // exactly one failed request. The shared state is safe
+                // to keep using afterwards: everything it touches is
+                // behind poison-recovering locks whose contents stay
+                // valid across a panic, which is what makes the unwind
+                // boundary sound here.
+                let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(state, &conn, req)))
+                    .unwrap_or_else(|_| {
+                        Err(WireError::Remote(
+                            "request handler panicked; the request was dropped".into(),
+                        ))
+                    });
+                match outcome {
                     Ok(resp) => wire::encode_response(req_id, op, &resp, &mut reply),
                     // Serve-level errors are per-request: reply and keep
                     // the connection.
@@ -349,11 +392,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream, _conn_id: u64) -> i
                 conn.requests += 1;
                 state.requests.fetch_add(1, Ordering::Relaxed);
                 let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                state
-                    .service
-                    .lock()
-                    .expect("service histogram poisoned")
-                    .record(nanos);
+                lock_recover(&state.service).record(nanos);
             }
         }
         // Pipelining: only flush when no further request is already
@@ -364,6 +403,30 @@ fn handle_connection(state: &ServerState, stream: TcpStream, _conn_id: u64) -> i
         }
     }
     writer.flush()
+}
+
+/// A [`Read`] adapter that fails with `TimedOut` once a wall-clock
+/// deadline for the frame in progress has passed. Each underlying read
+/// is already bounded by the socket timeout, so the *total* time a
+/// handler can spend on one frame is `deadline + one socket timeout` —
+/// the bound that sheds slow-loris clients.
+struct FrameDeadlineReader<'a, R> {
+    inner: &'a mut R,
+    deadline: Option<Instant>,
+}
+
+impl<R: Read> Read for FrameDeadlineReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "frame deadline exceeded (slow-loris shed)",
+                ));
+            }
+        }
+        self.inner.read(buf)
+    }
 }
 
 fn send_error(
@@ -404,17 +467,14 @@ fn install_error(e: io::Error) -> WireError {
 }
 
 fn dynamic_for(state: &ServerState, name: &str) -> Result<Arc<DynamicOracle>, WireError> {
-    state
-        .dynamics
-        .lock()
-        .expect("dynamics registry poisoned")
+    lock_recover(&state.dynamics)
         .get(name)
         .cloned()
         .ok_or_else(|| WireError::Serve(ServeError::UnknownOracle(name.to_string())))
 }
 
 fn batcher_for(state: &ServerState, name: &str) -> Arc<Batcher> {
-    let mut cache = state.batchers.lock().expect("batcher cache poisoned");
+    let mut cache = lock_recover(&state.batchers);
     Arc::clone(cache.entry(name.to_string()).or_insert_with(|| {
         state.registry.batcher(
             name,
@@ -444,6 +504,17 @@ fn dispatch(state: &ServerState, conn: &ConnCounters, req: Request) -> Result<Re
             batched,
             pairs,
         } => {
+            // Budget check before any work: an oversized batch is shed
+            // with a typed refusal instead of monopolizing the batcher
+            // (the connection survives — the request was well-formed,
+            // just too greedy).
+            if pairs.len() > state.cfg.max_batch_pairs {
+                state.requests_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(WireError::Overloaded {
+                    active: pairs.len() as u64,
+                    cap: state.cfg.max_batch_pairs as u64,
+                });
+            }
             if batched {
                 let batcher = batcher_for(state, &name);
                 let (ests, generation) = batcher.submit(registry, pairs)?;
@@ -463,12 +534,7 @@ fn dispatch(state: &ServerState, conn: &ConnCounters, req: Request) -> Result<Re
             })
         }
         Request::Route { name, u, v } => {
-            let dynamic = state
-                .dynamics
-                .lock()
-                .expect("dynamics registry poisoned")
-                .get(&name)
-                .cloned();
+            let dynamic = lock_recover(&state.dynamics).get(&name).cloned();
             let mut route = TracedRoute::default();
             if let Some(dynamic) = dynamic {
                 // Failover-aware: detours around the live failure mask.
@@ -526,6 +592,9 @@ fn dispatch(state: &ServerState, conn: &ConnCounters, req: Request) -> Result<Re
                     RepairSwapError::Repair(other) => {
                         WireError::Remote(format!("repair failed: {other}"))
                     }
+                    RepairSwapError::Persist(msg) => {
+                        WireError::Remote(format!("repair not installed, wal append failed: {msg}"))
+                    }
                 })?;
             let (incremental, rows_recomputed, rows_total, reason) = match report.repair.kind {
                 oracle::RepairKind::Incremental {
@@ -545,10 +614,7 @@ fn dispatch(state: &ServerState, conn: &ConnCounters, req: Request) -> Result<Re
             }))
         }
         Request::Stats => {
-            let batcher_stats: HashMap<String, BatcherStats> = state
-                .batchers
-                .lock()
-                .expect("batcher cache poisoned")
+            let batcher_stats: HashMap<String, BatcherStats> = lock_recover(&state.batchers)
                 .iter()
                 .map(|(name, b)| (name.clone(), b.stats()))
                 .collect();
@@ -570,7 +636,7 @@ fn dispatch(state: &ServerState, conn: &ConnCounters, req: Request) -> Result<Re
                     name,
                 });
             }
-            let service = state.service.lock().expect("service histogram poisoned");
+            let service = lock_recover(&state.service);
             Ok(Response::Stats(ServerStats {
                 requests: state.requests.load(Ordering::Relaxed),
                 bytes_in: state.bytes_in.load(Ordering::Relaxed),

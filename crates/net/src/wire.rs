@@ -382,6 +382,15 @@ pub enum WireError {
     Serve(ServeError),
     /// A repair delta was rejected.
     Delta(DeltaError),
+    /// The server shed the connection or request because a capacity
+    /// bound was hit (connection cap, per-request batch budget). Always
+    /// safe to retry after a backoff: nothing was executed.
+    Overloaded {
+        /// The load observed (active connections, or requested pairs).
+        active: u64,
+        /// The configured cap it exceeded.
+        cap: u64,
+    },
     /// Any other server-side failure, relayed as text.
     Remote(String),
     /// A local socket failure (never encoded on the wire).
@@ -405,6 +414,9 @@ impl fmt::Display for WireError {
             WireError::Malformed(msg) => write!(f, "malformed net frame: {msg}"),
             WireError::Serve(e) => write!(f, "serve error: {e}"),
             WireError::Delta(e) => write!(f, "delta rejected: {e}"),
+            WireError::Overloaded { active, cap } => {
+                write!(f, "server overloaded: {active} against a cap of {cap}")
+            }
             WireError::Remote(msg) => write!(f, "remote error: {msg}"),
             WireError::Io(kind, msg) => write!(f, "socket error ({kind:?}): {msg}"),
         }
@@ -918,6 +930,11 @@ fn encode_wire_error(err: &WireError, out: &mut Vec<u8>) {
                 }
             }
         }
+        WireError::Overloaded { active, cap } => {
+            w(out).u8(8).expect("vec write");
+            w(out).u64(*active).expect("vec write");
+            w(out).u64(*cap).expect("vec write");
+        }
         WireError::Remote(msg) => {
             w(out).u8(7).expect("vec write");
             put_str(out, truncate_msg(msg), MAX_PATH_LEN);
@@ -983,6 +1000,10 @@ fn decode_wire_error(c: &mut Cursor<'_>) -> Result<WireError, WireError> {
             k => return Err(WireError::Malformed(format!("unknown delta sub-code {k}"))),
         }),
         7 => WireError::Remote(c.str(MAX_PATH_LEN, "error message")?),
+        8 => WireError::Overloaded {
+            active: c.u64()?,
+            cap: c.u64()?,
+        },
         k => return Err(WireError::Malformed(format!("unknown error code {k}"))),
     })
 }
@@ -1353,6 +1374,10 @@ mod tests {
             WireError::Delta(DeltaError::ZeroWeight),
             WireError::Delta(DeltaError::Disconnects),
             WireError::Remote("install failed: no such file".into()),
+            WireError::Overloaded {
+                active: 256,
+                cap: 255,
+            },
         ];
         for err in cases {
             let mut buf = Vec::new();

@@ -578,6 +578,32 @@ impl Oracle {
         snapshot::save_v3(self, sink)
     }
 
+    /// Writes the versioned binary snapshot to a file, **atomically**:
+    /// the stream goes to a uniquely named temp file in the target
+    /// directory, is flushed and fsynced, then renamed over `path` (and
+    /// the directory entry fsynced, best effort). A crash mid-write
+    /// leaves either the previous file or the complete new one — never
+    /// a torn snapshot for [`Oracle::load_path`] to choke on. This is
+    /// the counterpart of [`Oracle::load_path`] and the only way the
+    /// serving stack writes snapshots to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the temp file is removed on failure.
+    pub fn save_path(&self, path: &std::path::Path) -> io::Result<()> {
+        snapshot::save_path_atomic(path, |sink| snapshot::save(self, sink))
+    }
+
+    /// Writes the **version-3** arena snapshot to a file with the same
+    /// atomic temp + fsync + rename discipline as [`Oracle::save_path`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Oracle::save_path`].
+    pub fn save_path_v3(&self, path: &std::path::Path) -> io::Result<()> {
+        snapshot::save_path_atomic(path, |sink| snapshot::save_v3(self, sink))
+    }
+
     /// Loads an oracle from a snapshot written by [`Oracle::save`] or
     /// [`Oracle::save_v3`] (the version is auto-detected; version-1
     /// snapshots are rejected with a pointer to rebuild).

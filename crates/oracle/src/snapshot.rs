@@ -103,6 +103,50 @@ pub(crate) fn save(oracle: &Oracle, sink: &mut dyn Write) -> io::Result<()> {
     save_opts(oracle, sink, false)
 }
 
+/// Writes a snapshot file atomically: the stream goes to a uniquely
+/// named temp file in the target directory, is flushed and fsynced,
+/// and only then renamed over `path`. A crash at any point leaves
+/// either the old file or the new one — never a torn snapshot that
+/// [`load`] would reject. The directory entry is fsynced after the
+/// rename (best effort: not every filesystem supports opening
+/// directories) so the rename itself survives a power cut.
+pub(crate) fn save_path_atomic(
+    path: &std::path::Path,
+    write: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path.file_name().ok_or_else(|| {
+        invalid_data(format!("snapshot path {} has no file name", path.display()))
+    })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut sink = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write(&mut sink)?;
+        let file = sink.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Ok(d) = std::fs::File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// The canonical artifact stream: [`save`] with the volatile measurement
 /// fields (header rounds/messages/nanos and every scheme-embedded round
 /// total) written as zeros — see [`crate::Oracle::artifact_bytes`].

@@ -64,6 +64,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod persist;
+
+pub use persist::{Checkpoint, DeltaWal, PersistError, RecoverReport, WalReplay};
+
 use graphs::{NodeId, WGraph};
 use oracle::{
     route_with_failover, Backend, BuildError, DistanceOracle, FailoverOutcome, GraphDelta,
@@ -73,8 +77,20 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+///
+/// Every mutex in this crate guards state that stays internally valid
+/// across a panic (counters, maps of `Arc`s, an already-applied mask),
+/// so propagating the poison would only convert one failed request into
+/// a crashed server. The serving layer runs under panic isolation (see
+/// `net`'s per-connection `catch_unwind`); recovering here is what
+/// makes that isolation real.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A serving error.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -232,7 +248,7 @@ impl OracleServer {
         let old = self
             .oracles
             .write()
-            .expect("oracle map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), snap);
         let replaced = old.map(|old| RetiredSnapshot {
             generation: old.generation,
@@ -324,12 +340,12 @@ impl OracleServer {
         let old = self
             .oracles
             .write()
-            .expect("oracle map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(name)?;
         let batchers = self
             .batchers
             .lock()
-            .expect("batcher registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(name)
             .unwrap_or_default();
         for batcher in batchers {
@@ -361,7 +377,7 @@ impl OracleServer {
         let batcher = Arc::new(batcher);
         self.batchers
             .lock()
-            .expect("batcher registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(name.to_string())
             .or_default()
             .push(Arc::clone(&batcher));
@@ -372,7 +388,7 @@ impl OracleServer {
     pub fn lease(&self, name: &str) -> Option<Lease> {
         self.oracles
             .read()
-            .expect("oracle map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
     }
@@ -382,7 +398,7 @@ impl OracleServer {
         let mut names: Vec<String> = self
             .oracles
             .read()
-            .expect("oracle map lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect();
@@ -525,12 +541,16 @@ impl Batcher {
     /// through [`OracleServer::batcher`].
     pub fn shutdown(&self) {
         let abandoned = {
-            let mut state = self.state.lock().expect("batch queue poisoned");
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.retired = true;
             std::mem::take(&mut state.queue)
         };
         for pending in abandoned {
-            *pending.slot.result.lock().expect("batch slot poisoned") =
+            *pending
+                .slot
+                .result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) =
                 Some(Err(ServeError::Retired(self.name.clone())));
             pending.slot.ready.notify_one();
         }
@@ -561,7 +581,7 @@ impl Batcher {
             ready: Condvar::new(),
         });
         let leader = {
-            let mut state = self.state.lock().expect("batch queue poisoned");
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             if state.retired {
                 return Err(ServeError::Retired(self.name.clone()));
             }
@@ -576,11 +596,16 @@ impl Batcher {
         if leader {
             // Admit concurrent submitters, then execute the whole group.
             std::thread::sleep(self.window);
-            let group: Vec<Pending> =
-                std::mem::take(&mut self.state.lock().expect("batch queue poisoned").queue);
+            let group: Vec<Pending> = std::mem::take(
+                &mut self
+                    .state
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .queue,
+            );
             self.execute(server, group);
         }
-        let mut result = slot.result.lock().expect("batch slot poisoned");
+        let mut result = slot.result.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(deadline) = self.deadline {
             let give_up = Instant::now() + deadline;
             while result.is_none() {
@@ -592,7 +617,7 @@ impl Batcher {
                     drop(result);
                     self.state
                         .lock()
-                        .expect("batch queue poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .queue
                         .retain(|p| !Arc::ptr_eq(&p.slot, &slot));
                     return Err(ServeError::Deadline(self.name.clone()));
@@ -600,12 +625,15 @@ impl Batcher {
                 let (guard, _) = slot
                     .ready
                     .wait_timeout(result, give_up - now)
-                    .expect("batch slot poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 result = guard;
             }
         } else {
             while result.is_none() {
-                result = slot.ready.wait(result).expect("batch slot poisoned");
+                result = slot
+                    .ready
+                    .wait(result)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         let answers = result.take().expect("checked above")?;
@@ -648,7 +676,11 @@ impl Batcher {
                 }
                 Err(e) => Err(e.clone()),
             };
-            *pending.slot.result.lock().expect("batch slot poisoned") = Some(answer);
+            *pending
+                .slot
+                .result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(answer);
             pending.slot.ready.notify_one();
         }
     }
@@ -663,6 +695,12 @@ pub enum RepairSwapError {
     Serve(ServeError),
     /// The repair itself failed (bad delta, rebuild error).
     Repair(RepairError),
+    /// The repair succeeded but its delta could not be made durable
+    /// (WAL append failed), so the swap was **not** installed: serving
+    /// an artifact whose repair would vanish on restart would break the
+    /// crash-recovery guarantee. The served snapshot, graph, and mask
+    /// are unchanged; the failure stays masked and routed around.
+    Persist(String),
 }
 
 impl fmt::Display for RepairSwapError {
@@ -670,6 +708,9 @@ impl fmt::Display for RepairSwapError {
         match self {
             RepairSwapError::Serve(e) => write!(f, "{e}"),
             RepairSwapError::Repair(e) => write!(f, "{e}"),
+            RepairSwapError::Persist(msg) => {
+                write!(f, "repair not installed, wal append failed: {msg}")
+            }
         }
     }
 }
@@ -679,6 +720,7 @@ impl std::error::Error for RepairSwapError {
         match self {
             RepairSwapError::Serve(e) => Some(e),
             RepairSwapError::Repair(e) => Some(e),
+            RepairSwapError::Persist(_) => None,
         }
     }
 }
@@ -717,6 +759,9 @@ struct DynState {
     graph: WGraph,
     mask: LivenessMask,
     masked_at: Option<Instant>,
+    /// Present on persistent handles: every applied repair is appended
+    /// here *before* the swapped snapshot becomes visible.
+    wal: Option<DeltaWal>,
 }
 
 /// The failure-aware lifecycle over one served name.
@@ -742,6 +787,8 @@ struct DynState {
 pub struct DynamicOracle {
     name: String,
     builder: OracleBuilder,
+    /// Present on persistent handles: where checkpoints are written.
+    ckpt_path: Option<std::path::PathBuf>,
     state: Mutex<DynState>,
 }
 
@@ -764,12 +811,162 @@ impl DynamicOracle {
         Ok(DynamicOracle {
             name: name.to_string(),
             builder,
+            ckpt_path: None,
             state: Mutex::new(DynState {
                 graph: g.clone(),
                 mask: LivenessMask::new(g.len()),
                 masked_at: None,
+                wal: None,
             }),
         })
+    }
+
+    /// [`DynamicOracle::install`] with crash-safe persistence: writes a
+    /// checkpoint (`<dir>/<name>.ckpt`, graph + snapshot, atomically)
+    /// and opens a fresh delta WAL (`<dir>/<name>.wal`). Every
+    /// subsequent [`DynamicOracle::repair_and_swap`] logs its delta
+    /// durably before installing, so [`DynamicOracle::recover`] can
+    /// reproduce the served artifact byte-identically after a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Build`] when the oracle cannot be built,
+    /// [`PersistError::Io`] when the checkpoint or WAL cannot be
+    /// written (nothing is installed on the server in either case).
+    pub fn install_persistent(
+        server: &OracleServer,
+        name: &str,
+        builder: OracleBuilder,
+        g: &WGraph,
+        dir: &std::path::Path,
+    ) -> Result<Self, PersistError> {
+        let oracle = builder.try_build(g)?;
+        let ckpt_path = dir.join(format!("{name}.ckpt"));
+        let wal_path = dir.join(format!("{name}.wal"));
+        persist::write_checkpoint(&ckpt_path, 1, g, &oracle)?;
+        let wal = DeltaWal::create(&wal_path, 1)?;
+        server.install(name, oracle);
+        Ok(DynamicOracle {
+            name: name.to_string(),
+            builder,
+            ckpt_path: Some(ckpt_path),
+            state: Mutex::new(DynState {
+                graph: g.clone(),
+                mask: LivenessMask::new(g.len()),
+                masked_at: None,
+                wal: Some(wal),
+            }),
+        })
+    }
+
+    /// Rebuilds the persisted state from `dir` after a crash or
+    /// restart: loads `<name>.ckpt`, replays `<name>.wal` by re-running
+    /// [`OracleBuilder::repair`] for each logged delta (repairs are
+    /// deterministic, so the result is **byte-identical** to the
+    /// artifact that was live when the last repair was acknowledged),
+    /// installs it on `server`, and returns a persistent handle plus a
+    /// [`RecoverReport`].
+    ///
+    /// A torn WAL tail (crash mid-append) is truncated away — that
+    /// repair was never installed, so dropping it is correct. A WAL
+    /// whose epoch predates the checkpoint (crash between checkpoint
+    /// write and WAL reset) is discarded: its deltas are already folded
+    /// into the checkpoint. The liveness mask starts clear — a mask
+    /// entry is an *unrepaired* observation, and after a restart the
+    /// honest state is "re-report what is still down".
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] for missing/corrupt files,
+    /// [`PersistError::Replay`] when a logged delta no longer applies —
+    /// the files disagree and serving from them would be a lie.
+    pub fn recover(
+        server: &OracleServer,
+        name: &str,
+        builder: OracleBuilder,
+        dir: &std::path::Path,
+    ) -> Result<(Self, RecoverReport), PersistError> {
+        let ckpt_path = dir.join(format!("{name}.ckpt"));
+        let wal_path = dir.join(format!("{name}.wal"));
+        let ckpt = persist::read_checkpoint(&ckpt_path)?;
+        let (mut wal, replay) = DeltaWal::open(&wal_path)?;
+        let t0 = Instant::now();
+        let mut graph = ckpt.graph;
+        let mut oracle = ckpt.oracle;
+        let mut deltas_replayed = 0u64;
+        let stale_wal_discarded = replay.epoch != ckpt.epoch;
+        if stale_wal_discarded {
+            wal.reset(ckpt.epoch)?;
+        } else {
+            for delta in &replay.deltas {
+                let repaired = builder
+                    .repair(&graph, &oracle, delta)
+                    .map_err(PersistError::Replay)?;
+                graph = repaired.graph;
+                oracle = repaired.oracle;
+                deltas_replayed += 1;
+            }
+        }
+        let replay_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let (generation, _) = server.install(name, oracle);
+        let handle = DynamicOracle {
+            name: name.to_string(),
+            builder,
+            ckpt_path: Some(ckpt_path),
+            state: Mutex::new(DynState {
+                mask: LivenessMask::new(graph.len()),
+                graph,
+                masked_at: None,
+                wal: Some(wal),
+            }),
+        };
+        Ok((
+            handle,
+            RecoverReport {
+                deltas_replayed,
+                torn_tail: replay.torn_tail,
+                stale_wal_discarded,
+                replay_nanos,
+                generation,
+            },
+        ))
+    }
+
+    /// Folds the WAL into a fresh checkpoint: writes the current graph
+    /// and served snapshot atomically under a bumped epoch, then resets
+    /// the WAL to that epoch. Bounds recovery replay time after long
+    /// repair histories. A crash between the two steps is benign:
+    /// [`DynamicOracle::recover`] sees the epoch mismatch and discards
+    /// the stale WAL.
+    ///
+    /// Returns the number of WAL records folded in.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NotPersistent`] on a handle from
+    /// [`DynamicOracle::install`]; [`PersistError::Serve`] when the
+    /// name is no longer served; [`PersistError::Io`] when a file
+    /// operation fails.
+    pub fn checkpoint(&self, server: &OracleServer) -> Result<u64, PersistError> {
+        let mut state = lock_recover(&self.state);
+        let ckpt_path = self.ckpt_path.as_ref().ok_or(PersistError::NotPersistent)?;
+        let lease = server
+            .lease(&self.name)
+            .ok_or_else(|| ServeError::UnknownOracle(self.name.clone()))?;
+        let wal = state.wal.as_ref().ok_or(PersistError::NotPersistent)?;
+        let folded = wal.records();
+        let epoch = wal.epoch() + 1;
+        persist::write_checkpoint(ckpt_path, epoch, &state.graph, lease.oracle())?;
+        state.wal.as_mut().expect("checked above").reset(epoch)?;
+        Ok(folded)
+    }
+
+    /// Deltas currently in the WAL (0 for a non-persistent handle).
+    pub fn wal_records(&self) -> u64 {
+        lock_recover(&self.state)
+            .wal
+            .as_ref()
+            .map_or(0, DeltaWal::records)
     }
 
     /// The served name this lifecycle manages.
@@ -781,7 +978,7 @@ impl DynamicOracle {
     pub fn graph(&self) -> WGraph {
         self.state
             .lock()
-            .expect("dynamic state poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .graph
             .clone()
     }
@@ -790,7 +987,7 @@ impl DynamicOracle {
     pub fn mask(&self) -> LivenessMask {
         self.state
             .lock()
-            .expect("dynamic state poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .mask
             .clone()
     }
@@ -800,7 +997,7 @@ impl DynamicOracle {
     /// not already open. Call [`DynamicOracle::repair_and_swap`] with
     /// [`GraphDelta::FailEdge`] to fold the failure into the artifact.
     pub fn fail_edge(&self, u: NodeId, v: NodeId) {
-        let mut state = self.state.lock().expect("dynamic state poisoned");
+        let mut state = lock_recover(&self.state);
         state.mask.fail_edge(u, v);
         state.masked_at.get_or_insert_with(Instant::now);
     }
@@ -808,7 +1005,7 @@ impl DynamicOracle {
     /// Masks node `v` as failed (and with it every incident edge),
     /// effective immediately for [`DynamicOracle::route`].
     pub fn fail_node(&self, v: NodeId) {
-        let mut state = self.state.lock().expect("dynamic state poisoned");
+        let mut state = lock_recover(&self.state);
         state.mask.fail_node(v);
         state.masked_at.get_or_insert_with(Instant::now);
     }
@@ -829,7 +1026,7 @@ impl DynamicOracle {
         v: NodeId,
         out: &mut TracedRoute,
     ) -> Result<FailoverOutcome, ServeError> {
-        let state = self.state.lock().expect("dynamic state poisoned");
+        let state = lock_recover(&self.state);
         let lease = server
             .lease(&self.name)
             .ok_or_else(|| ServeError::UnknownOracle(self.name.clone()))?;
@@ -860,7 +1057,7 @@ impl DynamicOracle {
         delta: &GraphDelta,
     ) -> Result<RepairSwapReport, RepairSwapError> {
         let t0 = Instant::now();
-        let mut state = self.state.lock().expect("dynamic state poisoned");
+        let mut state = lock_recover(&self.state);
         match *delta {
             GraphDelta::FailEdge { u, v } => {
                 state.mask.fail_edge(u, v);
@@ -877,6 +1074,14 @@ impl DynamicOracle {
             .ok_or_else(|| ServeError::UnknownOracle(self.name.clone()))?;
         let repaired = self.builder.repair(&state.graph, lease.oracle(), delta)?;
         drop(lease);
+        // Durability before visibility: on a persistent handle the
+        // delta must hit the WAL before the repaired snapshot is
+        // installed, or a crash right after the swap would serve
+        // answers that recovery cannot reproduce.
+        if let Some(wal) = state.wal.as_mut() {
+            wal.append(delta)
+                .map_err(|e| RepairSwapError::Persist(e.to_string()))?;
+        }
         let (generation, replaced) = server.install(&self.name, repaired.oracle);
         let window = state.masked_at.unwrap_or(t0).elapsed();
         let stale_window_nanos = u64::try_from(window.as_nanos()).unwrap_or(u64::MAX);

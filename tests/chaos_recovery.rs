@@ -1,0 +1,195 @@
+//! Crash-recovery identity: a serving process that dies after live
+//! repairs must come back — from its checkpoint plus delta WAL — with a
+//! byte-identical oracle artifact, for every backend. Also pins the two
+//! recovery edge cases the format was designed around: a torn WAL tail
+//! (crash mid-append) and a stale WAL left by a crash between
+//! checkpoint write and WAL reset.
+
+use congest::NodeId;
+use graphs::{GraphDelta, WGraph};
+use oracle::{Backend, OracleBuilder};
+use serve::{DeltaWal, DynamicOracle, OracleServer};
+use std::path::PathBuf;
+
+/// A ring (weight 2) with three chords (weight 5). Failing a chord
+/// never disconnects the graph, so every chord is a survivable
+/// `FailEdge` delta.
+fn chorded_ring(n: u32) -> WGraph {
+    let mut edges: Vec<(u32, u32, u64)> = (0..n).map(|i| (i, (i + 1) % n, 2)).collect();
+    edges.push((0, n / 2, 5));
+    edges.push((1, n / 2 + 2, 5));
+    edges.push((2, n / 2 + 4, 5));
+    WGraph::from_edges(n as usize, &edges).unwrap()
+}
+
+fn chord_failures() -> [GraphDelta; 2] {
+    [
+        GraphDelta::FailEdge {
+            u: NodeId(0),
+            v: NodeId(6),
+        },
+        GraphDelta::FailEdge {
+            u: NodeId(1),
+            v: NodeId(8),
+        },
+    ]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pde-chaos-recovery-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn live_artifact(registry: &OracleServer, name: &str) -> Vec<u8> {
+    registry.lease(name).unwrap().oracle().artifact_bytes()
+}
+
+#[test]
+fn recovery_is_byte_identical_for_every_backend() {
+    let g = chorded_ring(12);
+    for backend in Backend::ALL {
+        let name = format!("rec-{}", backend.name());
+        let dir = temp_dir(&name);
+        let live = OracleServer::new();
+        let dynamic =
+            DynamicOracle::install_persistent(&live, &name, OracleBuilder::new(backend), &g, &dir)
+                .unwrap();
+        for delta in &chord_failures() {
+            dynamic.repair_and_swap(&live, delta).unwrap();
+        }
+        assert_eq!(dynamic.wal_records(), 2, "{backend}: wal records");
+        let live_bytes = live_artifact(&live, &name);
+        // Crash: the process state is gone, only the files remain.
+        drop(dynamic);
+        drop(live);
+        let cold = OracleServer::new();
+        let (recovered, report) =
+            DynamicOracle::recover(&cold, &name, OracleBuilder::new(backend), &dir).unwrap();
+        assert_eq!(report.deltas_replayed, 2, "{backend}: replay count");
+        assert!(!report.torn_tail, "{backend}: clean wal read as torn");
+        assert!(!report.stale_wal_discarded, "{backend}: wal read as stale");
+        assert_eq!(
+            live_artifact(&cold, &name),
+            live_bytes,
+            "{backend}: recovered artifact differs from the live one"
+        );
+        // The recovered lifecycle keeps working: one more repair.
+        recovered
+            .repair_and_swap(
+                &cold,
+                &GraphDelta::FailEdge {
+                    u: NodeId(2),
+                    v: NodeId(10),
+                },
+            )
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_folds_the_wal_and_recovery_replays_only_the_tail() {
+    let g = chorded_ring(12);
+    let dir = temp_dir("fold");
+    let live = OracleServer::new();
+    let dynamic = DynamicOracle::install_persistent(
+        &live,
+        "fold",
+        OracleBuilder::new(Backend::Flooding),
+        &g,
+        &dir,
+    )
+    .unwrap();
+    let [first, second] = chord_failures();
+    dynamic.repair_and_swap(&live, &first).unwrap();
+    let folded = dynamic.checkpoint(&live).unwrap();
+    assert_eq!(folded, 1, "checkpoint folded one delta");
+    assert_eq!(dynamic.wal_records(), 0, "wal is empty after a fold");
+    dynamic.repair_and_swap(&live, &second).unwrap();
+    let live_bytes = live_artifact(&live, "fold");
+    drop(dynamic);
+    drop(live);
+    let cold = OracleServer::new();
+    let (_, report) =
+        DynamicOracle::recover(&cold, "fold", OracleBuilder::new(Backend::Flooding), &dir).unwrap();
+    assert_eq!(
+        report.deltas_replayed, 1,
+        "only the post-checkpoint delta replays"
+    );
+    assert_eq!(live_artifact(&cold, "fold"), live_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_not_fatal() {
+    let g = chorded_ring(12);
+    let dir = temp_dir("torn");
+    let live = OracleServer::new();
+    let dynamic = DynamicOracle::install_persistent(
+        &live,
+        "torn",
+        OracleBuilder::new(Backend::Flooding),
+        &g,
+        &dir,
+    )
+    .unwrap();
+    for delta in &chord_failures() {
+        dynamic.repair_and_swap(&live, delta).unwrap();
+    }
+    let live_bytes = live_artifact(&live, "torn");
+    drop(dynamic);
+    drop(live);
+    // Crash mid-append: a half-written frame at the tail.
+    let wal_path = dir.join("torn.wal");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes.extend_from_slice(&[0x2C, 0x00, 0x00, 0x00, 0xDE, 0xAD]);
+    std::fs::write(&wal_path, bytes).unwrap();
+    let cold = OracleServer::new();
+    let (_, report) =
+        DynamicOracle::recover(&cold, "torn", OracleBuilder::new(Backend::Flooding), &dir).unwrap();
+    assert!(report.torn_tail, "the torn tail must be reported");
+    assert_eq!(report.deltas_replayed, 2, "whole records still replay");
+    assert_eq!(live_artifact(&cold, "torn"), live_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_wal_from_an_interrupted_checkpoint_is_discarded() {
+    let g = chorded_ring(12);
+    let dir = temp_dir("stale");
+    let live = OracleServer::new();
+    let dynamic = DynamicOracle::install_persistent(
+        &live,
+        "stale",
+        OracleBuilder::new(Backend::Flooding),
+        &g,
+        &dir,
+    )
+    .unwrap();
+    let [first, _] = chord_failures();
+    dynamic.repair_and_swap(&live, &first).unwrap();
+    // Fold the delta into a new checkpoint (epoch 2, WAL reset)...
+    dynamic.checkpoint(&live).unwrap();
+    let live_bytes = live_artifact(&live, "stale");
+    drop(dynamic);
+    drop(live);
+    // ...then simulate the crash window *between* checkpoint write and
+    // WAL reset: put back an epoch-1 WAL still carrying the folded
+    // delta. Replaying it would double-apply the failure.
+    let wal_path = dir.join("stale.wal");
+    let mut stale = DeltaWal::create(&wal_path, 1).unwrap();
+    stale.append(&first).unwrap();
+    drop(stale);
+    let cold = OracleServer::new();
+    let (_, report) =
+        DynamicOracle::recover(&cold, "stale", OracleBuilder::new(Backend::Flooding), &dir)
+            .unwrap();
+    assert!(
+        report.stale_wal_discarded,
+        "the epoch-1 wal must be recognised as already folded"
+    );
+    assert_eq!(report.deltas_replayed, 0, "stale deltas must not replay");
+    assert_eq!(live_artifact(&cold, "stale"), live_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
