@@ -10,6 +10,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let n = 256usize;
     let pairs = e11_pairs(n, 20_000, E11_SEED);
+    // The sorted-vs-shuffled axis: the same pairs pre-grouped by
+    // (source, dest) — the grouped kernel's best case vs having to build
+    // the schedule itself.
+    let mut sorted = pairs.clone();
+    sorted.sort_unstable_by_key(|&(u, v)| (u.0, v.0));
     for backend in [
         Backend::Pde,
         Backend::Rtc,
@@ -18,12 +23,14 @@ fn bench(c: &mut Criterion) {
     ] {
         let (o, _) = e11_build(backend, n, E11_SEED);
         let mut out = Vec::new();
-        group.bench_function(format!("{}_batch_n{n}", backend.name()), |b| {
-            b.iter(|| {
-                o.estimate_many_with(&pairs, &mut out, 1);
-                black_box(out.last().copied())
-            })
-        });
+        for (axis, list) in [("shuffled", &pairs), ("sorted", &sorted)] {
+            group.bench_function(format!("{}_batch_{axis}_n{n}", backend.name()), |b| {
+                b.iter(|| {
+                    o.estimate_many_with(list, &mut out, 1);
+                    black_box(out.last().copied())
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -45,7 +45,10 @@ fn main() {
     // scalar `estimate` and be identical across thread counts.
     if smoke && args.iter().any(|a| a == "queries") {
         println!("{}", e11_smoke(24, E11_SEED));
-        println!("smoke ok: batch answers match scalar estimates across thread counts");
+        println!(
+            "smoke ok: grouped/shuffled/sorted/scalar answers digest-identical \
+             across thread counts for all backends"
+        );
         return;
     }
     // Build smoke for CI: native and simulated builds of every backend

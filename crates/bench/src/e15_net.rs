@@ -282,10 +282,13 @@ pub fn e15_net(sizes: &[usize], headline: bool, seed: u64) -> Table {
 /// CI smoke: every backend served over a real loopback socket through
 /// the full lifecycle — inline `Swap` of v2 bytes, query, `Install` of a
 /// v3 file from the server's disk (hot swap), query again, an admission-
-/// batched query, `NextHop`/`Route`, and `Stats` — with every socket
-/// answer asserted byte-identical to the in-process answer. One dynamic
-/// scenario then drives `FailEdge` → detoured `Route` → `RepairAndSwap`
-/// over the wire and pins the repaired answers against a fresh build.
+/// batched query, a shuffled-vs-sorted `EstimateMany` pair (same batch,
+/// both orders, answers pinned pair-for-pair through the permutation and
+/// the repeated frame byte-identical — the grouped server path),
+/// `NextHop`/`Route`, and `Stats` — with every socket answer asserted
+/// byte-identical to the in-process answer. One dynamic scenario then
+/// drives `FailEdge` → detoured `Route` → `RepairAndSwap` over the wire
+/// and pins the repaired answers against a fresh build.
 ///
 /// # Panics
 ///
@@ -304,6 +307,16 @@ pub fn e15_smoke(n: usize, seed: u64) -> Table {
     .expect("bind loopback");
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let pairs = e11_pairs(n, 512, seed);
+    // A batch big enough to cross the grouped-kernel gate server-side,
+    // plus its (u, v)-sorted permutation — the shuffled-vs-sorted wire
+    // case below pins the grouped server path.
+    let big = e11_pairs(n, 6_000, seed ^ 1);
+    let mut big_perm: Vec<u32> = (0..big.len() as u32).collect();
+    big_perm.sort_by_key(|&i| {
+        let (u, v) = big[i as usize];
+        (u.0, v.0)
+    });
+    let big_sorted: Vec<(NodeId, NodeId)> = big_perm.iter().map(|&i| big[i as usize]).collect();
     for backend in Backend::ALL {
         let (oracle, _) = e11_build(backend, n, seed);
         let mut expected = Vec::new();
@@ -351,6 +364,31 @@ pub fn e15_smoke(n: usize, seed: u64) -> Table {
         let (batched, _) = client.estimate_many(name, &pairs, true).expect("batched");
         assert_eq!(batched, ests, "{backend}: batched-over-wire diverged");
 
+        // Grouped server path: the same EstimateMany batch sent shuffled
+        // and (u, v)-sorted. Positional pipelining means each response
+        // lists answers in its request's order, so the sorted response is
+        // compared pair-for-pair through the permutation; re-sending the
+        // identical shuffled frame must produce a byte-identical response.
+        let (shuffled_ans, _) = client
+            .estimate_many(name, &big, false)
+            .expect("shuffled big batch");
+        let (again, _) = client
+            .estimate_many(name, &big, false)
+            .expect("repeat big batch");
+        assert_eq!(
+            shuffled_ans, again,
+            "{backend}: identical EstimateMany frames answered differently"
+        );
+        let (sorted_ans, _) = client
+            .estimate_many(name, &big_sorted, false)
+            .expect("sorted big batch");
+        for (&i, &ans) in big_perm.iter().zip(&sorted_ans) {
+            assert_eq!(
+                ans, shuffled_ans[i as usize],
+                "{backend}: sorted batch order changed an answer over the wire"
+            );
+        }
+
         // Topology ops match the in-process oracle.
         let (u, v) = pairs[0];
         assert_eq!(
@@ -379,7 +417,7 @@ pub fn e15_smoke(n: usize, seed: u64) -> Table {
             n.to_string(),
             g3.to_string(),
             format!("{:016x}", digest),
-            "swap=install=batch over wire".into(),
+            "swap=install=batch, shuffled=sorted over wire".into(),
         ]);
     }
 

@@ -58,6 +58,7 @@ fn oracles_table(n: usize, seed: u64, roundtrip: bool) -> Table {
             "max_stretch",
             "routed",
             "batch_q/s",
+            "sorted_q/s",
             "fails",
         ],
     );
@@ -117,6 +118,7 @@ fn oracles_table(n: usize, seed: u64, roundtrip: bool) -> Table {
             f(r.max_estimate_stretch),
             format!("{}/{}", r.routed, r.pairs),
             f(r.queries_per_sec),
+            f(r.queries_per_sec_sorted),
             r.failures.len().to_string(),
         ]);
     }

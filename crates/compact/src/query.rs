@@ -42,6 +42,42 @@ impl CompactScheme {
             .get(x, pivot)
             .map(|e| (e.est.saturating_add(d_w), self.topo.neighbor(x, e.port)))
     }
+
+    /// The source-grouped batch kernel behind
+    /// `oracle::DistanceOracle::estimate_grouped`: answers
+    /// `pairs[order[i]]` into `out[i]`, resolving the queried node's row
+    /// cursor in each of the `k` level tables once per equal-source
+    /// group. Computes exactly [`RoutingScheme::estimate`] per pair.
+    pub fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        let mut rows: Vec<pde_core::RowCursor<'_>> = Vec::with_capacity(self.routes.len());
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = pde_core::schedule::group_end(pairs, order, start);
+            let x = pairs[order[start] as usize].0;
+            rows.clear();
+            rows.extend(self.routes.iter().map(|t| t.cursor(x)));
+            for (slot, &i) in out[start..end].iter_mut().zip(&order[start..end]) {
+                let dest = pairs[i as usize].1;
+                if x == dest {
+                    *slot = 0;
+                    continue;
+                }
+                let mut best = rows[0].get(dest).map_or(INF, |e| e.est);
+                for l in 1..self.k {
+                    let (pivot, d_w, _) = self.labels[dest.index()].pivots[(l - 1) as usize];
+                    let here = if x == pivot {
+                        0
+                    } else {
+                        rows[l as usize].get(pivot).map_or(INF, |e| e.est)
+                    };
+                    best = best.min(here.saturating_add(d_w));
+                }
+                *slot = best;
+            }
+            start = end;
+        }
+    }
 }
 
 impl RoutingScheme for CompactScheme {

@@ -693,6 +693,74 @@ impl TruncatedScheme {
         }
         best
     }
+
+    /// The source-grouped batch kernel behind
+    /// `oracle::DistanceOracle::estimate_grouped`: answers
+    /// `pairs[order[i]]` into `out[i]`, resolving the queried node's
+    /// lower-level row cursors, base-routes row range (with its
+    /// pre-resolved skeleton indices) and own skeleton index once per
+    /// equal-source group. Computes exactly
+    /// [`RoutingScheme::estimate`] per pair.
+    pub fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        let mut lower_rows: Vec<pde_core::RowCursor<'_>> =
+            Vec::with_capacity(self.lower_routes.len());
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = pde_core::schedule::group_end(pairs, order, start);
+            let x = pairs[order[start] as usize].0;
+            lower_rows.clear();
+            lower_rows.extend(self.lower_routes.iter().map(|t| t.cursor(x)));
+            let base_range = self.base_routes.row_range(x);
+            let base_idx = &self.base_row_idx[base_range.clone()];
+            let xi = self.skel_index.get(x);
+            for (slot, &i) in out[start..end].iter_mut().zip(&order[start..end]) {
+                let dest = pairs[i as usize].1;
+                if x == dest {
+                    *slot = 0;
+                    continue;
+                }
+                let label = &self.labels[dest.index()];
+                let mut best = INF;
+                if let Some(e) = lower_rows[0].get(dest) {
+                    best = best.min(e.est);
+                }
+                for (li, &(pivot, d_w, _)) in label.lower.iter().enumerate() {
+                    let l = li + 1;
+                    let here = if x == pivot {
+                        0
+                    } else {
+                        lower_rows[l].get(pivot).map_or(INF, |e| e.est)
+                    };
+                    best = best.min(here.saturating_add(d_w));
+                }
+                for (j, up) in label.upper.iter().enumerate() {
+                    let s_idx = self.skel_index.get(up.pivot).expect("pivot in skeleton");
+                    let mut to_pivot = INF;
+                    for (e, &ti) in self
+                        .base_routes
+                        .entries_in(base_range.clone())
+                        .zip(base_idx)
+                    {
+                        if ti == DenseIndex::NONE {
+                            continue;
+                        }
+                        if let Some(eg) = self.upper_est[j].get(ti as usize, s_idx) {
+                            to_pivot = to_pivot.min(e.est.saturating_add(eg));
+                        }
+                    }
+                    if let Some(xi) = xi {
+                        if let Some(eg) = self.upper_est[j].get(xi, s_idx) {
+                            to_pivot = to_pivot.min(eg);
+                        }
+                    }
+                    best = best.min(to_pivot.saturating_add(up.est));
+                }
+                *slot = best;
+            }
+            start = end;
+        }
+    }
 }
 
 impl RoutingScheme for TruncatedScheme {

@@ -51,6 +51,7 @@ pub mod ladder;
 pub mod pde;
 pub mod pipeline;
 pub mod rounding;
+pub mod schedule;
 pub mod snapshot;
 pub mod tables;
 
@@ -60,4 +61,5 @@ pub use pde::{
     run_pde, try_run_pde, PdeEntry, PdeMetrics, PdeOutput, PdeParams, RouteInfo, RouteTable,
 };
 pub use pipeline::{BuildError, StageLog, StageReport};
-pub use tables::{resolve_entry_indices, FlatEntry, FlatTables, PairTable};
+pub use schedule::BatchSchedule;
+pub use tables::{resolve_entry_indices, FlatEntry, FlatTables, PairTable, RowCursor};

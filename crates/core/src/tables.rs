@@ -272,36 +272,52 @@ impl FlatTables {
 
     /// Point lookup: `v`'s entry for source `s`, if present.
     ///
-    /// One bucket probe, not a bisection: each row carries a counting
-    /// index over the high bits of its (near-uniform node-id) keys, so a
-    /// lookup is two dependent loads — the bucket's offset pair and the
-    /// one-or-two candidate entries — where a binary search would walk
-    /// `log₂(row)` dependent cache misses and measure *slower* than the
-    /// hash maps these tables replaced. Exact and deterministic: the
-    /// bucket is scanned for the precise key; skewed keys only make the
-    /// scan longer, never wrong. Probe bounds are re-checked here (not at
-    /// load time): the arena checksum owns integrity, and a bucket that
-    /// still points outside its row is answered with a miss, never a
-    /// panic.
+    /// Resolves the row's metadata and delegates to one
+    /// [`RowCursor::get`] probe — batch kernels that issue many lookups
+    /// against the same row should hold a [`FlatTables::cursor`] instead,
+    /// which resolves that metadata once per row group.
     #[inline]
     pub fn get(&self, v: NodeId, s: NodeId) -> Option<FlatEntry> {
-        let key = s.0;
+        self.cursor(v).get(s)
+    }
+
+    /// Resolves node `v`'s row metadata (CSR start, bucket index base,
+    /// shift) once, returning a cursor for repeated key probes against
+    /// that row. This is the schedule-aware half of the batch kernel:
+    /// a source-grouped batch resolves one cursor per group instead of
+    /// re-deriving the metadata per query.
+    #[inline]
+    pub fn cursor(&self, v: NodeId) -> RowCursor<'_> {
+        let range = self.row_range(v);
         let base = self.bucket_starts.get(v.index()) as usize;
         let slots = (self.bucket_starts.get(v.index() + 1) as usize).saturating_sub(base);
-        let shift = u32::from(self.shifts.as_slice()[v.index()]);
-        let b = key.checked_shr(shift).unwrap_or(0) as usize;
-        if b + 1 >= slots {
-            return None; // key above every bucket (covers empty rows)
+        RowCursor {
+            tab: self,
+            row_start: range.start,
+            row_len: range.end.saturating_sub(range.start),
+            bucket_base: base,
+            slots,
+            shift: u32::from(self.shifts.as_slice()[v.index()]),
         }
-        let lo = self.buckets.get(base + b) as usize;
-        let hi = self.buckets.get(base + b + 1) as usize;
-        let range = self.row_range(v);
-        if lo > hi || hi > range.len() {
-            return None;
+    }
+
+    /// Branchless key scan over the packed records
+    /// `[start, start + len)`: compares the low-`u32` source key of each
+    /// 16-byte chunk and keeps the last hit — row keys are unique
+    /// (strictly sorted), so "last" and "first" coincide on valid data.
+    /// The loop carries no early exit and no data-dependent branch, so
+    /// LLVM unrolls and vectorizes it over the AoS layout (the workspace
+    /// forbids `unsafe`, so this shape — not intrinsics — is the whole
+    /// trick).
+    #[inline]
+    fn scan_keys(&self, start: usize, len: usize, key: u32) -> Option<FlatEntry> {
+        let bytes = &self.entries.as_bytes()[start * ENTRY_BYTES..(start + len) * ENTRY_BYTES];
+        let mut hit = usize::MAX;
+        for (i, rec) in bytes.chunks_exact(ENTRY_BYTES).enumerate() {
+            let word = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
+            hit = if word as u32 == key { i } else { hit };
         }
-        self.entries
-            .iter_range(range.start + lo..range.start + hi)
-            .find(|e| e.src == key)
+        (hit != usize::MAX).then(|| self.entries.get(start + hit))
     }
 
     /// The index range of node `v`'s row within the entry arena (for
@@ -493,6 +509,66 @@ impl FlatTables {
             }
         }
         Ok(())
+    }
+}
+
+/// Rows at or below this many entries skip the bucket index entirely:
+/// the whole row fits in a couple of cache lines, and one branchless
+/// [`FlatTables::scan_keys`] sweep is cheaper than the bucket probe's
+/// chain of dependent loads (bucket offsets → shift → bucket pair →
+/// entries). Measured on the E11 compact@1024 workload, whose tiny rows
+/// made the bucket index *overhead* dominate PR 4's gains.
+const SMALL_ROW_SCAN: usize = 16;
+
+/// Resolved per-row lookup state for [`FlatTables`]: the CSR start, row
+/// length, bucket index base and shift of one node's row, captured once
+/// by [`FlatTables::cursor`] so a source-grouped batch re-reads none of
+/// it per query.
+#[derive(Clone, Copy, Debug)]
+pub struct RowCursor<'a> {
+    tab: &'a FlatTables,
+    row_start: usize,
+    row_len: usize,
+    bucket_base: usize,
+    slots: usize,
+    shift: u32,
+}
+
+impl RowCursor<'_> {
+    /// Length of the cursor's row.
+    #[inline]
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Point lookup within the cursor's row (same answers as
+    /// [`FlatTables::get`] on the same row, by construction).
+    ///
+    /// Small rows take one branchless sweep of the whole row; larger
+    /// rows take the bucket probe — one bucket-offset pair load plus a
+    /// branchless sweep of the (expected ≤ 1-entry) bucket slice. Probe
+    /// bounds are re-checked as in [`FlatTables::get`]: the arena
+    /// checksum owns integrity, and a bucket that still points outside
+    /// its row answers with a miss, never a panic.
+    #[inline]
+    pub fn get(&self, s: NodeId) -> Option<FlatEntry> {
+        let key = s.0;
+        if self.row_len <= SMALL_ROW_SCAN {
+            if self.row_len == 0 {
+                return None;
+            }
+            return self.tab.scan_keys(self.row_start, self.row_len, key);
+        }
+        let b = key.checked_shr(self.shift).unwrap_or(0) as usize;
+        if b + 1 >= self.slots {
+            return None; // key above every bucket
+        }
+        let lo = self.tab.buckets.get(self.bucket_base + b) as usize;
+        let hi = self.tab.buckets.get(self.bucket_base + b + 1) as usize;
+        if lo > hi || hi > self.row_len {
+            return None;
+        }
+        self.tab.scan_keys(self.row_start + lo, hi - lo, key)
     }
 }
 

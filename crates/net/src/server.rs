@@ -13,7 +13,10 @@
 //! - answers come from [`serve::OracleServer::query`] /
 //!   [`serve::ServedOracle::query`] — byte-identical to in-process
 //!   `estimate_many` (the determinism contract pinned by the `net`
-//!   smoke);
+//!   smoke). An `EstimateMany` frame big enough to cross the grouping
+//!   gate runs the oracle's source-grouped schedule kernel; the smoke
+//!   additionally sends one batch shuffled and sorted and pins the
+//!   answers pair-for-pair;
 //! - batched submissions go through the shared admission
 //!   [`serve::Batcher`], merging with concurrent submissions from every
 //!   connection;

@@ -18,6 +18,7 @@ use compact::{
 use compact::{TruncatedScheme, UpperMode};
 use congest::{NodeId, Topology};
 use graphs::{WGraph, INF};
+use pde_core::schedule::group_end;
 use pde_core::{try_approx_apsp_opts, try_run_pde};
 use pde_core::{FlatTables, PdeParams};
 use routing::{try_build_rtc, RoutingScheme, RtcParams, RtcScheme};
@@ -107,6 +108,25 @@ impl DistanceOracle for PdeOracle {
         self.routes.get(u, v).map_or(INF, |e| e.est)
     }
 
+    fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = group_end(pairs, order, start);
+            let u = pairs[order[start] as usize].0;
+            let row = self.routes.cursor(u);
+            for (slot, &i) in out[start..end].iter_mut().zip(&order[start..end]) {
+                let v = pairs[i as usize].1;
+                *slot = if u == v {
+                    0
+                } else {
+                    row.get(v).map_or(INF, |e| e.est)
+                };
+            }
+            start = end;
+        }
+    }
+
     fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
         if u == v {
             return None;
@@ -183,6 +203,22 @@ impl DistanceOracle for ApsOracle {
         }
     }
 
+    fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        let n = self.g.len();
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = group_end(pairs, order, start);
+            let u = pairs[order[start] as usize].0;
+            let row = &self.dist[u.index() * n..u.index() * n + n];
+            for (slot, &i) in out[start..end].iter_mut().zip(&order[start..end]) {
+                let v = pairs[i as usize].1;
+                *slot = if u == v { 0 } else { row[v.index()] };
+            }
+            start = end;
+        }
+    }
+
     fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
         if u == v {
             return None;
@@ -233,6 +269,13 @@ macro_rules! scheme_oracle {
 
             fn estimate(&self, u: NodeId, v: NodeId) -> u64 {
                 RoutingScheme::estimate(&self.scheme, u, v)
+            }
+
+            fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+                // Each scheme crate owns its grouped kernel (the flat
+                // tables it caches per group are crate-private); every
+                // kernel computes exactly `RoutingScheme::estimate`.
+                self.scheme.estimate_grouped(pairs, order, out);
             }
 
             fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
@@ -366,6 +409,20 @@ impl DistanceOracle for BfOracle {
         }
     }
 
+    fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = group_end(pairs, order, start);
+            let u = pairs[order[start] as usize].0;
+            let row = &self.dist[u.index() * self.n..u.index() * self.n + self.n];
+            for (slot, &i) in out[start..end].iter_mut().zip(&order[start..end]) {
+                *slot = row[pairs[i as usize].1.index()];
+            }
+            start = end;
+        }
+    }
+
     fn next_hop(&self, _u: NodeId, _v: NodeId) -> Option<NodeId> {
         None
     }
@@ -419,6 +476,21 @@ impl DistanceOracle for FloodOracle {
         let n = self.g.len();
         for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
             *slot = self.dist[u.index() * n + v.index()];
+        }
+    }
+
+    fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        let n = self.g.len();
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = group_end(pairs, order, start);
+            let u = pairs[order[start] as usize].0;
+            let row = &self.dist[u.index() * n..u.index() * n + n];
+            for (slot, &i) in out[start..end].iter_mut().zip(&order[start..end]) {
+                *slot = row[pairs[i as usize].1.index()];
+            }
+            start = end;
         }
     }
 

@@ -37,8 +37,15 @@ pub struct EvalReport {
     pub max_route_hops: usize,
     /// Serialized artifact size in bits.
     pub size_bits: u64,
-    /// Measured batch throughput of `estimate_many`, in queries/second.
+    /// Measured batch throughput of `estimate_many` on the pair list in
+    /// its submitted (shuffled/sampled) order, in queries/second.
     pub queries_per_sec: f64,
+    /// Measured batch throughput on a `(u, v)`-sorted copy of the same
+    /// pair list — the grouped-kernel best case. Comparing against
+    /// [`EvalReport::queries_per_sec`] shows how much of the schedule win
+    /// survives when the batch arrives pre-shuffled (the sort itself is
+    /// then the only extra work).
+    pub queries_per_sec_sorted: f64,
     /// Failures (missing estimates, underestimates, broken routes).
     /// Tests assert this is empty.
     pub failures: Vec<String>,
@@ -117,6 +124,20 @@ pub fn evaluate_with(
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
     let queries_per_sec = (reps * list.len()) as f64 / secs;
 
+    // Grouped vs shuffled throughput: the same pairs pre-sorted by
+    // (source, dest) — answers are order-independent, so only the
+    // timing differs.
+    let mut sorted_list = list.clone();
+    sorted_list.sort_unstable_by_key(|&(u, v)| (u.0, v.0));
+    let mut sorted_out = Vec::new();
+    oracle.estimate_many_with(&sorted_list, &mut sorted_out, threads);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        oracle.estimate_many_with(&sorted_list, &mut sorted_out, threads);
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let queries_per_sec_sorted = (reps * sorted_list.len()) as f64 / secs;
+
     let mut est_stretch: Vec<f64> = Vec::with_capacity(list.len());
     for (&(u, v), &est) in list.iter().zip(&out) {
         let wd = exact.dist(u, v);
@@ -188,6 +209,7 @@ pub fn evaluate_with(
         max_route_hops,
         size_bits: oracle.size_bits(),
         queries_per_sec,
+        queries_per_sec_sorted,
         failures,
     }
 }

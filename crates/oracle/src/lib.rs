@@ -111,6 +111,7 @@ impl TracedRoute {
 /// count), additionally capped by the number of work items — one shared
 /// implementation for every threaded surface in the workspace.
 use pde_core::pipeline::resolve_threads;
+use pde_core::BatchSchedule;
 
 /// Build-time metrics common to every backend.
 #[derive(Clone, Copy, Debug)]
@@ -148,12 +149,32 @@ pub struct OracleBuildMetrics {
 /// * [`DistanceOracle::estimate_many_with`] — takes a `threads` knob
 ///   mirroring `pde_core::run_pde`'s (`0` = auto via
 ///   [`std::thread::available_parallelism`], `1` = sequential, else the
-///   given worker count). The pair slice is sharded into contiguous
-///   chunks, one scoped worker per chunk, each writing its own disjoint
-///   region of `out` — answers land at the same index the pair occupies,
-///   so the output is **byte-identical for every thread count** (pinned
-///   by `tests/parallel_determinism.rs` and the `queries --smoke` CI
-///   step). No worker mutates shared state; scheduling is unobservable.
+///   given worker count).
+///
+/// ## The scheduling / determinism contract
+///
+/// Large batches run through a **source-grouped schedule**
+/// ([`pde_core::schedule::BatchSchedule`]): an order-preserving
+/// permutation of the query indices, sorted by `(source row, dest key)`,
+/// is executed by [`DistanceOracle::estimate_grouped`] — flat-table
+/// backends resolve per-row metadata (CSR start, bucket index base,
+/// shift) once per equal-source group instead of per query — and the
+/// answers are scattered back through the permutation. Because each
+/// answer is a pure function of its pair and lands at the index the pair
+/// occupies, the output is **byte-identical for every batch order**
+/// (shuffled, sorted, reversed, duplicated) and equal to the scalar
+/// [`DistanceOracle::estimate_into`] path.
+///
+/// The parallel path shards the *schedule*, not the raw pair slice: a
+/// group-aware splitter cuts only at group boundaries (no source row's
+/// group is split across workers), one scoped worker fills each
+/// contiguous schedule region, and one scatter pass restores submission
+/// order — so the output is also **byte-identical for every thread
+/// count** (pinned by `tests/parallel_determinism.rs`,
+/// `tests/batch_schedule.rs` and the `queries --smoke` CI step). Small
+/// batches, where building a schedule would cost more than it saves,
+/// keep the direct contiguous sharding; the answers are identical either
+/// way. No worker mutates shared state; scheduling is unobservable.
 pub trait DistanceOracle: Sync {
     /// Number of nodes covered.
     fn len(&self) -> usize;
@@ -192,27 +213,79 @@ pub trait DistanceOracle: Sync {
         self.estimate_many_with(pairs, out, 1);
     }
 
+    /// The schedule-order batch kernel: writes `estimate(u, v)` for
+    /// `pairs[order[i]]` into `out[i]` — answers land in *schedule*
+    /// order; the caller scatters them back to submission order via
+    /// [`BatchSchedule::scatter`].
+    ///
+    /// `order` is a slice of a [`BatchSchedule`] permutation, so equal
+    /// sources are contiguous. The default loops over
+    /// [`DistanceOracle::estimate`]; flat-table backends override it to
+    /// resolve row metadata once per equal-source group. Every override
+    /// must compute exactly `estimate(u, v)` per pair — that is what
+    /// keeps grouped answers byte-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != order.len()`, or (in the default) when
+    /// an index in `order` is out of bounds for `pairs`.
+    fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        for (slot, &i) in out.iter_mut().zip(order) {
+            let (u, v) = pairs[i as usize];
+            *slot = self.estimate(u, v);
+        }
+    }
+
     /// Batch estimates with a `threads` knob (`0` = auto, `1` =
     /// sequential); output is identical for every value — see the trait
     /// docs for the determinism contract. The worker count is additionally
     /// capped at one per ~1k pairs, so tiny batches run sequentially
     /// instead of paying thread-spawn overhead that dwarfs the queries.
+    ///
+    /// Batches of at least ~4k pairs run through a source-grouped
+    /// [`BatchSchedule`] and [`DistanceOracle::estimate_grouped`];
+    /// smaller ones go straight to [`DistanceOracle::estimate_into`].
     fn estimate_many_with(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>, threads: usize) {
         /// Minimum shard size worth a scoped worker.
         const MIN_PAIRS_PER_WORKER: usize = 1024;
+        /// Below this, building the schedule costs more than it saves.
+        const MIN_PAIRS_FOR_GROUPING: usize = 4096;
         out.clear();
         out.resize(pairs.len(), 0);
         let workers = resolve_threads(threads, pairs.len() / MIN_PAIRS_PER_WORKER);
-        if workers <= 1 {
-            self.estimate_into(pairs, out);
+        if pairs.len() < MIN_PAIRS_FOR_GROUPING {
+            if workers <= 1 {
+                self.estimate_into(pairs, out);
+                return;
+            }
+            let chunk = pairs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (ps, os) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || self.estimate_into(ps, os));
+                }
+            });
             return;
         }
-        let chunk = pairs.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (ps, os) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || self.estimate_into(ps, os));
-            }
-        });
+        let sched = BatchSchedule::build(pairs, self.len());
+        let mut grouped = vec![0u64; pairs.len()];
+        if workers <= 1 {
+            self.estimate_grouped(pairs, sched.order(), &mut grouped);
+        } else {
+            let lens = sched.shard_lens(workers, MIN_PAIRS_PER_WORKER);
+            std::thread::scope(|scope| {
+                let mut order = sched.order();
+                let mut slots = grouped.as_mut_slice();
+                for &len in &lens {
+                    let (os, order_rest) = order.split_at(len);
+                    let (ss, slots_rest) = slots.split_at_mut(len);
+                    order = order_rest;
+                    slots = slots_rest;
+                    scope.spawn(move || self.estimate_grouped(pairs, os, ss));
+                }
+            });
+        }
+        sched.scatter(&grouped, out);
     }
 
     /// The next hop from `u` towards `v`, when the backend routes
@@ -695,6 +768,9 @@ impl DistanceOracle for Oracle {
     }
     fn estimate_into(&self, pairs: &[(NodeId, NodeId)], out: &mut [u64]) {
         self.as_dyn().estimate_into(pairs, out);
+    }
+    fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        self.as_dyn().estimate_grouped(pairs, order, out);
     }
     fn estimate_many(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<u64>) {
         self.as_dyn().estimate_many(pairs, out);

@@ -46,6 +46,43 @@ impl RtcScheme {
         let hop = NodeId(self.long_hop.get(x.index() * m + home));
         Some((d.saturating_add(label.dist_home), hop))
     }
+
+    /// The source-grouped batch kernel behind
+    /// `oracle::DistanceOracle::estimate_grouped`: answers
+    /// `pairs[order[i]]` into `out[i]`, resolving the queried node's
+    /// short-range row cursor and long-range matrix row once per
+    /// equal-source group. Computes exactly
+    /// [`RoutingScheme::estimate`] per pair.
+    pub fn estimate_grouped(&self, pairs: &[(NodeId, NodeId)], order: &[u32], out: &mut [u64]) {
+        assert_eq!(order.len(), out.len(), "one answer slot per query");
+        let m = self.skel_ids.len();
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = pde_core::schedule::group_end(pairs, order, start);
+            let x = pairs[order[start] as usize].0;
+            let short_row = self.short.cursor(x);
+            let long_row = x.index() * m;
+            for (slot, &i) in out[start..end].iter_mut().zip(&order[start..end]) {
+                let dest = pairs[i as usize].1;
+                if x == dest {
+                    *slot = 0;
+                    continue;
+                }
+                let label = &self.labels[dest.index()];
+                let direct = short_row.get(dest).map_or(INF, |e| e.est);
+                let long = self.skel_index.get(label.home).map_or(INF, |home| {
+                    let d = self.long_dist.get(long_row + home);
+                    if d == INF {
+                        INF
+                    } else {
+                        d.saturating_add(label.dist_home)
+                    }
+                });
+                *slot = direct.min(long);
+            }
+            start = end;
+        }
+    }
 }
 
 impl RoutingScheme for RtcScheme {

@@ -26,7 +26,12 @@
 //!   window, executed as **one** [`DistanceOracle::estimate_many_with`]
 //!   call against a single leased snapshot, and the answer slab is split
 //!   back per submitter. Each admitted group therefore sees one
-//!   generation, and tiny callers inherit batch-path throughput. A
+//!   generation, and tiny callers inherit batch-path throughput — since
+//!   PR 10 that means the source-grouped schedule kernel: a merged slab
+//!   big enough to cross the grouping gate is executed source-grouped
+//!   and scattered back, so admission batching compounds with batch
+//!   shape (answers stay byte-identical; the scheduling contract is in
+//!   the `oracle::DistanceOracle` docs). A
 //!   batcher can carry a *deadline* ([`Batcher::with_deadline`]): a
 //!   submission whose group leader wedges times out with
 //!   [`ServeError::Deadline`] instead of blocking forever, and
